@@ -1,0 +1,60 @@
+"""§2 examples and Figures 1–4 — functionality and timing.
+
+Each paper example is timed (the paper quotes per-example analysis
+times: nreverse 0.01s, process 0.34s, mutual 0.08s, Figure 1 0.09s,
+Figure 2 0.11s, Figure 3 0.56s, gen 0.07s) and its inferred grammar
+printed next to the published one.  Exactness is asserted in
+tests/test_section2_examples.py; here the assertions are that no
+result collapses and the relative cost ordering is sane.
+"""
+
+import pytest
+
+from repro import analyze
+from repro.domains.pattern import PAT_BOTTOM, value_of
+
+from tests.test_section2_examples import (FIGURE1, FIGURE2, FIGURE3,
+                                          GEN_SUCC, NREVERSE, PROCESS,
+                                          PROCESS_MUTUAL, QSORT)
+
+from .conftest import report
+
+EXAMPLES = [
+    ("nreverse", NREVERSE, ("nreverse", 2), 0.01),
+    ("process", PROCESS, ("process", 2), 0.34),
+    ("process-mutual", PROCESS_MUTUAL, ("process", 2), 0.08),
+    ("figure1-nested", FIGURE1, ("get", 1), 0.09),
+    ("figure2-arith", FIGURE2, ("add", 2), 0.11),
+    ("figure3-ar1", FIGURE3, ("add", 2), 0.56),
+    ("gen-succ", GEN_SUCC, ("gen", 1), 0.07),
+    ("figure4-qsort", QSORT, ("qsort", 2), None),
+]
+
+
+@pytest.mark.parametrize("name,source,query,paper_time",
+                         EXAMPLES, ids=[e[0] for e in EXAMPLES])
+def test_section2_example(benchmark, name, source, query, paper_time):
+    analysis = benchmark(lambda: analyze(source, query))
+    out = analysis.output
+    assert out is not PAT_BOTTOM
+    report("== %s (paper time: %s)\n%s" % (
+        name, "%.2fs" % paper_time if paper_time else "n/a",
+        analysis.grammar_text()))
+    for k in range(query[1]):
+        grammar = value_of(out, out.sv[k], analysis.domain, {})
+        assert not grammar.is_bottom()
+
+
+def test_section2_relative_costs(benchmark):
+    """nreverse is among the cheapest, figure3 among the dearest —
+    the ordering the paper's per-example times imply."""
+    def run_all():
+        times = {}
+        for name, source, query, _ in EXAMPLES:
+            analysis = analyze(source, query)
+            times[name] = analysis.stats.procedure_iterations
+        return times
+
+    times = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    assert times["nreverse"] <= times["process-mutual"]
+    assert times["nreverse"] <= times["figure1-nested"]

@@ -1,0 +1,53 @@
+"""Table 1 — Sizes of the Programs.
+
+Reproduces the paper's columns: number of procedures, number of
+clauses, number of program points, number of goals, static call tree
+size — for the ten benchmark programs.  Absolute values differ from
+the paper because the original benchmark files are lost and ours are
+reconstructions (see DESIGN.md); the relative shape (QU/PG smallest,
+PE/PR/RE largest) is asserted in tests/test_benchprogs.py.
+"""
+
+from repro.analysis import format_table, program_metrics
+from repro.benchprogs import benchmark, benchmark_names
+
+from .conftest import cached_program, report
+
+PAPER_TABLE1 = {
+    # name: (procedures, clauses, program points, goals, static call tree)
+    "KA": (44, 82, 475, 84, 73),
+    "QU": (5, 9, 38, 8, 5),
+    "PR": (52, 158, 742, 130, 75),
+    "PE": (19, 168, 808, 90, 80),
+    "CS": (32, 55, 336, 57, 46),
+    "DS": (28, 52, 296, 60, 47),
+    "PG": (10, 18, 93, 17, 11),
+    "RE": (42, 163, 820, 168, 144),
+    "BR": (20, 45, 207, 37, 21),
+    "PL": (13, 26, 94, 29, 25),
+}
+
+
+def compute_table1():
+    rows = []
+    for name in benchmark_names(include_variants=False):
+        program = cached_program(name)
+        entry = benchmark(name).query
+        metrics = program_metrics(program, entry_points=[entry])
+        paper = PAPER_TABLE1[name]
+        rows.append([name, metrics.procedures, paper[0],
+                     metrics.clauses, paper[1],
+                     metrics.program_points, paper[2],
+                     metrics.goals, paper[3],
+                     metrics.static_call_tree, paper[4]])
+    return rows
+
+
+def test_table1_sizes(benchmark):
+    rows = benchmark(compute_table1)
+    print()
+    report(format_table(
+        ["program", "procs", "(paper)", "clauses", "(paper)",
+         "points", "(paper)", "goals", "(paper)", "sct", "(paper)"],
+        rows,
+        title="Table 1: Sizes of the Programs (ours vs paper)"))

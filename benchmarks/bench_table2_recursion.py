@@ -1,0 +1,50 @@
+"""Table 2 — Syntactic Form of the Programs.
+
+Tail recursive / locally recursive / mutually recursive /
+non-recursive procedure counts per benchmark, next to the paper's
+values.
+"""
+
+from repro.analysis import build_callgraph, format_table, \
+    recursion_summary
+from repro.benchprogs import benchmark_names
+
+from .conftest import cached_program, report
+
+PAPER_TABLE2 = {
+    # name: (tail, local, mutual, non-recursive)
+    "KA": (12, 0, 7, 25),
+    "QU": (4, 0, 0, 1),
+    "PR": (12, 5, 8, 27),
+    "PE": (6, 0, 4, 9),
+    "CS": (9, 1, 2, 29),
+    "DS": (14, 0, 0, 14),
+    "PG": (6, 0, 0, 4),
+    "RE": (6, 0, 16, 20),
+    "BR": (11, 1, 0, 8),
+    "PL": (4, 0, 0, 9),
+}
+
+
+def compute_table2():
+    rows = []
+    for name in benchmark_names(include_variants=False):
+        graph = build_callgraph(cached_program(name))
+        summary = recursion_summary(graph)
+        paper = PAPER_TABLE2[name]
+        rows.append([name,
+                     summary.tail_recursive, paper[0],
+                     summary.locally_recursive, paper[1],
+                     summary.mutually_recursive, paper[2],
+                     summary.non_recursive, paper[3]])
+    return rows
+
+
+def test_table2_recursion(benchmark):
+    rows = benchmark(compute_table2)
+    print()
+    report(format_table(
+        ["program", "tail", "(paper)", "local", "(paper)",
+         "mutual", "(paper)", "non-rec", "(paper)"],
+        rows,
+        title="Table 2: Syntactic Form of the Programs (ours vs paper)"))

@@ -1,0 +1,95 @@
+"""Table 3 — Computation Results.
+
+CPU time, procedure iterations and clause iterations per benchmark,
+plus the or-degree-restricted runs "(5)" and "(2)".  The paper's
+headline shapes are asserted:
+
+* RE is the pathological program, an order of magnitude slower than
+  the rest;
+* the or-degree restriction dramatically reduces RE's time while
+  barely affecting the others.
+
+Absolute times are CPython-vs-1994-C and are not comparable; the
+paper's values are printed alongside for reference.
+"""
+
+import pytest
+
+from repro.analysis import format_table
+from repro.benchprogs import benchmark_names
+
+from .conftest import cached_analysis, report
+
+PAPER_TABLE3 = {
+    # name: (cpu, proc iters, clause iters, cpu(5), cpu(2))
+    "KA": (1.52, 149, 290, 1.27, 1.23),
+    "QU": (0.01, 18, 35, 0.01, 0.01),
+    "PR": (2.51, 253, 791, 2.35, 2.25),
+    "PE": (2.73, 109, 569, 2.06, 1.69),
+    "CS": (1.01, 99, 190, 0.97, 1.02),
+    "DS": (0.72, 78, 142, 0.61, 0.71),
+    "PG": (0.39, 59, 123, 0.37, 0.35),
+    "RE": (117.15, 1052, 3300, 23.00, 9.19),
+    "BR": (0.38, 72, 165, 0.38, 0.43),
+    "PL": (0.31, 50, 98, 0.28, 0.31),
+}
+
+
+@pytest.mark.parametrize("name", benchmark_names(include_variants=False))
+def test_table3_per_program(benchmark, name):
+    """Times one full analysis per program (the Table 3 row)."""
+    from repro import AnalysisConfig, analyze
+    from repro.benchprogs import benchmark as get_benchmark
+    bp = get_benchmark(name)
+
+    def run():
+        return analyze(bp.source, bp.query, input_types=bp.input_types)
+
+    analysis = benchmark.pedantic(run, rounds=1, iterations=1)
+    stats = analysis.stats
+    paper = PAPER_TABLE3[name]
+    benchmark.extra_info.update({
+        "procedure_iterations": stats.procedure_iterations,
+        "clause_iterations": stats.clause_iterations,
+        "paper_cpu": paper[0],
+        "paper_procedure_iterations": paper[1],
+        "paper_clause_iterations": paper[2],
+    })
+
+
+def test_table3_summary(benchmark):
+    """Prints the whole table (all three or-width settings) and checks
+    the paper's qualitative claims."""
+    def gather():
+        rows = []
+        for name in benchmark_names(include_variants=False):
+            full = cached_analysis(name)
+            cap5 = cached_analysis(name, max_or_width=5)
+            cap2 = cached_analysis(name, max_or_width=2)
+            paper = PAPER_TABLE3[name]
+            rows.append([
+                name,
+                round(full.wall_time, 2), paper[0],
+                full.stats.procedure_iterations, paper[1],
+                full.stats.clause_iterations, paper[2],
+                round(cap5.wall_time, 2), paper[3],
+                round(cap2.wall_time, 2), paper[4],
+            ])
+        return rows
+
+    rows = benchmark.pedantic(gather, rounds=1, iterations=1)
+    print()
+    report(format_table(
+        ["program", "cpu", "(paper)", "proc-it", "(paper)",
+         "clause-it", "(paper)", "cpu(5)", "(paper)", "cpu(2)",
+         "(paper)"],
+        rows,
+        title="Table 3: Computation Results (ours vs paper)"))
+
+    times = {row[0]: row[1] for row in rows}
+    others = [t for n, t in times.items() if n != "RE"]
+    # RE is the pathological case, as in the paper
+    assert times["RE"] > 3 * max(others)
+    # the or-degree restriction rescues RE, as in the paper
+    cap2 = {row[0]: row[9] for row in rows}
+    assert cap2["RE"] < times["RE"] / 2

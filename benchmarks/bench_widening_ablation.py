@@ -1,0 +1,165 @@
+"""Ablation — the design choices DESIGN.md calls out.
+
+1. **Widening style**: the paper's widening vs the or-width-1 finite
+   subdomain (roughly Bruynooghe/Janssens' restriction flavour) vs
+   or-width-2/5 — accuracy is measured by how many §2 examples stay
+   exact and how many argument tags survive.
+2. **Polyvariance cap**: the max_input_patterns sweep, showing the
+   call-pattern widening trade-off discussed in §8/§9.
+3. **Widening delay**: widening immediately vs postponing until the
+   structure appears (the AR1 requirement from §2).
+"""
+
+import pytest
+
+from repro import AnalysisConfig, analyze
+from repro.analysis.tags import tags_of_subst
+from repro.domains.pattern import PAT_BOTTOM
+from repro.typegraph import g_equiv, parse_rules
+
+from tests.test_section2_examples import (FIGURE2, FIGURE3, NREVERSE,
+                                          PROCESS)
+from repro.analysis import format_table
+from .conftest import report
+
+CASES = [
+    ("nreverse", NREVERSE, ("nreverse", 2), 0,
+     "T ::= [] | cons(Any,T)"),
+    ("process", PROCESS, ("process", 2), 1,
+     "S ::= 0 | c(Any,S) | d(Any,S)"),
+    ("figure2", FIGURE2, ("add", 2), 0, """
+     T ::= '+'(T,T1) | 0
+     T1 ::= '*'(T1,T2) | 1
+     T2 ::= cst(Any) | par(T) | var(Any)
+     """),
+    ("figure3", FIGURE3, ("add", 2), 0, """
+     T ::= cst(Any) | var(Any) | par(T) | '*'(T1,T2) | '+'(T,T1)
+     T1 ::= cst(Any) | var(Any) | par(T) | '*'(T1,T2)
+     T2 ::= cst(Any) | var(Any) | par(T)
+     """),
+]
+
+
+def exactness_under(config):
+    exact = 0
+    for name, source, query, arg, expected_text in CASES:
+        analysis = analyze(source, query, config=config)
+        out = analysis.output
+        if out is PAT_BOTTOM:
+            continue
+        from repro.domains.pattern import value_of
+        got = value_of(out, out.sv[arg], analysis.domain, {})
+        if g_equiv(got, parse_rules(expected_text)):
+            exact += 1
+    return exact
+
+
+def test_or_width_ablation(benchmark):
+    """Accuracy under the or-degree restriction: the paper's full
+    domain is the most precise."""
+    def sweep():
+        results = []
+        for cap in (None, 5, 2, 1):
+            config = AnalysisConfig(max_or_width=cap)
+            results.append(("full" if cap is None else "or<=%d" % cap,
+                            exactness_under(config)))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    report(format_table(["widening", "exact §2 results (of %d)"
+                        % len(CASES)], results,
+                       title="Ablation: or-degree restriction"))
+    by_name = dict(results)
+    assert by_name["full"] == len(CASES)
+    assert by_name["or<=1"] < by_name["full"]
+
+
+def test_polyvariance_cap_ablation(benchmark):
+    """max_input_patterns sweep on the accumulator example."""
+    def sweep():
+        results = []
+        for cap in (1, 2, 4, 8, 16):
+            config = AnalysisConfig(max_input_patterns=cap)
+            analysis = analyze(PROCESS, ("process", 2), config=config)
+            out = analysis.output
+            from repro.domains.pattern import value_of
+            got = value_of(out, out.sv[1], analysis.domain, {})
+            exact = g_equiv(got, parse_rules(
+                "S ::= 0 | c(Any,S) | d(Any,S)"))
+            results.append((cap, analysis.stats.entries_created,
+                            analysis.stats.procedure_iterations,
+                            "exact" if exact else "approx"))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    report(format_table(
+        ["cap", "entries", "proc iterations", "accumulator type"],
+        results, title="Ablation: polyvariance cap (process/3)"))
+    # the analysis stays sound and terminates at every cap
+    assert len(results) == 5
+
+
+def test_widening_vs_finite_subdomain(benchmark):
+    """§7's design choice, measured: the paper's widening against the
+    Bruynooghe/Janssens finite subdomain (functor-depth restriction,
+    implemented in repro.typegraph.depthbound) and against the
+    Gallagher/de Waal-style same-functor merging it degenerates to at
+    k=1 (§10's comparison)."""
+    from repro.domains.leaf import DepthBoundLeafDomain
+    from repro.domains.pattern import value_of
+
+    def sweep():
+        results = []
+        for label, domain in [("paper widening", None),
+                              ("depth bound k=1", DepthBoundLeafDomain(1)),
+                              ("depth bound k=2", DepthBoundLeafDomain(2))]:
+            exact = 0
+            for name, source, query, arg, expected_text in CASES:
+                analysis = analyze(source, query, domain=domain)
+                out = analysis.output
+                if out is PAT_BOTTOM:
+                    continue
+                got = value_of(out, out.sv[arg], analysis.domain, {})
+                if g_equiv(got, parse_rules(expected_text)):
+                    exact += 1
+            results.append((label, exact))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    report(format_table(
+        ["domain", "exact §2 results (of %d)" % len(CASES)], results,
+        title="Ablation: widening vs finite subdomain"))
+    by_label = dict(results)
+    assert by_label["paper widening"] == len(CASES)
+    # the finite subdomain at k=1 loses at least one example
+    assert by_label["depth bound k=1"] < len(CASES)
+
+
+def test_widening_delay_ablation(benchmark):
+    """Figure 3 needs the postponed widening; with delay 0 and
+    immediate strictness the layered type may degrade."""
+    def sweep():
+        results = []
+        for delay, strict_after in ((0, 0), (0, 2), (2, 12), (4, 20)):
+            config = AnalysisConfig(widening_delay=delay,
+                                    strict_widening_after=strict_after)
+            analysis = analyze(FIGURE3, ("add", 2), config=config)
+            out = analysis.output
+            from repro.domains.pattern import value_of
+            got = value_of(out, out.sv[0], analysis.domain, {})
+            exact = g_equiv(got, parse_rules(CASES[3][4]))
+            results.append((delay, strict_after,
+                            analysis.stats.procedure_iterations,
+                            "exact" if exact else "approx"))
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    report(format_table(
+        ["join delay", "strict after", "proc iterations", "figure3"],
+        results, title="Ablation: widening delay (AR1)"))
+    # the default configuration is exact
+    assert results[2][3] == "exact"

@@ -1,0 +1,66 @@
+"""Shared infrastructure for the experiment harnesses.
+
+Analyses are cached per session so the table harnesses (3, 4, 5) do
+not re-run the same fixpoints; the ``benchmark`` fixture then times
+the operation each table is about.
+"""
+
+import pytest
+
+from repro import AnalysisConfig, analyze, parse_program
+from repro.benchprogs import benchmark as get_benchmark
+
+_CACHE = {}
+
+
+def cached_analysis(name, baseline=False, max_or_width=None):
+    """Session-cached TypeAnalysis for one workload."""
+    key = (name, baseline, max_or_width)
+    if key not in _CACHE:
+        bp = get_benchmark(name)
+        config = AnalysisConfig(max_or_width=max_or_width)
+        _CACHE[key] = analyze(bp.source, bp.query,
+                              input_types=bp.input_types,
+                              config=config, baseline=baseline)
+    return _CACHE[key]
+
+
+def cached_program(name):
+    key = ("program", name)
+    if key not in _CACHE:
+        _CACHE[key] = parse_program(get_benchmark(name).source)
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="session")
+def analysis_cache():
+    return cached_analysis
+
+
+@pytest.fixture(scope="session")
+def program_cache():
+    return cached_program
+
+
+# -- reporting ---------------------------------------------------------------
+# pytest captures stdout of passing tests, so tables printed by the
+# harnesses are replayed in the terminal summary (and thus appear in
+# tee'd logs of `pytest benchmarks/ --benchmark-only`).
+
+REPORTS = []
+
+
+def report(text):
+    """Print a result block now and replay it in the summary."""
+    print(text)
+    REPORTS.append(text)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables and figures")
+    for block in REPORTS:
+        terminalreporter.write_line("")
+        for line in str(block).splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,55 @@
+"""Run the paper's benchmark suite end to end.
+
+Analyzes every §9 workload (KA QU PR PE CS DS PG RE BR PL AR AR1 and
+the L-variants), printing a Table-3-style summary plus the inferred
+type of each query's first argument.  Pass benchmark names as
+command-line arguments to restrict the run; RE is slow without an
+or-width cap, so this driver analyses it with the "(5)" restriction by
+default (as the paper's Table 3 also reports).
+
+Run:  python examples/paper_benchmarks.py QU PG AR AR1
+      python examples/paper_benchmarks.py          # whole suite
+"""
+
+import sys
+
+from repro import AnalysisConfig, analyze
+from repro.analysis import format_table
+from repro.benchprogs import benchmark, benchmark_names
+from repro.domains.pattern import PAT_BOTTOM, value_of
+
+SLOW = {"RE"}
+
+
+def run_one(name):
+    bp = benchmark(name)
+    cap = 5 if name in SLOW else None
+    analysis = analyze(bp.source, bp.query, input_types=bp.input_types,
+                       config=AnalysisConfig(max_or_width=cap))
+    out = analysis.output
+    if out is PAT_BOTTOM:
+        first_arg = "<no success>"
+    else:
+        grammar = value_of(out, out.sv[0], analysis.domain, {})
+        first_arg = str(grammar).replace("\n", " ; ")
+        if len(first_arg) > 60:
+            first_arg = first_arg[:57] + "..."
+    return [name,
+            "%s/%d" % bp.query,
+            round(analysis.wall_time, 2),
+            analysis.stats.procedure_iterations,
+            analysis.stats.clause_iterations,
+            first_arg]
+
+
+def main() -> None:
+    names = [n.upper() for n in sys.argv[1:]] or benchmark_names()
+    rows = [run_one(name) for name in names]
+    print(format_table(
+        ["program", "query", "time(s)", "proc-it", "clause-it",
+         "first argument type"],
+        rows, title="Paper benchmark suite"))
+
+
+if __name__ == "__main__":
+    main()

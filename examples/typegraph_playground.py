@@ -1,0 +1,70 @@
+"""Working with the type-graph domain directly.
+
+Shows the §6 operations (union, intersection, inclusion, widening) and
+the §6.7–6.8 views (tree automata, monadic logic programs) without
+running a whole program analysis.
+
+Run:  python examples/typegraph_playground.py
+"""
+
+from repro import parse_term
+from repro.typegraph import (g_any, g_atom, g_functor, g_int, g_intersect,
+                             g_le, g_list_of, g_union, g_widen, member,
+                             monadic_text, parse_rules, to_automaton)
+
+
+def main() -> None:
+    # Types are regular tree grammars; write them as the paper does.
+    binary_tree = parse_rules("""
+    T ::= void | tree(T,Any,T)
+    """)
+    print("a binary tree type:")
+    print(binary_tree)
+    print()
+
+    # Membership: which terms belong to the denotation (Section 6.2)?
+    for text in ("void", "tree(void,42,void)",
+                 "tree(tree(void,a,void),b,void)", "leaf(x)"):
+        term = parse_term(text)
+        print("  %-32s in T? %s" % (text, member(term, binary_tree)))
+    print()
+
+    # Lattice operations (Section 6.9).
+    int_list = g_list_of(g_int())
+    atom_list = g_list_of(g_union(g_atom("a"), g_atom("b")))
+    print("union of int-lists and ab-lists:")
+    print(g_union(int_list, atom_list))
+    print("intersection (only [] survives element-wise):")
+    print(g_intersect(int_list, atom_list))
+    print("int-list <= any-list?", g_le(int_list, g_list_of(g_any())))
+    print()
+
+    # The widening (Section 7): growing lists converge to the cycle.
+    print("widening a growing chain of list approximations:")
+    current = g_atom("[]")
+    for step in range(5):
+        grown = g_union(g_atom("[]"),
+                        g_functor(".", [g_int(), current]))
+        widened = g_widen(current, grown)
+        print("  step %d: %s" % (step, str(widened).replace("\n", "  ")))
+        if widened == current:
+            print("  (stationary)")
+            break
+        current = widened
+    print()
+
+    # Views: deterministic top-down tree automaton (Section 6.7)...
+    automaton = to_automaton(binary_tree)
+    print("automaton: %d states, deterministic=%s"
+          % (automaton.num_states, automaton.is_deterministic()))
+    print("accepts tree(void,1,void):",
+          automaton.accepts(parse_term("tree(void,1,void)")))
+    print()
+
+    # ...and the monadic logic program (Section 6.8) — runnable Prolog.
+    print("the same type as a monadic logic program:")
+    print(monadic_text(binary_tree))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,186 @@
+"""Development harness: run all paper §2 examples and compare with the
+published results.  (The formal versions live in tests/.)"""
+import sys
+sys.path.insert(0, 'src')
+
+from repro.prolog import parse_program, normalize_program
+from repro.fixpoint import Engine, AnalysisConfig
+from repro.domains import display_subst, value_of
+from repro.typegraph import g_equiv, parse_rules
+
+SECTION2 = []
+
+
+def case(name, src, pred, arity, expected_args):
+    SECTION2.append((name, src, (pred, arity), expected_args))
+
+
+case('nreverse', '''
+nreverse([], []).
+nreverse([F|T], Res) :- nreverse(T, Trev), append(Trev, [F], Res).
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+''', 'nreverse', 2, ['T ::= [] | cons(Any,T)', 'T ::= [] | cons(Any,T)'])
+
+case('process-acc', '''
+process(X,Y) :- process(X,0,Y).
+process([],X,X).
+process([c(X1)|Y],Acc,X) :- process(Y,c(X1,Acc),X).
+process([d(X1)|Y],Acc,X) :- process(Y,d(X1,Acc),X).
+''', 'process', 2, ['''
+T ::= [] | cons(T1,T)
+T1 ::= c(Any) | d(Any)
+''', '''
+S ::= 0 | c(Any,S) | d(Any,S)
+'''])
+
+case('process-mutual', '''
+process(X,Y) :- process(X,0,Y).
+process([],X,X).
+process([c(X1)|Y],Acc,X) :- other_process(Y,c(X1,Acc),X).
+other_process([d(X1)|Y],Acc,X) :- process(Y,d(X1,Acc),X).
+''', 'process', 2, ['''
+T ::= [] | cons(T1,T2)
+T1 ::= c(Any)
+T2 ::= cons(T3,T)
+T3 ::= d(Any)
+''', '''
+S ::= 0 | d(Any,S1)
+S1 ::= c(Any,S)
+'''])
+
+case('fig1-nested-lists', '''
+llist([]).
+llist([F|T]) :- list(F), llist(T).
+list([]).
+list([F|T]) :- p(F), list(T).
+p(a). p(b).
+reverse(X,Y) :- reverse(X,[],Y).
+reverse([],X,X).
+reverse([F|T],Acc,Res) :- reverse(T,[F|Acc],Res).
+get(Res) :- llist(X), reverse(X,Res).
+''', 'get', 1, ['''
+T ::= [] | cons(T1,T)
+T1 ::= [] | cons(T2,T1)
+T2 ::= a | b
+'''])
+
+case('fig2-arith', '''
+add(0,[]).
+add(X + Y,Res) :- add(X,Res1), mult(Y,Res2), append(Res1,Res2,Res).
+mult(1,[]).
+mult(X * Y,Res) :- mult(X,Res1), basic(Y,Res2), append(Res1,Res2,Res).
+basic(var(X),[X]).
+basic(cst(C),[]).
+basic(par(X),Res) :- add(X,Res).
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+''', 'add', 2, ['''
+T ::= '+'(T,T1) | 0
+T1 ::= '*'(T1,T2) | 1
+T2 ::= cst(Any) | par(T) | var(Any)
+''', '''
+S ::= [] | cons(Any,S)
+'''])
+
+case('fig3-arith-ar1', '''
+add(X,Res) :- mult(X,Res).
+add(X + Y,Res) :- add(X,R1), mult(Y,R2), append(R1,R2,Res).
+mult(X,Res) :- basic(X,Res).
+mult(X * Y,Res) :- mult(X,R1), basic(Y,R2), append(R1,R2,Res).
+basic(var(X),[X]).
+basic(cst(X),[]).
+basic(par(X),Res) :- add(X,Res).
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+''', 'add', 2, ['''
+T ::= cst(Any) | var(Any) | par(T) | '*'(T1,T2) | '+'(T,T1)
+T1 ::= cst(Any) | var(Any) | par(T) | '*'(T1,T2)
+T2 ::= cst(Any) | var(Any) | par(T)
+''', '''
+S ::= [] | cons(Any,S)
+'''])
+
+case('gen-succ', '''
+succ([], []).
+succ([X|Xs],[s(X)|R]) :- succ(Xs,R).
+gen([]).
+gen([0|L]) :- gen(X), succ(X,L).
+''', 'gen', 1, ['''
+<= T ::= [] | cons(T1,T)
+T1 ::= 0 | s(T1)
+'''])
+
+case('fig4-qsort', '''
+qsort(X1, X2) :- qsort(X1, X2, []).
+qsort([], L, L).
+qsort([F|T], O, A) :-
+    partition(T, F, Small, Big),
+    qsort(Small, O, [F|Ot]),
+    qsort(Big, Ot, A).
+partition([], _, [], []).
+partition([X|Xs], F, [X|S], B) :- X =< F, partition(Xs, F, S, B).
+partition([X|Xs], F, S, [X|B]) :- X > F, partition(Xs, F, S, B).
+''', 'qsort', 2, ['''
+T ::= [] | cons(Any,T)
+''', '''
+T ::= [] | cons(Any,Any)
+'''])
+
+
+def flatten_nt(text):
+    # parse_rules wants functor form for +/*; the expected strings above
+    # already use quoted functor syntax
+    return text
+
+
+def main():
+    failures = 0
+    for name, src, pred, expected in SECTION2:
+        np = normalize_program(parse_program(src))
+        engine = Engine(np)
+        try:
+            res = engine.analyze(pred)
+        except Exception as exc:
+            print('%-18s ERROR %r' % (name, exc))
+            failures += 1
+            continue
+        out = res.output
+        ok_all = True
+        report = []
+        from repro.domains.pattern import PAT_BOTTOM
+        if out is PAT_BOTTOM:
+            print('%-18s BOTTOM output' % name)
+            failures += 1
+            continue
+        from repro.typegraph import g_le, g_bottom
+        for k, exp_text in enumerate(expected):
+            exp_text = exp_text.strip()
+            # "<=" prefix: our result may be strictly more precise than
+            # the published one (must still be nonempty and included)
+            le_only = exp_text.startswith('<=')
+            if le_only:
+                exp_text = exp_text[2:]
+            exp = parse_rules(exp_text)
+            got = value_of(out, out.sv[k], engine.domain, {})
+            if le_only:
+                ok = g_le(got, exp) and not got.is_bottom()
+            else:
+                ok = g_equiv(got, exp)
+            ok_all = ok_all and ok
+            if not ok:
+                report.append('  arg%d GOT:\n%s\n  arg%d EXPECTED:\n%s' %
+                              (k, got, k, exp))
+        status = 'OK ' if ok_all else 'DIFF'
+        print('%-18s %s  (iters %d, entries %d)' %
+              (name, status, res.stats.procedure_iterations,
+               res.stats.entries_created))
+        for r in report:
+            print(r)
+        if not ok_all:
+            failures += 1
+    return failures
+
+
+if __name__ == '__main__':
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""repro — Type Analysis of Prolog Using Type Graphs.
+
+A complete reproduction of Van Hentenryck, Cortesi & Le Charlier's
+PLDI'94 system ``GAIA(Pat(Type))``:
+
+* :mod:`repro.prolog` — Prolog front end (tokenizer, parser,
+  normalizer) and a reference SLD interpreter;
+* :mod:`repro.typegraph` — the type graph domain: deterministic
+  regular tree grammars, the graph view, inclusion / union /
+  intersection, and the paper's widening operator;
+* :mod:`repro.domains` — the generic pattern domain ``Pat(R)`` with
+  the Type leaf domain and the principal-functor baseline;
+* :mod:`repro.fixpoint` — the polyvariant worklist engine and
+  abstract builtins;
+* :mod:`repro.analysis` — the high-level API, Table 1–5 metrics, and
+  tag extraction;
+* :mod:`repro.benchprogs` — the benchmark suite of §9.
+
+Quickstart::
+
+    from repro import analyze
+    analysis = analyze('''
+        app([], X, X).
+        app([F|T], S, [F|R]) :- app(T, S, R).
+    ''', ("app", 3))
+    print(analysis.grammar_text())
+"""
+
+from .analysis.analyzer import TypeAnalysis, analyze, make_input_pattern
+from .fixpoint.engine import AnalysisConfig
+from .prolog.program import Program, parse_program
+from .prolog.parser import parse_term
+from .typegraph.display import grammar_to_text, parse_rules
+from .typegraph.grammar import Grammar
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "TypeAnalysis", "analyze", "make_input_pattern", "AnalysisConfig",
+    "Program", "parse_program", "parse_term",
+    "Grammar", "grammar_to_text", "parse_rules",
+    "__version__",
+]

@@ -1,0 +1,109 @@
+"""Command-line interface: ``python -m repro FILE QUERY``.
+
+Examples::
+
+    python -m repro program.pl nreverse/2
+    python -m repro program.pl 'append/3' --input list,list,any
+    python -m repro --benchmark QU
+    python -m repro program.pl main/1 --baseline --or-width 5 --tags
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import AnalysisConfig, analyze
+from .analysis import format_table
+from .benchprogs import BENCHMARKS, benchmark
+from .domains.pattern import PAT_BOTTOM
+
+
+def _parse_query(text: str):
+    name, _, arity = text.rpartition("/")
+    if not name:
+        raise SystemExit("query must look like name/arity, got %r" % text)
+    return (name, int(arity))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Type analysis of Prolog using type graphs "
+                    "(Van Hentenryck, Cortesi, Le Charlier, PLDI'94).")
+    parser.add_argument("file", nargs="?",
+                        help="Prolog source file to analyze")
+    parser.add_argument("query", nargs="?",
+                        help="query predicate as name/arity")
+    parser.add_argument("--benchmark", metavar="NAME",
+                        help="analyze a built-in benchmark (%s)"
+                             % ", ".join(sorted(BENCHMARKS)))
+    parser.add_argument("--input", metavar="TYPES",
+                        help="comma-separated input types per argument "
+                             "(any, list, int, codes)")
+    parser.add_argument("--baseline", action="store_true",
+                        help="use the principal-functor baseline domain")
+    parser.add_argument("--or-width", type=int, default=None,
+                        help="or-degree restriction (Table 3's 5 / 2)")
+    parser.add_argument("--tags", action="store_true",
+                        help="print input/output tags for every "
+                             "analyzed predicate")
+    parser.add_argument("--all-predicates", action="store_true",
+                        help="print grammars for every analyzed "
+                             "predicate, not just the query")
+    args = parser.parse_args(argv)
+
+    if args.benchmark:
+        bp = benchmark(args.benchmark)
+        source, query, input_types = bp.source, bp.query, bp.input_types
+    else:
+        if not args.file or not args.query:
+            parser.error("either FILE QUERY or --benchmark is required")
+        with open(args.file) as handle:
+            source = handle.read()
+        query = _parse_query(args.query)
+        input_types = None
+    if args.input:
+        input_types = [t.strip() for t in args.input.split(",")]
+
+    config = AnalysisConfig(max_or_width=args.or_width)
+    analysis = analyze(source, query, input_types=input_types,
+                       config=config, baseline=args.baseline)
+
+    if args.baseline:
+        print("(principal-functor baseline domain)")
+    if analysis.output is PAT_BOTTOM:
+        print("%s/%d has no derivable success pattern" % query)
+    else:
+        print(analysis.grammar_text())
+    if args.all_predicates:
+        for pred in analysis.analyzed_predicates():
+            if pred != query:
+                print()
+                print(analysis.grammar_text(pred=pred))
+    if args.tags:
+        print()
+        rows = []
+        out_tags = analysis.output_tags()
+        in_tags = analysis.input_tags()
+        for pred in sorted(out_tags):
+            rows.append(["%s/%d" % pred,
+                         " ".join(t or "-" for t in in_tags.get(pred, [])),
+                         " ".join(t or "-" for t in out_tags[pred])])
+        print(format_table(["predicate", "input tags", "output tags"],
+                           rows))
+    print()
+    print("time %.2fs, %d procedure iterations, %d clause iterations, "
+          "%d entries"
+          % (analysis.wall_time, analysis.stats.procedure_iterations,
+             analysis.stats.clause_iterations,
+             analysis.stats.entries_created))
+    if analysis.result.unknown_predicates:
+        print("warning: unknown predicates treated as identity: %s"
+              % ", ".join("%s/%d" % p
+                          for p in analysis.result.unknown_predicates))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

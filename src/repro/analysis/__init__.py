@@ -1,0 +1,19 @@
+"""Analysis layer: high-level API, program metrics, tag extraction and
+report formatting."""
+
+from .analyzer import TypeAnalysis, analyze, make_input_pattern
+from .callgraph import (CallGraph, ProgramMetrics, RecursionClass,
+                        build_callgraph, classify_procedures,
+                        program_metrics, recursion_summary)
+from .report import format_table, format_tag_row
+from .tags import (TAGS, TagComparison, compare_tags, tag_of_grammar,
+                   tags_of_subst)
+
+__all__ = [
+    "TypeAnalysis", "analyze", "make_input_pattern",
+    "CallGraph", "ProgramMetrics", "RecursionClass", "build_callgraph",
+    "classify_procedures", "program_metrics", "recursion_summary",
+    "format_table", "format_tag_row",
+    "TAGS", "TagComparison", "compare_tags", "tag_of_grammar",
+    "tags_of_subst",
+]

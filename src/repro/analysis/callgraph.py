@@ -1,0 +1,261 @@
+"""Call-graph analysis and the program metrics of Tables 1–2.
+
+Table 1 columns: number of procedures, clauses, program points, goals,
+and static call tree size.  Table 2 classifies procedures as tail
+recursive, locally recursive (more than one recursive call or a
+non-terminal recursive call), mutually recursive, or non-recursive.
+
+Definitions used here (the paper does not spell all of them out; see
+EXPERIMENTS.md):
+
+* *goals* — procedure-call occurrences in clause bodies (user
+  predicates and builtins, excluding ``true`` and control constructs,
+  counting inside disjunction branches);
+* *program points* — one point before each kernel goal of the
+  normalized program plus one at each clause end;
+* *static call tree size* — goal occurrences reachable from the entry
+  points whose callee is not in the same strongly connected component
+  as the caller (i.e. the static call graph with recursive calls
+  removed, the measure of [15]).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..prolog.normalize import NCall, NormProgram, normalize_program
+from ..prolog.program import Clause, PredId, Program
+from ..prolog.terms import Atom, Struct, Term
+
+__all__ = ["CallGraph", "ProgramMetrics", "RecursionClass",
+           "build_callgraph", "program_metrics", "classify_procedures"]
+
+_CONTROL = {(",", 2), (";", 2), ("->", 2), ("\\+", 1), ("not", 1),
+            ("true", 0)}
+
+
+def _body_goals(goal: Term) -> Iterable[Term]:
+    """All callable goal occurrences in a body goal, descending into
+    control constructs."""
+    if isinstance(goal, Struct) and (goal.name, goal.arity) in _CONTROL:
+        for arg in goal.args:
+            yield from _body_goals(arg)
+        return
+    if isinstance(goal, Atom) and goal.name == "true":
+        return
+    yield goal
+
+
+def _goal_pred(goal: Term) -> Optional[PredId]:
+    if isinstance(goal, Atom):
+        return (goal.name, 0)
+    if isinstance(goal, Struct):
+        return (goal.name, goal.arity)
+    return None  # variable goal (metacall)
+
+
+@dataclass
+class CallGraph:
+    """Static call graph with per-clause call lists and SCCs."""
+
+    program: Program
+    edges: Dict[PredId, Set[PredId]] = field(default_factory=dict)
+    clause_calls: Dict[PredId, List[List[PredId]]] = \
+        field(default_factory=dict)
+    sccs: List[FrozenSet[PredId]] = field(default_factory=list)
+    scc_of: Dict[PredId, int] = field(default_factory=dict)
+
+    def callees(self, pred: PredId) -> Set[PredId]:
+        return self.edges.get(pred, set())
+
+    def same_scc(self, a: PredId, b: PredId) -> bool:
+        return (a in self.scc_of and b in self.scc_of
+                and self.scc_of[a] == self.scc_of[b])
+
+    def reachable_from(self, roots: Iterable[PredId]) -> Set[PredId]:
+        seen: Set[PredId] = set()
+        stack = [r for r in roots]
+        while stack:
+            pred = stack.pop()
+            if pred in seen or pred not in self.edges:
+                continue
+            seen.add(pred)
+            stack.extend(self.edges[pred])
+        return seen
+
+
+def build_callgraph(program: Program) -> CallGraph:
+    """Build the call graph (edges restricted to defined predicates for
+    SCC purposes, but ``clause_calls`` keeps builtins too)."""
+    graph = CallGraph(program)
+    for pred, procedure in program.procedures.items():
+        graph.edges[pred] = set()
+        graph.clause_calls[pred] = []
+        for clause in procedure.clauses:
+            calls: List[PredId] = []
+            for goal in clause.body:
+                for g in _body_goals(goal):
+                    callee = _goal_pred(g)
+                    if callee is not None:
+                        calls.append(callee)
+                        if program.defined(callee):
+                            graph.edges[pred].add(callee)
+            graph.clause_calls[pred].append(calls)
+    graph.sccs = _tarjan(graph.edges)
+    for index, scc in enumerate(graph.sccs):
+        for pred in scc:
+            graph.scc_of[pred] = index
+    return graph
+
+
+def _tarjan(edges: Dict[PredId, Set[PredId]]) -> List[FrozenSet[PredId]]:
+    """Tarjan's SCC algorithm, iterative."""
+    index_counter = [0]
+    index: Dict[PredId, int] = {}
+    lowlink: Dict[PredId, int] = {}
+    on_stack: Set[PredId] = set()
+    stack: List[PredId] = []
+    result: List[FrozenSet[PredId]] = []
+
+    def strongconnect(root: PredId) -> None:
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = lowlink[root] = index_counter[0]
+        index_counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in edges:
+                    continue
+                if succ not in index:
+                    index[succ] = lowlink[succ] = index_counter[0]
+                    index_counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    lowlink[node] = min(lowlink[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                result.append(frozenset(component))
+
+    for pred in sorted(edges):
+        if pred not in index:
+            strongconnect(pred)
+    return result
+
+
+@dataclass
+class RecursionClass:
+    """Table 2 classification counts."""
+
+    tail_recursive: int = 0
+    locally_recursive: int = 0
+    mutually_recursive: int = 0
+    non_recursive: int = 0
+
+    def as_row(self) -> Tuple[int, int, int, int]:
+        return (self.tail_recursive, self.locally_recursive,
+                self.mutually_recursive, self.non_recursive)
+
+
+def classify_procedures(graph: CallGraph) -> Dict[PredId, str]:
+    """Classify each procedure: ``mutual`` (SCC of size > 1), ``tail``
+    (every recursive call is last in its clause), ``local`` (several
+    recursive calls or a non-terminal one), or ``non`` (no recursion)."""
+    classes: Dict[PredId, str] = {}
+    for pred in graph.program.procedures:
+        scc = graph.sccs[graph.scc_of[pred]]
+        if len(scc) > 1:
+            classes[pred] = "mutual"
+            continue
+        if pred not in graph.edges[pred]:
+            classes[pred] = "non"
+            continue
+        tail = True
+        for calls in graph.clause_calls[pred]:
+            recursive_positions = [i for i, callee in enumerate(calls)
+                                   if callee == pred]
+            if not recursive_positions:
+                continue
+            if len(recursive_positions) > 1 or \
+                    recursive_positions[0] != len(calls) - 1:
+                tail = False
+                break
+        classes[pred] = "tail" if tail else "local"
+    return classes
+
+
+def recursion_summary(graph: CallGraph) -> RecursionClass:
+    summary = RecursionClass()
+    for kind in classify_procedures(graph).values():
+        if kind == "tail":
+            summary.tail_recursive += 1
+        elif kind == "local":
+            summary.locally_recursive += 1
+        elif kind == "mutual":
+            summary.mutually_recursive += 1
+        else:
+            summary.non_recursive += 1
+    return summary
+
+
+@dataclass
+class ProgramMetrics:
+    """Table 1 row."""
+
+    procedures: int
+    clauses: int
+    program_points: int
+    goals: int
+    static_call_tree: int
+
+
+def program_metrics(program: Program,
+                    entry_points: Optional[Iterable[PredId]] = None,
+                    norm: Optional[NormProgram] = None) -> ProgramMetrics:
+    """Compute the Table 1 measures.  ``entry_points`` defaults to all
+    procedures (so everything is reachable)."""
+    graph = build_callgraph(program)
+    if norm is None:
+        norm = normalize_program(program)
+    goals = sum(len(calls)
+                for clause_lists in graph.clause_calls.values()
+                for calls in clause_lists)
+    if entry_points is None:
+        reachable = set(program.procedures)
+    else:
+        reachable = graph.reachable_from(entry_points)
+    sct = 0
+    for pred in reachable:
+        for calls in graph.clause_calls[pred]:
+            for callee in calls:
+                if not program.defined(callee):
+                    continue  # builtins are leaves, not tree nodes
+                if graph.same_scc(pred, callee):
+                    continue  # recursive edges removed
+                sct += 1
+    return ProgramMetrics(
+        procedures=program.num_procedures,
+        clauses=program.num_clauses,
+        program_points=norm.num_program_points(),
+        goals=goals,
+        static_call_tree=sct,
+    )

@@ -1,0 +1,57 @@
+"""ASCII table formatting for the experiment harnesses.
+
+The benchmark scripts print rows in the same layout as the paper's
+tables; these helpers keep that presentation consistent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["format_table", "format_tag_row"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: Optional[str] = None) -> str:
+    """A fixed-width table with right-aligned numeric columns."""
+    columns = len(headers)
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append(["" if v is None else
+                      ("%.2f" % v if isinstance(v, float) else str(v))
+                      for v in row])
+    widths = [max(len(r[c]) for r in cells) for c in range(columns)]
+
+    def fmt(row: List[str]) -> str:
+        return "  ".join(cell.rjust(widths[c]) if c else
+                         cell.ljust(widths[c])
+                         for c, cell in enumerate(row))
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt(cells[0]))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in cells[1:])
+    return "\n".join(lines)
+
+
+def format_tag_row(counts: Dict[str, Tuple[int, int]],
+                   total_args: int, improved_args: int,
+                   clause_total: int, clause_improved: int
+                   ) -> List[object]:
+    """One Table 4/5 row: per-tag "n (baseline)" cells followed by the
+    A/AI/AR and C/CI/CR comparison columns."""
+    def cell(tag: str) -> str:
+        type_count, base_count = counts[tag]
+        if base_count:
+            return "%d (%d)" % (type_count, base_count)
+        return str(type_count)
+
+    ratio_args = improved_args / total_args if total_args else 0.0
+    ratio_clauses = clause_improved / clause_total if clause_total else 0.0
+    return ([cell(t) for t in ("NI", "CO", "LI", "ST", "DI", "HY")]
+            + [total_args, improved_args, round(ratio_args, 2),
+               clause_total, clause_improved, round(ratio_clauses, 2)])

@@ -1,0 +1,166 @@
+"""Tag extraction (paper §9, Tables 4–5).
+
+For each procedure argument of the single-version (collapsed)
+input/output pattern, extract the tag a compiler would use for indexing
+and unification specialization:
+
+* ``NI`` — surely the empty list;
+* ``CO`` — surely a cons cell;
+* ``LI`` — surely a proper list (nil or cons of a list);
+* ``ST`` — surely a (non-list) structure;
+* ``DI`` — surely an atomic constant (atom or integer);
+* ``HY`` — surely a structure or an atomic constant (i.e. nonvar);
+* ``None`` — nothing definite (the type includes Any).
+
+The same extraction runs on both ``Pat(Type)`` and the
+principal-functor baseline, which is what columns A/AI/AR compare.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..domains.leaf import LeafDomain, TypeLeafDomain
+from ..domains.pattern import AbstractSubst, PAT_BOTTOM, value_of
+from ..prolog.program import PredId
+from ..typegraph.grammar import ANY, FuncAlt, Grammar, g_any, g_atom
+from ..typegraph.ops import g_le, g_list_of
+
+__all__ = ["TAGS", "tag_of_grammar", "tags_of_subst", "TagComparison",
+           "compare_tags"]
+
+TAGS = ("NI", "CO", "LI", "ST", "DI", "HY")
+
+_LIST_ANY = g_list_of(g_any())
+_NIL_ONLY = g_atom("[]")
+
+
+def tag_of_grammar(grammar: Grammar) -> Optional[str]:
+    """Most specific tag of a type grammar, or None."""
+    if grammar.is_bottom():
+        return None
+    alts = grammar.root_alts
+    if ANY in alts:
+        return None
+    if g_le(grammar, _NIL_ONLY):
+        return "NI"
+    only_cons = all(isinstance(a, FuncAlt) and a.fkey == ("f", ".", 2)
+                    for a in alts)
+    if only_cons:
+        return "CO"
+    if g_le(grammar, _LIST_ANY):
+        return "LI"
+    has_struct = False
+    has_const = False
+    for alt in alts:
+        if alt is ANY:
+            return None
+        if isinstance(alt, FuncAlt) and alt.args:
+            has_struct = True
+        else:  # INT, integer literal, or atom
+            has_const = True
+    if has_struct and not has_const:
+        return "ST"
+    if has_const and not has_struct:
+        return "DI"
+    return "HY"
+
+
+def tags_of_subst(subst, domain: LeafDomain) -> List[Optional[str]]:
+    """Tag of each argument position of an abstract substitution.
+
+    For the principal-functor baseline the only information is the
+    pattern component, so a leaf yields no tag; sure functors yield the
+    same tag the type domain would give a single-functor type.
+    """
+    if subst is PAT_BOTTOM:
+        return []
+    tags: List[Optional[str]] = []
+    type_domain = isinstance(domain, TypeLeafDomain)
+    for k in range(subst.nvars):
+        node = subst.nodes[subst.sv[k]]
+        if node.is_leaf:
+            if type_domain:
+                tags.append(tag_of_grammar(node.value))
+            else:
+                tags.append(None)
+            continue
+        # A sure pattern gives a tag in every domain.
+        if node.fkey == ("f", ".", 2):
+            tags.append("CO")
+        elif node.fkey == ("f", "[]", 0):
+            tags.append("NI")
+        elif node.args:
+            tags.append("ST")
+        else:
+            tags.append("DI")
+    return tags
+
+
+@dataclass
+class TagComparison:
+    """One Table 4/5 row: per-tag counts for the type analysis, the
+    baseline counts in parentheses, and the improvement columns."""
+
+    pred_tags: Dict[PredId, Tuple[List[Optional[str]],
+                                  List[Optional[str]]]]
+
+    def tag_counts(self) -> Dict[str, Tuple[int, int]]:
+        """tag -> (type-analysis count, baseline count)."""
+        counts = {tag: [0, 0] for tag in TAGS}
+        for type_tags, base_tags in self.pred_tags.values():
+            for tag in type_tags:
+                if tag is not None:
+                    counts[tag][0] += 1
+            for tag in base_tags:
+                if tag is not None:
+                    counts[tag][1] += 1
+        return {tag: (c[0], c[1]) for tag, c in counts.items()}
+
+    @property
+    def total_arguments(self) -> int:
+        return sum(len(t) for t, _ in self.pred_tags.values())
+
+    @property
+    def improved_arguments(self) -> int:
+        """Arguments where the type analysis infers strictly more tag
+        information than the baseline (column AI)."""
+        improved = 0
+        for type_tags, base_tags in self.pred_tags.values():
+            for t_tag, b_tag in zip(type_tags, base_tags):
+                if t_tag is not None and b_tag is None:
+                    improved += 1
+        return improved
+
+    @property
+    def argument_ratio(self) -> float:
+        total = self.total_arguments
+        return self.improved_arguments / total if total else 0.0
+
+    def clause_counts(self, clauses_per_pred: Dict[PredId, int]
+                      ) -> Tuple[int, int, float]:
+        """(C, CI, CR): clauses, clauses of improved procedures, ratio.
+        A clause is improved if any argument of its procedure is."""
+        total = 0
+        improved = 0
+        for pred, (type_tags, base_tags) in self.pred_tags.items():
+            n = clauses_per_pred.get(pred, 0)
+            total += n
+            if any(t is not None and b is None
+                   for t, b in zip(type_tags, base_tags)):
+                improved += n
+        ratio = improved / total if total else 0.0
+        return total, improved, ratio
+
+
+def compare_tags(pred_tags_type: Dict[PredId, List[Optional[str]]],
+                 pred_tags_base: Dict[PredId, List[Optional[str]]]
+                 ) -> TagComparison:
+    """Pair up type-analysis and baseline tags per predicate."""
+    merged: Dict[PredId, Tuple[List[Optional[str]],
+                               List[Optional[str]]]] = {}
+    for pred, type_tags in pred_tags_type.items():
+        base_tags = pred_tags_base.get(pred, [None] * len(type_tags))
+        merged[pred] = (type_tags, base_tags)
+    return TagComparison(merged)

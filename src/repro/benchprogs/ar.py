@@ -1,0 +1,38 @@
+"""AR and AR1 — the arithmetic-expression programs of Figures 2 and 3,
+verbatim from the paper."""
+
+NAME = "AR"
+QUERY = ("add", 2)
+
+SOURCE = r"""
+add(0, []).
+add(X + Y, Res) :- add(X, Res1), mult(Y, Res2), append(Res1, Res2, Res).
+
+mult(1, []).
+mult(X * Y, Res) :- mult(X, Res1), basic(Y, Res2), append(Res1, Res2, Res).
+
+basic(var(X), [X]).
+basic(cst(C), []).
+basic(par(X), Res) :- add(X, Res).
+
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+"""
+
+AR1_NAME = "AR1"
+AR1_QUERY = ("add", 2)
+
+AR1_SOURCE = r"""
+add(X, Res) :- mult(X, Res).
+add(X + Y, Res) :- add(X, R1), mult(Y, R2), append(R1, R2, Res).
+
+mult(X, Res) :- basic(X, Res).
+mult(X * Y, Res) :- mult(X, R1), basic(Y, R2), append(R1, R2, Res).
+
+basic(var(X), [X]).
+basic(cst(X), []).
+basic(par(X), Res) :- add(X, Res).
+
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+"""

@@ -1,0 +1,110 @@
+"""BR — browse, from the Gabriel benchmark suite (§9).
+
+Builds a small database of structured facts and repeatedly pattern-
+matches property patterns against it; Table 1 reports 20 procedures
+and 45 clauses.
+"""
+
+NAME = "BR"
+QUERY = ("browse", 1)
+
+SOURCE = r"""
+browse(R) :-
+    init(30, 10, 4, [dummy(a), dummy(b), dummy(c)], Symbols),
+    randomize(Symbols, RSymbols, 21),
+    patterns(Patterns),
+    investigate(RSymbols, Patterns, 0, R).
+
+init(N, M, Npats, Ipats, Result) :-
+    init(N, M, M, Npats, Ipats, Result).
+
+init(0, _, _, _, _, []).
+init(N, I, M, Npats, Ipats, [Sym|Rest]) :-
+    N > 0,
+    fill(I, [], L0),
+    get_pats(Npats, Ipats, Ppats),
+    J is M - I,
+    fill(J, [pattern(Ppats)|L0], L1),
+    properties(L1, Sym),
+    N1 is N - 1,
+    decr_wrap(I, M, I1),
+    init(N1, I1, M, Npats, Ipats, Rest).
+
+decr_wrap(0, M, M).
+decr_wrap(I, _, I1) :- I > 0, I1 is I - 1.
+
+fill(0, L, L).
+fill(N, L, [dummy([])|Rest]) :- N > 0, N1 is N - 1, fill(N1, L, Rest).
+
+get_pats(Npats, Ipats, Result) :- get_pats(Npats, Ipats, Result, Ipats).
+
+get_pats(0, _, [], _).
+get_pats(N, [X|Xs], [X|Ys], Ipats) :-
+    N > 0,
+    N1 is N - 1,
+    get_pats(N1, Xs, Ys, Ipats).
+get_pats(N, [], Ys, Ipats) :-
+    N > 0,
+    get_pats(N, Ipats, Ys, Ipats).
+
+properties(L, properties(L)).
+
+randomize([], [], _).
+randomize(In, [X|Out], Rand) :-
+    length(In, Lin),
+    Rand1 is Rand * 17,
+    N is Rand1 mod Lin,
+    split(N, In, X, In1),
+    randomize(In1, Out, Rand1).
+
+split(0, [X|Xs], X, Xs).
+split(N, [X|Xs], RemovedElt, [X|Ys]) :-
+    N > 0,
+    N1 is N - 1,
+    split(N1, Xs, RemovedElt, Ys).
+
+patterns([pattern([a(I), b(I), c(J)]),
+          pattern([a(I), b(J), c(J)]),
+          pattern([dummy(a)]),
+          pattern([dummy(b)])]).
+
+investigate([], _, Acc, Acc).
+investigate([U|Units], Patterns, Acc, R) :-
+    property(U, pattern, Data),
+    match_patterns(Data, Patterns, Acc, Acc1),
+    investigate(Units, Patterns, Acc1, R).
+
+property(properties([Prop|_]), P, Data) :-
+    functor_is(Prop, P, Data).
+property(properties([_|RProps]), P, Data) :-
+    property(properties(RProps), P, Data).
+
+functor_is(pattern(Data), pattern, Data).
+
+match_patterns(_, [], Acc, Acc).
+match_patterns(Data, [pattern(P)|Rest], Acc, R) :-
+    try_match(Data, P, Acc, Acc1),
+    match_patterns(Data, Rest, Acc1, R).
+
+try_match(Data, P, Acc, Acc1) :-
+    match(Data, P),
+    Acc1 is Acc + 1.
+try_match(Data, P, Acc, Acc) :-
+    no_match(Data, P).
+
+match([], []).
+match([X|Xs], [Y|Ys]) :- item_match(X, Y), match(Xs, Ys).
+
+item_match(dummy(A), dummy(A)).
+item_match(a(N), a(N)).
+item_match(b(N), b(N)).
+item_match(c(N), c(N)).
+item_match(pattern(L), pattern(L)).
+
+no_match([], [_|_]).
+no_match([_|_], []).
+no_match([X|_], [Y|_]) :- item_differs(X, Y).
+no_match([X|Xs], [Y|Ys]) :- item_match(X, Y), no_match(Xs, Ys).
+
+item_differs(X, Y) :- X \== Y.
+"""

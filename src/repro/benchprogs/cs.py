@@ -1,0 +1,129 @@
+"""CS — cutting stock (§9, from Constraint Satisfaction in Logic
+Programming [26]).
+
+Generates configurations: ways of cutting a wood board into small
+shelves, with waste accounting and nested-list manipulation.  Table 1
+reports 32 procedures and 55 clauses.
+"""
+
+NAME = "CS"
+QUERY = ("cutstock", 2)
+
+SOURCE = r"""
+cutstock(Demand, Configs) :-
+    board(Width),
+    shelves(Shelves),
+    configurations(Width, Shelves, Raw),
+    select_configs(Raw, Demand, Configs).
+
+board(20).
+
+shelves([shelf(small, 3), shelf(medium, 5), shelf(large, 7),
+         shelf(huge, 9)]).
+
+configurations(Width, Shelves, Configs) :-
+    gen_configs(Width, Shelves, [], Configs).
+
+gen_configs(Width, Shelves, Acc, Configs) :-
+    gen_one(Width, Shelves, [], Config),
+    new_config(Config, Acc),
+    gen_configs(Width, Shelves, [Config|Acc], Configs).
+gen_configs(_, _, Acc, Acc).
+
+gen_one(Remaining, Shelves, Acc, config(Cuts, Waste)) :-
+    cuts(Remaining, Shelves, Acc, Cuts, Waste).
+
+cuts(Remaining, _, Acc, Acc, Remaining) :- Remaining < 3.
+cuts(Remaining, Shelves, Acc, Cuts, Waste) :-
+    pick_shelf(Shelves, shelf(Name, W)),
+    W =< Remaining,
+    R1 is Remaining - W,
+    cuts(R1, Shelves, [Name|Acc], Cuts, Waste).
+
+pick_shelf([S|_], S).
+pick_shelf([_|Rest], S) :- pick_shelf(Rest, S).
+
+new_config(_, []).
+new_config(Config, [C|Rest]) :-
+    different_config(Config, C),
+    new_config(Config, Rest).
+
+different_config(config(C1, _), config(C2, _)) :- different_cuts(C1, C2).
+
+different_cuts([], [_|_]).
+different_cuts([_|_], []).
+different_cuts([X|_], [Y|_]) :- X \== Y.
+different_cuts([X|Xs], [Y|Ys]) :- X == Y, different_cuts(Xs, Ys).
+
+select_configs(Raw, Demand, Configs) :-
+    usable(Raw, Demand, Usable),
+    rank(Usable, Configs).
+
+usable([], _, []).
+usable([config(Cuts, Waste)|Rest], Demand, [config(Cuts, Waste)|Out]) :-
+    covers_some(Cuts, Demand),
+    usable(Rest, Demand, Out).
+usable([config(Cuts, _)|Rest], Demand, Out) :-
+    covers_none(Cuts, Demand),
+    usable(Rest, Demand, Out).
+
+covers_some(Cuts, [need(Name, _)|_]) :- member(Name, Cuts).
+covers_some(Cuts, [_|Rest]) :- covers_some(Cuts, Rest).
+
+covers_none([], _).
+covers_none([Name|Rest], Demand) :-
+    not_needed(Name, Demand),
+    covers_none(Rest, Demand).
+
+not_needed(_, []).
+not_needed(Name, [need(Other, _)|Rest]) :-
+    Name \== Other,
+    not_needed(Name, Rest).
+
+member(X, [X|_]).
+member(X, [_|T]) :- member(X, T).
+
+rank(Configs, Ranked) :- insert_sort(Configs, [], Ranked).
+
+insert_sort([], Acc, Acc).
+insert_sort([C|Rest], Acc, Ranked) :-
+    insert_config(C, Acc, Acc1),
+    insert_sort(Rest, Acc1, Ranked).
+
+insert_config(C, [], [C]).
+insert_config(C, [C1|Rest], [C, C1|Rest]) :- less_waste(C, C1).
+insert_config(C, [C1|Rest], [C1|Out]) :-
+    more_waste(C, C1),
+    insert_config(C, Rest, Out).
+
+less_waste(config(_, W1), config(_, W2)) :- W1 =< W2.
+more_waste(config(_, W1), config(_, W2)) :- W1 > W2.
+
+count_shelf(_, [], 0).
+count_shelf(Name, [Name|Rest], N) :-
+    count_shelf(Name, Rest, N1),
+    N is N1 + 1.
+count_shelf(Name, [Other|Rest], N) :-
+    Name \== Other,
+    count_shelf(Name, Rest, N).
+
+total_waste([], 0).
+total_waste([config(_, W)|Rest], Total) :-
+    total_waste(Rest, T1),
+    Total is T1 + W.
+
+demand_met([], _).
+demand_met([need(Name, N)|Rest], Configs) :-
+    supply(Name, Configs, S),
+    S >= N,
+    demand_met(Rest, Configs).
+
+supply(_, [], 0).
+supply(Name, [config(Cuts, _)|Rest], S) :-
+    count_shelf(Name, Cuts, C),
+    supply(Name, Rest, S1),
+    S is C + S1.
+
+test(Configs) :-
+    cutstock([need(small, 2), need(medium, 1), need(large, 1)], Configs).
+"""

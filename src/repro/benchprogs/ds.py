@@ -1,0 +1,102 @@
+"""DS — generate-and-test disjunctive scheduling (§9, citing the
+bridge-scheduling work in [6]).
+
+Tasks with durations and precedence constraints share unit resources;
+the program enumerates orderings of the disjunctive pairs and computes
+schedule start times, testing against a horizon.  Table 1 reports 28
+procedures and 52 clauses.
+"""
+
+NAME = "DS"
+QUERY = ("schedule", 2)
+LIST_QUERY_TYPES = ["list", "any"]
+
+SOURCE = r"""
+schedule(Horizon, Schedule) :-
+    tasks(Tasks),
+    precedences(Precs),
+    disjunctives(Disjs),
+    order_disjunctives(Disjs, Extra),
+    append(Precs, Extra, AllPrecs),
+    assign(Tasks, AllPrecs, [], Schedule),
+    within_horizon(Schedule, Horizon).
+
+tasks([task(a, 2), task(b, 3), task(c, 4), task(d, 2),
+       task(e, 3), task(f, 1)]).
+
+precedences([before(a, b), before(b, c), before(a, d),
+             before(d, e), before(e, f)]).
+
+disjunctives([disj(b, d), disj(c, e), disj(c, f)]).
+
+order_disjunctives([], []).
+order_disjunctives([disj(X, Y)|Rest], [before(X, Y)|Out]) :-
+    order_disjunctives(Rest, Out).
+order_disjunctives([disj(X, Y)|Rest], [before(Y, X)|Out]) :-
+    order_disjunctives(Rest, Out).
+
+assign([], _, Schedule, Schedule).
+assign([task(Name, Dur)|Rest], Precs, Acc, Schedule) :-
+    earliest(Name, Precs, Acc, Start),
+    assign(Rest, Precs, [start(Name, Start, Dur)|Acc], Schedule).
+
+earliest(Name, Precs, Done, Start) :-
+    constraints_for(Name, Precs, Needed),
+    max_end(Needed, Done, 0, Start).
+
+constraints_for(_, [], []).
+constraints_for(Name, [before(X, Name)|Rest], [X|Out]) :-
+    constraints_for(Name, Rest, Out).
+constraints_for(Name, [before(X, Y)|Rest], Out) :-
+    Y \== Name,
+    constraints_for(Name, Rest, Out).
+
+max_end([], _, Acc, Acc).
+max_end([X|Xs], Done, Acc, Start) :-
+    end_of(X, Done, End),
+    max(Acc, End, Acc1),
+    max_end(Xs, Done, Acc1, Start).
+
+end_of(Name, [start(Name, S, D)|_], End) :- End is S + D.
+end_of(Name, [start(Other, _, _)|Rest], End) :-
+    Other \== Name,
+    end_of(Name, Rest, End).
+end_of(_, [], 0).
+
+max(X, Y, X) :- X >= Y.
+max(X, Y, Y) :- X < Y.
+
+within_horizon([], _).
+within_horizon([start(_, S, D)|Rest], Horizon) :-
+    End is S + D,
+    End =< Horizon,
+    within_horizon(Rest, Horizon).
+
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+
+makespan([], Acc, Acc).
+makespan([start(_, S, D)|Rest], Acc, M) :-
+    End is S + D,
+    max(Acc, End, Acc1),
+    makespan(Rest, Acc1, M).
+
+best_schedule(Horizon, Schedule, Span) :-
+    schedule(Horizon, Schedule),
+    makespan(Schedule, 0, Span).
+
+task_names([], []).
+task_names([start(N, _, _)|Rest], [N|Out]) :- task_names(Rest, Out).
+
+valid_order([], _).
+valid_order([before(X, Y)|Rest], Schedule) :-
+    end_of(X, Schedule, EndX),
+    start_of(Y, Schedule, StartY),
+    EndX =< StartY,
+    valid_order(Rest, Schedule).
+
+start_of(Name, [start(Name, S, _)|_], S).
+start_of(Name, [start(Other, _, _)|Rest], S) :-
+    Other \== Name,
+    start_of(Name, Rest, S).
+"""

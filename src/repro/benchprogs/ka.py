@@ -1,0 +1,208 @@
+"""KA — kalah, the alpha-beta game-playing program from The Art of
+Prolog (§9).
+
+The game-playing framework (play loop, alpha-beta search with cutoff)
+plus the kalah-specific move generation, stone distribution and
+capture rules.  Table 1 reports 44 procedures and 82 clauses; this
+reconstruction is the same program shape (board terms, deep
+structures, arithmetic, mutual recursion between search and move
+application).
+"""
+
+NAME = "KA"
+QUERY = ("play", 1)
+
+SOURCE = r"""
+play(Result) :-
+    initialize(Position, Player),
+    play(Position, Player, Result).
+
+initialize(board([6,6,6,6,6,6], 0, [6,6,6,6,6,6], 0), computer).
+
+play(Position, Player, Result) :-
+    game_over(Position, Player, Result),
+    announce(Result).
+play(Position, Player, Result) :-
+    choose_move(Position, Player, Move),
+    move(Move, Position, Position1),
+    next_player(Player, Player1),
+    play(Position1, Player1, Result).
+
+announce(Result) :- write(Result), nl.
+
+next_player(computer, opponent).
+next_player(opponent, computer).
+
+game_over(board(B, K, B1, K1), _, draw) :-
+    pieces(P), K =:= 6 * P, K1 =:= 6 * P.
+game_over(board(_, K, _, _), Player, Player) :-
+    pieces(P), K > 6 * P.
+game_over(board(_, _, _, K1), Player, Other) :-
+    pieces(P), K1 > 6 * P,
+    next_player(Player, Other).
+game_over(board(B, _, B1, _), _, exhausted) :-
+    zero(B), zero(B1).
+
+pieces(6).
+
+lookahead(2).
+
+choose_move(Position, computer, Move) :-
+    lookahead(Depth),
+    alpha_beta(Depth, Position, -40, 40, Move, _Value).
+choose_move(Position, opponent, Move) :-
+    read(Move),
+    legal(Move, Position).
+
+legal([M|Ms], Position) :- 0 < M, M < 7, legal_rest(Ms, Position).
+legal_rest([], _).
+legal_rest([M|Ms], Position) :- 0 < M, M < 7, legal_rest(Ms, Position).
+
+alpha_beta(0, Position, _Alpha, _Beta, nomove, Value) :-
+    value(Position, Value).
+alpha_beta(D, Position, Alpha, Beta, Move, Value) :-
+    D > 0,
+    all_moves(Position, Moves),
+    Alpha1 is 0 - Beta,
+    Beta1 is 0 - Alpha,
+    D1 is D - 1,
+    evaluate_and_choose(Moves, Position, D1, Alpha1, Beta1, nil,
+                        pair(Move, Value)).
+
+evaluate_and_choose([], _Position, _D, Alpha, _Beta, Move,
+                    pair(Move, Alpha)).
+evaluate_and_choose([Move|Moves], Position, D, Alpha, Beta, Record,
+                    BestMove) :-
+    move(Move, Position, Position1),
+    swap_sides(Position1, Position2),
+    alpha_beta(D, Position2, Alpha, Beta, _MoveX, ValueX),
+    Value is 0 - ValueX,
+    cutoff(Move, Value, D, Alpha, Beta, Moves, Position, Record,
+           BestMove).
+
+cutoff(Move, Value, _D, _Alpha, Beta, _Moves, _Position, _Record,
+       pair(Move, Value)) :-
+    Value >= Beta.
+cutoff(Move, Value, D, Alpha, Beta, Moves, Position, _Record,
+       BestMove) :-
+    Alpha < Value, Value < Beta,
+    evaluate_and_choose(Moves, Position, D, Value, Beta, Move, BestMove).
+cutoff(_Move, Value, D, Alpha, Beta, Moves, Position, Record,
+       BestMove) :-
+    Value =< Alpha,
+    evaluate_and_choose(Moves, Position, D, Alpha, Beta, Record,
+                        BestMove).
+
+all_moves(Position, Moves) :- moves_from(1, Position, Moves).
+
+moves_from(7, _, []).
+moves_from(M, Position, [[M]|Moves]) :-
+    M < 7,
+    stones_in_hole(M, Position, N),
+    N > 0,
+    M1 is M + 1,
+    moves_from(M1, Position, Moves).
+moves_from(M, Position, Moves) :-
+    M < 7,
+    stones_in_hole(M, Position, 0),
+    M1 is M + 1,
+    moves_from(M1, Position, Moves).
+
+stones_in_hole(M, board(Hs, _, _, _), N) :- nth_stone(M, Hs, N).
+
+nth_stone(1, [H|_], H).
+nth_stone(M, [_|Hs], N) :- M > 1, M1 is M - 1, nth_stone(M1, Hs, N).
+
+move([], Position, Position).
+move([M|Ms], Position, Position2) :-
+    single_move(M, Position, Position1),
+    move(Ms, Position1, Position2).
+
+single_move(M, board(Hs, K, Ys, L), Position) :-
+    stones(M, Hs, N, Hs1),
+    extend_move(N, M, board(Hs1, K, Ys, L), Position).
+
+stones(1, [H|Hs], H, [0|Hs]) :- H > 0.
+stones(M, [H|Hs], N, [H|Hs1]) :-
+    M > 1, M1 is M - 1, stones(M1, Hs, N, Hs1).
+
+extend_move(0, _M, Position, Position).
+extend_move(N, M, board(Hs, K, Ys, L), Position) :-
+    N > 0,
+    distribute_my_holes(N, M, Hs, Hs1, N1),
+    distribute_kalah(N1, K, K1, N2),
+    distribute_your_holes(N2, Ys, Ys1, N3),
+    check_capture(M, N, Hs1, Hs2, Ys1, Ys2, K1, K2),
+    finish_move(N3, M, board(Hs2, K2, Ys2, L), Position).
+
+finish_move(0, _, Position, Position).
+finish_move(N, M, Position, Position1) :-
+    N > 0,
+    extend_move(N, M, Position, Position1).
+
+distribute_my_holes(N, M, Hs, Hs1, N1) :-
+    distribute_from(M, N, Hs, Hs1, N1).
+
+distribute_from(_M, 0, Hs, Hs, 0).
+distribute_from(M, N, Hs, Hs1, N1) :-
+    N > 0,
+    drop_after(M, N, Hs, Hs1, N1).
+
+drop_after(0, N, [H|Hs], [H1|Hs1], N1) :-
+    N > 0,
+    H1 is H + 1,
+    N2 is N - 1,
+    drop_after(0, N2, Hs, Hs1, N1).
+drop_after(0, 0, Hs, Hs, 0).
+drop_after(M, N, [H|Hs], [H|Hs1], N1) :-
+    M > 0,
+    M1 is M - 1,
+    drop_after(M1, N, Hs, Hs1, N1).
+drop_after(_, N, [], [], N).
+
+distribute_kalah(0, K, K, 0).
+distribute_kalah(N, K, K1, N1) :-
+    N > 0,
+    K1 is K + 1,
+    N1 is N - 1.
+
+distribute_your_holes(0, Ys, Ys, 0).
+distribute_your_holes(N, Ys, Ys1, N1) :-
+    N > 0,
+    drop_after(0, N, Ys, Ys1, N1).
+
+check_capture(M, N, Hs, Hs1, Ys, Ys1, K, K1) :-
+    landing_hole(M, N, Hole),
+    Hole >= 1, Hole =< 6,
+    nth_stone(Hole, Hs, 1),
+    opposite(Hole, OppHole),
+    nth_stone(OppHole, Ys, Captured),
+    Captured > 0,
+    set_hole(Hole, Hs, 0, Hs1),
+    set_hole(OppHole, Ys, 0, Ys1),
+    K1 is K + Captured + 1.
+check_capture(_M, _N, Hs, Hs, Ys, Ys, K, K).
+
+landing_hole(M, N, Hole) :- Hole is M + N.
+
+opposite(Hole, OppHole) :- OppHole is 7 - Hole.
+
+set_hole(1, [_|Hs], V, [V|Hs]).
+set_hole(M, [H|Hs], V, [H|Hs1]) :-
+    M > 1, M1 is M - 1, set_hole(M1, Hs, V, Hs1).
+
+swap_sides(board(Hs, K, Ys, L), board(Ys, L, Hs, K)).
+
+value(board(_H, K, _Y, L), Value) :- Value is K - L.
+
+zero([]).
+zero([0|T]) :- zero(T).
+
+sum_stones([], Acc, Acc).
+sum_stones([H|T], Acc, Sum) :- Acc1 is Acc + H, sum_stones(T, Acc1, Sum).
+
+board_total(board(Hs, K, Ys, L), Total) :-
+    sum_stones(Hs, 0, S1),
+    sum_stones(Ys, 0, S2),
+    Total is S1 + S2 + K + L.
+"""

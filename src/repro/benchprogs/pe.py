@@ -1,0 +1,263 @@
+"""PE — the peephole optimizer of SB-Prolog, by Debray (§9).
+
+A window-rewriting driver over WAM-style instruction lists plus the
+big per-opcode dispatch tables that give the original its
+characteristic shape: few procedures (19 in Table 1) but many clauses
+(168), with large disjunctions — the paper singles PE out for its
+"large disjunctions".
+"""
+
+NAME = "PE"
+QUERY = ("peephole_opt", 2)
+LIST_QUERY_TYPES = ["list", "any"]
+
+SOURCE = r"""
+peephole_opt(Instrs, Opt) :-
+    peep_pass(Instrs, Instrs1, Changed),
+    continue_peep(Changed, Instrs1, Opt).
+
+continue_peep(no, Instrs, Instrs).
+continue_peep(yes, Instrs, Opt) :- peephole_opt(Instrs, Opt).
+
+peep_pass([], [], no).
+peep_pass(Instrs, Opt, yes) :-
+    rewrite(Instrs, Instrs1),
+    peep_pass(Instrs1, Opt, _).
+peep_pass([I|Rest], [I|Opt], Changed) :-
+    no_rewrite([I|Rest]),
+    peep_pass(Rest, Opt, Changed).
+
+no_rewrite(Instrs) :- \+ rewrite(Instrs, _).
+
+% -- rewriting rules (window patterns) -------------------------------
+
+rewrite([movreg(R, R)|Rest], Rest).
+rewrite([movreg(R1, R2), movreg(R2, R1)|Rest], [movreg(R1, R2)|Rest]).
+rewrite([movreg(R1, R2), movreg(R1, R3)|Rest],
+        [movreg(R1, R2), movreg(R2, R3)|Rest]) :- R2 \== R3.
+rewrite([puttbreg(T), gettbreg(T)|Rest], [puttbreg(T)|Rest]).
+rewrite([gettbreg(T), puttbreg(T)|Rest], [gettbreg(T)|Rest]).
+rewrite([putpvar(V, R), getpvar(V, R)|Rest], [putpvar(V, R)|Rest]).
+rewrite([putpvar(V, R), getpval(V, R)|Rest], [putpvar(V, R)|Rest]).
+rewrite([getpvar(V, R), putpval(V, R)|Rest], [getpvar(V, R)|Rest]).
+rewrite([getpvar(V, R1), putpval(V, R2)|Rest],
+        [getpvar(V, R1), movreg(R1, R2)|Rest]) :- R1 \== R2.
+rewrite([jump(L), label(L)|Rest], [label(L)|Rest]).
+rewrite([jump(_), jump(L)|Rest], [jump(L)|Rest]).
+rewrite([jump(L1), label(L2)|Rest], [jump(L1), label(L2)|Rest1]) :-
+    L1 \== L2,
+    strip_to_label(Rest, Rest1).
+rewrite([jumpz(_, L), label(L)|Rest], [label(L)|Rest]).
+rewrite([jumpnz(_, L), label(L)|Rest], [label(L)|Rest]).
+rewrite([addreg(R, Z)|Rest], Rest) :- zero_reg(Z), R == Z.
+rewrite([pushreg(R), popreg(R)|Rest], Rest).
+rewrite([popreg(R), pushreg(R)|Rest], Rest).
+rewrite([puttvar(V, R), gettval(V, R)|Rest], [puttvar(V, R)|Rest]).
+rewrite([getcon(C, R), putcon(C, R)|Rest], [getcon(C, R)|Rest]).
+rewrite([putcon(C, R), getcon(C, R)|Rest], [putcon(C, R)|Rest]).
+rewrite([getnil(R), putnil(R)|Rest], [getnil(R)|Rest]).
+rewrite([putnil(R), getnil(R)|Rest], [putnil(R)|Rest]).
+rewrite([allocate(0)|Rest], Rest).
+rewrite([deallocate, allocate(N)|Rest], Rest1) :-
+    N =:= 0,
+    Rest1 = Rest.
+rewrite([label(L), label(L)|Rest], [label(L)|Rest]).
+rewrite([nop|Rest], Rest).
+rewrite([execute(P), deallocate|Rest], [deallocate, execute(P)|Rest]).
+
+strip_to_label([], []).
+strip_to_label([label(L)|Rest], [label(L)|Rest]).
+strip_to_label([I|Rest], Out) :-
+    not_label(I),
+    strip_to_label(Rest, Out).
+
+not_label(I) :- \+ is_label(I).
+
+is_label(label(_)).
+
+zero_reg(r(0)).
+
+% -- per-opcode dispatch tables --------------------------------------
+
+instr(movreg(_, _)).
+instr(puttbreg(_)).
+instr(gettbreg(_)).
+instr(putpvar(_, _)).
+instr(getpvar(_, _)).
+instr(putpval(_, _)).
+instr(getpval(_, _)).
+instr(puttvar(_, _)).
+instr(gettval(_, _)).
+instr(putcon(_, _)).
+instr(getcon(_, _)).
+instr(putnil(_)).
+instr(getnil(_)).
+instr(putstr(_, _)).
+instr(getstr(_, _)).
+instr(putlist(_)).
+instr(getlist(_)).
+instr(unipvar(_)).
+instr(unipval(_)).
+instr(unitvar(_)).
+instr(unitval(_)).
+instr(unicon(_)).
+instr(uninil).
+instr(bldpvar(_)).
+instr(bldpval(_)).
+instr(bldtvar(_)).
+instr(bldtval(_)).
+instr(bldcon(_)).
+instr(bldnil).
+instr(addreg(_, _)).
+instr(subreg(_, _)).
+instr(mulreg(_, _)).
+instr(divreg(_, _)).
+instr(pushreg(_)).
+instr(popreg(_)).
+instr(jump(_)).
+instr(jumpz(_, _)).
+instr(jumpnz(_, _)).
+instr(jumplt(_, _)).
+instr(jumple(_, _)).
+instr(jumpgt(_, _)).
+instr(jumpge(_, _)).
+instr(label(_)).
+instr(call(_, _)).
+instr(execute(_)).
+instr(proceed).
+instr(allocate(_)).
+instr(deallocate).
+instr(fail).
+instr(trymeelse(_)).
+instr(retrymeelse(_)).
+instr(trustmeelsefail).
+instr(switchonterm(_, _, _)).
+instr(switchonconstant(_, _)).
+instr(switchonstructure(_, _)).
+instr(nop).
+
+uses(movreg(R, _), R).
+uses(gettbreg(R), R).
+uses(putpval(_, R), R).
+uses(getpval(_, R), R).
+uses(gettval(_, R), R).
+uses(getcon(_, R), R).
+uses(getnil(R), R).
+uses(getstr(_, R), R).
+uses(getlist(R), R).
+uses(unipval(R), R).
+uses(unitval(R), R).
+uses(bldpval(R), R).
+uses(bldtval(R), R).
+uses(addreg(R, _), R).
+uses(subreg(R, _), R).
+uses(mulreg(R, _), R).
+uses(divreg(R, _), R).
+uses(pushreg(R), R).
+uses(jumpz(R, _), R).
+uses(jumpnz(R, _), R).
+uses(jumplt(R, _), R).
+uses(jumple(R, _), R).
+uses(jumpgt(R, _), R).
+uses(jumpge(R, _), R).
+uses(switchonterm(R, _, _), R).
+
+sets(movreg(_, R), R).
+sets(puttbreg(R), R).
+sets(putpvar(_, R), R).
+sets(getpvar(_, R), R).
+sets(puttvar(_, R), R).
+sets(putcon(_, R), R).
+sets(putnil(R), R).
+sets(putstr(_, R), R).
+sets(putlist(R), R).
+sets(unipvar(R), R).
+sets(unitvar(R), R).
+sets(bldpvar(R), R).
+sets(bldtvar(R), R).
+sets(addreg(_, R), R).
+sets(subreg(_, R), R).
+sets(mulreg(_, R), R).
+sets(divreg(_, R), R).
+sets(popreg(R), R).
+
+transfer(jump(L), L).
+transfer(jumpz(_, L), L).
+transfer(jumpnz(_, L), L).
+transfer(jumplt(_, L), L).
+transfer(jumple(_, L), L).
+transfer(jumpgt(_, L), L).
+transfer(jumpge(_, L), L).
+transfer(trymeelse(L), L).
+transfer(retrymeelse(L), L).
+
+ends_block(jump(_)).
+ends_block(execute(_)).
+ends_block(proceed).
+ends_block(fail).
+ends_block(trustmeelsefail).
+
+% -- dead code elimination -------------------------------------------
+
+dead_code([], []).
+dead_code([I|Rest], [I|Out]) :-
+    ends_block(I),
+    skip_dead(Rest, Rest1),
+    dead_code(Rest1, Out).
+dead_code([I|Rest], [I|Out]) :-
+    \+ ends_block(I),
+    dead_code(Rest, Out).
+
+skip_dead([], []).
+skip_dead([label(L)|Rest], [label(L)|Rest]).
+skip_dead([I|Rest], Out) :-
+    not_label(I),
+    skip_dead(Rest, Out).
+
+% -- label collection / reference counting ----------------------------
+
+labels_used([], []).
+labels_used([I|Rest], [L|Out]) :-
+    transfer(I, L),
+    labels_used(Rest, Out).
+labels_used([I|Rest], Out) :-
+    \+ transfer(I, _),
+    labels_used(Rest, Out).
+
+remove_unused_labels(Instrs, Out) :-
+    labels_used(Instrs, Used),
+    filter_labels(Instrs, Used, Out).
+
+filter_labels([], _, []).
+filter_labels([label(L)|Rest], Used, Out) :-
+    \+ member_lbl(L, Used),
+    filter_labels(Rest, Used, Out).
+filter_labels([label(L)|Rest], Used, [label(L)|Out]) :-
+    member_lbl(L, Used),
+    filter_labels(Rest, Used, Out).
+filter_labels([I|Rest], Used, [I|Out]) :-
+    not_label(I),
+    filter_labels(Rest, Used, Out).
+
+member_lbl(X, [X|_]).
+member_lbl(X, [Y|T]) :- X \== Y, member_lbl(X, T).
+
+% -- full pipeline ----------------------------------------------------
+
+optimize(Instrs, Out) :-
+    peephole_opt(Instrs, I1),
+    dead_code(I1, I2),
+    remove_unused_labels(I2, Out).
+
+sample([getpvar(v(1), r(1)),
+        putpval(v(1), r(2)),
+        movreg(r(2), r(2)),
+        jump(l(1)),
+        addreg(r(3), r(4)),
+        label(l(1)),
+        puttbreg(r(5)),
+        gettbreg(r(5)),
+        proceed]).
+
+test(Out) :- sample(Instrs), optimize(Instrs, Out).
+"""

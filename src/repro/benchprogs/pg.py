@@ -1,0 +1,48 @@
+"""PG — Older's mathematical problem (§9).
+
+The original is not published; the paper reports 10 procedures and 18
+clauses.  This reconstruction solves a comparable specific problem:
+find a sequence of arithmetic operations turning a start number into a
+target (a bounded arithmetic search), exercising integer arithmetic,
+accumulators and small recursion — the features the PG column of the
+tables reflects.
+"""
+
+NAME = "PG"
+QUERY = ("pg", 2)
+
+SOURCE = r"""
+pg(Target, Plan) :-
+    start(Start),
+    bound(Bound),
+    search(Start, Target, Bound, [], RevPlan),
+    rev(RevPlan, [], Plan).
+
+start(1).
+
+bound(6).
+
+search(X, X, _, Plan, Plan).
+search(X, Target, Bound, Acc, Plan) :-
+    Bound > 0,
+    step(X, Op, Y),
+    Y =< 10000,
+    B1 is Bound - 1,
+    search(Y, Target, B1, [Op|Acc], Plan).
+
+step(X, double(X), Y) :- Y is X * 2.
+step(X, triple(X), Y) :- Y is X * 3.
+step(X, square(X), Y) :- Y is X * X.
+step(X, inc(X), Y) :- Y is X + 1.
+step(X, dec(X), Y) :- X > 1, Y is X - 1.
+step(X, halve(X), Y) :- even(X), Y is X // 2.
+
+even(X) :- 0 =:= X mod 2.
+
+rev([], Acc, Acc).
+rev([F|T], Acc, R) :- rev(T, [F|Acc], R).
+
+check(Plan) :- length(Plan, N), N =< 6.
+
+main(Target, Plan) :- pg(Target, Plan), check(Plan).
+"""

@@ -1,0 +1,67 @@
+"""PL — the planning program from The Art of Prolog (§9).
+
+A means-ends blocks-world planner (transform a start state into a goal
+state by move actions); Table 1 reports 13 procedures and 26 clauses.
+"""
+
+NAME = "PL"
+QUERY = ("transform", 3)
+
+SOURCE = r"""
+transform(State1, State2, Plan) :-
+    transform(State1, State2, [State1], Plan).
+
+transform(State, State, _, []).
+transform(State1, State2, Visited, [Action|Actions]) :-
+    legal_action(Action, State1),
+    update(Action, State1, State),
+    not_member(State, Visited),
+    transform(State, State2, [State|Visited], Actions).
+
+legal_action(to_place(Block, Y, Place), State) :-
+    on(Block, Y, State),
+    clear(Block, State),
+    place(Place),
+    clear(Place, State).
+legal_action(to_block(Block1, Y, Block2), State) :-
+    on(Block1, Y, State),
+    clear(Block1, State),
+    block(Block2),
+    diff(Block1, Block2),
+    clear(Block2, State).
+
+clear(X, State) :- not_on_any(X, State).
+
+not_on_any(_, []).
+not_on_any(X, [on(_, Z)|Rest]) :- diff(X, Z), not_on_any(X, Rest).
+
+on(X, Y, State) :- member_state(on(X, Y), State).
+
+update(to_place(X, Y, Z), State, State1) :-
+    substitute(on(X, Y), on(X, Z), State, State1).
+update(to_block(X, Y, Z), State, State1) :-
+    substitute(on(X, Y), on(X, Z), State, State1).
+
+substitute(X, Y, [X|T], [Y|T]).
+substitute(X, Y, [F|T], [F|T1]) :- diff(X, F), substitute(X, Y, T, T1).
+
+member_state(X, [X|_]).
+member_state(X, [_|T]) :- member_state(X, T).
+
+not_member(_, []).
+not_member(X, [F|T]) :- diff(X, F), not_member(X, T).
+
+diff(X, Y) :- X \== Y.
+
+block(a).
+block(b).
+block(c).
+
+place(p).
+place(q).
+place(r).
+
+test(Plan) :-
+    transform([on(a, b), on(b, p), on(c, r)],
+              [on(a, b), on(b, c), on(c, r)], Plan).
+"""

@@ -1,0 +1,388 @@
+"""PR — press (PRolog Equation Solving System), from The Art of
+Prolog (§9).
+
+Symbolic equation solving by method selection: factorization,
+isolation (position finding and maneuvering), polynomial methods
+(canonical form, linear and quadratic solution) and homogenization
+(offender collection, reduced-term search, substitution).  Table 1
+reports 52 procedures and 158 clauses; the paper notes PR is "heavily
+mutually recursive", which this reconstruction preserves (the methods
+call solve_equation recursively).
+"""
+
+NAME = "PR"
+QUERY = ("solve_equation", 3)
+
+SOURCE = r"""
+solve_equation(A * B = 0, X, Solution) :-
+    factorize(A * B, X, Factors),
+    remove_duplicates(Factors, Factors1),
+    solve_factors(Factors1, X, Solution).
+solve_equation(Equation, X, Solution) :-
+    single_occurrence(X, Equation),
+    position(X, Equation, [Side|Position]),
+    maneuver_sides(Side, Equation, Equation1),
+    isolate(Position, Equation1, Solution).
+solve_equation(Lhs = Rhs, X, Solution) :-
+    is_polynomial(Lhs, X),
+    is_polynomial(Rhs, X),
+    polynomial_normal_form(Lhs - Rhs, X, PolyForm),
+    solve_polynomial_equation(PolyForm, X, Solution).
+solve_equation(Equation, X, Solution) :-
+    offenders(Equation, X, Offenders),
+    multiple(Offenders),
+    homogenize(Equation, X, Offenders, Equation1, X1),
+    solve_equation(Equation1, X1, Solution1),
+    solve_equation(Solution1, X, Solution).
+
+% -- factorization -----------------------------------------------------
+
+factorize(A * B, X, Factors) :-
+    factorize(A, X, F1),
+    factorize(B, X, F2),
+    append_factors(F1, F2, Factors).
+factorize(C, X, [C]) :- subterm(X, C).
+factorize(C, X, []) :- free_of(X, C).
+
+append_factors([], X, X).
+append_factors([F|T], S, [F|R]) :- append_factors(T, S, R).
+
+remove_duplicates([], []).
+remove_duplicates([F|T], [F|T1]) :-
+    delete_all(F, T, T2),
+    remove_duplicates(T2, T1).
+
+delete_all(_, [], []).
+delete_all(X, [X|T], T1) :- delete_all(X, T, T1).
+delete_all(X, [Y|T], [Y|T1]) :- X \== Y, delete_all(X, T, T1).
+
+solve_factors([Factor|_], X, Solution) :-
+    solve_equation(Factor = 0, X, Solution).
+solve_factors([_|Factors], X, Solution) :-
+    solve_factors(Factors, X, Solution).
+
+% -- isolation ---------------------------------------------------------
+
+single_occurrence(Subterm, Term) :-
+    occurrence(Subterm, Term, 1).
+
+occurrence(Term, Term, 1).
+occurrence(Sub, Term, N) :-
+    compound_term(Term),
+    Term \== Sub,
+    decompose(Term, Args),
+    occurrence_list(Sub, Args, N).
+occurrence(Sub, Term, 0) :-
+    atomic_term(Term),
+    Term \== Sub.
+
+occurrence_list(_, [], 0).
+occurrence_list(Sub, [Arg|Args], N) :-
+    occurrence(Sub, Arg, N1),
+    occurrence_list(Sub, Args, N2),
+    N is N1 + N2.
+
+position(Term, Term, []).
+position(Sub, Term, Path) :-
+    compound_term(Term),
+    decompose(Term, Args),
+    position_list(Sub, Args, 1, Path).
+
+position_list(Sub, [Arg|_], N, [N|Path]) :-
+    position(Sub, Arg, Path).
+position_list(Sub, [_|Args], N, Path) :-
+    N1 is N + 1,
+    position_list(Sub, Args, N1, Path).
+
+maneuver_sides(1, Lhs = Rhs, Lhs = Rhs).
+maneuver_sides(2, Lhs = Rhs, Rhs = Lhs).
+
+isolate([], Equation, Equation).
+isolate([N|Position], Equation, IsolatedEquation) :-
+    isolax(N, Equation, Equation1),
+    isolate(Position, Equation1, IsolatedEquation).
+
+isolax(1, Term1 + Term2 = Rhs, Term1 = Rhs - Term2).
+isolax(2, Term1 + Term2 = Rhs, Term2 = Rhs - Term1).
+isolax(1, Term1 - Term2 = Rhs, Term1 = Rhs + Term2).
+isolax(2, Term1 - Term2 = Rhs, Term2 = Term1 - Rhs).
+isolax(1, Term1 * Term2 = Rhs, Term1 = Rhs / Term2) :-
+    nonzero(Term2).
+isolax(2, Term1 * Term2 = Rhs, Term2 = Rhs / Term1) :-
+    nonzero(Term1).
+isolax(1, Term1 / Term2 = Rhs, Term1 = Rhs * Term2) :-
+    nonzero(Term2).
+isolax(2, Term1 / Term2 = Rhs, Term2 = Term1 / Rhs) :-
+    nonzero(Rhs).
+isolax(1, Term1 ^ Term2 = Rhs, Term1 = Rhs ^ (1 / Term2)).
+isolax(2, Term1 ^ Term2 = Rhs, Term2 = log(Rhs) / log(Term1)).
+isolax(1, sin(U) = V, U = arcsin(V)).
+isolax(1, cos(U) = V, U = arccos(V)).
+isolax(1, exp(U) = V, U = log(V)) :- nonzero(V).
+isolax(1, log(U) = V, U = exp(V)).
+
+nonzero(Term) :- Term \== 0.
+
+% -- polynomial methods --------------------------------------------------
+
+is_polynomial(X, X).
+is_polynomial(Term, _) :- number_term(Term).
+is_polynomial(Term1 + Term2, X) :-
+    is_polynomial(Term1, X),
+    is_polynomial(Term2, X).
+is_polynomial(Term1 - Term2, X) :-
+    is_polynomial(Term1, X),
+    is_polynomial(Term2, X).
+is_polynomial(Term1 * Term2, X) :-
+    is_polynomial(Term1, X),
+    is_polynomial(Term2, X).
+is_polynomial(Term1 / Term2, X) :-
+    is_polynomial(Term1, X),
+    number_term(Term2).
+is_polynomial(Term ^ N, X) :-
+    is_polynomial(Term, X),
+    number_term(N).
+
+polynomial_normal_form(Polynomial, X, PolyForm) :-
+    polynomial_form(Polynomial, X, PolyForm1),
+    remove_zero_terms(PolyForm1, PolyForm).
+
+polynomial_form(X, X, [poly(1, 1)]).
+polynomial_form(X ^ N, X, [poly(1, N)]).
+polynomial_form(Term1 + Term2, X, PolyForm) :-
+    polynomial_form(Term1, X, PolyForm1),
+    polynomial_form(Term2, X, PolyForm2),
+    add_polynomials(PolyForm1, PolyForm2, PolyForm).
+polynomial_form(Term1 - Term2, X, PolyForm) :-
+    polynomial_form(Term1, X, PolyForm1),
+    polynomial_form(Term2, X, PolyForm2),
+    subtract_polynomials(PolyForm1, PolyForm2, PolyForm).
+polynomial_form(Term1 * Term2, X, PolyForm) :-
+    polynomial_form(Term1, X, PolyForm1),
+    polynomial_form(Term2, X, PolyForm2),
+    multiply_polynomials(PolyForm1, PolyForm2, PolyForm).
+polynomial_form(Term, _, [poly(Term, 0)]) :-
+    number_term(Term).
+
+remove_zero_terms([], []).
+remove_zero_terms([poly(0, _)|Poly], Poly1) :-
+    remove_zero_terms(Poly, Poly1).
+remove_zero_terms([poly(C, N)|Poly], [poly(C, N)|Poly1]) :-
+    C \== 0,
+    remove_zero_terms(Poly, Poly1).
+
+add_polynomials([], Poly, Poly).
+add_polynomials(Poly, [], Poly).
+add_polynomials([poly(Ai, Ni)|PolyA], [poly(Aj, Nj)|PolyB],
+                [poly(Ai, Ni)|Poly]) :-
+    Ni > Nj,
+    add_polynomials(PolyA, [poly(Aj, Nj)|PolyB], Poly).
+add_polynomials([poly(Ai, Ni)|PolyA], [poly(Aj, Nj)|PolyB],
+                [poly(A, Ni)|Poly]) :-
+    Ni =:= Nj,
+    A is Ai + Aj,
+    add_polynomials(PolyA, PolyB, Poly).
+add_polynomials([poly(Ai, Ni)|PolyA], [poly(Aj, Nj)|PolyB],
+                [poly(Aj, Nj)|Poly]) :-
+    Ni < Nj,
+    add_polynomials([poly(Ai, Ni)|PolyA], PolyB, Poly).
+
+subtract_polynomials(PolyA, PolyB, Poly) :-
+    negate_polynomial(PolyB, PolyB1),
+    add_polynomials(PolyA, PolyB1, Poly).
+
+negate_polynomial([], []).
+negate_polynomial([poly(A, N)|Poly], [poly(A1, N)|Poly1]) :-
+    A1 is 0 - A,
+    negate_polynomial(Poly, Poly1).
+
+multiply_polynomials([], _, []).
+multiply_polynomials([poly(A, N)|PolyA], PolyB, Poly) :-
+    multiply_single(PolyB, poly(A, N), PolyB1),
+    multiply_polynomials(PolyA, PolyB, PolyA1),
+    add_polynomials(PolyB1, PolyA1, Poly).
+
+multiply_single([], _, []).
+multiply_single([poly(A1, N1)|Poly], poly(A, N), [poly(A2, N2)|Poly1]) :-
+    A2 is A1 * A,
+    N2 is N1 + N,
+    multiply_single(Poly, poly(A, N), Poly1).
+
+solve_polynomial_equation(PolyEquation, X, X = Solution) :-
+    linear(PolyEquation),
+    pad(PolyEquation, [poly(A, 1), poly(B, 0)]),
+    Solution = (0 - B) / A.
+solve_polynomial_equation(PolyEquation, X, Solution) :-
+    quadratic(PolyEquation),
+    pad(PolyEquation, [poly(A, 2), poly(B, 1), poly(C, 0)]),
+    discriminant(A, B, C, Discriminant),
+    root(X, A, B, C, Discriminant, Solution).
+
+discriminant(A, B, C, D) :- D is B * B - 4 * A * C.
+
+root(X, A, B, _C, 0, X = (0 - B) / (2 * A)).
+root(X, A, B, _C, D, X = ((0 - B) + sqrt(D)) / (2 * A)) :- D > 0.
+root(X, A, B, _C, D, X = ((0 - B) - sqrt(D)) / (2 * A)) :- D > 0.
+
+linear([poly(_, 1)|_]).
+quadratic([poly(_, 2)|_]).
+
+pad([poly(C, N)|Poly], [poly(C, N)|Poly1]) :-
+    pad_next(N, Poly, Poly1).
+pad(Poly, [poly(0, N)|Poly1]) :-
+    highest_power(Poly, M),
+    M < 2,
+    N is M + 1,
+    pad(Poly, Poly1).
+
+pad_next(0, _, []).
+pad_next(N, Poly, Poly1) :-
+    N > 0,
+    N1 is N - 1,
+    pad_degree(N1, Poly, Poly1).
+
+pad_degree(N, [poly(C, N)|Poly], [poly(C, N)|Poly1]) :-
+    pad_next(N, Poly, Poly1).
+pad_degree(N, Poly, [poly(0, N)|Poly1]) :-
+    lower_power(Poly, N),
+    pad_next(N, Poly, Poly1).
+
+lower_power([], _).
+lower_power([poly(_, M)|_], N) :- M < N.
+
+highest_power([poly(_, N)|_], N).
+highest_power([], 0).
+
+% -- homogenization ------------------------------------------------------
+
+offenders(Equation, X, Offenders) :-
+    parse_terms(Equation, X, [], Offenders).
+
+parse_terms(A = B, X, Acc, Offenders) :-
+    parse_terms(A, X, Acc, Acc1),
+    parse_terms(B, X, Acc1, Offenders).
+parse_terms(A + B, X, Acc, Offenders) :-
+    parse_terms(A, X, Acc, Acc1),
+    parse_terms(B, X, Acc1, Offenders).
+parse_terms(A - B, X, Acc, Offenders) :-
+    parse_terms(A, X, Acc, Acc1),
+    parse_terms(B, X, Acc1, Offenders).
+parse_terms(A * B, X, Acc, Offenders) :-
+    parse_terms(A, X, Acc, Acc1),
+    parse_terms(B, X, Acc1, Offenders).
+parse_terms(Term, X, Acc, [Term|Acc]) :-
+    hard_term(Term, X).
+parse_terms(Term, X, Acc, Acc) :-
+    free_of(X, Term).
+parse_terms(X, X, Acc, Acc).
+
+hard_term(exp(U), X) :- subterm(X, U).
+hard_term(log(U), X) :- subterm(X, U).
+hard_term(sin(U), X) :- subterm(X, U).
+hard_term(cos(U), X) :- subterm(X, U).
+hard_term(U ^ N, X) :- subterm(X, U), \+ number_term(N).
+
+multiple([_, _|_]).
+
+homogenize(Equation, X, Offenders, Equation1, X1) :-
+    reduced_term(X, Offenders, Type, X1),
+    rewrite_all(Offenders, Type, X1, Substitutions),
+    substitute(Equation, Substitutions, Equation1).
+
+reduced_term(X, Offenders, Type, X1) :-
+    classify(Offenders, X, Type),
+    candidate(Type, Offenders, X, X1).
+
+classify(Offenders, X, exponential) :-
+    exponential_offenders(Offenders, X).
+classify(Offenders, X, logarithmic) :-
+    log_offenders(Offenders, X).
+
+exponential_offenders([], _).
+exponential_offenders([exp(U)|Offs], X) :-
+    subterm(X, U),
+    exponential_offenders(Offs, X).
+
+log_offenders([], _).
+log_offenders([log(U)|Offs], X) :-
+    subterm(X, U),
+    log_offenders(Offs, X).
+
+candidate(exponential, _Offenders, X, exp(X)).
+candidate(logarithmic, _Offenders, X, log(X)).
+
+rewrite_all([], _, _, []).
+rewrite_all([Off|Offs], Type, X1, [sub(Off, New)|Subs]) :-
+    homog_axiom(Type, Off, X1, New),
+    rewrite_all(Offs, Type, X1, Subs).
+
+homog_axiom(exponential, exp(A + B), exp(X), exp(A) * exp(B)) :-
+    subterm(X, A + B).
+homog_axiom(exponential, exp(U), exp(X), exp(X)) :- U == X.
+homog_axiom(exponential, exp(C * U), exp(X), exp(U) ^ C) :-
+    free_of(U, C).
+homog_axiom(logarithmic, log(U), log(X), log(X)) :- U == X.
+homog_axiom(logarithmic, log(U * V), log(X), log(U) + log(V)) :-
+    subterm(X, U * V).
+
+substitute(Term, [], Term).
+substitute(Term, [sub(Old, New)|Subs], Term1) :-
+    replace(Term, Old, New, Term2),
+    substitute(Term2, Subs, Term1).
+
+replace(Term, Term, New, New).
+replace(A = B, Old, New, A1 = B1) :-
+    replace(A, Old, New, A1),
+    replace(B, Old, New, B1).
+replace(A + B, Old, New, A1 + B1) :-
+    replace(A, Old, New, A1),
+    replace(B, Old, New, B1).
+replace(A - B, Old, New, A1 - B1) :-
+    replace(A, Old, New, A1),
+    replace(B, Old, New, B1).
+replace(A * B, Old, New, A1 * B1) :-
+    replace(A, Old, New, A1),
+    replace(B, Old, New, B1).
+replace(Term, Old, Term, Old) :- Term \== Old.
+replace(Term, Old, New, Term) :-
+    atomic_term(Term),
+    Term \== Old,
+    New \== Term.
+
+% -- term utilities -------------------------------------------------------
+
+subterm(Term, Term).
+subterm(Sub, Term) :-
+    compound_term(Term),
+    decompose(Term, Args),
+    subterm_list(Sub, Args).
+
+subterm_list(Sub, [Arg|_]) :- subterm(Sub, Arg).
+subterm_list(Sub, [_|Args]) :- subterm_list(Sub, Args).
+
+free_of(X, Term) :- \+ subterm(X, Term).
+
+decompose(A + B, [A, B]).
+decompose(A - B, [A, B]).
+decompose(A * B, [A, B]).
+decompose(A / B, [A, B]).
+decompose(A ^ B, [A, B]).
+decompose(A = B, [A, B]).
+decompose(exp(A), [A]).
+decompose(log(A), [A]).
+decompose(sin(A), [A]).
+decompose(cos(A), [A]).
+decompose(sqrt(A), [A]).
+decompose(arcsin(A), [A]).
+decompose(arccos(A), [A]).
+
+compound_term(Term) :- \+ atomic_term(Term).
+
+atomic_term(Term) :- atomic(Term).
+
+number_term(Term) :- integer(Term).
+
+test1(S) :- solve_equation(x * (x - 3) = 0, x, S).
+test2(S) :- solve_equation(x * x - 3 * x + 2 = 0, x, S).
+test3(S) :- solve_equation(cos(x) * (1 - 2 * sin(x)) = 0, x, S).
+"""

@@ -1,0 +1,289 @@
+"""RE — the Prolog tokenizer and reader of O'Keefe and Warren (§9).
+
+Character codes in, term out: ``read_tokens`` tokenizes a code list
+(with the accumulator-in-the-middle style the paper highlights), and
+``parse_tokens`` is the operator-precedence reader.  The paper calls
+RE "a worst case scenario for our analyzer": heavily mutually
+recursive with an abundance of functors (token and operator shapes).
+Table 1 reports 42 procedures and 163 clauses.
+"""
+
+NAME = "RE"
+QUERY = ("read_term_codes", 2)
+LIST_QUERY_TYPES = ["codes", "any"]
+
+SOURCE = r"""
+read_term_codes(Codes, Term) :-
+    read_tokens(Codes, Tokens),
+    parse_tokens(Tokens, Term).
+
+% ===================== tokenizer =====================
+
+read_tokens(Codes, Tokens) :- tokens(Codes, [], RevTokens),
+    reverse_tokens(RevTokens, [], Tokens).
+
+reverse_tokens([], Acc, Acc).
+reverse_tokens([T|Ts], Acc, Out) :- reverse_tokens(Ts, [T|Acc], Out).
+
+tokens([], Acc, Acc).
+tokens([C|Cs], Acc, Tokens) :-
+    layout_char(C),
+    tokens(Cs, Acc, Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    comment_start(C),
+    skip_comment(Cs, Cs1),
+    tokens(Cs1, Acc, Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    digit_char(C),
+    scan_number(Cs, C, Cs1, Token),
+    tokens(Cs1, [Token|Acc], Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    lower_char(C),
+    scan_name(Cs, [C], Cs1, Name),
+    tokens(Cs1, [atom(Name)|Acc], Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    upper_char(C),
+    scan_name(Cs, [C], Cs1, Name),
+    tokens(Cs1, [var(Name, Name)|Acc], Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    underscore(C),
+    scan_name(Cs, [C], Cs1, Name),
+    tokens(Cs1, [var(anon, Name)|Acc], Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    quote_char(C),
+    scan_quoted(Cs, C, [], Cs1, Name),
+    tokens(Cs1, [atom(Name)|Acc], Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    string_quote(C),
+    scan_quoted(Cs, C, [], Cs1, Chars),
+    tokens(Cs1, [string(Chars)|Acc], Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    solo_char(C, Token),
+    tokens(Cs, [Token|Acc], Tokens).
+tokens([C|Cs], Acc, Tokens) :-
+    symbol_char(C),
+    scan_symbol(Cs, [C], Cs1, Name),
+    symbol_token(Name, Cs1, Token, Cs2),
+    tokens(Cs2, [Token|Acc], Tokens).
+
+skip_comment([], []).
+skip_comment([C|Cs], Cs) :- newline_char(C).
+skip_comment([C|Cs], Out) :- \+ newline_char(C), skip_comment(Cs, Out).
+
+scan_number([C|Cs], C0, Cs1, Token) :-
+    digit_char(C),
+    scan_digits([C|Cs], [C0], Cs1, Digits),
+    make_int(Digits, Token).
+scan_number(Cs, C0, Cs, int([C0])).
+
+scan_digits([C|Cs], Acc, Cs1, Digits) :-
+    digit_char(C),
+    scan_digits(Cs, [C|Acc], Cs1, Digits).
+scan_digits(Cs, Acc, Cs, Digits) :-
+    reverse_tokens(Acc, [], Digits).
+scan_digits([], Acc, [], Digits) :-
+    reverse_tokens(Acc, [], Digits).
+
+make_int(Digits, int(Digits)).
+
+scan_name([C|Cs], Acc, Cs1, Name) :-
+    alpha_char(C),
+    scan_name(Cs, [C|Acc], Cs1, Name).
+scan_name(Cs, Acc, Cs, Name) :-
+    end_of_name(Cs),
+    reverse_tokens(Acc, [], Name).
+
+end_of_name([]).
+end_of_name([C|_]) :- \+ alpha_char(C).
+
+scan_quoted([C|Cs], Q, Acc, Cs1, Name) :-
+    C =\= Q,
+    scan_quoted(Cs, Q, [C|Acc], Cs1, Name).
+scan_quoted([Q, Q|Cs], Q, Acc, Cs1, Name) :-
+    scan_quoted(Cs, Q, [Q|Acc], Cs1, Name).
+scan_quoted([Q|Cs], Q, Acc, Cs, Name) :-
+    end_quote(Cs, Q),
+    reverse_tokens(Acc, [], Name).
+
+end_quote([], _).
+end_quote([C|_], Q) :- C =\= Q.
+
+scan_symbol([C|Cs], Acc, Cs1, Name) :-
+    symbol_char(C),
+    scan_symbol(Cs, [C|Acc], Cs1, Name).
+scan_symbol(Cs, Acc, Cs, Name) :-
+    end_of_symbol(Cs),
+    reverse_tokens(Acc, [], Name).
+
+end_of_symbol([]).
+end_of_symbol([C|_]) :- \+ symbol_char(C).
+
+symbol_token([0'.], Cs, end_token, Cs) :- end_of_clause(Cs).
+symbol_token(Name, Cs, atom(Name), Cs) :- \+ lone_dot(Name, Cs).
+
+lone_dot([0'.], Cs) :- end_of_clause(Cs).
+
+end_of_clause([]).
+end_of_clause([C|_]) :- layout_char(C).
+
+% character classes
+
+layout_char(0' ).
+layout_char(10).
+layout_char(9).
+layout_char(13).
+
+newline_char(10).
+
+comment_start(0'%).
+
+digit_char(C) :- C >= 0'0, C =< 0'9.
+
+lower_char(C) :- C >= 0'a, C =< 0'z.
+
+upper_char(C) :- C >= 0'A, C =< 0'Z.
+
+underscore(0'_).
+
+alpha_char(C) :- lower_char(C).
+alpha_char(C) :- upper_char(C).
+alpha_char(C) :- digit_char(C).
+alpha_char(C) :- underscore(C).
+
+quote_char(39).
+
+string_quote(34).
+
+solo_char(0'(, punct(lparen)).
+solo_char(0'), punct(rparen)).
+solo_char(0'[, punct(lbracket)).
+solo_char(0'], punct(rbracket)).
+solo_char(0'{, punct(lbrace)).
+solo_char(0'}, punct(rbrace)).
+solo_char(0',, punct(comma)).
+solo_char(0'|, punct(bar)).
+solo_char(0'!, atom([0'!])).
+solo_char(0';, atom([0';])).
+
+symbol_char(0'+). symbol_char(0'-). symbol_char(0'*). symbol_char(0'/).
+symbol_char(0'\\). symbol_char(0'^). symbol_char(0'<). symbol_char(0'>).
+symbol_char(0'=). symbol_char(0'~). symbol_char(0':). symbol_char(0'.).
+symbol_char(0'?). symbol_char(0'@). symbol_char(0'#). symbol_char(0'&).
+
+% ===================== reader =====================
+
+parse_tokens(Tokens, Term) :-
+    parse(Tokens, 1200, Term, Rest),
+    all_read(Rest).
+
+all_read([]).
+all_read([end_token]).
+
+parse([Token|Tokens], Prec, Term, Rest) :-
+    primary(Token, Tokens, Prec, Left, LeftPrec, Tokens1),
+    operators(Tokens1, Left, LeftPrec, Prec, Term, Rest).
+
+primary(int(Digits), Tokens, _, integer(Digits), 0, Tokens).
+primary(var(Flag, Name), Tokens, _, variable(Flag, Name), 0, Tokens).
+primary(string(Chars), Tokens, _, string_term(Chars), 0, Tokens).
+primary(punct(lparen), Tokens, _, Term, 0, Rest) :-
+    parse(Tokens, 1200, Term, [punct(rparen)|Rest]).
+primary(punct(lbrace), [punct(rbrace)|Tokens], _, atom_term([0'{, 0'}]),
+        0, Tokens).
+primary(punct(lbrace), Tokens, _, brace_term(Term), 0, Rest) :-
+    parse(Tokens, 1200, Term, [punct(rbrace)|Rest]).
+primary(punct(lbracket), [punct(rbracket)|Tokens], _, nil_term, 0,
+        Tokens).
+primary(punct(lbracket), Tokens, _, ListTerm, 0, Rest) :-
+    parse_list(Tokens, ListTerm, Rest).
+primary(atom(Name), [punct(lparen)|Tokens], _, structure(Name, Args), 0,
+        Rest) :-
+    parse_arguments(Tokens, Args, Rest).
+primary(atom(Name), Tokens, Prec, Term, OpPrec, Rest) :-
+    prefix_op(Name, OpPrec, ArgPrec),
+    OpPrec =< Prec,
+    starts_term(Tokens),
+    parse(Tokens, ArgPrec, Arg, Rest),
+    Term = structure(Name, [Arg]).
+primary(atom(Name), Tokens, _, atom_term(Name), 0, Tokens).
+
+starts_term([int(_)|_]).
+starts_term([var(_, _)|_]).
+starts_term([string(_)|_]).
+starts_term([atom(_)|_]).
+starts_term([punct(lparen)|_]).
+starts_term([punct(lbracket)|_]).
+starts_term([punct(lbrace)|_]).
+
+operators([atom(Name)|Tokens], Left, LeftPrec, Prec, Term, Rest) :-
+    infix_op(Name, OpPrec, LMax, RMax),
+    OpPrec =< Prec,
+    LeftPrec =< LMax,
+    parse(Tokens, RMax, Right, Tokens1),
+    operators(Tokens1, structure(Name, [Left, Right]), OpPrec, Prec,
+              Term, Rest).
+operators([punct(comma)|Tokens], Left, LeftPrec, Prec, Term, Rest) :-
+    1000 =< Prec,
+    LeftPrec < 1000,
+    parse(Tokens, 1000, Right, Tokens1),
+    operators(Tokens1, structure([0',], [Left, Right]), 1000, Prec,
+              Term, Rest).
+operators(Tokens, Term, _, _, Term, Tokens).
+
+parse_arguments(Tokens, [Arg|Args], Rest) :-
+    parse(Tokens, 999, Arg, Tokens1),
+    parse_more_arguments(Tokens1, Args, Rest).
+
+parse_more_arguments([punct(comma)|Tokens], [Arg|Args], Rest) :-
+    parse(Tokens, 999, Arg, Tokens1),
+    parse_more_arguments(Tokens1, Args, Rest).
+parse_more_arguments([punct(rparen)|Tokens], [], Tokens).
+
+parse_list(Tokens, list_term(Head, Tail), Rest) :-
+    parse(Tokens, 999, Head, Tokens1),
+    parse_list_tail(Tokens1, Tail, Rest).
+
+parse_list_tail([punct(comma)|Tokens], list_term(Head, Tail), Rest) :-
+    parse(Tokens, 999, Head, Tokens1),
+    parse_list_tail(Tokens1, Tail, Rest).
+parse_list_tail([punct(bar)|Tokens], Tail, Rest) :-
+    parse(Tokens, 999, Tail, [punct(rbracket)|Rest]).
+parse_list_tail([punct(rbracket)|Tokens], nil_term, Tokens).
+
+% operator table
+
+prefix_op([0':, 0'-], 1200, 1199).
+prefix_op([0'?, 0'-], 1200, 1199).
+prefix_op([0'\\, 0'+], 900, 900).
+prefix_op([0'-], 200, 200).
+prefix_op([0'+], 200, 200).
+
+infix_op([0':, 0'-], 1200, 1199, 1199).
+infix_op([0'-, 0'-, 0'>], 1200, 1199, 1199).
+infix_op([0';], 1100, 1099, 1100).
+infix_op([0'-, 0'>], 1050, 1049, 1050).
+infix_op([0'=], 700, 699, 699).
+infix_op([0'\\, 0'=], 700, 699, 699).
+infix_op([0'=, 0'=], 700, 699, 699).
+infix_op([0'\\, 0'=, 0'=], 700, 699, 699).
+infix_op([0'=, 0'., 0'.], 700, 699, 699).
+infix_op([0'i, 0's], 700, 699, 699).
+infix_op([0'<], 700, 699, 699).
+infix_op([0'>], 700, 699, 699).
+infix_op([0'=, 0'<], 700, 699, 699).
+infix_op([0'>, 0'=], 700, 699, 699).
+infix_op([0'+], 500, 500, 499).
+infix_op([0'-], 500, 500, 499).
+infix_op([0'*], 400, 400, 399).
+infix_op([0'/], 400, 400, 399).
+infix_op([0'^], 200, 199, 200).
+
+% convenience: tokenize-and-count for driving the analysis
+
+count_tokens(Codes, N) :-
+    read_tokens(Codes, Tokens),
+    count(Tokens, 0, N).
+
+count([], N, N).
+count([_|Ts], Acc, N) :- Acc1 is Acc + 1, count(Ts, Acc1, N).
+"""

@@ -1,0 +1,16 @@
+"""Abstract domains: the generic pattern domain Pat(R) and its leaf
+domains (Type and the principal-functor baseline)."""
+
+from .leaf import (DepthBoundLeafDomain, LeafDomain, TOP,
+                   TrivialLeafDomain, TypeLeafDomain)
+from .pattern import (AbstractSubst, PAT_BOTTOM, PatBottom, PatNode,
+                      SubstBuilder, display_subst, subst_eq, subst_join,
+                      subst_le, subst_top, subst_widen, value_of)
+
+__all__ = [
+    "DepthBoundLeafDomain", "LeafDomain", "TOP", "TrivialLeafDomain",
+    "TypeLeafDomain",
+    "AbstractSubst", "PAT_BOTTOM", "PatBottom", "PatNode", "SubstBuilder",
+    "display_subst", "subst_eq", "subst_join", "subst_le", "subst_top",
+    "subst_widen", "value_of",
+]

@@ -1,0 +1,228 @@
+"""Leaf domains: the generic parameter R of Pat(R) (paper §5).
+
+``Pat(R)`` maintains *sure* structural information (patterns) and
+same-value information; what is known about the remaining *leaves* is
+delegated to a leaf domain:
+
+* :class:`TypeLeafDomain` — R = Type: each leaf carries a type grammar.
+  ``Pat(TypeLeafDomain)`` is the paper's ``Pat(Type)``.
+* :class:`TrivialLeafDomain` — R = nothing: leaves carry no
+  information.  ``Pat(TrivialLeafDomain)`` keeps only sure functors and
+  same-value pairs — the *principal functor* analysis used as the
+  accuracy baseline in §9 (Tables 4–5).
+
+A leaf value is opaque to Pat(R); all manipulation goes through the
+methods below.  ``meet`` returning ``None`` signals failure (bottom),
+which is how ``Pat(Type)`` refutes unifications that the principal
+functor domain cannot.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..typegraph.grammar import (Grammar, g_any, g_functor, g_int,
+                                 g_int_literal)
+from ..typegraph.ops import g_intersect, g_le, g_split, g_union
+from ..typegraph.widening import g_widen
+
+__all__ = ["LeafDomain", "TypeLeafDomain", "TrivialLeafDomain",
+           "DepthBoundLeafDomain", "TOP"]
+
+
+class _Top:
+    """The single value of the trivial leaf domain."""
+
+    __slots__ = ()
+    _instance: Optional["_Top"] = None
+
+    def __new__(cls) -> "_Top":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Any"
+
+
+TOP = _Top()
+
+
+class LeafDomain:
+    """Abstract base for leaf domains.  Subclasses must be stateless
+    apart from configuration (they are shared across substitutions)."""
+
+    name = "abstract"
+
+    def top(self):
+        """The value describing every term (free variables included)."""
+        raise NotImplementedError
+
+    def is_top(self, value) -> bool:
+        raise NotImplementedError
+
+    def meet(self, a, b):
+        """Greatest lower bound approximation; None means bottom."""
+        raise NotImplementedError
+
+    def join(self, a, b):
+        """Least upper bound approximation."""
+        raise NotImplementedError
+
+    def widen(self, old, new, strict: bool = True):
+        """Widening (old is the previous iterate).  ``strict=False``
+        allows growth instead of destructive replacement; callers must
+        escalate to strict mode eventually (see engine)."""
+        raise NotImplementedError
+
+    def le(self, a, b) -> bool:
+        """Order; may be conservative (False when unknown)."""
+        raise NotImplementedError
+
+    def split(self, value, name: str, arity: int,
+              is_int: bool) -> Optional[Tuple]:
+        """Constrain ``value`` to terms with the given principal functor
+        and return the argument values, or None if that is impossible
+        (the unification surely fails)."""
+        raise NotImplementedError
+
+    def from_functor(self, name: str, is_int: bool, children: Sequence):
+        """The value of ``name(children...)`` — used when a pattern
+        subtree is collapsed into a leaf (the Pat/Type interaction of
+        §5)."""
+        raise NotImplementedError
+
+    def le_tree(self, value, name: str, is_int: bool,
+                children: Sequence) -> bool:
+        """Is ``value`` included in the tree ``name(children...)``?
+        Used to compare a leaf against a pattern; may be conservative."""
+        raise NotImplementedError
+
+    def display(self, value) -> str:
+        raise NotImplementedError
+
+
+class TypeLeafDomain(LeafDomain):
+    """R = Type: leaves carry type grammars (paper §6).
+
+    ``max_or_width`` is the or-degree restriction of Table 3 ("(5)" and
+    "(2)" rows): or-vertices with more successors collapse to Any.
+    """
+
+    name = "type"
+
+    def __init__(self, max_or_width: Optional[int] = None,
+                 type_database: Optional[list] = None) -> None:
+        self.max_or_width = max_or_width
+        self.type_database = type_database
+
+    def top(self) -> Grammar:
+        return g_any()
+
+    def is_top(self, value: Grammar) -> bool:
+        return value.is_any()
+
+    def meet(self, a: Grammar, b: Grammar) -> Optional[Grammar]:
+        result = g_intersect(a, b, self.max_or_width)
+        if result.is_bottom():
+            return None
+        return result
+
+    def join(self, a: Grammar, b: Grammar) -> Grammar:
+        return g_union(a, b, self.max_or_width)
+
+    def widen(self, old: Grammar, new: Grammar,
+              strict: bool = True) -> Grammar:
+        return g_widen(old, new, self.max_or_width, strict,
+                       self.type_database)
+
+    def le(self, a: Grammar, b: Grammar) -> bool:
+        return g_le(a, b)
+
+    def split(self, value: Grammar, name: str, arity: int,
+              is_int: bool) -> Optional[Tuple[Grammar, ...]]:
+        return g_split(value, name, arity, is_int)
+
+    def from_functor(self, name: str, is_int: bool,
+                     children: Sequence[Grammar]) -> Grammar:
+        if is_int:
+            return g_int_literal(int(name))
+        return g_functor(name, list(children), self.max_or_width)
+
+    def le_tree(self, value: Grammar, name: str, is_int: bool,
+                children: Sequence[Grammar]) -> bool:
+        return g_le(value, self.from_functor(name, is_int, children))
+
+    def int_type(self) -> Grammar:
+        return g_int()
+
+    def display(self, value: Grammar) -> str:
+        from ..typegraph.display import grammar_to_text
+        return grammar_to_text(value)
+
+
+class DepthBoundLeafDomain(TypeLeafDomain):
+    """R = Type, but with the Bruynooghe/Janssens finite subdomain in
+    place of the widening (§7's alternative): joins and widenings both
+    go through union + depth restriction, so no widening is needed —
+    at the accuracy cost §10 describes for same-functor nesting.  Used
+    by the ablation benchmarks."""
+
+    name = "type-depth-bound"
+
+    def __init__(self, k: int = 1,
+                 max_or_width: Optional[int] = None) -> None:
+        super().__init__(max_or_width)
+        self.k = k
+
+    def join(self, a: Grammar, b: Grammar) -> Grammar:
+        from ..typegraph.depthbound import depth_bound_join
+        return depth_bound_join(a, b, self.k)
+
+    def widen(self, old: Grammar, new: Grammar,
+              strict: bool = True) -> Grammar:
+        from ..typegraph.depthbound import depth_bound_join
+        return depth_bound_join(old, new, self.k)
+
+
+class TrivialLeafDomain(LeafDomain):
+    """R = nothing: the principal-functor baseline of §9.
+
+    All leaves are Any; only the pattern and same-value components of
+    Pat(R) carry information — "roughly equivalent to the domain of
+    Taylor" as the paper puts it.
+    """
+
+    name = "trivial"
+
+    def top(self):
+        return TOP
+
+    def is_top(self, value) -> bool:
+        return value is TOP
+
+    def meet(self, a, b):
+        return TOP
+
+    def join(self, a, b):
+        return TOP
+
+    def widen(self, old, new, strict: bool = True):
+        return TOP
+
+    def le(self, a, b) -> bool:
+        return True
+
+    def split(self, value, name: str, arity: int,
+              is_int: bool) -> Optional[Tuple]:
+        return tuple(TOP for _ in range(arity))
+
+    def from_functor(self, name: str, is_int: bool, children: Sequence):
+        return TOP
+
+    def le_tree(self, value, name: str, is_int: bool,
+                children: Sequence) -> bool:
+        return False  # a bare leaf never certifies sure structure
+
+    def display(self, value) -> str:
+        return "Any"

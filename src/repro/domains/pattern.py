@@ -1,0 +1,489 @@
+"""The generic pattern domain Pat(R) (paper §5).
+
+An abstract substitution over n variables consists of
+
+* the **same-value component**: ``sv`` maps each variable to a subterm
+  index — two variables mapping to the same index surely have the same
+  value;
+* the **pattern component**: a subterm either has a *pattern*
+  ``f(i1, ..., ik)`` (its principal functor is surely ``f`` and its
+  arguments are the given subterms) or is a *leaf*;
+* the **R-component**: each leaf carries a value of the leaf domain
+  (a type grammar for ``Pat(Type)``).
+
+:class:`AbstractSubst` is the frozen, canonically-numbered form used
+for tabulation; :class:`SubstBuilder` is the union-find engine that
+executes abstract unification (goals ``Xi = Xj`` and
+``Xi = f(Xj...)``).  Unification is intersection on the leaf values —
+sound because type-graph denotations are instantiation-closed (§6.9
+"our type graphs are downward-closed").
+
+Upper bound and widening keep the structure and sharing *common to
+both* operands and collapse everything else into leaves, combining the
+collapsed subtrees with the leaf domain's join/widen — exactly the
+Pat/Type interaction described in §5: indices are removed from Pat(R)
+and replaced by an equivalent type graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .leaf import LeafDomain
+
+__all__ = [
+    "PatNode", "AbstractSubst", "SubstBuilder", "PAT_BOTTOM", "PatBottom",
+    "subst_top", "subst_join", "subst_widen", "subst_le", "subst_eq",
+    "value_of", "display_subst",
+]
+
+
+@dataclass(frozen=True)
+class PatNode:
+    """One subterm.  ``args is None`` means leaf (then ``value`` holds
+    the R-value); otherwise the node has pattern ``name(args...)``."""
+
+    name: Optional[str] = None
+    is_int: bool = False
+    args: Optional[Tuple[int, ...]] = None
+    value: object = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.args is None
+
+    @property
+    def fkey(self) -> Tuple[str, str, int]:
+        assert self.args is not None
+        return ("i" if self.is_int else "f", self.name, len(self.args))
+
+
+class PatBottom:
+    """The empty abstract substitution (unification surely fails)."""
+
+    __slots__ = ()
+    _instance: Optional["PatBottom"] = None
+
+    def __new__(cls) -> "PatBottom":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<bottom>"
+
+
+PAT_BOTTOM = PatBottom()
+
+
+class AbstractSubst:
+    """Frozen abstract substitution.  Nodes are numbered in DFS order
+    from ``sv`` (canonical), so structurally equal substitutions
+    compare equal."""
+
+    __slots__ = ("nvars", "sv", "nodes")
+
+    def __init__(self, nvars: int, sv: Tuple[int, ...],
+                 nodes: Tuple[PatNode, ...]) -> None:
+        self.nvars = nvars
+        self.sv = sv
+        self.nodes = nodes
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AbstractSubst):
+            return NotImplemented
+        return (self.nvars == other.nvars and self.sv == other.sv
+                and self.nodes == other.nodes)
+
+    def __hash__(self) -> int:
+        return hash((self.nvars, self.sv, self.nodes))
+
+    def refcounts(self) -> List[int]:
+        counts = [0] * len(self.nodes)
+        for index in self.sv:
+            counts[index] += 1
+        for node in self.nodes:
+            if node.args is not None:
+                for arg in node.args:
+                    counts[arg] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        parts = []
+        for k in range(self.nvars):
+            parts.append("X%d->s%d" % (k, self.sv[k]))
+        return "<subst %s over %d nodes>" % (" ".join(parts),
+                                             len(self.nodes))
+
+
+# -- the union-find unification engine ---------------------------------------
+
+class _UNode:
+    __slots__ = ("parent", "name", "is_int", "args", "value")
+
+    def __init__(self, value=None, name: Optional[str] = None,
+                 is_int: bool = False,
+                 args: Optional[List["_UNode"]] = None) -> None:
+        self.parent: Optional["_UNode"] = None
+        self.name = name
+        self.is_int = is_int
+        self.args = args
+        self.value = value
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.args is None
+
+
+class SubstBuilder:
+    """Mutable abstract substitution on which kernel goals execute."""
+
+    def __init__(self, domain: LeafDomain) -> None:
+        self.domain = domain
+
+    # -- node management ----------------------------------------------------
+
+    def fresh_leaf(self, value=None) -> _UNode:
+        if value is None:
+            value = self.domain.top()
+        return _UNode(value=value)
+
+    def make_pattern(self, name: str, is_int: bool,
+                     children: List[_UNode]) -> _UNode:
+        return _UNode(name=name, is_int=is_int, args=list(children))
+
+    @staticmethod
+    def find(node: _UNode) -> _UNode:
+        root = node
+        while root.parent is not None:
+            root = root.parent
+        while node.parent is not None:  # path compression
+            node.parent, node = root, node.parent
+        return root
+
+    @staticmethod
+    def _union(keep: _UNode, merge: _UNode) -> None:
+        merge.parent = keep
+        merge.args = None
+        merge.value = None
+
+    # -- abstract unification ------------------------------------------------
+
+    def unify(self, a: _UNode, b: _UNode) -> bool:
+        """Abstract ``a = b``; False signals sure failure (bottom)."""
+        domain = self.domain
+        work = [(a, b)]
+        while work:
+            x, y = work.pop()
+            x, y = self.find(x), self.find(y)
+            if x is y:
+                continue
+            if not x.is_leaf and not y.is_leaf:
+                if (x.name, x.is_int, len(x.args)) != \
+                        (y.name, y.is_int, len(y.args)):
+                    return False
+                y_args = y.args
+                self._union(x, y)
+                work.extend(zip(x.args, y_args))
+            elif not x.is_leaf:  # y is a leaf
+                pieces = domain.split(y.value, x.name, len(x.args), x.is_int)
+                if pieces is None:
+                    return False
+                self._union(x, y)
+                for child, piece in zip(x.args, pieces):
+                    if not self.constrain(child, piece):
+                        return False
+            elif not y.is_leaf:  # x is a leaf
+                pieces = domain.split(x.value, y.name, len(y.args), y.is_int)
+                if pieces is None:
+                    return False
+                self._union(y, x)
+                for child, piece in zip(y.args, pieces):
+                    if not self.constrain(child, piece):
+                        return False
+            else:
+                value = domain.meet(x.value, y.value)
+                if value is None:
+                    return False
+                self._union(x, y)
+                x.value = value
+        return True
+
+    def constrain(self, node: _UNode, value) -> bool:
+        """Meet ``node`` with an R-value, pushing through patterns."""
+        domain = self.domain
+        work = [(node, value)]
+        seen = set()
+        while work:
+            n, v = work.pop()
+            n = self.find(n)
+            if domain.is_top(v):
+                continue
+            key = (id(n), v)
+            if key in seen:
+                continue
+            seen.add(key)
+            if n.is_leaf:
+                met = domain.meet(n.value, v)
+                if met is None:
+                    return False
+                n.value = met
+            else:
+                pieces = domain.split(v, n.name, len(n.args), n.is_int)
+                if pieces is None:
+                    return False
+                work.extend(zip(n.args, pieces))
+        return True
+
+    # -- occur check ---------------------------------------------------------
+
+    def acyclic(self, roots: Sequence[_UNode]) -> bool:
+        """Occur check: unification creating cyclic patterns fails
+        concretely (finite-tree semantics), so bottom is sound."""
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[int, int] = {}
+        for root in roots:
+            stack = [(self.find(root), False)]
+            while stack:
+                node, done = stack.pop()
+                node = self.find(node)
+                if done:
+                    color[id(node)] = BLACK
+                    continue
+                state = color.get(id(node), WHITE)
+                if state == GRAY:
+                    return False
+                if state == BLACK:
+                    continue
+                color[id(node)] = GRAY
+                stack.append((node, True))
+                if node.args is not None:
+                    for child in node.args:
+                        child = self.find(child)
+                        if color.get(id(child), WHITE) == GRAY:
+                            return False
+                        if color.get(id(child), WHITE) == WHITE:
+                            stack.append((child, False))
+                        # BLACK children: nothing to do
+        return True
+
+    # -- freeze / thaw / instantiate ------------------------------------------
+
+    def freeze(self, roots: Sequence[_UNode]):
+        """Canonical frozen form restricted to what ``roots`` reach;
+        PAT_BOTTOM if the occur check fails."""
+        if not self.acyclic(roots):
+            return PAT_BOTTOM
+        index: Dict[int, int] = {}
+        out: List[Optional[PatNode]] = []
+
+        def visit(node: _UNode) -> int:
+            node = self.find(node)
+            if id(node) in index:
+                return index[id(node)]
+            slot = len(out)
+            index[id(node)] = slot
+            out.append(None)
+            if node.is_leaf:
+                out[slot] = PatNode(value=node.value)
+            else:
+                args = tuple(visit(child) for child in node.args)
+                out[slot] = PatNode(node.name, node.is_int, args)
+            return slot
+
+        sv = tuple(visit(root) for root in roots)
+        return AbstractSubst(len(sv), sv, tuple(out))
+
+    def instantiate(self, subst: AbstractSubst) -> List[_UNode]:
+        """Copy ``subst`` into this builder (fresh nodes, sharing
+        preserved); returns the node of each position."""
+        cache: Dict[int, _UNode] = {}
+
+        def visit(i: int) -> _UNode:
+            if i in cache:
+                return cache[i]
+            node = subst.nodes[i]
+            if node.is_leaf:
+                unode = self.fresh_leaf(node.value)
+            else:
+                unode = _UNode(name=node.name, is_int=node.is_int, args=[])
+                cache[i] = unode
+                unode.args = [visit(a) for a in node.args]
+                return unode
+            cache[i] = unode
+            return unode
+
+        return [visit(self.sv_index(subst, k)) for k in range(subst.nvars)]
+
+    @staticmethod
+    def sv_index(subst: AbstractSubst, k: int) -> int:
+        return subst.sv[k]
+
+
+# -- operations on frozen substitutions ---------------------------------------
+
+def subst_top(nvars: int, domain: LeafDomain) -> AbstractSubst:
+    """n variables, no structure, no sharing, all leaves top —
+    the input pattern ``p(Any, ..., Any)``."""
+    nodes = tuple(PatNode(value=domain.top()) for _ in range(nvars))
+    return AbstractSubst(nvars, tuple(range(nvars)), nodes)
+
+
+def value_of(subst: AbstractSubst, index: int, domain: LeafDomain,
+             memo: Optional[Dict[int, object]] = None):
+    """Collapse the subtree at ``index`` into a single R-value."""
+    if memo is None:
+        memo = {}
+    if index in memo:
+        return memo[index]
+    node = subst.nodes[index]
+    if node.is_leaf:
+        value = node.value
+    else:
+        children = [value_of(subst, a, domain, memo) for a in node.args]
+        value = domain.from_functor(node.name, node.is_int, children)
+    memo[index] = value
+    return value
+
+
+def _merge(s1: AbstractSubst, s2: AbstractSubst, domain: LeafDomain,
+           combine: Callable) -> AbstractSubst:
+    """Common-structure walk with leaf combiner (join or widen)."""
+    assert s1.nvars == s2.nvars
+    memo: Dict[Tuple[int, int], int] = {}
+    out: List[Optional[PatNode]] = []
+    m1: Dict[int, object] = {}
+    m2: Dict[int, object] = {}
+
+    def walk(i1: int, i2: int) -> int:
+        key = (i1, i2)
+        if key in memo:
+            return memo[key]
+        slot = len(out)
+        memo[key] = slot
+        out.append(None)
+        n1, n2 = s1.nodes[i1], s2.nodes[i2]
+        if not n1.is_leaf and not n2.is_leaf and n1.fkey == n2.fkey:
+            args = tuple(walk(a1, a2) for a1, a2 in zip(n1.args, n2.args))
+            out[slot] = PatNode(n1.name, n1.is_int, args)
+        else:
+            value = combine(value_of(s1, i1, domain, m1),
+                            value_of(s2, i2, domain, m2))
+            out[slot] = PatNode(value=value)
+        return slot
+
+    sv = tuple(walk(s1.sv[k], s2.sv[k]) for k in range(s1.nvars))
+    return AbstractSubst(s1.nvars, sv, tuple(out))
+
+
+def subst_join(s1, s2, domain: LeafDomain):
+    """Upper bound (operation UNION of GAIA)."""
+    if s1 is PAT_BOTTOM:
+        return s2
+    if s2 is PAT_BOTTOM:
+        return s1
+    return _merge(s1, s2, domain, domain.join)
+
+
+def subst_widen(old, new, domain: LeafDomain, strict: bool = True):
+    """Widening: the Pat(R) upper bound with the leaf join replaced by
+    the leaf widening (§5).  The pattern component of the result is a
+    prefix of ``old``'s, so widening chains stabilize structurally; the
+    leaf chains stabilize by Theorem 7.1 (in strict mode)."""
+    if old is PAT_BOTTOM:
+        return new
+    if new is PAT_BOTTOM:
+        return old
+    return _merge(old, new, domain,
+                  lambda a, b: domain.widen(a, b, strict))
+
+
+def subst_le(s1, s2, domain: LeafDomain) -> bool:
+    """Order: Cc(s1) ⊆ Cc(s2).  Exact when structures align; when s1
+    has a leaf where s2 has a pattern, decided through the leaf domain
+    if s2's subtree is sharing-free, else conservatively False."""
+    if s1 is PAT_BOTTOM:
+        return True
+    if s2 is PAT_BOTTOM:
+        return False
+    if s1.nvars != s2.nvars:
+        raise ValueError("arity mismatch")
+    refcounts2 = s2.refcounts()
+    map21: Dict[int, int] = {}
+    m1: Dict[int, object] = {}
+    m2: Dict[int, object] = {}
+
+    def subtree_shared(i2: int) -> bool:
+        seen = set()
+        stack = [i2]
+        while stack:
+            i = stack.pop()
+            if i in seen:
+                continue
+            seen.add(i)
+            if i != i2 and refcounts2[i] > 1:
+                return True
+            node = s2.nodes[i]
+            if node.args is not None:
+                stack.extend(node.args)
+        return False
+
+    def le(i1: int, i2: int) -> bool:
+        if i2 in map21:
+            return map21[i2] == i1  # s2's sharing must hold in s1
+        map21[i2] = i1
+        n1, n2 = s1.nodes[i1], s2.nodes[i2]
+        if n2.is_leaf:
+            return domain.le(value_of(s1, i1, domain, m1), n2.value)
+        if not n1.is_leaf and n1.fkey == n2.fkey:
+            return all(le(a1, a2) for a1, a2 in zip(n1.args, n2.args))
+        if n1.is_leaf:
+            # A leaf can only be below a pattern if the leaf domain can
+            # certify the structure (Type can, via grammars; the
+            # principal-functor baseline cannot).
+            if subtree_shared(i2):
+                return False
+            n2_children = [value_of(s2, a, domain, m2) for a in n2.args]
+            return domain.le_tree(value_of(s1, i1, domain, m1),
+                                  n2.name, n2.is_int, n2_children)
+        return False
+
+    return all(le(s1.sv[k], s2.sv[k]) for k in range(s1.nvars))
+
+
+def subst_eq(s1, s2, domain: LeafDomain) -> bool:
+    if s1 is PAT_BOTTOM or s2 is PAT_BOTTOM:
+        return s1 is s2
+    if s1 == s2:
+        return True
+    return subst_le(s1, s2, domain) and subst_le(s2, s1, domain)
+
+
+def display_subst(subst, domain: LeafDomain,
+                  names: Optional[Sequence[str]] = None) -> str:
+    """Human-readable rendering, one line per variable."""
+    if subst is PAT_BOTTOM:
+        return "<bottom>"
+    lines = []
+    refcounts = subst.refcounts()
+
+    def node_text(index: int, depth: int) -> str:
+        node = subst.nodes[index]
+        tag = "s%d:" % index if refcounts[index] > 1 else ""
+        if node.is_leaf:
+            value_text = domain.display(node.value)
+            if "\n" in value_text:
+                value_text = "{%s}" % "; ".join(value_text.splitlines())
+            return tag + value_text
+        if depth > 8:
+            return tag + "..."
+        if not node.args:
+            return tag + node.name
+        inner = ",".join(node_text(a, depth + 1) for a in node.args)
+        return "%s%s(%s)" % (tag, node.name, inner)
+
+    for k in range(subst.nvars):
+        name = names[k] if names else "X%d" % k
+        lines.append("%s = %s" % (name, node_text(subst.sv[k], 0)))
+    return "\n".join(lines)

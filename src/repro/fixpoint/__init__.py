@@ -1,0 +1,11 @@
+"""The fixpoint layer: the worklist engine and abstract builtins."""
+
+from .builtins import BUILTINS, BuiltinSpec, is_builtin, tag_value
+from .engine import (AnalysisBudgetExceeded, AnalysisConfig, AnalysisResult,
+                     AnalysisStats, Engine, Entry)
+
+__all__ = [
+    "BUILTINS", "BuiltinSpec", "is_builtin", "tag_value",
+    "AnalysisBudgetExceeded", "AnalysisConfig", "AnalysisResult",
+    "AnalysisStats", "Engine", "Entry",
+]

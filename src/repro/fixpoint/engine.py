@@ -1,0 +1,309 @@
+"""The fixpoint engine (paper §4, in the style of GAIA).
+
+A worklist algorithm over a table of *entries* ``(pred, β_in) → β_out``:
+
+* **polyvariant**: distinct input patterns get distinct entries, up to a
+  per-predicate cap; beyond the cap new inputs are *widened* into the
+  most recent entry's input (the call-pattern widening of §7.1 case 2,
+  and the input-pattern collapsing discussed in §8/§9 for RE);
+* clause bodies execute abstractly left-to-right on a
+  :class:`~repro.domains.pattern.SubstBuilder`; procedure calls look up
+  the table and record a dependency edge, so an improved callee result
+  reschedules its callers;
+* clause results are joined (operation UNION) and, after
+  ``widening_delay`` updates, widened against the previous output
+  (operation WIDEN) — delaying the widening "until the structure of the
+  type appears clearly", as §2 requires for the AR1 example.
+
+Statistics match Table 3: procedure iterations (entry analyses) and
+clause iterations.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..domains.leaf import LeafDomain, TypeLeafDomain
+from ..domains.pattern import (AbstractSubst, PAT_BOTTOM, SubstBuilder,
+                               subst_eq, subst_join, subst_le, subst_top,
+                               subst_widen)
+from ..prolog.normalize import NBuild, NCall, NUnify, NormClause, NormProgram
+from ..prolog.program import PredId
+from .builtins import BUILTINS, tag_value
+
+__all__ = ["AnalysisConfig", "AnalysisStats", "Entry", "AnalysisResult",
+           "Engine", "AnalysisBudgetExceeded"]
+
+
+class AnalysisBudgetExceeded(RuntimeError):
+    """The global iteration budget was exhausted (safety net; should not
+    happen — widening guarantees termination)."""
+
+
+@dataclass
+class AnalysisConfig:
+    """Tunables of the analysis.
+
+    ``max_or_width`` is Table 3's or-degree restriction (None, 5, 2).
+    ``max_input_patterns`` bounds polyvariance per predicate.
+    ``widening_delay`` counts output updates joined before widening
+    kicks in.
+    """
+
+    max_or_width: Optional[int] = None
+    max_input_patterns: int = 8
+    widening_delay: int = 2
+    strict_widening_after: int = 12
+    max_procedure_iterations: int = 200000
+    type_database: Optional[list] = None  # §10 widening extension
+
+
+@dataclass
+class AnalysisStats:
+    procedure_iterations: int = 0
+    clause_iterations: int = 0
+    entries_created: int = 0
+    input_widenings: int = 0
+    cpu_time: float = 0.0
+
+
+@dataclass
+class Entry:
+    """One tabulated (input pattern, predicate, output pattern) tuple —
+    the (β_in, p, β_out) triples of §2."""
+
+    id: int
+    pred: PredId
+    beta_in: AbstractSubst
+    beta_out: object = PAT_BOTTOM
+    dependents: Set[int] = field(default_factory=set)
+    updates: int = 0
+    iterations: int = 0
+
+
+class AnalysisResult:
+    """Outcome of an analysis run: the full polyvariant table."""
+
+    def __init__(self, engine: "Engine", root: Entry) -> None:
+        self.program = engine.program
+        self.domain = engine.domain
+        self.stats = engine.stats
+        self.root_entry = root
+        self.entries: List[Entry] = sorted(
+            (e for es in engine.table.values() for e in es),
+            key=lambda e: e.id)
+        self.unknown_predicates = sorted(engine.unknown_predicates)
+
+    @property
+    def output(self):
+        """β_out of the queried predicate."""
+        return self.root_entry.beta_out
+
+    def tuples(self) -> List[Tuple[AbstractSubst, PredId, object]]:
+        """All (β_in, p, β_out) tuples computed, root first."""
+        return [(e.beta_in, e.pred, e.beta_out) for e in self.entries]
+
+    def entries_for(self, pred: PredId) -> List[Entry]:
+        return [e for e in self.entries if e.pred == pred]
+
+    def collapsed_for(self, pred: PredId):
+        """Single-version (β_in, β_out) for ``pred``: the join over all
+        entries — the "no multiple specialization" view used by the
+        accuracy tables (§9)."""
+        entries = self.entries_for(pred)
+        if not entries:
+            return None
+        beta_in = PAT_BOTTOM
+        beta_out = PAT_BOTTOM
+        for entry in entries:
+            beta_in = subst_join(beta_in, entry.beta_in, self.domain)
+            beta_out = subst_join(beta_out, entry.beta_out, self.domain)
+        return beta_in, beta_out
+
+
+class Engine:
+    """Analyzes one query against a normalized program."""
+
+    def __init__(self, program: NormProgram,
+                 domain: Optional[LeafDomain] = None,
+                 config: Optional[AnalysisConfig] = None) -> None:
+        self.program = program
+        self.config = config if config is not None else AnalysisConfig()
+        if domain is None:
+            domain = TypeLeafDomain(self.config.max_or_width,
+                                    self.config.type_database)
+        self.domain = domain
+        self.table: Dict[PredId, List[Entry]] = {}
+        self.general_entry: Dict[PredId, int] = {}
+        self.input_widen_count: Dict[PredId, int] = {}
+        self.entries_by_id: Dict[int, Entry] = {}
+        self.worklist: List[int] = []
+        self.queued: Set[int] = set()
+        self.stats = AnalysisStats()
+        self.unknown_predicates: Set[PredId] = set()
+
+    # -- public API -----------------------------------------------------------
+
+    def analyze(self, pred: PredId,
+                beta_in: Optional[AbstractSubst] = None) -> AnalysisResult:
+        """Run the fixpoint for ``pred`` called with ``beta_in``
+        (default: all arguments Any)."""
+        start = time.process_time()
+        if beta_in is None:
+            beta_in = subst_top(pred[1], self.domain)
+        if not self.program.defined(pred):
+            raise KeyError("undefined predicate: %s/%d" % pred)
+        root = self._solve(pred, beta_in)
+        self._run()
+        self.stats.cpu_time += time.process_time() - start
+        return AnalysisResult(self, root)
+
+    # -- table management ------------------------------------------------------
+
+    def _solve(self, pred: PredId, beta_in: AbstractSubst) -> Entry:
+        """Entry whose input covers ``beta_in``, creating/widening as
+        needed."""
+        entries = self.table.setdefault(pred, [])
+        for entry in entries:
+            if subst_eq(beta_in, entry.beta_in, self.domain):
+                return entry
+        for entry in entries:
+            if subst_le(beta_in, entry.beta_in, self.domain):
+                return entry
+        if len(entries) >= self.config.max_input_patterns:
+            # Call-pattern widening (§7.1 case 2): accumulate into one
+            # *general* input per predicate, widening the join of all
+            # inputs seen so far — this is what lets the accumulator
+            # examples converge to S ::= 0 | c(Any,S) | d(Any,S).
+            general_id = self.general_entry.get(pred)
+            if general_id is None:
+                old = entries[0].beta_in
+                for entry in entries[1:]:
+                    old = subst_join(old, entry.beta_in, self.domain)
+            else:
+                old = self.entries_by_id[general_id].beta_in
+            count = self.input_widen_count.get(pred, 0)
+            self.input_widen_count[pred] = count + 1
+            strict = count >= self.config.strict_widening_after
+            widened = subst_widen(
+                old, subst_join(old, beta_in, self.domain), self.domain,
+                strict)
+            self.stats.input_widenings += 1
+            if general_id is not None and subst_eq(
+                    widened, self.entries_by_id[general_id].beta_in,
+                    self.domain):
+                return self.entries_by_id[general_id]
+            beta_in = widened
+            entry = Entry(len(self.entries_by_id), pred, beta_in)
+            self.entries_by_id[entry.id] = entry
+            entries.append(entry)
+            self.general_entry[pred] = entry.id
+            self.stats.entries_created += 1
+            self._schedule(entry)
+            return entry
+        entry = Entry(len(self.entries_by_id), pred, beta_in)
+        self.entries_by_id[entry.id] = entry
+        entries.append(entry)
+        self.stats.entries_created += 1
+        self._schedule(entry)
+        return entry
+
+    def _schedule(self, entry: Entry) -> None:
+        if entry.id not in self.queued:
+            self.queued.add(entry.id)
+            self.worklist.append(entry.id)
+
+    def _run(self) -> None:
+        budget = self.config.max_procedure_iterations
+        while self.worklist:
+            if self.stats.procedure_iterations >= budget:
+                raise AnalysisBudgetExceeded(
+                    "procedure iteration budget exceeded (%d)" % budget)
+            # LIFO: newly discovered callees are analyzed before their
+            # callers are retried — the top-down descent order of GAIA,
+            # which lets callee types mature before callers widen.
+            entry_id = self.worklist.pop()
+            self.queued.discard(entry_id)
+            self._analyze_entry(self.entries_by_id[entry_id])
+
+    # -- one procedure iteration -------------------------------------------------
+
+    def _analyze_entry(self, entry: Entry) -> None:
+        self.stats.procedure_iterations += 1
+        entry.iterations += 1
+        procedure = self.program.procedure(entry.pred)
+        assert procedure is not None
+        result = PAT_BOTTOM
+        for clause in procedure.clauses:
+            self.stats.clause_iterations += 1
+            clause_out = self._exec_clause(entry, clause)
+            result = subst_join(result, clause_out, self.domain)
+        if result is PAT_BOTTOM:
+            return  # nothing new
+        if entry.beta_out is PAT_BOTTOM:
+            new_out = result
+        elif entry.updates < self.config.widening_delay:
+            new_out = subst_join(entry.beta_out, result, self.domain)
+        else:
+            strict = entry.updates >= self.config.strict_widening_after
+            new_out = subst_widen(entry.beta_out, result, self.domain,
+                                  strict)
+        if entry.beta_out is not PAT_BOTTOM and \
+                subst_le(new_out, entry.beta_out, self.domain):
+            return  # stable
+        entry.beta_out = new_out
+        entry.updates += 1
+        for dependent_id in entry.dependents:
+            self._schedule(self.entries_by_id[dependent_id])
+
+    # -- abstract clause execution --------------------------------------------------
+
+    def _exec_clause(self, entry: Entry, clause: NormClause):
+        builder = SubstBuilder(self.domain)
+        nodes = builder.instantiate(entry.beta_in)
+        for _ in range(clause.pred[1], clause.nvars):
+            nodes.append(builder.fresh_leaf())
+        for goal in clause.body:
+            if isinstance(goal, NUnify):
+                if not builder.unify(nodes[goal.a], nodes[goal.b]):
+                    return PAT_BOTTOM
+            elif isinstance(goal, NBuild):
+                pattern = builder.make_pattern(
+                    goal.name, goal.is_int, [nodes[a] for a in goal.args])
+                if not builder.unify(nodes[goal.v], pattern):
+                    return PAT_BOTTOM
+            else:
+                assert isinstance(goal, NCall)
+                if not self._exec_call(entry, builder, nodes, goal):
+                    return PAT_BOTTOM
+        return builder.freeze(nodes[:clause.pred[1]])
+
+    def _exec_call(self, entry: Entry, builder: SubstBuilder,
+                   nodes: List, goal: NCall) -> bool:
+        arg_nodes = [nodes[a] for a in goal.args]
+        if self.program.defined(goal.pred):
+            beta_call = builder.freeze(arg_nodes)
+            if beta_call is PAT_BOTTOM:
+                return False
+            callee = self._solve(goal.pred, beta_call)
+            callee.dependents.add(entry.id)
+            if callee.beta_out is PAT_BOTTOM:
+                return False  # no success known (yet)
+            out_nodes = builder.instantiate(callee.beta_out)
+            for caller_node, out_node in zip(arg_nodes, out_nodes):
+                if not builder.unify(caller_node, out_node):
+                    return False
+            return True
+        spec = BUILTINS.get(goal.pred)
+        if spec is None:
+            self.unknown_predicates.add(goal.pred)
+            return True  # identity transfer is sound
+        if spec.fails:
+            return False
+        for node, tag in zip(arg_nodes, spec.tags):
+            if tag != "any":
+                if not builder.constrain(node, tag_value(self.domain, tag)):
+                    return False
+        return True

@@ -1,0 +1,300 @@
+"""Normalization of clauses to kernel form.
+
+The abstract engine (like GAIA, see paper §4) executes *normalized*
+clauses: the head is ``p(X0, ..., Xn-1)`` with distinct variables, and
+the body is a sequence of kernel goals:
+
+* :class:`NUnify` — ``Xi = Xj``
+* :class:`NBuild` — ``Xi = f(Xj1, ..., Xjk)`` (all arguments variables)
+* :class:`NCall`  — ``q(Xi1, ..., Xik)`` (all arguments variables)
+
+Variables are integers ``0 .. nvars-1``; the head arguments are exactly
+``0 .. arity-1``.  Disjunctions and if-then-else in bodies are expanded
+into alternative bodies *before* normalization (a sound
+over-approximation of if-then-else that ignores the commit), so one
+source clause may yield several normalized clauses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from .program import Clause, PredId, Program
+from .terms import Atom, Int, Struct, Term, Var
+
+__all__ = [
+    "NUnify", "NBuild", "NCall", "NGoal",
+    "NormClause", "NormProcedure", "NormProgram",
+    "normalize_program", "normalize_clause",
+]
+
+
+@dataclass(frozen=True)
+class NUnify:
+    """Kernel goal ``X<a> = X<b>``."""
+    a: int
+    b: int
+
+    def __repr__(self) -> str:
+        return "X%d = X%d" % (self.a, self.b)
+
+
+@dataclass(frozen=True)
+class NBuild:
+    """Kernel goal ``X<v> = name(X<args[0]>, ...)``.
+
+    ``is_int`` marks integer literals (arity is then 0 and ``name`` is
+    the decimal text of the value).
+    """
+    v: int
+    name: str
+    args: Tuple[int, ...]
+    is_int: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return "X%d = %s" % (self.v, self.name)
+        inner = ",".join("X%d" % a for a in self.args)
+        return "X%d = %s(%s)" % (self.v, self.name, inner)
+
+
+@dataclass(frozen=True)
+class NCall:
+    """Kernel goal ``pred(X<args[0]>, ...)``."""
+    pred: PredId
+    args: Tuple[int, ...]
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.pred[0]
+        inner = ",".join("X%d" % a for a in self.args)
+        return "%s(%s)" % (self.pred[0], inner)
+
+
+NGoal = Union[NUnify, NBuild, NCall]
+
+
+@dataclass
+class NormClause:
+    pred: PredId
+    nvars: int
+    body: List[NGoal]
+    source: Optional[Clause] = None
+    var_names: List[str] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        head_args = ",".join("X%d" % i for i in range(self.pred[1]))
+        head = self.pred[0] + ("(%s)" % head_args if head_args else "")
+        if not self.body:
+            return head + "."
+        return "%s :- %s." % (head, ", ".join(map(repr, self.body)))
+
+
+@dataclass
+class NormProcedure:
+    pred: PredId
+    clauses: List[NormClause] = field(default_factory=list)
+
+
+@dataclass
+class NormProgram:
+    procedures: Dict[PredId, NormProcedure] = field(default_factory=dict)
+    order: List[PredId] = field(default_factory=list)
+
+    def procedure(self, pred: PredId) -> Optional[NormProcedure]:
+        return self.procedures.get(pred)
+
+    def defined(self, pred: PredId) -> bool:
+        return pred in self.procedures
+
+    @property
+    def num_clauses(self) -> int:
+        return sum(len(p.clauses) for p in self.procedures.values())
+
+    def num_program_points(self) -> int:
+        """Program points: one before each kernel goal plus one at each
+        clause end (our concrete rendering of Table 1's measure)."""
+        return sum(len(c.body) + 1
+                   for p in self.procedures.values() for c in p.clauses)
+
+
+# -- disjunction expansion ------------------------------------------------
+
+_MAX_BODIES_PER_CLAUSE = 64
+
+
+def _expand_goal(goal: Term) -> List[List[Term]]:
+    """Alternative flattened goal sequences for one source goal."""
+    if isinstance(goal, Struct) and goal.name == "," and goal.arity == 2:
+        return _expand_body(
+            [goal.args[0], goal.args[1]])
+    if isinstance(goal, Struct) and goal.name == ";" and goal.arity == 2:
+        left, right = goal.args
+        branches: List[List[Term]] = []
+        if isinstance(left, Struct) and left.name == "->" and left.arity == 2:
+            branches.extend(_expand_body([left.args[0], left.args[1]]))
+        else:
+            branches.extend(_expand_body([left]))
+        branches.extend(_expand_body([right]))
+        return branches
+    if isinstance(goal, Struct) and goal.name == "->" and goal.arity == 2:
+        return _expand_body([goal.args[0], goal.args[1]])
+    if isinstance(goal, Atom) and goal.name == "true":
+        return [[]]
+    return [[goal]]
+
+
+def _expand_body(goals: List[Term]) -> List[List[Term]]:
+    """Cartesian expansion of disjunctive bodies, capped defensively."""
+    bodies: List[List[Term]] = [[]]
+    for goal in goals:
+        alternatives = _expand_goal(goal)
+        new_bodies = []
+        for prefix in bodies:
+            for alt in alternatives:
+                new_bodies.append(prefix + alt)
+                if len(new_bodies) > _MAX_BODIES_PER_CLAUSE:
+                    raise ValueError("disjunction expansion too large")
+        bodies = new_bodies
+    return bodies
+
+
+# -- clause normalization --------------------------------------------------
+
+class _ClauseBuilder:
+    def __init__(self, arity: int) -> None:
+        self.nvars = arity
+        self.varmap: Dict[Var, int] = {}
+        self.names: List[str] = ["A%d" % i for i in range(arity)]
+        self.goals: List[NGoal] = []
+
+    def fresh(self, name: str = "T") -> int:
+        index = self.nvars
+        self.nvars += 1
+        self.names.append("%s%d" % (name, index))
+        return index
+
+    def var_index(self, var: Var) -> int:
+        index = self.varmap.get(var)
+        if index is None:
+            index = self.fresh(var.name)
+            self.varmap[var] = index
+        return index
+
+    def unify_with(self, index: int, term: Term) -> None:
+        """Emit kernel goals for ``X<index> = term``."""
+        if isinstance(term, Var):
+            other = self.varmap.get(term)
+            if other is None:
+                self.varmap[term] = index
+                return
+            if other != index:
+                self.goals.append(NUnify(index, other))
+            return
+        if isinstance(term, Atom):
+            self.goals.append(NBuild(index, term.name, ()))
+            return
+        if isinstance(term, Int):
+            self.goals.append(NBuild(index, str(term.value), (), True))
+            return
+        assert isinstance(term, Struct)
+        arg_indices: List[int] = []
+        pending: List[Tuple[int, Term]] = []
+        for arg in term.args:
+            if isinstance(arg, Var):
+                arg_indices.append(self.var_index(arg))
+            else:
+                child = self.fresh()
+                arg_indices.append(child)
+                pending.append((child, arg))
+        self.goals.append(NBuild(index, term.name, tuple(arg_indices)))
+        for child, sub in pending:
+            self.unify_with(child, sub)
+
+    def term_to_var(self, term: Term) -> int:
+        """Var index for a goal argument, flattening if needed."""
+        if isinstance(term, Var):
+            return self.var_index(term)
+        index = self.fresh()
+        self.unify_with(index, term)
+        return index
+
+
+def _normalize_one(pred: PredId, head: Term, body: List[Term],
+                   source: Clause) -> NormClause:
+    arity = pred[1]
+    builder = _ClauseBuilder(arity)
+    head_args: List[Term] = list(head.args) if isinstance(head, Struct) else []
+    # Bind head variables: a first-occurrence variable in argument i *is*
+    # variable i; anything else unifies.
+    for i, arg in enumerate(head_args):
+        if isinstance(arg, Var) and arg not in builder.varmap:
+            builder.varmap[arg] = i
+            builder.names[i] = arg.name
+        else:
+            builder.unify_with(i, arg)
+    for goal in body:
+        _normalize_goal(builder, goal)
+    return NormClause(pred, builder.nvars, builder.goals, source,
+                      builder.names)
+
+
+def _normalize_goal(builder: _ClauseBuilder, goal: Term) -> None:
+    if isinstance(goal, Var):
+        builder.goals.append(NCall(("call", 1), (builder.var_index(goal),)))
+        return
+    if isinstance(goal, Atom):
+        if goal.name == "true":
+            return
+        builder.goals.append(NCall((goal.name, 0), ()))
+        return
+    if isinstance(goal, Int):
+        raise ValueError("integer cannot be a goal: %r" % (goal,))
+    assert isinstance(goal, Struct)
+    if goal.name == "=" and goal.arity == 2:
+        left, right = goal.args
+        if isinstance(left, Var):
+            builder.unify_with(builder.var_index(left), right)
+            return
+        if isinstance(right, Var):
+            builder.unify_with(builder.var_index(right), left)
+            return
+        index = builder.fresh()
+        builder.unify_with(index, left)
+        builder.unify_with(index, right)
+        return
+    if goal.name == "\\+" and goal.arity == 1 or \
+            goal.name == "not" and goal.arity == 1:
+        # Negation as failure binds nothing on success: abstractly a test.
+        builder.goals.append(NCall(("\\+", 1),
+                                   (builder.term_to_var(goal.args[0]),)))
+        return
+    args = tuple(builder.term_to_var(a) for a in goal.args)
+    builder.goals.append(NCall((goal.name, goal.arity), args))
+
+
+def normalize_clause(clause: Clause) -> List[NormClause]:
+    """Normalize one source clause (possibly several results, one per
+    disjunctive branch)."""
+    pred = clause.pred
+    results = []
+    for body in _expand_body(list(clause.body)):
+        results.append(_normalize_one(pred, clause.head, body, clause))
+    return results
+
+
+def normalize_program(program: Program) -> NormProgram:
+    """Normalize every clause of ``program``."""
+    norm = NormProgram()
+    for pred in program.order:
+        procedure = NormProcedure(pred)
+        for clause in program.procedures[pred].clauses:
+            procedure.clauses.extend(normalize_clause(clause))
+        norm.procedures[pred] = procedure
+        norm.order.append(pred)
+    return norm

@@ -1,0 +1,124 @@
+"""Program representation: clauses, procedures, programs.
+
+A :class:`Program` groups parsed clauses by predicate indicator
+``(name, arity)`` and keeps directives separately.  The analyser works
+on the *normalized* form produced by :mod:`repro.prolog.normalize`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .operators import OperatorTable
+from .parser import parse_clauses
+from .terms import Atom, Int, Struct, Term, Var, format_term
+
+__all__ = ["PredId", "Clause", "Procedure", "Program", "parse_program"]
+
+PredId = Tuple[str, int]
+
+
+def _split_conjunction(term: Term) -> List[Term]:
+    """Flatten a ','/2 conjunction into a goal list; ``true`` → []."""
+    if isinstance(term, Atom) and term.name == "true":
+        return []
+    if isinstance(term, Struct) and term.name == "," and term.arity == 2:
+        return _split_conjunction(term.args[0]) + \
+            _split_conjunction(term.args[1])
+    return [term]
+
+
+@dataclass
+class Clause:
+    """A source clause ``head :- body`` (body is a goal list)."""
+
+    head: Term
+    body: List[Term]
+
+    @property
+    def pred(self) -> PredId:
+        if isinstance(self.head, Atom):
+            return (self.head.name, 0)
+        if isinstance(self.head, Struct):
+            return (self.head.name, self.head.arity)
+        raise ValueError("clause head is not callable: %r" % (self.head,))
+
+    def __repr__(self) -> str:
+        if not self.body:
+            return format_term(self.head) + "."
+        goals = ", ".join(format_term(g) for g in self.body)
+        return "%s :- %s." % (format_term(self.head), goals)
+
+
+@dataclass
+class Procedure:
+    """All clauses for one predicate, in source order."""
+
+    pred: PredId
+    clauses: List[Clause] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.pred[0]
+
+    @property
+    def arity(self) -> int:
+        return self.pred[1]
+
+
+@dataclass
+class Program:
+    """A Prolog program: procedures plus directives, in source order."""
+
+    procedures: Dict[PredId, Procedure] = field(default_factory=dict)
+    directives: List[Term] = field(default_factory=list)
+    order: List[PredId] = field(default_factory=list)
+
+    def add_clause(self, clause: Clause) -> None:
+        pred = clause.pred
+        if pred not in self.procedures:
+            self.procedures[pred] = Procedure(pred)
+            self.order.append(pred)
+        self.procedures[pred].clauses.append(clause)
+
+    def procedure(self, pred: PredId) -> Optional[Procedure]:
+        return self.procedures.get(pred)
+
+    def defined(self, pred: PredId) -> bool:
+        return pred in self.procedures
+
+    @property
+    def num_procedures(self) -> int:
+        return len(self.procedures)
+
+    @property
+    def num_clauses(self) -> int:
+        return sum(len(p.clauses) for p in self.procedures.values())
+
+    def all_clauses(self) -> List[Clause]:
+        return [c for pid in self.order
+                for c in self.procedures[pid].clauses]
+
+    def __repr__(self) -> str:
+        return "<Program: %d procedures, %d clauses>" % (
+            self.num_procedures, self.num_clauses)
+
+
+def clause_from_term(term: Term) -> Clause:
+    """Interpret a parsed term as a clause (fact or rule)."""
+    if isinstance(term, Struct) and term.name == ":-" and term.arity == 2:
+        return Clause(term.args[0], _split_conjunction(term.args[1]))
+    return Clause(term, [])
+
+
+def parse_program(text: str,
+                  operators: Optional[OperatorTable] = None) -> Program:
+    """Parse Prolog source text into a :class:`Program`."""
+    program = Program()
+    for term in parse_clauses(text, operators):
+        if isinstance(term, Struct) and term.name == ":-" and term.arity == 1:
+            program.directives.append(term.args[0])
+            continue
+        program.add_clause(clause_from_term(term))
+    return program

@@ -1,0 +1,27 @@
+"""The type graph domain (paper §6–§7): grammars, graphs, operations,
+the widening operator, and alternative views (tree automata, monadic
+logic programs)."""
+
+from .grammar import (ANY, INT, Alt, FuncAlt, Grammar, GrammarBuilder,
+                      g_alternatives, g_any, g_atom, g_bottom, g_functor,
+                      g_int, g_int_literal, member, normalize, subgrammar)
+from .ops import (g_equiv, g_intersect, g_is_list, g_le, g_list_of,
+                  g_split, g_union)
+from .widening import g_widen, widening_clashes
+from .graph import TypeGraph, Vertex, to_grammar, treeify
+from .display import grammar_rules, grammar_to_text, parse_rules
+from .views import TreeAutomaton, monadic_text, to_automaton, to_monadic_program
+from .depthbound import depth_bound_join, restrict_depth
+
+__all__ = [
+    "ANY", "INT", "Alt", "FuncAlt", "Grammar", "GrammarBuilder",
+    "g_alternatives", "g_any", "g_atom", "g_bottom", "g_functor",
+    "g_int", "g_int_literal", "member", "normalize", "subgrammar",
+    "g_equiv", "g_intersect", "g_is_list", "g_le", "g_list_of",
+    "g_split", "g_union",
+    "g_widen", "widening_clashes",
+    "TypeGraph", "Vertex", "to_grammar", "treeify",
+    "grammar_rules", "grammar_to_text", "parse_rules",
+    "TreeAutomaton", "monadic_text", "to_automaton", "to_monadic_program",
+    "depth_bound_join", "restrict_depth",
+]

@@ -1,0 +1,200 @@
+"""Rendering type grammars in the paper's rule notation.
+
+``grammar_to_text`` prints, e.g.::
+
+    T ::= [] | cons(Any,T)
+
+with nonterminals named ``T, T1, T2, ...`` in BFS discovery order and
+the list functor ``'.'/2`` displayed as ``cons``, following §2 of the
+paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .grammar import ANY, INT, FuncAlt, Grammar
+
+__all__ = ["grammar_to_text", "grammar_rules", "parse_rules"]
+
+
+def _nt_names(grammar: Grammar) -> Dict[int, str]:
+    order: List[int] = []
+    seen = set()
+    queue = [grammar.root]
+    while queue:
+        nt = queue.pop(0)
+        if nt in seen:
+            continue
+        seen.add(nt)
+        order.append(nt)
+        for alt in sorted(grammar.rules[nt], key=repr):
+            if isinstance(alt, FuncAlt):
+                queue.extend(alt.args)
+    names = {}
+    index = 0
+    for nt in order:
+        if nt != grammar.root and grammar.rules[nt] in (
+                frozenset([ANY]), frozenset([INT])):
+            names[nt] = "<leaf>"  # inlined, never printed
+            continue
+        names[nt] = "T" if index == 0 else "T%d" % index
+        index += 1
+    return names
+
+
+def _functor_display(name: str, arity: int) -> str:
+    if name == "." and arity == 2:
+        return "cons"
+    return name
+
+
+def _alt_text(alt, names: Dict[int, str], grammar: Grammar) -> str:
+    if alt is ANY:
+        return "Any"
+    if alt is INT:
+        return "Integer"
+    assert isinstance(alt, FuncAlt)
+    display = _functor_display(alt.name, alt.arity)
+    if not alt.args:
+        return display
+
+    def arg_text(nt: int) -> str:
+        # Inline leaf nonterminals, as the paper writes cons(Any,T).
+        alts = grammar.rules[nt]
+        if alts == frozenset([ANY]):
+            return "Any"
+        if alts == frozenset([INT]):
+            return "Integer"
+        return names[nt]
+
+    return "%s(%s)" % (display, ",".join(arg_text(a) for a in alt.args))
+
+
+def grammar_rules(grammar: Grammar) -> List[str]:
+    """One ``N ::= alt | alt`` line per reachable nonterminal."""
+    if grammar.is_bottom():
+        return ["T ::= <empty>"]
+    names = _nt_names(grammar)
+
+    def order_key(nt: int) -> int:
+        name = names[nt]
+        if name == "<leaf>":
+            return 1 << 30
+        return 0 if name == "T" else int(name[1:])
+
+    lines = []
+    for nt in sorted(names, key=order_key):
+        alts_set = grammar.rules[nt]
+        if nt != grammar.root and alts_set in (frozenset([ANY]),
+                                               frozenset([INT])):
+            continue  # inlined at use sites
+        alts = sorted(_alt_text(a, names, grammar) for a in alts_set)
+        lines.append("%s ::= %s" % (names[nt], " | ".join(alts)))
+    return lines
+
+
+def grammar_to_text(grammar: Grammar) -> str:
+    return "\n".join(grammar_rules(grammar))
+
+
+def parse_rules(text: str) -> Grammar:
+    """Parse the rule notation back into a grammar — lets tests state
+    expected results exactly as the paper prints them.
+
+    Accepted alternatives: ``Any``, ``Integer``, atoms, integers,
+    ``f(N1,...,Nk)`` where each argument is a nonterminal name, ``Any``
+    or ``Integer``.  ``cons`` means ``'.'/2``; ``nil`` may be written
+    ``[]``.  The first rule's nonterminal is the root.
+    """
+    from .grammar import GrammarBuilder
+
+    builder = GrammarBuilder()
+    nts: Dict[str, int] = {}
+
+    def nt_of(name: str) -> int:
+        if name not in nts:
+            nts[name] = builder.fresh()
+        return nts[name]
+
+    def arg_nt(token: str) -> int:
+        token = token.strip()
+        if token == "Any":
+            fresh = builder.fresh()
+            builder.add(fresh, ANY)
+            return fresh
+        if token == "Integer":
+            fresh = builder.fresh()
+            builder.add(fresh, INT)
+            return fresh
+        return nt_of(token)
+
+    root_name = None
+    for line in text.strip().splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        lhs, rhs = line.split("::=")
+        lhs = lhs.strip()
+        if root_name is None:
+            root_name = lhs
+        nt = nt_of(lhs)
+        for alt_text in _split_alts(rhs):
+            alt_text = alt_text.strip()
+            if alt_text == "Any":
+                builder.add(nt, ANY)
+            elif alt_text == "Integer":
+                builder.add(nt, INT)
+            elif "(" in alt_text:
+                name, _, rest = alt_text.partition("(")
+                args = _split_args(rest.rstrip().rstrip(")"))
+                name = name.strip().strip("'")
+                if name == "cons":
+                    name = "."
+                builder.add(nt, FuncAlt(
+                    name, tuple(arg_nt(a) for a in args)))
+            else:
+                name = alt_text
+                if name.lstrip("-").isdigit():
+                    builder.add(nt, FuncAlt(name, (), True))
+                else:
+                    if name == "nil":
+                        name = "[]"
+                    builder.add(nt, FuncAlt(name.strip("'")))
+        if lhs != root_name and not builder._rules[nt]:
+            raise ValueError("empty rule for %s" % lhs)
+    assert root_name is not None, "no rules given"
+    return builder.finish(nts[root_name])
+
+
+def _split_alts(text: str) -> List[str]:
+    """Split on top-level '|' (no parens nesting of '|' expected)."""
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "|" and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return parts
+
+
+def _split_args(text: str) -> List[str]:
+    parts, depth, current = [], 0, []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    parts.append("".join(current))
+    return [p for p in (x.strip() for x in parts) if p]

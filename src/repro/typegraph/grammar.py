@@ -1,0 +1,455 @@
+"""Deterministic regular tree grammars — the canonical form of types.
+
+A :class:`Grammar` is the paper's type graph in grammar clothing
+(§6.7): a set of rules ``N -> alt | alt | ...`` where an alternative is
+
+* :data:`ANY` — any term (the paper's any-vertex),
+* :data:`INT` — any integer (the "more types can be added easily"
+  extension of §6.1; integer literals are nullary functors with
+  ``literal <= INT`` subtyping),
+* :class:`FuncAlt` — ``f(N1, ..., Nk)``.
+
+Invariants maintained by :func:`normalize` (the grammar-side image of
+the paper's cosmetic + principal-functor restrictions, §6.4–6.5):
+
+* **Any absorption** (Isolated-Any): ``ANY`` never coexists with other
+  alternatives.
+* **Int absorption**: ``INT`` absorbs integer-literal alternatives.
+* **Principal functor restriction**: at most one alternative per
+  functor key, so grammars are deterministic top-down tree automata.
+* Empty alternatives/nonterminals are pruned, unreachable nonterminals
+  dropped, bisimilar nonterminals merged, and everything renumbered in
+  BFS order — so structurally equal grammars compare equal with ``==``.
+
+The widening (§7) does *not* live here; it works on the tree+back-edge
+view in :mod:`repro.typegraph.graph`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..prolog.terms import Atom, Int, Struct, Term, Var
+
+__all__ = [
+    "ANY", "INT", "FuncAlt", "Alt", "Grammar", "GrammarBuilder",
+    "normalize", "g_any", "g_bottom", "g_int",
+    "g_atom", "g_int_literal", "g_functor", "g_alternatives",
+    "nonempty_nonterminals", "member", "pf_of",
+]
+
+
+class _AnyAlt:
+    """The alternative recognizing every term (including variables)."""
+
+    __slots__ = ()
+    _instance: Optional["_AnyAlt"] = None
+
+    def __new__(cls) -> "_AnyAlt":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Any"
+
+
+class _IntAlt:
+    """The alternative recognizing every integer."""
+
+    __slots__ = ()
+    _instance: Optional["_IntAlt"] = None
+
+    def __new__(cls) -> "_IntAlt":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "Integer"
+
+
+ANY = _AnyAlt()
+INT = _IntAlt()
+
+
+@dataclass(frozen=True)
+class FuncAlt:
+    """Alternative ``name(args...)``; ``is_int`` marks integer literals
+    (then arity is 0 and ``name`` is the decimal text)."""
+
+    name: str
+    args: Tuple[int, ...] = ()
+    is_int: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    @property
+    def fkey(self) -> Tuple[str, str, int]:
+        """Functor identity: (kind, name, arity)."""
+        return ("i" if self.is_int else "f", self.name, len(self.args))
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.name
+        return "%s(%s)" % (self.name, ",".join("N%d" % a for a in self.args))
+
+
+Alt = object  # union of _AnyAlt | _IntAlt | FuncAlt
+INT_FKEY = ("I", "$integer", 0)
+
+
+def _alt_sort_key(alt: Alt) -> tuple:
+    if alt is ANY:
+        return (0, "", 0)
+    if alt is INT:
+        return (1, "", 0)
+    assert isinstance(alt, FuncAlt)
+    return (2,) + alt.fkey
+
+
+class Grammar:
+    """An immutable, normalized tree grammar.  Construct through the
+    ``g_*`` helpers, :class:`GrammarBuilder`, or the operations in
+    :mod:`repro.typegraph.ops` — never by mutating ``rules``."""
+
+    __slots__ = ("rules", "root", "_hash")
+
+    def __init__(self, rules: Dict[int, FrozenSet[Alt]], root: int) -> None:
+        self.rules = rules
+        self.root = root
+        self._hash: Optional[int] = None
+
+    def alts(self, nt: int) -> FrozenSet[Alt]:
+        return self.rules[nt]
+
+    @property
+    def root_alts(self) -> FrozenSet[Alt]:
+        return self.rules[self.root]
+
+    def is_bottom(self) -> bool:
+        """Does this grammar denote the empty set of terms?"""
+        return not self.rules[self.root]
+
+    def is_any(self) -> bool:
+        return ANY in self.rules[self.root]
+
+    def num_nonterminals(self) -> int:
+        return len(self.rules)
+
+    def size(self) -> int:
+        """Vertices + edges of the corresponding type graph, the measure
+        used by the widening termination argument (§6.3)."""
+        vertices = len(self.rules)
+        edges = 0
+        for alts in self.rules.values():
+            for alt in alts:
+                vertices += 1
+                edges += 1  # or-vertex -> alternative
+                if isinstance(alt, FuncAlt):
+                    edges += len(alt.args)
+        return vertices + edges
+
+    def pf(self, nt: Optional[int] = None) -> FrozenSet[Tuple[str, str, int]]:
+        """Principal-functor set of a nonterminal (§6.3); ANY yields
+        the empty set, as for the paper's any-vertices."""
+        alts = self.rules[self.root if nt is None else nt]
+        keys = []
+        for alt in alts:
+            if alt is INT:
+                keys.append(INT_FKEY)
+            elif isinstance(alt, FuncAlt):
+                keys.append(alt.fkey)
+        return frozenset(keys)
+
+    def _key(self) -> tuple:
+        return (self.root,
+                tuple(sorted((nt, tuple(sorted(alts, key=_alt_sort_key)))
+                             for nt, alts in self.rules.items())))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Grammar):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        if self._hash is None:
+            def freeze(x):
+                if isinstance(x, tuple):
+                    return tuple(freeze(i) for i in x)
+                if isinstance(x, FuncAlt):
+                    return ("F",) + x.fkey + (x.args,)
+                if x is ANY:
+                    return "ANY"
+                if x is INT:
+                    return "INT"
+                return x
+            self._hash = hash(freeze(self._key()))
+        return self._hash
+
+    def __repr__(self) -> str:
+        from .display import grammar_to_text
+        return grammar_to_text(self)
+
+
+class GrammarBuilder:
+    """Mutable staging area for constructing grammars."""
+
+    def __init__(self) -> None:
+        self._rules: Dict[int, List[Alt]] = {}
+        self._next = 0
+
+    def fresh(self) -> int:
+        nt = self._next
+        self._next += 1
+        self._rules[nt] = []
+        return nt
+
+    def add(self, nt: int, alt: Alt) -> None:
+        self._rules[nt].append(alt)
+
+    def set_alts(self, nt: int, alts: Iterable[Alt]) -> None:
+        self._rules[nt] = list(alts)
+
+    def finish(self, root: int,
+               max_or_width: Optional[int] = None) -> Grammar:
+        rules = {nt: frozenset(alts) for nt, alts in self._rules.items()}
+        return normalize(Grammar(rules, root), max_or_width)
+
+
+# -- normalization ----------------------------------------------------------
+
+def nonempty_nonterminals(rules: Dict[int, FrozenSet[Alt]]) -> set:
+    """Least fixpoint of "has at least one finite tree"."""
+    nonempty: set = set()
+    changed = True
+    while changed:
+        changed = False
+        for nt, alts in rules.items():
+            if nt in nonempty:
+                continue
+            for alt in alts:
+                if alt is ANY or alt is INT:
+                    nonempty.add(nt)
+                    changed = True
+                    break
+                assert isinstance(alt, FuncAlt)
+                if all(a in nonempty for a in alt.args):
+                    nonempty.add(nt)
+                    changed = True
+                    break
+    return nonempty
+
+
+def _absorb(alts: FrozenSet[Alt]) -> FrozenSet[Alt]:
+    if ANY in alts and len(alts) > 1:
+        return frozenset([ANY])
+    if INT in alts:
+        return frozenset(a for a in alts
+                         if not (isinstance(a, FuncAlt) and a.is_int))
+    return alts
+
+
+def normalize(grammar: Grammar,
+              max_or_width: Optional[int] = None) -> Grammar:
+    """Prune empties, absorb, cap or-width, merge bisimilar
+    nonterminals, renumber in BFS order."""
+    rules = dict(grammar.rules)
+    root = grammar.root
+
+    # 1. prune empty nonterminals and the alternatives mentioning them
+    nonempty = nonempty_nonterminals(rules)
+    pruned: Dict[int, FrozenSet[Alt]] = {}
+    for nt, alts in rules.items():
+        kept = []
+        for alt in alts:
+            if isinstance(alt, FuncAlt) and \
+                    any(a not in nonempty for a in alt.args):
+                continue
+            kept.append(alt)
+        pruned[nt] = _absorb(frozenset(kept))
+
+    # 2. or-width cap: an or-vertex with too many successors becomes Any
+    #    (Table 3's "(5)" and "(2)" restriction, §9)
+    if max_or_width is not None:
+        for nt, alts in pruned.items():
+            if len(alts) > max_or_width:
+                pruned[nt] = frozenset([ANY])
+
+    # 3. merge bisimilar nonterminals by partition refinement: start
+    #    with one class and split by signature until stable.  For
+    #    deterministic grammars bisimilarity implies language equality,
+    #    so merging is sound and keeps graphs small (handles mutually
+    #    recursive copies, not just acyclic sharing).
+    classes: Dict[int, int] = {nt: 0 for nt in pruned}
+    while True:
+        signature_ids: Dict[tuple, int] = {}
+        new_classes: Dict[int, int] = {}
+        for nt in sorted(pruned):
+            sig_alts = []
+            for alt in pruned[nt]:
+                if isinstance(alt, FuncAlt):
+                    sig_alts.append(("F",) + alt.fkey
+                                    + (tuple(classes[a] for a in alt.args),))
+                else:
+                    sig_alts.append(("ANY",) if alt is ANY else ("INT",))
+            sig = (classes[nt],) + tuple(sorted(sig_alts))
+            if sig not in signature_ids:
+                signature_ids[sig] = len(signature_ids)
+            new_classes[nt] = signature_ids[sig]
+        if new_classes == classes:
+            break
+        classes = new_classes
+    # map each class to one representative nonterminal
+    representative: Dict[int, int] = {}
+    for nt in sorted(pruned):
+        representative.setdefault(classes[nt], nt)
+    classes = {nt: representative[cls] for nt, cls in classes.items()}
+
+    merged: Dict[int, FrozenSet[Alt]] = {}
+    for nt in pruned:
+        cls = classes[nt]
+        if cls in merged:
+            continue
+        merged[cls] = frozenset(
+            FuncAlt(a.name, tuple(classes[x] for x in a.args), a.is_int)
+            if isinstance(a, FuncAlt) else a
+            for a in pruned[nt])
+    root = classes[root]
+
+    # 4. BFS renumbering from the root (canonical numbering)
+    numbering: Dict[int, int] = {root: 0}
+    queue = [root]
+    while queue:
+        nt = queue.pop(0)
+        for alt in sorted(merged[nt], key=_alt_sort_key):
+            if isinstance(alt, FuncAlt):
+                for child in alt.args:
+                    if child not in numbering:
+                        numbering[child] = len(numbering)
+                        queue.append(child)
+    final: Dict[int, FrozenSet[Alt]] = {}
+    for nt, number in numbering.items():
+        final[number] = frozenset(
+            FuncAlt(a.name, tuple(numbering[x] for x in a.args), a.is_int)
+            if isinstance(a, FuncAlt) else a
+            for a in merged[nt])
+    return Grammar(final, 0)
+
+
+# -- constructors -----------------------------------------------------------
+
+_G_ANY = Grammar({0: frozenset([ANY])}, 0)
+_G_BOTTOM = Grammar({0: frozenset()}, 0)
+_G_INT = Grammar({0: frozenset([INT])}, 0)
+
+
+def g_any() -> Grammar:
+    """The type of all terms."""
+    return _G_ANY
+
+
+def g_bottom() -> Grammar:
+    """The empty type."""
+    return _G_BOTTOM
+
+
+def g_int() -> Grammar:
+    """The type of all integers."""
+    return _G_INT
+
+
+def g_atom(name: str) -> Grammar:
+    """The singleton type of one atom."""
+    return Grammar({0: frozenset([FuncAlt(name)])}, 0)
+
+
+def g_int_literal(value: int) -> Grammar:
+    """The singleton type of one integer literal."""
+    return Grammar({0: frozenset([FuncAlt(str(value), (), True)])}, 0)
+
+
+def _embed(builder: GrammarBuilder, grammar: Grammar) -> int:
+    """Copy ``grammar`` into ``builder``; return its root nt."""
+    mapping: Dict[int, int] = {}
+
+    def visit(nt: int) -> int:
+        if nt in mapping:
+            return mapping[nt]
+        new = builder.fresh()
+        mapping[nt] = new
+        for alt in grammar.rules[nt]:
+            if isinstance(alt, FuncAlt):
+                builder.add(new, FuncAlt(alt.name,
+                                         tuple(visit(a) for a in alt.args),
+                                         alt.is_int))
+            else:
+                builder.add(new, alt)
+        return new
+
+    return visit(grammar.root)
+
+
+def g_functor(name: str, children: Sequence[Grammar],
+              max_or_width: Optional[int] = None) -> Grammar:
+    """The type ``name(c1, ..., cn)``."""
+    builder = GrammarBuilder()
+    root = builder.fresh()
+    child_nts = tuple(_embed(builder, c) for c in children)
+    builder.add(root, FuncAlt(name, child_nts))
+    return builder.finish(root, max_or_width)
+
+
+def g_alternatives(grammars: Sequence[Grammar],
+                   max_or_width: Optional[int] = None) -> Grammar:
+    """Disjunction of grammars (requires pairwise-distinct principal
+    functors; use :func:`repro.typegraph.ops.g_union` otherwise)."""
+    from .ops import g_union
+    result = g_bottom()
+    for grammar in grammars:
+        result = g_union(result, grammar, max_or_width)
+    return result
+
+
+def subgrammar(grammar: Grammar, nt: int) -> Grammar:
+    """The grammar rooted at nonterminal ``nt``."""
+    if nt == grammar.root:
+        return grammar
+    return normalize(Grammar(grammar.rules, nt))
+
+
+# -- membership -------------------------------------------------------------
+
+def member(term: Term, grammar: Grammar, nt: Optional[int] = None) -> bool:
+    """Is ``term`` in the denotation (§6.2)?  Variables match only ANY
+    (type graphs denote instantiation-closed sets; a free variable is
+    described only by Any — the paper's qsort discussion, §2)."""
+    node = grammar.root if nt is None else nt
+    alts = grammar.rules[node]
+    if ANY in alts:
+        return True
+    if isinstance(term, Var):
+        return False
+    if isinstance(term, Int):
+        if INT in alts:
+            return True
+        return any(isinstance(a, FuncAlt) and a.is_int
+                   and a.name == str(term.value) for a in alts)
+    if isinstance(term, Atom):
+        return any(isinstance(a, FuncAlt) and not a.is_int
+                   and a.name == term.name and not a.args for a in alts)
+    assert isinstance(term, Struct)
+    for alt in alts:
+        if isinstance(alt, FuncAlt) and not alt.is_int \
+                and alt.name == term.name and alt.arity == term.arity:
+            return all(member(sub, grammar, child)
+                       for sub, child in zip(term.args, alt.args))
+    return False
+
+
+def pf_of(grammar: Grammar) -> FrozenSet[Tuple[str, str, int]]:
+    """Principal-functor set of the root."""
+    return grammar.pf()

@@ -1,0 +1,191 @@
+"""Type graphs: the tree + back-edge view of a type grammar.
+
+This is the representation of §6.1 with the cosmetic restrictions of
+§6.4 holding *by construction*:
+
+* **Flip-Flop** — or-vertices alternate with functor/any/int vertices;
+  the root is an or-vertex.
+* **Or-Cycle** — every cycle's initial vertex is an or-vertex (back
+  edges always target or-vertices on the current path).
+* **No-Sharing** — removing the closing edge of every canonical cycle
+  leaves a tree: :func:`treeify` duplicates shared subgraphs and only
+  re-uses a vertex when it is an *ancestor* on the path being built.
+* **Isolated-Any** — guaranteed by grammar normalization (Any
+  absorption).
+
+Because of No-Sharing, each vertex has a unique tree parent and its
+tree depth equals the paper's ``depth`` (length of the shortest path
+from the root).  The widening (§7) manipulates this view and converts
+back with :func:`to_grammar`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from .grammar import (ANY, INT, INT_FKEY, Alt, FuncAlt, Grammar,
+                      GrammarBuilder, _alt_sort_key)
+
+__all__ = ["Vertex", "TypeGraph", "treeify", "to_grammar"]
+
+_TREEIFY_VERTEX_LIMIT = 250000
+
+
+class Vertex:
+    """One type-graph vertex.  ``kind`` is ``or``, ``functor``, ``any``
+    or ``int`` (the latter two are the Any leaf of §6.1 and the Integer
+    extension)."""
+
+    __slots__ = ("kind", "name", "is_int", "successors", "parent", "depth")
+
+    def __init__(self, kind: str, name: str = "",
+                 is_int: bool = False,
+                 parent: Optional["Vertex"] = None) -> None:
+        self.kind = kind
+        self.name = name
+        self.is_int = is_int
+        self.successors: List["Vertex"] = []
+        self.parent = parent
+        self.depth = -1
+
+    @property
+    def fkey(self) -> Tuple[str, str, int]:
+        """Functor identity for pf-set computation."""
+        if self.kind == "int":
+            return INT_FKEY
+        assert self.kind == "functor"
+        return ("i" if self.is_int else "f", self.name,
+                len(self.successors))
+
+    def pf(self) -> FrozenSet[Tuple[str, str, int]]:
+        """Principal-functor set (§6.3): functors of the successors for
+        or-vertices; empty for any-vertices."""
+        if self.kind == "or":
+            return frozenset(s.fkey for s in self.successors
+                             if s.kind in ("functor", "int"))
+        if self.kind in ("functor", "int"):
+            return frozenset([self.fkey])
+        return frozenset()
+
+    def __repr__(self) -> str:
+        if self.kind == "functor":
+            return "<functor %s/%d @%d>" % (self.name,
+                                            len(self.successors), self.depth)
+        return "<%s @%d>" % (self.kind, self.depth)
+
+
+class TypeGraph:
+    """A rooted type graph.  Build with :func:`treeify`."""
+
+    def __init__(self, root: Vertex) -> None:
+        self.root = root
+        self.refresh()
+
+    def refresh(self) -> None:
+        """Recompute depths (tree depth = shortest-path depth, thanks to
+        No-Sharing) after a transformation."""
+        seen = set()
+        queue = [(self.root, 0)]
+        while queue:
+            vertex, depth = queue.pop(0)
+            if id(vertex) in seen:
+                continue
+            seen.add(id(vertex))
+            vertex.depth = depth
+            for successor in vertex.successors:
+                if id(successor) not in seen:
+                    queue.append((successor, depth + 1))
+
+    def vertices(self) -> Iterator[Vertex]:
+        seen = set()
+        queue = [self.root]
+        while queue:
+            vertex = queue.pop(0)
+            if id(vertex) in seen:
+                continue
+            seen.add(id(vertex))
+            yield vertex
+            queue.extend(vertex.successors)
+
+    def size(self) -> int:
+        """Vertices + edges (§6.3)."""
+        vertex_count = 0
+        edge_count = 0
+        for vertex in self.vertices():
+            vertex_count += 1
+            edge_count += len(vertex.successors)
+        return vertex_count + edge_count
+
+    @staticmethod
+    def or_ancestors(vertex: Vertex) -> List[Vertex]:
+        """Or-vertices strictly above ``vertex`` on its tree path,
+        nearest first."""
+        result = []
+        current = vertex.parent
+        while current is not None:
+            if current.kind == "or":
+                result.append(current)
+            current = current.parent
+        return result
+
+
+def treeify(grammar: Grammar) -> TypeGraph:
+    """Unfold a grammar into a type graph satisfying the cosmetic
+    restrictions.  Shared nonterminals are duplicated; a back edge is
+    created only when a nonterminal recurs on the current path."""
+    count = [0]
+
+    def build(nt: int, parent: Optional[Vertex],
+              path: Dict[int, Vertex]) -> Vertex:
+        if nt in path:
+            return path[nt]  # back edge to an ancestor or-vertex
+        count[0] += 1
+        if count[0] > _TREEIFY_VERTEX_LIMIT:
+            raise RecursionError("type graph too large to unfold")
+        vertex = Vertex("or", parent=parent)
+        path[nt] = vertex
+        for alt in sorted(grammar.rules[nt], key=_alt_sort_key):
+            if alt is ANY:
+                vertex.successors.append(Vertex("any", parent=vertex))
+            elif alt is INT:
+                vertex.successors.append(Vertex("int", parent=vertex))
+            else:
+                assert isinstance(alt, FuncAlt)
+                child = Vertex("functor", alt.name, alt.is_int,
+                               parent=vertex)
+                child.successors = [build(a, child, path)
+                                    for a in alt.args]
+                vertex.successors.append(child)
+        del path[nt]
+        return vertex
+
+    return TypeGraph(build(grammar.root, None, {}))
+
+
+def to_grammar(graph: TypeGraph,
+               max_or_width: Optional[int] = None) -> Grammar:
+    """Convert back to a (normalized) grammar.  Vertices no longer
+    reachable from the root are dropped — this is the paper's
+    ``removeUnconnected``."""
+    builder = GrammarBuilder()
+    nts: Dict[int, int] = {}
+
+    def or_nt(vertex: Vertex) -> int:
+        key = id(vertex)
+        if key in nts:
+            return nts[key]
+        nt = builder.fresh()
+        nts[key] = nt
+        for successor in vertex.successors:
+            if successor.kind == "any":
+                builder.add(nt, ANY)
+            elif successor.kind == "int":
+                builder.add(nt, INT)
+            else:
+                assert successor.kind == "functor"
+                children = tuple(or_nt(c) for c in successor.successors)
+                builder.add(nt, FuncAlt(successor.name, children,
+                                        successor.is_int))
+        return nt
+
+    return builder.finish(or_nt(graph.root), max_or_width)

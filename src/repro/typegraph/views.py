@@ -1,0 +1,142 @@
+"""Alternative views of type graphs (paper §6.7–§6.8).
+
+* :func:`to_automaton` — the deterministic top-down tree automaton a
+  grammar corresponds to (states = nonterminals, transitions = rules);
+* :func:`to_monadic_program` — the monadic logic program whose success
+  set is the denotation.  The generated program runs on the package's
+  own SLD interpreter, which gives an executable cross-check of
+  membership (used by the property tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..prolog.program import Clause, Program
+from ..prolog.terms import Atom, Int, Struct, Term, Var
+from .grammar import ANY, INT, FuncAlt, Grammar
+
+__all__ = ["TreeAutomaton", "to_automaton", "to_monadic_program",
+           "monadic_text"]
+
+
+@dataclass
+class TreeAutomaton:
+    """A top-down tree automaton with an ``any`` pseudo-state.
+
+    ``transitions[state]`` maps functor keys ``(kind, name, arity)`` to
+    child-state tuples.  The ``any``/``int`` flags mark states
+    accepting every term / every integer.
+    """
+
+    initial: int
+    transitions: Dict[int, Dict[Tuple[str, str, int], Tuple[int, ...]]] = \
+        field(default_factory=dict)
+    any_states: FrozenSet[int] = frozenset()
+    int_states: FrozenSet[int] = frozenset()
+
+    @property
+    def num_states(self) -> int:
+        return len(self.transitions)
+
+    def is_deterministic(self) -> bool:
+        """Always true for grammars obeying the principal functor
+        restriction (§6.7: deterministic top-down automata)."""
+        return all(len(set(t)) == len(t) for t in self.transitions.values())
+
+    def accepts(self, term: Term, state: Optional[int] = None) -> bool:
+        state = self.initial if state is None else state
+        if state in self.any_states:
+            return True
+        if isinstance(term, Var):
+            return False
+        if isinstance(term, Int):
+            if state in self.int_states:
+                return True
+            key = ("i", str(term.value), 0)
+            return key in self.transitions.get(state, {})
+        if isinstance(term, Atom):
+            return ("f", term.name, 0) in self.transitions.get(state, {})
+        assert isinstance(term, Struct)
+        children = self.transitions.get(state, {}).get(
+            ("f", term.name, term.arity))
+        if children is None:
+            return False
+        return all(self.accepts(sub, child)
+                   for sub, child in zip(term.args, children))
+
+
+def to_automaton(grammar: Grammar) -> TreeAutomaton:
+    """The automaton view: one state per nonterminal."""
+    transitions: Dict[int, Dict[Tuple[str, str, int], Tuple[int, ...]]] = {}
+    any_states = set()
+    int_states = set()
+    for nt, alts in grammar.rules.items():
+        transitions[nt] = {}
+        for alt in alts:
+            if alt is ANY:
+                any_states.add(nt)
+            elif alt is INT:
+                int_states.add(nt)
+            else:
+                assert isinstance(alt, FuncAlt)
+                transitions[nt][alt.fkey] = alt.args
+    return TreeAutomaton(grammar.root, transitions,
+                         frozenset(any_states), frozenset(int_states))
+
+
+def _pred_name(nt: int) -> str:
+    return "t%d" % nt
+
+
+def to_monadic_program(grammar: Grammar,
+                       entry: str = "accept") -> Program:
+    """The monadic logic program of §6.8.
+
+    One procedure per nonterminal; ``any/1`` always succeeds;
+    integers are tested with ``integer/1``.  The ``entry/1`` predicate
+    recognizes exactly the denotation (modulo the interpreter's
+    bounds).
+    """
+    program = Program()
+    x = Var("X")
+    program.add_clause(Clause(Struct(entry, (x,)),
+                              [Struct(_pred_name(grammar.root), (x,))]))
+    program.add_clause(Clause(Struct("any", (x,)), []))
+    needs_any = False
+    for nt in sorted(grammar.rules):
+        head_var = Var("X")
+        pred = _pred_name(nt)
+        for alt in sorted(grammar.rules[nt], key=repr):
+            if alt is ANY:
+                program.add_clause(Clause(Struct(pred, (head_var,)),
+                                          [Struct("any", (head_var,))]))
+                needs_any = True
+            elif alt is INT:
+                program.add_clause(Clause(
+                    Struct(pred, (head_var,)),
+                    [Struct("integer", (head_var,))]))
+            elif isinstance(alt, FuncAlt) and alt.is_int:
+                program.add_clause(Clause(
+                    Struct(pred, (Int(int(alt.name)),)), []))
+            else:
+                assert isinstance(alt, FuncAlt)
+                if not alt.args:
+                    program.add_clause(Clause(
+                        Struct(pred, (Atom(alt.name),)), []))
+                else:
+                    arg_vars = tuple(Var("X%d" % i)
+                                     for i in range(len(alt.args)))
+                    head = Struct(pred, (Struct(alt.name, arg_vars),))
+                    body = [Struct(_pred_name(child), (v,))
+                            for v, child in zip(arg_vars, alt.args)]
+                    program.add_clause(Clause(head, body))
+    del needs_any
+    return program
+
+
+def monadic_text(grammar: Grammar, entry: str = "accept") -> str:
+    """The monadic program as Prolog source text."""
+    program = to_monadic_program(grammar, entry)
+    return "\n".join(repr(clause) for clause in program.all_clauses())

@@ -1,0 +1,282 @@
+"""The widening operator on type graphs (§7) — the paper's key
+technical contribution.
+
+``g_widen(g_old, g_new)`` implements Definition 7.6::
+
+    go V gn = go                      if gn <= go
+              widen(go, go U gn)     otherwise
+
+``widen`` repeatedly applies the two transformation rules until no
+widening clash can be resolved:
+
+* **cycle introduction** (TRi, Definition 7.4): when a corresponding
+  or-vertex of ``gn`` has grown w.r.t. ``go`` and has an ancestor
+  ``va`` with ``va >= vn``, the tree edge into ``vn`` is redirected to
+  ``va`` — the append example turning ``[] | cons(Any, [] | ...)`` into
+  ``T ::= [] | cons(Any, T)``;
+
+* **vertex replacement** (TRr, Definition 7.5): when the candidate
+  ancestor is *not* an upper bound of the clashing vertex, it is
+  replaced by an upper bound of both, accepted only if the graph
+  shrinks (otherwise the ancestor becomes Any, which always shrinks).
+
+When neither rule applies the graph is allowed to grow — that growth
+adds a new pf-set along the branch, which is what makes the whole
+operator a widening (Theorem 7.1).
+
+A step budget acts as an engineering safety net; on overflow we fall
+back to the or-width-1 cap (a finite subdomain), preserving soundness
+and termination of the enclosing fixpoint.
+
+``g_widen`` also implements the extension the paper's conclusion
+proposes: an optional **type database** consulted when a vertex must be
+replaced — instead of collapsing a clashing region to Any, the smallest
+database type covering it is grafted (e.g. "list of Any" for an
+overgrown list region).  See :func:`g_widen`'s ``type_database``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Dict, List, Optional, Tuple
+
+from .grammar import Grammar, normalize
+from .graph import TypeGraph, Vertex, to_grammar, treeify
+from .ops import g_le, g_union
+
+__all__ = ["g_widen", "widening_clashes"]
+
+_MAX_WIDEN_STEPS = 400
+
+
+def _vertex_grammars(graph: TypeGraph) -> Tuple[Grammar, Dict[int, int]]:
+    """The grammar of ``graph`` plus the or-vertex -> nonterminal map,
+    *without* normalization (so the map stays valid)."""
+    from .grammar import GrammarBuilder, ANY, INT, FuncAlt
+
+    builder = GrammarBuilder()
+    nts: Dict[int, int] = {}
+
+    def or_nt(vertex: Vertex) -> int:
+        key = id(vertex)
+        if key in nts:
+            return nts[key]
+        nt = builder.fresh()
+        nts[key] = nt
+        for successor in vertex.successors:
+            if successor.kind == "any":
+                builder.add(nt, ANY)
+            elif successor.kind == "int":
+                builder.add(nt, INT)
+            else:
+                children = tuple(or_nt(c) for c in successor.successors)
+                builder.add(nt, FuncAlt(successor.name, children,
+                                        successor.is_int))
+        return nt
+
+    root = or_nt(graph.root)
+    rules = {nt: frozenset(alts) for nt, alts in builder._rules.items()}
+    return Grammar(rules, root), nts
+
+
+def _vertex_le(raw: Grammar, nts: Dict[int, int],
+               v1: Vertex, v2: Vertex) -> bool:
+    """Denotation inclusion between two or-vertices of the same graph."""
+    g1 = Grammar(raw.rules, nts[id(v1)])
+    g2 = Grammar(raw.rules, nts[id(v2)])
+    return g_le(g1, g2)
+
+
+def widening_clashes(g_old: TypeGraph,
+                     g_new: TypeGraph) -> List[Tuple[Vertex, Vertex]]:
+    """Widening clashes WTC(go, gn) (Definition 7.3), in BFS discovery
+    order of the correspondence set (Definition 7.1)."""
+    clashes: List[Tuple[Vertex, Vertex]] = []
+    seen = set()
+    queue: List[Tuple[Vertex, Vertex]] = [(g_old.root, g_new.root)]
+    while queue:
+        vo, vn = queue.pop(0)
+        key = (id(vo), id(vn))
+        if key in seen:
+            continue
+        seen.add(key)
+        if vo.kind == "or" and vn.kind == "or":
+            same_depth = vo.depth == vn.depth
+            same_pf = vo.pf() == vn.pf()
+            if same_depth and same_pf:
+                # align successors by functor key (sorted identically)
+                so = sorted(vo.successors, key=lambda v: (v.kind, v.name,
+                                                          len(v.successors)))
+                sn = sorted(vn.successors, key=lambda v: (v.kind, v.name,
+                                                          len(v.successors)))
+                queue.extend(zip(so, sn))
+            else:
+                # topological clash; keep it if it is a widening clash
+                pf_o, pf_n = vo.pf(), vn.pf()
+                if pf_n and ((pf_o != pf_n and same_depth)
+                             or vo.depth < vn.depth):
+                    clashes.append((vo, vn))
+        elif vo.kind == "functor" and vn.kind == "functor":
+            queue.extend(zip(vo.successors, vn.successors))
+        # any/int leaf pairs and mixed pairs: nothing to descend into
+    return clashes
+
+
+def _try_cycle_introduction(graph_new: TypeGraph, raw: Grammar,
+                            nts: Dict[int, int],
+                            clashes: List[Tuple[Vertex, Vertex]],
+                            strict: bool) -> Optional[Grammar]:
+    """Apply TRi (Definition 7.4) to the first eligible clash; the
+    ancestor search is nearest-first.
+
+    In gentle mode the ancestor must have the *same* pf-set as the
+    clashing vertex, not merely a superset: cycling a vertex into a
+    strictly richer ancestor is what "mixes the definitions of T, T1
+    and T2" in the AR1 example (§2) — growth is preferred until the
+    structure has stabilized.  Strict mode uses the paper's subset
+    condition.
+    """
+    for vo, vn in clashes:
+        if vn.parent is None:
+            continue  # the root has no ancestors
+        for va in TypeGraph.or_ancestors(vn):
+            # Need depth(vo) >= depth(va); Proposition 7.2's proof covers
+            # the depth(va) = depth(vo) case, so the bound is not strict.
+            if va.depth > vo.depth:
+                continue
+            if strict:
+                if not vn.pf() <= va.pf():
+                    continue  # quick filter implied by va >= vn
+            elif vn.pf() != va.pf():
+                continue
+            if not _vertex_le(raw, nts, vn, va):
+                continue
+            parent = vn.parent
+            parent.successors = [va if s is vn else s
+                                 for s in parent.successors]
+            return to_grammar(graph_new)
+    return None
+
+
+def _try_replacement(graph_new: TypeGraph, raw: Grammar,
+                     nts: Dict[int, int],
+                     clashes: List[Tuple[Vertex, Vertex]],
+                     current: Grammar,
+                     max_or_width: Optional[int],
+                     strict: bool,
+                     type_database: Optional[List[Grammar]] = None
+                     ) -> Optional[Grammar]:
+    """Apply TRr (Definition 7.5) to the first eligible clash.
+
+    In gentle mode (``strict=False``) only the precise
+    upper-bound-graft variant is attempted; if it does not shrink the
+    graph the clash is left unresolved and the graph is allowed to grow
+    — "postponing the widening until the structure of the type appears
+    clearly" (§2).  In strict mode the Any fallback guarantees a size
+    decrease, which Theorem 7.1's termination argument needs.
+    """
+    from .grammar import ANY
+
+    current_size = current.size()
+    for vo, vn in clashes:
+        for va in TypeGraph.or_ancestors(vn):
+            if va.depth > vo.depth:
+                continue  # need depth(vo) >= depth(va)
+            if not (vn.pf() <= va.pf() or vo.depth < vn.depth):
+                continue
+            if _vertex_le(raw, nts, vn, va):
+                continue  # CI territory, not CR
+            nt_va, nt_vn = nts[id(va)], nts[id(vn)]
+            # Precise attempt: upper bound of va and vn grafted at va.
+            upper = g_union(Grammar(raw.rules, nt_va),
+                            Grammar(raw.rules, nt_vn), max_or_width)
+            grafted = _graft(raw, nt_va, upper)
+            candidate = normalize(grafted, max_or_width)
+            if candidate.size() < current_size:
+                return candidate
+            # Type-database fallback (§10's proposed extension): graft
+            # the smallest database type covering both vertices.
+            if type_database:
+                for db_type in sorted(type_database,
+                                      key=lambda g: g.size()):
+                    if not g_le(upper, db_type):
+                        continue
+                    candidate = normalize(_graft(raw, nt_va, db_type),
+                                          max_or_width)
+                    if candidate.size() < current_size:
+                        return candidate
+                    break
+            if not strict:
+                continue
+            # Fallback: va becomes Any — always shrinks.
+            rules = dict(raw.rules)
+            rules[nt_va] = frozenset([ANY])
+            candidate = normalize(Grammar(rules, raw.root), max_or_width)
+            if candidate.size() < current_size:
+                return candidate
+    return None
+
+
+def _graft(base: Grammar, target_nt: int, replacement: Grammar) -> Grammar:
+    """A grammar equal to ``base`` except that ``target_nt`` now derives
+    what ``replacement`` derives (replaceVertex's edge surgery)."""
+    from .grammar import ANY, INT, FuncAlt
+
+    rules = {}
+    offset = max(base.rules) + 1
+
+    def shift(alt):
+        if isinstance(alt, FuncAlt):
+            return FuncAlt(alt.name,
+                           tuple(a + offset for a in alt.args), alt.is_int)
+        return alt
+
+    for nt, alts in replacement.rules.items():
+        rules[nt + offset] = frozenset(shift(a) for a in alts)
+    for nt, alts in base.rules.items():
+        if nt == target_nt:
+            rules[nt] = rules[replacement.root + offset]
+        else:
+            rules[nt] = alts
+    return Grammar(rules, base.root)
+
+
+def g_widen(g_old: Grammar, g_new: Grammar,
+            max_or_width: Optional[int] = None,
+            strict: bool = True,
+            type_database: Optional[List[Grammar]] = None) -> Grammar:
+    """``g_old V g_new`` (Definition 7.6).
+
+    ``strict=False`` skips the destructive replacement fallback (see
+    :func:`_try_replacement`); callers using gentle mode must escalate
+    to strict eventually to guarantee stabilization.
+
+    ``type_database`` (§10's extension) supplies well-known types
+    (e.g. list of Any, character codes) to graft instead of Any when a
+    replacement must shrink the graph.
+    """
+    if g_new.is_bottom() or g_le(g_new, g_old):
+        return g_old
+    gn = g_union(g_old, g_new, max_or_width)
+    if g_old.is_bottom():
+        return gn
+
+    graph_old = treeify(g_old)
+    for _ in range(_MAX_WIDEN_STEPS):
+        graph_new = treeify(gn)
+        raw, nts = _vertex_grammars(graph_new)
+        clashes = widening_clashes(graph_old, graph_new)
+        if not clashes:
+            return gn
+        result = _try_cycle_introduction(graph_new, raw, nts, clashes,
+                                         strict)
+        if result is None:
+            result = _try_replacement(graph_new, raw, nts, clashes, gn,
+                                      max_or_width, strict, type_database)
+        if result is None:
+            return gn
+        gn = normalize(result, max_or_width)
+
+    warnings.warn("widening step budget exceeded; collapsing to the "
+                  "or-width-1 subdomain", RuntimeWarning)
+    return normalize(gn, 1)

@@ -1,0 +1,36 @@
+"""Shared fixtures and helpers for the test suite."""
+
+import pytest
+
+from repro.domains.leaf import TrivialLeafDomain, TypeLeafDomain
+
+
+@pytest.fixture
+def type_domain():
+    return TypeLeafDomain()
+
+
+@pytest.fixture
+def trivial_domain():
+    return TrivialLeafDomain()
+
+
+APPEND = """
+append([], X, X).
+append([F|T], S, [F|R]) :- append(T, S, R).
+"""
+
+NREVERSE = APPEND + """
+nreverse([], []).
+nreverse([F|T], Res) :- nreverse(T, Trev), append(Trev, [F], Res).
+"""
+
+
+@pytest.fixture
+def append_source():
+    return APPEND
+
+
+@pytest.fixture
+def nreverse_source():
+    return NREVERSE

@@ -1,0 +1,106 @@
+"""Tests for the high-level analysis API (repro.analyze)."""
+
+import pytest
+
+from repro import AnalysisConfig, TypeAnalysis, analyze, parse_program
+from repro.analysis.analyzer import make_input_pattern
+from repro.domains.leaf import TrivialLeafDomain, TypeLeafDomain
+from repro.domains.pattern import PAT_BOTTOM
+from repro.typegraph import g_equiv, g_le, g_list_of, g_any, parse_rules
+
+
+class TestAnalyzeEntry:
+    def test_accepts_source_text(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        assert isinstance(analysis, TypeAnalysis)
+
+    def test_accepts_program_object(self, nreverse_source):
+        program = parse_program(nreverse_source)
+        analysis = analyze(program, ("nreverse", 2))
+        assert analysis.output is not PAT_BOTTOM
+
+    def test_wall_time_recorded(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        assert analysis.wall_time > 0
+
+    def test_input_types_arity_checked(self, nreverse_source):
+        with pytest.raises(ValueError):
+            analyze(nreverse_source, ("nreverse", 2),
+                    input_types=["list"])
+
+    def test_list_input_pattern(self, append_source):
+        analysis = analyze(append_source, ("append", 3),
+                           input_types=["list", "list", "any"])
+        g = analysis.output_grammar(2)
+        assert g_equiv(g, g_list_of(g_any()))
+
+    def test_custom_grammar_input(self, append_source):
+        elem_list = g_list_of(parse_rules("T ::= a | b"))
+        analysis = analyze(append_source, ("append", 3),
+                           input_types=[elem_list, elem_list, "any"])
+        g = analysis.output_grammar(2)
+        assert g_equiv(g, elem_list)
+
+
+class TestOutputs:
+    def test_output_grammar_per_argument(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        expected = parse_rules("T ::= [] | cons(Any,T)")
+        assert g_equiv(analysis.output_grammar(0), expected)
+        assert g_equiv(analysis.output_grammar(1), expected)
+
+    def test_output_grammar_other_pred(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        g = analysis.output_grammar(0, pred=("append", 3))
+        assert g_le(g, g_list_of(g_any()))
+
+    def test_grammar_text_rendering(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        text = analysis.grammar_text()
+        assert text.startswith("nreverse/2:")
+        assert "cons(Any,T)" in text
+
+    def test_analyzed_predicates(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        preds = analysis.analyzed_predicates()
+        assert ("nreverse", 2) in preds
+        assert ("append", 3) in preds
+
+    def test_tags_consistency(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        out_tags = analysis.output_tags()
+        assert out_tags[("nreverse", 2)] == ["LI", "LI"]
+        in_tags = analysis.input_tags()
+        assert in_tags[("nreverse", 2)] == [None, None]
+
+
+class TestDomainsAndConfig:
+    def test_baseline_domain(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2),
+                           baseline=True)
+        assert isinstance(analysis.domain, TrivialLeafDomain)
+        with pytest.raises(TypeError):
+            analysis.output_grammar(0)
+
+    def test_or_width_flows_to_domain(self, nreverse_source):
+        config = AnalysisConfig(max_or_width=5)
+        analysis = analyze(nreverse_source, ("nreverse", 2),
+                           config=config)
+        assert isinstance(analysis.domain, TypeLeafDomain)
+        assert analysis.domain.max_or_width == 5
+
+    def test_make_input_pattern_shapes(self):
+        domain = TypeLeafDomain()
+        subst = make_input_pattern(domain, ["any", "list", "int",
+                                            "codes"])
+        assert subst.nvars == 4
+        values = [subst.nodes[subst.sv[k]].value for k in range(4)]
+        assert values[0].is_any()
+        assert g_equiv(values[1], g_list_of(g_any()))
+
+    def test_make_input_pattern_baseline_ignores_types(self):
+        domain = TrivialLeafDomain()
+        subst = make_input_pattern(domain, ["list", "int"])
+        from repro.domains.leaf import TOP
+        assert all(subst.nodes[subst.sv[k]].value is TOP
+                   for k in range(2))

@@ -1,0 +1,142 @@
+"""Spot checks of the *types* inferred on the benchmark programs —
+each workload must produce a meaningful (non-Any, non-bottom) grammar
+for the positions its domain semantics dictate."""
+
+import pytest
+
+from repro import AnalysisConfig, analyze
+from repro.benchprogs import benchmark
+from repro.domains.pattern import PAT_BOTTOM, value_of
+from repro.typegraph import (g_any, g_equiv, g_is_list, g_le, g_list_of,
+                             g_split, parse_rules)
+
+
+def analysis_for(name, **config):
+    bp = benchmark(name)
+    return analyze(bp.source, bp.query, input_types=bp.input_types,
+                   config=AnalysisConfig(**config))
+
+
+def out_grammar(analysis, arg, pred=None):
+    if pred is None:
+        subst = analysis.output
+    else:
+        subst = analysis.result.collapsed_for(pred)[1]
+    assert subst is not PAT_BOTTOM
+    return value_of(subst, subst.sv[arg], analysis.domain, {})
+
+
+class TestQueens:
+    def test_safe_argument_is_list(self):
+        analysis = analysis_for("QU")
+        g = out_grammar(analysis, 0, pred=("safe", 1))
+        assert g_is_list(g)
+
+    def test_second_argument_is_list(self):
+        analysis = analysis_for("QU")
+        assert g_is_list(out_grammar(analysis, 1))
+
+
+class TestArithmetic:
+    def test_ar_result_lists(self):
+        analysis = analysis_for("AR")
+        assert g_is_list(out_grammar(analysis, 1))
+
+    def test_ar1_expression_layers(self):
+        analysis = analysis_for("AR1")
+        g = out_grammar(analysis, 0)
+        # the mult layer under '+' must not contain '+' itself
+        pieces = g_split(g, "+", 2)
+        assert pieces is not None
+        right = pieces[1]
+        assert g_split(right, "+", 2) is None
+
+
+class TestKalah:
+    def test_board_structure_inferred(self):
+        analysis = analysis_for("KA")
+        collapsed = analysis.result.collapsed_for(("swap_sides", 2))
+        if collapsed is None:
+            pytest.skip("swap_sides unreachable in this configuration")
+        beta_in, _ = collapsed
+        g = value_of(beta_in, beta_in.sv[0], analysis.domain, {})
+        pieces = g_split(g, "board", 4)
+        assert pieces is not None
+
+    def test_value_output_integerish(self):
+        analysis = analysis_for("KA")
+        collapsed = analysis.result.collapsed_for(("value", 2))
+        if collapsed is None:
+            pytest.skip("value unreachable")
+        _, beta_out = collapsed
+        assert beta_out is not PAT_BOTTOM
+        g = value_of(beta_out, beta_out.sv[1], analysis.domain, {})
+        from repro.typegraph import g_int
+        assert g_le(g, g_int())
+
+
+class TestScheduling:
+    def test_schedule_entries_typed(self):
+        analysis = analysis_for("DS")
+        g = out_grammar(analysis, 1)
+        # the schedule is a list of start(Name, Start, Dur) records
+        assert g_le(g, g_list_of(g_any()))
+        pieces = g_split(g, ".", 2)
+        assert pieces is not None
+        entry = pieces[0]
+        assert g_split(entry, "start", 3) is not None
+
+
+class TestCutstock:
+    def test_configs_are_config_lists(self):
+        analysis = analysis_for("CS")
+        g = out_grammar(analysis, 1)
+        assert g_le(g, g_list_of(g_any()))
+        pieces = g_split(g, ".", 2)
+        if pieces is not None:
+            assert g_split(pieces[0], "config", 2) is not None
+
+
+class TestPress:
+    def test_solution_is_equation(self):
+        analysis = analysis_for("PR")
+        g = out_grammar(analysis, 2)
+        assert not g.is_bottom()
+        assert g_split(g, "=", 2) is not None
+
+
+class TestPeephole:
+    def test_output_instruction_list(self):
+        analysis = analysis_for("LPE")
+        g = out_grammar(analysis, 1)
+        assert g_is_list(g)
+
+
+class TestBrowse:
+    def test_counter_is_integer(self):
+        analysis = analysis_for("BR")
+        from repro.typegraph import g_int
+        g = out_grammar(analysis, 0)
+        assert g_le(g, g_int())
+
+
+class TestPlanner:
+    def test_plan_is_action_list(self):
+        analysis = analysis_for("PL")
+        g = out_grammar(analysis, 2)
+        assert g_is_list(g)
+        pieces = g_split(g, ".", 2)
+        if pieces is not None:
+            action = pieces[0]
+            keys = {alt.name for alt in action.root_alts
+                    if hasattr(alt, "name")}
+            assert keys <= {"to_place", "to_block"}
+
+
+class TestReaderCapped:
+    def test_tokens_are_lists_with_cap(self):
+        analysis = analysis_for("RE", max_or_width=2)
+        collapsed = analysis.result.collapsed_for(("read_tokens", 2))
+        assert collapsed is not None
+        _, beta_out = collapsed
+        assert beta_out is not PAT_BOTTOM

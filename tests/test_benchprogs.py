@@ -1,0 +1,122 @@
+"""Integration tests over the §9 benchmark suite: every program
+parses, normalizes, analyzes to a non-trivial result, and its metrics
+have the paper's shape."""
+
+import pytest
+
+from repro import AnalysisConfig, analyze, parse_program
+from repro.analysis import build_callgraph, program_metrics, \
+    recursion_summary
+from repro.benchprogs import BENCHMARKS, benchmark, benchmark_names
+from repro.domains.pattern import PAT_BOTTOM
+from repro.prolog import normalize_program
+
+FAST = ["QU", "PG", "PE", "AR", "AR1", "PL", "PR"]
+
+
+class TestRegistry:
+    def test_all_fifteen_workloads(self):
+        assert len(BENCHMARKS) == 15
+        assert set(benchmark_names()) == set(BENCHMARKS)
+
+    def test_lookup_case_insensitive(self):
+        assert benchmark("ka") is benchmark("KA")
+
+    def test_variants_share_source(self):
+        assert benchmark("LDS").source == benchmark("DS").source
+        assert benchmark("LDS").input_types is not None
+
+
+@pytest.mark.parametrize("name", benchmark_names())
+class TestParsing:
+    def test_parses(self, name):
+        program = parse_program(benchmark(name).source)
+        assert program.num_clauses > 0
+
+    def test_normalizes(self, name):
+        program = parse_program(benchmark(name).source)
+        norm = normalize_program(program)
+        assert norm.num_clauses >= program.num_clauses
+
+    def test_query_predicate_defined(self, name):
+        bp = benchmark(name)
+        program = parse_program(bp.source)
+        assert program.defined(bp.query)
+
+
+@pytest.mark.parametrize("name", FAST)
+class TestAnalysis:
+    def test_analyzes_without_unknowns(self, name):
+        bp = benchmark(name)
+        analysis = analyze(bp.source, bp.query,
+                           input_types=bp.input_types)
+        assert analysis.result.unknown_predicates == []
+
+    def test_output_not_bottom(self, name):
+        bp = benchmark(name)
+        analysis = analyze(bp.source, bp.query,
+                           input_types=bp.input_types)
+        assert analysis.output is not PAT_BOTTOM
+
+    def test_baseline_also_runs(self, name):
+        bp = benchmark(name)
+        analysis = analyze(bp.source, bp.query,
+                           input_types=bp.input_types, baseline=True)
+        assert analysis.output is not PAT_BOTTOM
+
+
+class TestPaperShape:
+    """Qualitative Table 1/2/3 claims."""
+
+    def test_queens_exact_size(self):
+        m = program_metrics(parse_program(benchmark("QU").source))
+        assert (m.procedures, m.clauses) == (5, 9)
+
+    def test_pe_is_clause_heavy(self):
+        m = program_metrics(parse_program(benchmark("PE").source))
+        assert m.clauses > 5 * m.procedures
+
+    def test_re_and_pr_are_mutually_recursive(self):
+        for name in ("RE", "PR"):
+            graph = build_callgraph(parse_program(benchmark(name).source))
+            summary = recursion_summary(graph)
+            assert summary.mutually_recursive > 0, name
+
+    def test_qu_has_no_mutual_recursion(self):
+        graph = build_callgraph(parse_program(benchmark("QU").source))
+        assert recursion_summary(graph).mutually_recursive == 0
+
+    def test_majority_nonrecursive_in_kalah(self):
+        graph = build_callgraph(parse_program(benchmark("KA").source))
+        summary = recursion_summary(graph)
+        total = sum(summary.as_row())
+        assert summary.non_recursive >= total / 3
+
+    def test_or_cap_speeds_up_or_equals_iterations(self):
+        bp = benchmark("PG")
+        full = analyze(bp.source, bp.query)
+        capped = analyze(bp.source, bp.query,
+                         config=AnalysisConfig(max_or_width=2))
+        assert capped.stats.procedure_iterations <= \
+            full.stats.procedure_iterations * 1.5
+
+
+@pytest.mark.slow
+class TestSlowBenchmarks:
+    """The remaining suite members (seconds each)."""
+
+    @pytest.mark.parametrize("name", ["KA", "CS", "DS", "BR", "LDS",
+                                      "LPE", "LPL"])
+    def test_analyzes(self, name):
+        bp = benchmark(name)
+        analysis = analyze(bp.source, bp.query,
+                           input_types=bp.input_types)
+        assert analysis.output is not PAT_BOTTOM
+        assert analysis.result.unknown_predicates == []
+
+    def test_re_analyzes_with_or_cap(self):
+        bp = benchmark("RE")
+        analysis = analyze(bp.source, bp.query,
+                           input_types=bp.input_types,
+                           config=AnalysisConfig(max_or_width=2))
+        assert analysis.output is not PAT_BOTTOM

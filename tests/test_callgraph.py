@@ -1,0 +1,144 @@
+"""Unit tests for call-graph analysis and the Table 1/2 metrics."""
+
+import pytest
+
+from repro.analysis.callgraph import (build_callgraph, classify_procedures,
+                                      program_metrics, recursion_summary)
+from repro.prolog.program import parse_program
+
+
+class TestCallGraph:
+    def test_edges(self):
+        p = parse_program("a :- b, c. b :- c. c.")
+        g = build_callgraph(p)
+        assert g.callees(("a", 0)) == {("b", 0), ("c", 0)}
+        assert g.callees(("c", 0)) == set()
+
+    def test_builtins_not_in_edges(self):
+        p = parse_program("a(X) :- X is 1, b(X). b(X).")
+        g = build_callgraph(p)
+        assert g.callees(("a", 1)) == {("b", 1)}
+        # but builtins are counted as goal occurrences
+        assert ("is", 2) in g.clause_calls[("a", 1)][0]
+
+    def test_goals_inside_disjunction_counted(self):
+        p = parse_program("a :- (b ; c, d).")
+        g = build_callgraph(p)
+        assert g.callees(("a", 0)) == set()  # b,c,d undefined
+        assert len(g.clause_calls[("a", 0)][0]) == 3
+
+    def test_sccs_mutual(self):
+        p = parse_program("""
+        even(z).
+        even(s(X)) :- odd(X).
+        odd(s(X)) :- even(X).
+        main :- even(s(z)).
+        """)
+        g = build_callgraph(p)
+        assert g.same_scc(("even", 1), ("odd", 1))
+        assert not g.same_scc(("main", 0), ("even", 1))
+
+    def test_reachability(self):
+        p = parse_program("a :- b. b. c :- d. d.")
+        g = build_callgraph(p)
+        assert g.reachable_from([("a", 0)]) == {("a", 0), ("b", 0)}
+
+
+class TestClassification:
+    def test_non_recursive(self):
+        p = parse_program("a :- b. b.")
+        classes = classify_procedures(build_callgraph(p))
+        assert classes[("a", 0)] == "non"
+        assert classes[("b", 0)] == "non"
+
+    def test_tail_recursive(self):
+        p = parse_program("""
+        walk([]).
+        walk([X|Xs]) :- use(X), walk(Xs).
+        use(_).
+        """)
+        classes = classify_procedures(build_callgraph(p))
+        assert classes[("walk", 1)] == "tail"
+
+    def test_locally_recursive_nonterminal_call(self):
+        p = parse_program("""
+        rev([], []).
+        rev([X|Xs], R) :- rev(Xs, R1), last(R1, X, R).
+        last(A, B, C).
+        """)
+        classes = classify_procedures(build_callgraph(p))
+        assert classes[("rev", 2)] == "local"
+
+    def test_locally_recursive_two_calls(self):
+        p = parse_program("""
+        fib(0, 0). fib(1, 1).
+        fib(N, F) :- fib(A, B), fib(C, D).
+        """)
+        classes = classify_procedures(build_callgraph(p))
+        assert classes[("fib", 2)] == "local"
+
+    def test_mutually_recursive(self):
+        p = parse_program("""
+        a(X) :- b(X).
+        b(X) :- a(X).
+        """)
+        classes = classify_procedures(build_callgraph(p))
+        assert classes[("a", 1)] == "mutual"
+        assert classes[("b", 1)] == "mutual"
+
+    def test_summary_counts(self):
+        p = parse_program("""
+        t([]). t([X|Xs]) :- t(Xs).
+        l(0). l(N) :- l(A), l(B).
+        m1 :- m2. m2 :- m1.
+        n.
+        """)
+        summary = recursion_summary(build_callgraph(p))
+        assert summary.as_row() == (1, 1, 2, 1)
+
+
+class TestMetrics:
+    def test_queens_matches_paper_exactly(self):
+        """Table 1's QU row: 5 procedures, 9 clauses."""
+        from repro.benchprogs import benchmark
+        p = parse_program(benchmark("QU").source)
+        m = program_metrics(p)
+        assert m.procedures == 5
+        assert m.clauses == 9
+
+    def test_goals_count(self):
+        p = parse_program("a :- b, c. b :- write(x). c.")
+        m = program_metrics(p)
+        assert m.goals == 3
+
+    def test_static_call_tree_removes_recursion(self):
+        p = parse_program("""
+        main :- walk.
+        walk :- step, walk.
+        step.
+        """)
+        m = program_metrics(p, entry_points=[("main", 0)])
+        # main->walk and walk->step count; walk->walk does not
+        assert m.static_call_tree == 2
+
+    def test_entry_point_restriction(self):
+        p = parse_program("""
+        main :- a.
+        a.
+        unreached :- a.
+        """)
+        all_m = program_metrics(p)
+        some_m = program_metrics(p, entry_points=[("main", 0)])
+        assert some_m.static_call_tree < all_m.static_call_tree
+
+    def test_benchmark_sizes_have_paper_shape(self):
+        """RE/PE/PR are the big ones, QU/PG the small ones (Table 1)."""
+        from repro.benchprogs import benchmark
+        sizes = {}
+        for name in ("QU", "PG", "PE", "PR", "RE"):
+            p = parse_program(benchmark(name).source)
+            sizes[name] = program_metrics(p).clauses
+        assert sizes["QU"] < sizes["PG"] < sizes["RE"]
+        assert sizes["QU"] < sizes["PR"]
+        assert max(sizes.values()) == max(sizes["PE"], sizes["PR"],
+                                          sizes["RE"])

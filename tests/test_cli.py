@@ -1,0 +1,73 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_benchmark_mode(capsys):
+    assert main(["--benchmark", "QU"]) == 0
+    out = capsys.readouterr().out
+    assert "queens/2:" in out
+    assert "procedure iterations" in out
+
+
+def test_file_mode(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    source.write_text("""
+        app([], X, X).
+        app([F|T], S, [F|R]) :- app(T, S, R).
+    """)
+    assert main([str(source), "app/3"]) == 0
+    out = capsys.readouterr().out
+    assert "app/3:" in out
+    assert "cons(Any,T)" in out
+
+
+def test_input_types_flag(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    source.write_text("id(X, X).")
+    assert main([str(source), "id/2", "--input", "list,any"]) == 0
+    out = capsys.readouterr().out
+    assert "cons" in out
+
+
+def test_tags_flag(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    source.write_text("p([]).")
+    assert main([str(source), "p/1", "--tags"]) == 0
+    out = capsys.readouterr().out
+    assert "output tags" in out
+    assert "NI" in out
+
+
+def test_baseline_flag(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    source.write_text("p([]).")
+    assert main([str(source), "p/1", "--baseline"]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out
+
+
+def test_or_width_flag(capsys):
+    assert main(["--benchmark", "PG", "--or-width", "2"]) == 0
+
+
+def test_all_predicates_flag(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    source.write_text("p(X) :- q(X). q(a).")
+    assert main([str(source), "p/1", "--all-predicates"]) == 0
+    out = capsys.readouterr().out
+    assert "q/1:" in out
+
+
+def test_bad_query_format(tmp_path):
+    source = tmp_path / "prog.pl"
+    source.write_text("p(a).")
+    with pytest.raises(SystemExit):
+        main([str(source), "noarity"])
+
+
+def test_missing_arguments():
+    with pytest.raises(SystemExit):
+        main([])

@@ -1,0 +1,131 @@
+"""Tests for the Bruynooghe/Janssens finite subdomain (§7's
+alternative to the widening) and the ablation claim of §10."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro import analyze
+from repro.domains.leaf import DepthBoundLeafDomain
+from repro.domains.pattern import value_of
+from repro.typegraph import (depth_bound_join, g_any, g_atom, g_equiv,
+                             g_functor, g_le, g_list_of, g_union,
+                             parse_rules, restrict_depth)
+from repro.typegraph.depthbound import path_functor_depth
+
+NESTED = """
+T ::= [] | cons(T1,T)
+T1 ::= [] | cons(T2,T1)
+T2 ::= a | b
+"""
+
+
+class TestRestrictDepth:
+    def test_flat_list_survives_k1(self):
+        lst = g_list_of(g_any())
+        assert g_equiv(restrict_depth(lst, 1), lst)
+
+    def test_over_approximation(self):
+        nested = parse_rules(NESTED)
+        for k in (1, 2, 3):
+            assert g_le(nested, restrict_depth(nested, k))
+
+    def test_nested_lists_mix_at_k1(self):
+        """§10: merging same-functor types 'makes it impossible to
+        handle nested structures with the same functors'."""
+        nested = parse_rules(NESTED)
+        restricted = restrict_depth(nested, 1)
+        assert not g_equiv(restricted, nested)
+        # the mixed type accepts spine/element confusions
+        from repro.prolog import parse_term
+        from repro.typegraph import member
+        assert member(parse_term("[a]"), restricted)
+        assert member(parse_term("a"), restricted)  # ! spine = element
+
+    def test_k2_preserves_two_levels(self):
+        nested = parse_rules(NESTED)
+        assert g_equiv(restrict_depth(nested, 2), nested)
+
+    def test_result_is_within_bound(self):
+        nested = parse_rules(NESTED)
+        for k in (1, 2):
+            assert path_functor_depth(restrict_depth(nested, k)) <= k
+
+    def test_invalid_bound(self):
+        with pytest.raises(ValueError):
+            restrict_depth(g_any(), 0)
+
+    def test_path_functor_depth(self):
+        assert path_functor_depth(g_list_of(g_any())) == 1
+        assert path_functor_depth(parse_rules(NESTED)) == 2
+        assert path_functor_depth(g_any()) == 0
+
+
+class TestDepthBoundJoin:
+    def test_upper_bound(self):
+        a = g_atom("[]")
+        b = g_functor(".", [g_any(), g_atom("[]")])
+        j = depth_bound_join(a, b, 1)
+        assert g_le(a, j) and g_le(b, j)
+
+    def test_list_chain_converges_without_widening(self):
+        current = g_atom("[]")
+        for _ in range(6):
+            new = depth_bound_join(
+                current, g_functor(".", [g_any(), current]), 1)
+            if g_equiv(new, current):
+                break
+            current = new
+        else:
+            pytest.fail("depth-bound chain did not converge")
+        assert g_equiv(current, g_list_of(g_any()))
+
+    def test_finite_domain_chains_always_converge(self):
+        # arbitrary growth: the subdomain is finite per signature
+        current = g_atom("z")
+        for step in range(40):
+            new = depth_bound_join(
+                current, g_functor("s", [current]), 1)
+            if g_equiv(new, current):
+                return
+            current = new
+        pytest.fail("chain exceeded the finite-domain bound")
+
+
+class TestEndToEndAblation:
+    FIG1 = """
+    llist([]).
+    llist([F|T]) :- list(F), llist(T).
+    list([]).
+    list([F|T]) :- p(F), list(T).
+    p(a). p(b).
+    reverse(X,Y) :- reverse(X,[],Y).
+    reverse([],X,X).
+    reverse([F|T],Acc,Res) :- reverse(T,[F|Acc],Res).
+    get(Res) :- llist(X), reverse(X,Res).
+    """
+    EXACT = parse_rules(NESTED)
+
+    def test_widening_beats_depth_bound_on_figure1(self):
+        """The paper's motivation for the widening, measured."""
+        widened = analyze(self.FIG1, ("get", 1))
+        bounded = analyze(self.FIG1, ("get", 1),
+                          domain=DepthBoundLeafDomain(1))
+        g_widened = value_of(widened.output, widened.output.sv[0],
+                             widened.domain, {})
+        g_bounded = value_of(bounded.output, bounded.output.sv[0],
+                             bounded.domain, {})
+        # the widening is exact; the finite subdomain mixes the levels
+        assert g_equiv(g_widened, self.EXACT)
+        assert not g_equiv(g_bounded, self.EXACT)
+        # but both are sound
+        assert g_le(g_widened, g_bounded)
+
+    def test_depth_bound_agrees_on_flat_lists(self, nreverse_source):
+        widened = analyze(nreverse_source, ("nreverse", 2))
+        bounded = analyze(nreverse_source, ("nreverse", 2),
+                          domain=DepthBoundLeafDomain(1))
+        expected = g_list_of(g_any())
+        for analysis in (widened, bounded):
+            g = value_of(analysis.output, analysis.output.sv[0],
+                         analysis.domain, {})
+            assert g_equiv(g, expected)

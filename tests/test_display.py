@@ -1,0 +1,95 @@
+"""Tests for grammar display and the rule-notation parser."""
+
+import pytest
+
+from repro.typegraph import (g_any, g_atom, g_bottom, g_equiv, g_functor,
+                             g_int, g_int_literal, g_list_of, g_union,
+                             parse_rules)
+from repro.typegraph.display import grammar_rules, grammar_to_text
+
+
+class TestRendering:
+    def test_any(self):
+        assert grammar_to_text(g_any()) == "T ::= Any"
+
+    def test_integer(self):
+        assert grammar_to_text(g_int()) == "T ::= Integer"
+
+    def test_int_literal(self):
+        assert grammar_to_text(g_int_literal(7)) == "T ::= 7"
+
+    def test_alternatives_sorted(self):
+        g = g_union(g_atom("b"), g_atom("a"))
+        assert grammar_to_text(g) == "T ::= a | b"
+
+    def test_cons_displayed(self):
+        assert "cons(Any,T)" in grammar_to_text(g_list_of(g_any()))
+
+    def test_leaf_inlining(self):
+        g = g_functor("f", [g_any(), g_int()])
+        assert grammar_to_text(g) == "T ::= f(Any,Integer)"
+
+    def test_shared_nonterminal_named(self):
+        ab = g_union(g_atom("a"), g_atom("b"))
+        g = g_functor("f", [ab, ab])
+        text = grammar_to_text(g)
+        assert "f(T1,T1)" in text
+        assert "T1 ::= a | b" in text
+
+    def test_numbering_stable_above_ten(self):
+        # many distinct child types: T10 must sort after T2
+        children = [g_union(g_atom("a%d" % i), g_atom("b%d" % i))
+                    for i in range(12)]
+        g = g_functor("f", children[:6])
+        lines = grammar_rules(g)
+        assert lines[0].startswith("T ::=")
+        names = [line.split()[0] for line in lines[1:]]
+        assert names == sorted(names, key=lambda n: int(n[1:]))
+
+
+class TestParseRules:
+    def test_simple(self):
+        g = parse_rules("T ::= a | b")
+        assert g_equiv(g, g_union(g_atom("a"), g_atom("b")))
+
+    def test_recursive(self):
+        g = parse_rules("T ::= [] | cons(Any,T)")
+        assert g_equiv(g, g_list_of(g_any()))
+
+    def test_integer_keyword(self):
+        assert g_equiv(parse_rules("T ::= Integer"), g_int())
+
+    def test_int_literal(self):
+        assert g_equiv(parse_rules("T ::= 42"), g_int_literal(42))
+
+    def test_negative_literal(self):
+        assert g_equiv(parse_rules("T ::= -3"), g_int_literal(-3))
+
+    def test_multiple_nonterminals(self):
+        g = parse_rules("""
+        T ::= f(T1)
+        T1 ::= a
+        """)
+        assert g_equiv(g, g_functor("f", [g_atom("a")]))
+
+    def test_comments_and_blanks(self):
+        g = parse_rules("""
+        # the list type
+        T ::= [] | cons(Any,T)
+
+        """)
+        assert g_equiv(g, g_list_of(g_any()))
+
+    def test_nil_spelling(self):
+        assert g_equiv(parse_rules("T ::= nil"), g_atom("[]"))
+
+    def test_roundtrip_complex(self):
+        g = parse_rules("""
+        T ::= 0 | '+'(T,T1)
+        T1 ::= 1 | '*'(T1,T2)
+        T2 ::= cst(Any) | par(T) | var(Any)
+        """)
+        assert g_equiv(parse_rules(grammar_to_text(g)), g)
+
+    def test_bottom_rendering(self):
+        assert grammar_rules(g_bottom()) == ["T ::= <empty>"]

@@ -1,0 +1,32 @@
+"""Smoke tests: every shipped example runs to completion."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+
+FAST = [p for p in EXAMPLES if p.name != "paper_benchmarks.py"]
+
+
+@pytest.mark.parametrize("script", FAST, ids=lambda p: p.name)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_paper_benchmarks_subset():
+    script = pathlib.Path(__file__).parent.parent / "examples" / \
+        "paper_benchmarks.py"
+    result = subprocess.run(
+        [sys.executable, str(script), "QU", "AR"],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr
+    assert "QU" in result.stdout
+    assert "cons" in result.stdout

@@ -1,0 +1,161 @@
+"""Unit tests for type grammars: construction, normalization,
+membership, display."""
+
+import pytest
+
+from repro.prolog.parser import parse_term
+from repro.typegraph import (ANY, INT, FuncAlt, Grammar, GrammarBuilder,
+                             g_any, g_atom, g_bottom, g_functor, g_int,
+                             g_int_literal, g_list_of, member, normalize,
+                             parse_rules)
+from repro.typegraph.display import grammar_rules, grammar_to_text
+
+
+class TestConstructors:
+    def test_any_is_any(self):
+        assert g_any().is_any()
+        assert not g_any().is_bottom()
+
+    def test_bottom_is_bottom(self):
+        assert g_bottom().is_bottom()
+        assert not g_bottom().is_any()
+
+    def test_atom_grammar(self):
+        g = g_atom("foo")
+        assert member(parse_term("foo"), g)
+        assert not member(parse_term("bar"), g)
+
+    def test_int_literal(self):
+        g = g_int_literal(3)
+        assert member(parse_term("3"), g)
+        assert not member(parse_term("4"), g)
+        assert not member(parse_term("'3'"), g)  # the quoted atom differs
+
+    def test_int_supertype(self):
+        g = g_int()
+        assert member(parse_term("3"), g)
+        assert member(parse_term("-17"), g)
+        assert not member(parse_term("a"), g)
+
+    def test_functor_grammar(self):
+        g = g_functor("f", [g_atom("a"), g_any()])
+        assert member(parse_term("f(a, whatever(1))"), g)
+        assert not member(parse_term("f(b, c)"), g)
+        assert not member(parse_term("g(a, b)"), g)
+
+
+class TestMembership:
+    def test_list_of_any(self):
+        lst = g_list_of(g_any())
+        assert member(parse_term("[]"), lst)
+        assert member(parse_term("[a,b,c]"), lst)
+        assert member(parse_term("[[a],[b]]"), lst)
+        assert not member(parse_term("a"), lst)
+
+    def test_open_list_not_member(self):
+        # a list with a variable tail is only described by Any (§2 qsort)
+        lst = g_list_of(g_any())
+        assert not member(parse_term("[a|T]"), lst)
+
+    def test_variable_only_in_any(self):
+        from repro.prolog.terms import Var
+        assert member(Var("X"), g_any())
+        assert not member(Var("X"), g_atom("a"))
+
+    def test_recursive_grammar(self):
+        g = parse_rules("T ::= 0 | s(T)")
+        assert member(parse_term("s(s(0))"), g)
+        assert not member(parse_term("s(s(1))"), g)
+
+
+class TestNormalization:
+    def test_any_absorption(self):
+        builder = GrammarBuilder()
+        root = builder.fresh()
+        builder.add(root, ANY)
+        builder.add(root, FuncAlt("a"))
+        g = builder.finish(root)
+        assert g.is_any()
+
+    def test_int_absorbs_literals(self):
+        builder = GrammarBuilder()
+        root = builder.fresh()
+        builder.add(root, INT)
+        builder.add(root, FuncAlt("3", (), True))
+        g = builder.finish(root)
+        assert g.root_alts == frozenset([INT])
+
+    def test_empty_pruning(self):
+        # T ::= f(U); U has no productions -> T is empty
+        builder = GrammarBuilder()
+        root = builder.fresh()
+        empty = builder.fresh()
+        builder.add(root, FuncAlt("f", (empty,)))
+        g = builder.finish(root)
+        assert g.is_bottom()
+
+    def test_infinite_only_type_is_empty(self):
+        # T ::= f(T) with no base case denotes no finite tree
+        builder = GrammarBuilder()
+        root = builder.fresh()
+        builder.add(root, FuncAlt("f", (root,)))
+        g = builder.finish(root)
+        assert g.is_bottom()
+
+    def test_bisimilar_merge(self):
+        # two copies of the same list type collapse to one nonterminal
+        builder = GrammarBuilder()
+        a, b, e = builder.fresh(), builder.fresh(), builder.fresh()
+        builder.add(e, ANY)
+        builder.add(a, FuncAlt("[]"))
+        builder.add(a, FuncAlt(".", (e, b)))
+        builder.add(b, FuncAlt("[]"))
+        builder.add(b, FuncAlt(".", (e, a)))
+        g = builder.finish(a)
+        assert g.num_nonterminals() == 2  # list + Any leaf
+
+    def test_canonical_equality(self):
+        g1 = g_list_of(g_any())
+        g2 = g_list_of(g_any())
+        assert g1 == g2
+        assert hash(g1) == hash(g2)
+
+    def test_or_width_cap(self):
+        g = parse_rules("T ::= a | b | c | d")
+        capped = normalize(g, 2)
+        assert capped.is_any()
+        uncapped = normalize(g, 4)
+        assert not uncapped.is_any()
+
+
+class TestSize:
+    def test_size_counts_vertices_and_edges(self):
+        assert g_atom("a").size() < g_list_of(g_any()).size()
+
+    def test_pf_sets(self):
+        g = parse_rules("T ::= [] | cons(Any,T)")
+        assert g.pf() == frozenset([("f", "[]", 0), ("f", ".", 2)])
+        assert g_any().pf() == frozenset()
+        assert g_int().pf() == frozenset([("I", "$integer", 0)])
+
+
+class TestDisplay:
+    def test_list_display(self):
+        assert grammar_to_text(g_list_of(g_any())) == \
+            "T ::= [] | cons(Any,T)"
+
+    def test_bottom_display(self):
+        assert grammar_rules(g_bottom()) == ["T ::= <empty>"]
+
+    def test_parse_rules_roundtrip(self):
+        text = """
+        T ::= [] | cons(T1,T)
+        T1 ::= a | b | Integer
+        """
+        g = parse_rules(text)
+        reparsed = parse_rules(grammar_to_text(g))
+        assert g == reparsed
+
+    def test_parse_rules_quoted_functor(self):
+        g = parse_rules("T ::= 0 | '+'(T,T)")
+        assert member(parse_term("0 + 0"), g)

@@ -1,0 +1,116 @@
+"""Contract tests for the leaf domains (the R parameter of Pat(R))."""
+
+import pytest
+
+from repro.domains.leaf import (DepthBoundLeafDomain, TOP,
+                                TrivialLeafDomain, TypeLeafDomain)
+from repro.typegraph import (g_any, g_atom, g_equiv, g_functor, g_int,
+                             g_le, g_list_of, g_union)
+
+DOMAINS = [TypeLeafDomain(), TypeLeafDomain(max_or_width=2),
+           DepthBoundLeafDomain(1), TrivialLeafDomain()]
+
+
+@pytest.mark.parametrize("domain", DOMAINS,
+                         ids=lambda d: d.name + str(getattr(d, "k", "")))
+class TestContracts:
+    def test_top_is_top(self, domain):
+        assert domain.is_top(domain.top())
+
+    def test_meet_with_top_is_identity_le(self, domain):
+        value = domain.top()
+        met = domain.meet(value, domain.top())
+        assert met is not None
+        assert domain.le(met, value)
+
+    def test_join_upper_bound(self, domain):
+        a, b = domain.top(), domain.top()
+        j = domain.join(a, b)
+        assert domain.le(a, j) and domain.le(b, j)
+
+    def test_widen_upper_bound(self, domain):
+        a, b = domain.top(), domain.top()
+        w = domain.widen(a, b)
+        assert domain.le(a, w)
+
+    def test_split_top_never_fails(self, domain):
+        pieces = domain.split(domain.top(), "f", 3, False)
+        assert pieces is not None
+        assert len(pieces) == 3
+
+    def test_from_functor_constructs(self, domain):
+        value = domain.from_functor("f", False,
+                                    [domain.top(), domain.top()])
+        assert value is not None
+
+    def test_display_is_text(self, domain):
+        assert isinstance(domain.display(domain.top()), str)
+
+
+class TestTypeDomainSpecifics:
+    D = TypeLeafDomain()
+
+    def test_meet_is_intersection(self):
+        met = self.D.meet(g_union(g_atom("a"), g_atom("b")),
+                          g_union(g_atom("b"), g_atom("c")))
+        assert g_equiv(met, g_atom("b"))
+
+    def test_meet_bottom_is_none(self):
+        assert self.D.meet(g_atom("a"), g_atom("b")) is None
+
+    def test_split_matches_functor(self):
+        pieces = self.D.split(g_functor("f", [g_int()]), "f", 1, False)
+        assert g_equiv(pieces[0], g_int())
+
+    def test_split_mismatch_is_none(self):
+        assert self.D.split(g_atom("a"), "f", 1, False) is None
+
+    def test_le_tree(self):
+        lst = g_list_of(g_any())
+        assert self.D.le_tree(
+            g_functor(".", [g_atom("x"), g_atom("[]")]),
+            ".", False, [g_any(), lst])
+
+    def test_or_width_flows_through_join(self):
+        capped = TypeLeafDomain(max_or_width=2)
+        wide = capped.join(g_union(g_atom("a"), g_atom("b")),
+                           g_union(g_atom("c"), g_atom("d")))
+        assert wide.is_any()
+
+    def test_int_type_helper(self):
+        assert g_equiv(self.D.int_type(), g_int())
+
+
+class TestTrivialDomainSpecifics:
+    D = TrivialLeafDomain()
+
+    def test_single_value(self):
+        assert self.D.top() is TOP
+        assert self.D.meet(TOP, TOP) is TOP
+        assert self.D.join(TOP, TOP) is TOP
+        assert self.D.widen(TOP, TOP) is TOP
+
+    def test_le_always_true(self):
+        assert self.D.le(TOP, TOP)
+
+    def test_le_tree_always_false(self):
+        assert not self.D.le_tree(TOP, "f", False, [TOP])
+
+    def test_from_functor_discards(self):
+        assert self.D.from_functor("f", False, [TOP]) is TOP
+
+
+class TestDepthBoundSpecifics:
+    def test_join_stays_in_subdomain(self):
+        from repro.typegraph.depthbound import path_functor_depth
+        domain = DepthBoundLeafDomain(1)
+        nested = domain.join(
+            g_list_of(g_list_of(g_atom("a"))),
+            g_atom("[]"))
+        assert path_functor_depth(nested) <= 1
+
+    def test_widen_equals_join(self):
+        domain = DepthBoundLeafDomain(1)
+        a = g_atom("[]")
+        b = g_functor(".", [g_any(), g_atom("[]")])
+        assert g_equiv(domain.widen(a, b), domain.join(a, b))

@@ -1,0 +1,124 @@
+"""Unit tests for kernel normalization."""
+
+import pytest
+
+from repro.prolog.normalize import (NBuild, NCall, NUnify, normalize_clause,
+                                    normalize_program)
+from repro.prolog.program import clause_from_term, parse_program
+from repro.prolog.parser import parse_term
+
+
+def norm_one(text):
+    clause = clause_from_term(parse_term(text))
+    results = normalize_clause(clause)
+    assert len(results) == 1
+    return results[0]
+
+
+class TestHeads:
+    def test_fact_head_variables(self):
+        nc = norm_one("p(X, Y)")
+        assert nc.pred == ("p", 2)
+        assert nc.nvars == 2
+        assert nc.body == []
+
+    def test_repeated_head_variable(self):
+        nc = norm_one("p(X, X)")
+        assert nc.body == [NUnify(1, 0)]
+
+    def test_head_structure_flattening(self):
+        nc = norm_one("p(f(X))")
+        assert nc.body[0] == NBuild(0, "f", (1,))
+
+    def test_head_atom_argument(self):
+        nc = norm_one("p(a)")
+        assert nc.body == [NBuild(0, "a", ())]
+
+    def test_head_integer_argument(self):
+        nc = norm_one("p(3)")
+        assert nc.body == [NBuild(0, "3", (), True)]
+
+    def test_list_head(self):
+        nc = norm_one("p([F|T])")
+        assert nc.body[0] == NBuild(0, ".", (1, 2))
+
+
+class TestBodies:
+    def test_call_with_variables(self):
+        nc = norm_one("p(X) :- q(X)")
+        assert nc.body == [NCall(("q", 1), (0,))]
+
+    def test_call_with_structure_argument(self):
+        nc = norm_one("p(X) :- q(f(X))")
+        build = [g for g in nc.body if isinstance(g, NBuild)]
+        call = [g for g in nc.body if isinstance(g, NCall)]
+        assert len(build) == 1 and len(call) == 1
+        assert build[0].name == "f"
+        # the unification happens before the call
+        assert nc.body.index(build[0]) < nc.body.index(call[0])
+
+    def test_explicit_unification_var_term(self):
+        nc = norm_one("p(X) :- X = f(a)")
+        assert isinstance(nc.body[0], NBuild)
+
+    def test_unification_nonvar_nonvar(self):
+        nc = norm_one("p :- f(a) = f(b)")
+        builds = [g for g in nc.body if isinstance(g, NBuild)]
+        assert len(builds) >= 2
+
+    def test_true_removed(self):
+        nc = norm_one("p :- true")
+        assert nc.body == []
+
+    def test_variable_goal_becomes_call(self):
+        nc = norm_one("p(X) :- X")
+        assert nc.body == [NCall(("call", 1), (0,))]
+
+    def test_negation_kept_as_test(self):
+        nc = norm_one("p(X) :- \\+ q(X)")
+        assert any(g.pred == ("\\+", 1) for g in nc.body
+                   if isinstance(g, NCall))
+
+
+class TestDisjunction:
+    def test_disjunction_splits_clause(self):
+        clause = clause_from_term(parse_term("p(X) :- (q(X) ; r(X))"))
+        results = normalize_clause(clause)
+        assert len(results) == 2
+        assert results[0].body == [NCall(("q", 1), (0,))]
+        assert results[1].body == [NCall(("r", 1), (0,))]
+
+    def test_if_then_else(self):
+        clause = clause_from_term(
+            parse_term("p(X) :- (q(X) -> r(X) ; s(X))"))
+        results = normalize_clause(clause)
+        assert len(results) == 2
+        # branch 1 runs the condition then the then-goal
+        assert [g.pred for g in results[0].body] == [("q", 1), ("r", 1)]
+        assert [g.pred for g in results[1].body] == [("s", 1)]
+
+    def test_nested_disjunction(self):
+        clause = clause_from_term(
+            parse_term("p :- (a ; b), (c ; d)"))
+        results = normalize_clause(clause)
+        assert len(results) == 4
+
+
+class TestProgramLevel:
+    def test_head_args_are_first_vars(self, nreverse_source):
+        norm = normalize_program(parse_program(nreverse_source))
+        for pred in norm.order:
+            for clause in norm.procedures[pred].clauses:
+                assert clause.nvars >= clause.pred[1]
+
+    def test_program_points_positive(self, nreverse_source):
+        norm = normalize_program(parse_program(nreverse_source))
+        assert norm.num_program_points() > len(norm.order)
+
+    def test_all_goal_args_are_distinct_vars_per_call(self):
+        norm = normalize_program(parse_program(
+            "p(X) :- q(f(X), g(X, X))."))
+        clause = norm.procedures[("p", 1)].clauses[0]
+        calls = [g for g in clause.body if isinstance(g, NCall)]
+        assert len(calls) == 1
+        assert all(isinstance(a, int) for a in calls[0].args)

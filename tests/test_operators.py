@@ -1,0 +1,74 @@
+"""Unit tests for the operator table."""
+
+import pytest
+
+from repro.prolog.operators import OpDef, OperatorTable, default_operators
+
+
+class TestOpDef:
+    def test_kinds(self):
+        assert OpDef(700, "xfx").is_infix
+        assert OpDef(200, "fy").is_prefix
+        assert OpDef(100, "xf").is_postfix
+        assert not OpDef(700, "xfx").is_prefix
+
+    def test_argument_bounds_xfx(self):
+        op = OpDef(700, "xfx")
+        assert op.left_max() == 699
+        assert op.right_max() == 699
+
+    def test_argument_bounds_yfx(self):
+        op = OpDef(500, "yfx")
+        assert op.left_max() == 500
+        assert op.right_max() == 499
+
+    def test_argument_bounds_xfy(self):
+        op = OpDef(1000, "xfy")
+        assert op.left_max() == 999
+        assert op.right_max() == 1000
+
+
+class TestTable:
+    def test_standard_operators_present(self):
+        table = default_operators()
+        assert table.infix(":-").priority == 1200
+        assert table.prefix(":-").priority == 1200
+        assert table.infix(",").priority == 1000
+        assert table.infix("is").priority == 700
+        assert table.infix("*").priority == 400
+        assert table.prefix("-").priority == 200
+
+    def test_missing_operator(self):
+        table = default_operators()
+        assert table.infix("notanop") is None
+        assert table.prefix("notanop") is None
+        assert not table.is_operator("notanop")
+
+    def test_infix_and_prefix_coexist(self):
+        table = default_operators()
+        assert table.infix("-") is not None
+        assert table.prefix("-") is not None
+
+    def test_add_operator(self):
+        table = default_operators()
+        table.add("===", 700, "xfx")
+        assert table.infix("===").priority == 700
+
+    def test_add_validates_priority(self):
+        table = default_operators()
+        with pytest.raises(ValueError):
+            table.add("bad", 0, "xfx")
+        with pytest.raises(ValueError):
+            table.add("bad", 1300, "xfx")
+
+    def test_add_validates_type(self):
+        table = default_operators()
+        with pytest.raises(ValueError):
+            table.add("bad", 700, "xxx")
+
+    def test_copy_isolation(self):
+        table = default_operators()
+        clone = table.copy()
+        clone.add("===", 700, "xfx")
+        assert table.infix("===") is None
+        assert clone.infix("===") is not None

@@ -1,0 +1,71 @@
+"""Tests for the program representation layer."""
+
+import pytest
+
+from repro.prolog.program import (Clause, Program, clause_from_term,
+                                  parse_program)
+from repro.prolog.parser import parse_term
+from repro.prolog.terms import Atom, Struct, Var
+
+
+class TestClause:
+    def test_fact(self):
+        clause = clause_from_term(parse_term("p(a)"))
+        assert clause.pred == ("p", 1)
+        assert clause.body == []
+
+    def test_rule_body_flattened(self):
+        clause = clause_from_term(parse_term("p :- a, b, c"))
+        assert [g.name for g in clause.body] == ["a", "b", "c"]
+
+    def test_true_body_removed(self):
+        clause = clause_from_term(parse_term("p :- true"))
+        assert clause.body == []
+
+    def test_atom_head(self):
+        clause = clause_from_term(parse_term("main :- run"))
+        assert clause.pred == ("main", 0)
+
+    def test_repr_roundtrips_through_parser(self):
+        clause = clause_from_term(
+            parse_term("app([F|T], S, [F|R]) :- app(T, S, R)"))
+        reparsed = clause_from_term(parse_term(repr(clause).rstrip(".")))
+        assert reparsed.pred == clause.pred
+        assert len(reparsed.body) == len(clause.body)
+
+
+class TestProgram:
+    def test_procedures_grouped(self):
+        program = parse_program("p(a). q(b). p(c).")
+        assert program.num_procedures == 2
+        assert len(program.procedure(("p", 1)).clauses) == 2
+
+    def test_clause_order_preserved(self):
+        program = parse_program("p(1). p(2). p(3).")
+        values = [c.head.args[0].value
+                  for c in program.procedure(("p", 1)).clauses]
+        assert values == [1, 2, 3]
+
+    def test_directives_separated(self):
+        program = parse_program(":- dynamic(foo). p(a).")
+        assert len(program.directives) == 1
+        assert program.num_clauses == 1
+
+    def test_defined(self):
+        program = parse_program("p(a).")
+        assert program.defined(("p", 1))
+        assert not program.defined(("p", 2))
+        assert not program.defined(("q", 1))
+
+    def test_all_clauses_in_order(self):
+        program = parse_program("a. b. a2 :- a.")
+        preds = [c.pred for c in program.all_clauses()]
+        assert preds == [("a", 0), ("b", 0), ("a2", 0)]
+
+    def test_same_name_different_arity(self):
+        program = parse_program("p(a). p(a, b).")
+        assert program.num_procedures == 2
+
+    def test_repr(self):
+        program = parse_program("p(a).")
+        assert "1 procedures" in repr(program)

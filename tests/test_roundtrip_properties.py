@@ -1,0 +1,84 @@
+"""Property tests for the front end: format/parse round trips and
+normalization/interpretation consistency."""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.prolog import (parse_term, parse_program, tokenize)
+from repro.prolog.normalize import normalize_clause
+from repro.prolog.program import clause_from_term
+from repro.prolog.terms import (Atom, Int, Struct, Term, Var, format_term,
+                                make_list, term_variables)
+
+_atom_names = st.sampled_from(["a", "foo", "bar_baz", "x1", "[]",
+                               "hello world", "It's"])
+_var_names = st.sampled_from(["X", "Y", "Zed", "_under", "A1"])
+
+
+def _terms(depth):
+    base = st.one_of(
+        _atom_names.map(Atom),
+        st.integers(-999, 999).map(Int),
+        _var_names.map(Var),
+    )
+    if depth == 0:
+        return base
+    sub = _terms(depth - 1)
+    return st.one_of(
+        base,
+        st.builds(lambda name, args: Struct(name, tuple(args)),
+                  st.sampled_from(["f", "g", "point", "node"]),
+                  st.lists(sub, min_size=1, max_size=3)),
+        st.lists(sub, max_size=3).map(make_list),
+    )
+
+
+terms = _terms(3)
+
+
+@settings(max_examples=200, deadline=None)
+@given(terms)
+def test_format_parse_roundtrip(term):
+    """parse(format(t)) == t for ground and non-ground terms."""
+    text = format_term(term)
+    reparsed = parse_term(text)
+    assert reparsed == term
+
+
+@settings(max_examples=200, deadline=None)
+@given(terms)
+def test_tokenizer_never_crashes_on_formatted_terms(term):
+    tokens = tokenize(format_term(term) + " .")
+    assert tokens[-1].kind == "eof"
+    assert tokens[-2].kind == "end"
+
+
+@settings(max_examples=100, deadline=None)
+@given(terms, terms)
+def test_clause_roundtrip_through_program_parser(head_arg, body_arg):
+    head = Struct("p", (head_arg,))
+    body = Struct("q", (body_arg,))
+    text = "%s :- %s." % (format_term(head), format_term(body))
+    program = parse_program(text)
+    clause = program.procedure(("p", 1)).clauses[0]
+    assert clause.head == head
+    assert clause.body == [body]
+
+
+@settings(max_examples=100, deadline=None)
+@given(terms)
+def test_normalization_mentions_all_variables(term):
+    """Every variable of the source clause appears in the kernel form
+    (no bindings are lost)."""
+    clause = clause_from_term(Struct("p", (term,)))
+    [norm] = normalize_clause(clause)
+    assert norm.nvars >= 1
+    assert norm.nvars >= len(term_variables(term))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_terms(1), min_size=1, max_size=3))
+def test_facts_survive_program_roundtrip(args):
+    fact = Struct("p", tuple(args))
+    program = parse_program(format_term(fact) + ".")
+    assert program.procedure(("p", len(args))).clauses[0].head == fact

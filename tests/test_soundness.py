@@ -1,0 +1,184 @@
+"""Soundness: the analysis over-approximates the concrete semantics.
+
+For a battery of programs and ground queries, every answer computed by
+the SLD interpreter must be a member of the inferred output type of the
+corresponding argument — the paper's correctness property, checked
+end-to-end (parser -> engine -> widening vs parser -> interpreter).
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import analyze
+from repro.domains.pattern import PAT_BOTTOM, value_of
+from repro.prolog import parse_program, parse_term
+from repro.prolog.interpreter import SolveLimits, Solver, resolve
+from repro.prolog.terms import Atom, Int, Struct, Var, make_list
+from repro.typegraph import member
+
+
+def check_soundness(source, query_pred, goal_terms, max_solutions=50):
+    """Analyze source for query_pred(Any...), then run each concrete
+    goal and check every answer against the inferred output types."""
+    program = parse_program(source)
+    analysis = analyze(program, query_pred)
+    out = analysis.output
+    assert out is not PAT_BOTTOM, "analysis claims no success"
+    grammars = [value_of(out, out.sv[k], analysis.domain, {})
+                for k in range(query_pred[1])]
+    solver = Solver(program, SolveLimits(max_solutions=max_solutions))
+    checked = 0
+    for goal_text in goal_terms:
+        goal = parse_term(goal_text)
+        for bindings in solver.solve(goal):
+            args = goal.args if isinstance(goal, Struct) else ()
+            for k, arg in enumerate(args):
+                concrete = resolve(arg, bindings)
+                assert member(concrete, grammars[k]), \
+                    "answer %r of %s not in inferred type %s" % (
+                        concrete, goal_text, grammars[k])
+                checked += 1
+    assert checked > 0, "no concrete answers were produced"
+
+
+class TestListPrograms:
+    def test_append(self, append_source):
+        check_soundness(append_source, ("append", 3), [
+            "append([], [], X)",
+            "append([a], [b,c], X)",
+            "append(X, Y, [a,b,c])",
+            "append([1,2], X, Y)",
+        ])
+
+    def test_nreverse(self, nreverse_source):
+        check_soundness(nreverse_source, ("nreverse", 2), [
+            "nreverse([], X)",
+            "nreverse([a,b,c], X)",
+            "nreverse([[a],[b,c]], X)",
+        ])
+
+    def test_process_accumulator(self):
+        src = """
+        process(X,Y) :- process(X,0,Y).
+        process([],X,X).
+        process([c(X1)|Y],Acc,X) :- process(Y,c(X1,Acc),X).
+        process([d(X1)|Y],Acc,X) :- process(Y,d(X1,Acc),X).
+        """
+        check_soundness(src, ("process", 2), [
+            "process([], X)",
+            "process([c(1)], X)",
+            "process([c(1),d(2),c(3)], X)",
+        ])
+
+    def test_gen_succ(self):
+        src = """
+        succ([], []).
+        succ([X|Xs],[s(X)|R]) :- succ(Xs,R).
+        gen([]).
+        gen([0|L]) :- gen(X), succ(X,L).
+        """
+        check_soundness(src, ("gen", 1),
+                        ["gen(X)"], max_solutions=5)
+
+    def test_qsort(self):
+        src = """
+        qsort(X1, X2) :- qsort(X1, X2, []).
+        qsort([], L, L).
+        qsort([F|T], O, A) :-
+            partition(T, F, Small, Big),
+            qsort(Small, O, [F|Ot]),
+            qsort(Big, Ot, A).
+        partition([], X, [], []).
+        partition([X|Xs], F, [X|S], B) :- X =< F, partition(Xs, F, S, B).
+        partition([X|Xs], F, S, [X|B]) :- X > F, partition(Xs, F, S, B).
+        """
+        check_soundness(src, ("qsort", 2), [
+            "qsort([3,1,2], X)",
+            "qsort([], X)",
+            "qsort([5,4,3,2,1], X)",
+        ])
+
+
+class TestArithmeticPrograms:
+    def test_figure2(self):
+        from repro.benchprogs import benchmark
+        check_soundness(benchmark("AR").source, ("add", 2), [
+            "add(0, X)",
+            "add(0 + 1, X)",
+            "add(0 + 1 * cst(k), X)",
+            "add(0 + 1 * par(0), X)",
+            "add(0 + 1 * var(v), X)",
+        ])
+
+    def test_figure3(self):
+        from repro.benchprogs import benchmark
+        check_soundness(benchmark("AR1").source, ("add", 2), [
+            "add(cst(k), X)",
+            "add(var(v) + cst(k), X)",
+            "add(var(a) * cst(b) + var(c), X)",
+            "add(par(cst(z)), X)",
+        ])
+
+
+class TestBenchmarkSoundness:
+    def test_queens(self):
+        from repro.benchprogs import benchmark
+        check_soundness(benchmark("QU").source, ("queens", 2), [
+            "queens([1,2,3,4], X)",
+        ])
+
+    def test_peephole(self):
+        from repro.benchprogs import benchmark
+        check_soundness(
+            benchmark("PE").source, ("peephole_opt", 2),
+            ["peephole_opt([movreg(r(1),r(1)), proceed], X)"],
+            max_solutions=3)
+
+    def test_planner(self):
+        from repro.benchprogs import benchmark
+        check_soundness(
+            benchmark("PL").source, ("transform", 3),
+            ["transform([on(a,b),on(b,p),on(c,r)],"
+             " [on(a,b),on(b,p),on(c,r)], X)"],
+            max_solutions=2)
+
+
+@st.composite
+def flat_lists(draw):
+    items = draw(st.lists(
+        st.one_of(st.sampled_from([Atom("a"), Atom("b")]),
+                  st.integers(0, 9).map(Int)),
+        max_size=6))
+    return make_list(items)
+
+
+class TestPropertySoundness:
+    """Hypothesis: random ground queries against append/nreverse."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(flat_lists(), flat_lists())
+    def test_append_random(self, xs, ys):
+        from tests.conftest import APPEND
+        program = parse_program(APPEND)
+        analysis = analyze(program, ("append", 3))
+        out = analysis.output
+        grammars = [value_of(out, out.sv[k], analysis.domain, {})
+                    for k in range(3)]
+        goal = Struct("append", (xs, ys, Var("Z")))
+        for bindings in Solver(program).solve(goal):
+            for k, arg in enumerate(goal.args):
+                assert member(resolve(arg, bindings), grammars[k])
+
+    @settings(max_examples=20, deadline=None)
+    @given(flat_lists())
+    def test_nreverse_random(self, xs):
+        from tests.conftest import NREVERSE
+        program = parse_program(NREVERSE)
+        analysis = analyze(program, ("nreverse", 2))
+        out = analysis.output
+        grammars = [value_of(out, out.sv[k], analysis.domain, {})
+                    for k in range(2)]
+        goal = Struct("nreverse", (xs, Var("R")))
+        for bindings in Solver(program).solve(goal):
+            for k, arg in enumerate(goal.args):
+                assert member(resolve(arg, bindings), grammars[k])

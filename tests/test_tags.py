@@ -1,0 +1,135 @@
+"""Unit tests for tag extraction (Tables 4–5)."""
+
+import pytest
+
+from repro import analyze
+from repro.analysis.tags import (TagComparison, compare_tags,
+                                 tag_of_grammar, tags_of_subst)
+from repro.domains.leaf import TrivialLeafDomain, TypeLeafDomain
+from repro.typegraph import (g_any, g_atom, g_bottom, g_functor, g_int,
+                             g_int_literal, g_list_of, g_union, parse_rules)
+
+D = TypeLeafDomain()
+
+
+class TestTagOfGrammar:
+    def test_nil(self):
+        assert tag_of_grammar(g_atom("[]")) == "NI"
+
+    def test_cons(self):
+        assert tag_of_grammar(
+            g_functor(".", [g_any(), g_any()])) == "CO"
+
+    def test_cons_of_list_still_co(self):
+        # a sure cons that is also a list: CO is the more specific tag
+        g = g_functor(".", [g_any(), g_list_of(g_any())])
+        assert tag_of_grammar(g) == "CO"
+
+    def test_list(self):
+        assert tag_of_grammar(g_list_of(g_any())) == "LI"
+
+    def test_structure(self):
+        assert tag_of_grammar(g_functor("f", [g_any()])) == "ST"
+        assert tag_of_grammar(
+            g_union(g_functor("f", [g_any()]),
+                    g_functor("g", [g_any()]))) == "ST"
+
+    def test_atom_constants(self):
+        assert tag_of_grammar(g_atom("a")) == "DI"
+        assert tag_of_grammar(g_union(g_atom("a"), g_atom("b"))) == "DI"
+
+    def test_integers_are_constants(self):
+        assert tag_of_grammar(g_int()) == "DI"
+        assert tag_of_grammar(g_int_literal(3)) == "DI"
+
+    def test_hybrid(self):
+        g = g_union(g_atom("a"), g_functor("f", [g_any()]))
+        assert tag_of_grammar(g) == "HY"
+
+    def test_any_has_no_tag(self):
+        assert tag_of_grammar(g_any()) is None
+
+    def test_bottom_has_no_tag(self):
+        assert tag_of_grammar(g_bottom()) is None
+
+    def test_mixed_list_and_atom_is_hy(self):
+        g = g_union(g_list_of(g_any()), g_atom("a"))
+        # [] | cons | a: constants [] and a plus structure cons -> HY
+        assert tag_of_grammar(g) == "HY"
+
+    def test_recursive_structure(self):
+        g = parse_rules("T ::= leaf(Any) | node(T,T)")
+        assert tag_of_grammar(g) == "ST"
+
+
+class TestTagsOfSubst:
+    def test_type_domain_tags(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2))
+        tags = tags_of_subst(analysis.output, analysis.domain)
+        assert tags == ["LI", "LI"]
+
+    def test_baseline_leaf_has_no_tag(self, nreverse_source):
+        analysis = analyze(nreverse_source, ("nreverse", 2),
+                           baseline=True)
+        tags = tags_of_subst(analysis.output, analysis.domain)
+        assert tags == [None, None]
+
+    def test_baseline_sure_pattern_has_tag(self):
+        src = "p(f(X), [], [a|T]) :- q(T). q(_)."
+        analysis = analyze(src, ("p", 3), baseline=True)
+        tags = tags_of_subst(analysis.output, analysis.domain)
+        assert tags == ["ST", "NI", "CO"]
+
+
+class TestComparison:
+    def test_improvement_counting(self):
+        type_tags = {("p", 2): ["LI", None], ("q", 1): ["DI"]}
+        base_tags = {("p", 2): [None, None], ("q", 1): ["DI"]}
+        cmp = compare_tags(type_tags, base_tags)
+        assert cmp.total_arguments == 3
+        assert cmp.improved_arguments == 1
+        assert cmp.argument_ratio == pytest.approx(1 / 3)
+
+    def test_clause_counting(self):
+        type_tags = {("p", 2): ["LI", None], ("q", 1): [None]}
+        base_tags = {("p", 2): [None, None], ("q", 1): [None]}
+        cmp = compare_tags(type_tags, base_tags)
+        total, improved, ratio = cmp.clause_counts(
+            {("p", 2): 3, ("q", 1): 2})
+        assert (total, improved) == (5, 3)
+        assert ratio == pytest.approx(3 / 5)
+
+    def test_tag_counts(self):
+        type_tags = {("p", 2): ["LI", "NI"]}
+        base_tags = {("p", 2): [None, "NI"]}
+        cmp = compare_tags(type_tags, base_tags)
+        counts = cmp.tag_counts()
+        assert counts["LI"] == (1, 0)
+        assert counts["NI"] == (1, 1)
+
+
+class TestEndToEndImprovement:
+    """The type analysis must beat the baseline on list programs —
+    the qualitative claim of Tables 4/5."""
+
+    def test_nreverse_improves_over_baseline(self, nreverse_source):
+        type_analysis = analyze(nreverse_source, ("nreverse", 2))
+        base_analysis = analyze(nreverse_source, ("nreverse", 2),
+                                baseline=True)
+        cmp = compare_tags(type_analysis.output_tags(),
+                           base_analysis.output_tags())
+        assert cmp.improved_arguments > 0
+
+    def test_queens_improves(self):
+        from repro.benchprogs import benchmark
+        bp = benchmark("QU")
+        type_analysis = analyze(bp.source, bp.query)
+        base_analysis = analyze(bp.source, bp.query, baseline=True)
+        cmp = compare_tags(type_analysis.output_tags(),
+                           base_analysis.output_tags())
+        assert cmp.improved_arguments > 0
+        # and the baseline never beats the type analysis
+        for pred, (t_tags, b_tags) in cmp.pred_tags.items():
+            for t, b in zip(t_tags, b_tags):
+                assert not (t is None and b is not None), \
+                    "baseline inferred %s where type analysis did not" % b

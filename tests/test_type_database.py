@@ -1,0 +1,93 @@
+"""Tests for the §10 extension: a type database for the widening.
+
+The paper's conclusion proposes "providing a database of types that
+the widening can use whenever an ancestor must be selected and/or
+replaced".  Our widening consults the database in the replacement
+rule: instead of collapsing an overgrown region to Any, the smallest
+covering database type is grafted.
+"""
+
+import pytest
+
+from repro import AnalysisConfig, analyze
+from repro.domains.pattern import PAT_BOTTOM, value_of
+from repro.typegraph import (g_any, g_atom, g_functor, g_int, g_le,
+                             g_list_of, g_union, g_widen, parse_rules)
+
+
+class TestGWidenWithDatabase:
+    def test_database_type_grafted_instead_of_any(self):
+        # element and spine grow together with *different* element pf
+        # sets at each level — the pathological case where strict mode
+        # would use Any; the database supplies "list of Any".
+        old = parse_rules("""
+        T ::= [] | cons(T1,T2)
+        T1 ::= []
+        T2 ::= []
+        """)
+        new = parse_rules("""
+        T ::= [] | cons(T1,T2)
+        T1 ::= [] | cons(T3,T4)
+        T3 ::= a | f(Any)
+        T4 ::= []
+        T2 ::= [] | cons(T4,T4)
+        """)
+        lists = g_list_of(g_any())
+        with_db = g_widen(old, new, strict=True,
+                          type_database=[lists])
+        without_db = g_widen(old, new, strict=True)
+        # both are sound upper bounds
+        assert g_le(old, with_db) and g_le(new, with_db)
+        assert g_le(old, without_db) and g_le(new, without_db)
+        # the database keeps at least as much precision
+        assert g_le(with_db, without_db)
+
+    def test_database_never_breaks_upper_bound(self):
+        db = [g_list_of(g_any()), g_int(),
+              parse_rules("T ::= 0 | s(T)")]
+        pairs = [
+            (g_atom("[]"), g_functor(".", [g_any(), g_atom("[]")])),
+            (parse_rules("T ::= 0"), parse_rules("T ::= 0 | s(T1)\nT1 ::= 0")),
+        ]
+        for old, new in pairs:
+            w = g_widen(old, new, type_database=db)
+            assert g_le(old, w) and g_le(new, w)
+
+    def test_irrelevant_database_is_harmless(self):
+        old = parse_rules("T ::= [] | cons(Any,T1)\nT1 ::= []")
+        new = parse_rules("""
+        T ::= [] | cons(Any,T1)
+        T1 ::= [] | cons(Any,T2)
+        T2 ::= []
+        """)
+        w = g_widen(old, new, type_database=[g_int()])
+        assert g_le(w, g_list_of(g_any())) and g_le(g_list_of(g_any()), w)
+
+
+class TestEngineIntegration:
+    def test_config_carries_database(self, nreverse_source):
+        config = AnalysisConfig(type_database=[g_list_of(g_any())])
+        analysis = analyze(nreverse_source, ("nreverse", 2),
+                           config=config)
+        assert analysis.domain.type_database is not None
+        out = analysis.output
+        assert out is not PAT_BOTTOM
+        g = value_of(out, out.sv[0], analysis.domain, {})
+        assert g_le(g, g_list_of(g_any()))
+
+    def test_database_results_remain_sound(self):
+        src = """
+        process(X,Y) :- process(X,0,Y).
+        process([],X,X).
+        process([c(X1)|Y],Acc,X) :- process(Y,c(X1,Acc),X).
+        process([d(X1)|Y],Acc,X) :- process(Y,d(X1,Acc),X).
+        """
+        config = AnalysisConfig(type_database=[
+            g_list_of(g_any()),
+            parse_rules("S ::= 0 | c(Any,S) | d(Any,S)"),
+        ])
+        analysis = analyze(src, ("process", 2), config=config)
+        out = analysis.output
+        g = value_of(out, out.sv[1], analysis.domain, {})
+        assert g_le(g, parse_rules("S ::= 0 | c(Any,S) | d(Any,S)"))
+        assert not g.is_bottom()

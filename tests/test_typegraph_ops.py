@@ -1,0 +1,155 @@
+"""Unit tests for inclusion, union, intersection and split (§6.9)."""
+
+import pytest
+
+from repro.prolog.parser import parse_term
+from repro.typegraph import (g_any, g_atom, g_bottom, g_equiv, g_functor,
+                             g_int, g_int_literal, g_intersect, g_is_list,
+                             g_le, g_list_of, g_split, g_union, member,
+                             parse_rules)
+
+
+class TestInclusion:
+    def test_reflexive(self):
+        for g in (g_any(), g_atom("a"), g_list_of(g_any())):
+            assert g_le(g, g)
+
+    def test_bottom_least(self):
+        assert g_le(g_bottom(), g_atom("a"))
+        assert not g_le(g_atom("a"), g_bottom())
+
+    def test_any_greatest(self):
+        assert g_le(g_list_of(g_int()), g_any())
+        assert not g_le(g_any(), g_list_of(g_int()))
+
+    def test_int_literal_subtyping(self):
+        assert g_le(g_int_literal(3), g_int())
+        assert not g_le(g_int(), g_int_literal(3))
+
+    def test_list_covariance(self):
+        assert g_le(g_list_of(g_atom("a")), g_list_of(g_any()))
+        assert not g_le(g_list_of(g_any()), g_list_of(g_atom("a")))
+
+    def test_finite_vs_recursive(self):
+        finite = parse_rules("""
+        T ::= [] | cons(Any,T1)
+        T1 ::= []
+        """)
+        assert g_le(finite, g_list_of(g_any()))
+        assert not g_le(g_list_of(g_any()), finite)
+
+    def test_incomparable(self):
+        assert not g_le(g_atom("a"), g_atom("b"))
+        assert not g_le(g_atom("b"), g_atom("a"))
+
+    def test_exactness_on_unfoldings(self):
+        # lists of length <= 2 vs unfolded-by-one recursive list
+        unfolded = parse_rules("""
+        T ::= [] | cons(Any,T1)
+        T1 ::= [] | cons(Any,T1)
+        """)
+        assert g_equiv(unfolded, g_list_of(g_any()))
+
+
+class TestUnion:
+    def test_upper_bound(self):
+        a, b = g_atom("a"), g_atom("b")
+        u = g_union(a, b)
+        assert g_le(a, u) and g_le(b, u)
+
+    def test_bottom_identity(self):
+        g = g_list_of(g_int())
+        assert g_union(g, g_bottom()) == g
+        assert g_union(g_bottom(), g) == g
+
+    def test_any_absorbs(self):
+        assert g_union(g_any(), g_atom("a")).is_any()
+
+    def test_disjoint_functors_exact(self):
+        u = g_union(g_atom("[]"),
+                    g_functor(".", [g_any(), g_atom("[]")]))
+        assert member(parse_term("[]"), u)
+        assert member(parse_term("[x]"), u)
+        assert not member(parse_term("[x,y]"), u)
+
+    def test_pf_restriction_merges_pointwise(self):
+        # f(a,b) U f(b,a) also contains f(a,a) and f(b,b)  (§6.5)
+        fab = g_functor("f", [g_atom("a"), g_atom("b")])
+        fba = g_functor("f", [g_atom("b"), g_atom("a")])
+        u = g_union(fab, fba)
+        assert member(parse_term("f(a,a)"), u)
+        assert member(parse_term("f(b,b)"), u)
+
+    def test_int_literal_absorption(self):
+        u = g_union(g_int_literal(3), g_int())
+        assert g_equiv(u, g_int())
+
+    def test_union_of_recursive_types(self):
+        u = g_union(g_list_of(g_atom("a")), g_list_of(g_atom("b")))
+        # pointwise merge: lists of (a|b)
+        expected = g_list_of(g_union(g_atom("a"), g_atom("b")))
+        assert g_equiv(u, expected)
+
+
+class TestIntersection:
+    def test_lower_bound(self):
+        lst = g_list_of(g_any())
+        short = parse_rules("""
+        T ::= [] | cons(Any,T1)
+        T1 ::= []
+        """)
+        i = g_intersect(lst, short)
+        assert g_le(i, lst) and g_le(i, short)
+
+    def test_any_identity(self):
+        g = g_list_of(g_int())
+        assert g_intersect(g_any(), g) == g
+        assert g_intersect(g, g_any()) == g
+
+    def test_disjoint_is_bottom(self):
+        assert g_intersect(g_atom("a"), g_atom("b")).is_bottom()
+
+    def test_lists_of_different_elements(self):
+        i = g_intersect(g_list_of(g_atom("a")), g_list_of(g_atom("b")))
+        # only the empty list is in both
+        assert g_equiv(i, g_atom("[]"))
+
+    def test_int_literal_meet(self):
+        assert g_equiv(g_intersect(g_int(), g_int_literal(5)),
+                       g_int_literal(5))
+
+    def test_exactness(self):
+        g1 = parse_rules("T ::= f(T1)\nT1 ::= a | b")
+        g2 = parse_rules("T ::= f(T1) | g(T1)\nT1 ::= b | c")
+        i = g_intersect(g1, g2)
+        assert g_equiv(i, parse_rules("T ::= f(T1)\nT1 ::= b"))
+
+
+class TestSplit:
+    def test_split_any(self):
+        pieces = g_split(g_any(), "f", 2)
+        assert pieces is not None
+        assert all(p.is_any() for p in pieces)
+
+    def test_split_matching_functor(self):
+        g = g_functor("f", [g_atom("a"), g_int()])
+        pieces = g_split(g, "f", 2)
+        assert g_equiv(pieces[0], g_atom("a"))
+        assert g_equiv(pieces[1], g_int())
+
+    def test_split_wrong_functor(self):
+        assert g_split(g_atom("a"), "f", 1) is None
+
+    def test_split_list_type(self):
+        pieces = g_split(g_list_of(g_atom("x")), ".", 2)
+        assert g_equiv(pieces[0], g_atom("x"))
+        assert g_equiv(pieces[1], g_list_of(g_atom("x")))
+
+    def test_split_int_literal_on_int(self):
+        assert g_split(g_int(), "7", 0, is_int=True) == ()
+
+    def test_is_list(self):
+        assert g_is_list(g_list_of(g_any()))
+        assert g_is_list(g_atom("[]"))
+        assert not g_is_list(g_any())
+        assert not g_is_list(g_union(g_atom("[]"), g_atom("a")))

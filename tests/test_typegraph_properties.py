@@ -1,0 +1,203 @@
+"""Property-based tests (hypothesis) for the type-graph domain.
+
+Strategies generate random type grammars and random ground terms; the
+properties are the lattice-theoretic contracts the analysis relies on:
+
+* membership is monotone under inclusion,
+* union is an upper bound and intersection exact on membership,
+* widening is an upper bound and widening chains stabilize,
+* the graph view round-trips through the cosmetic restrictions.
+"""
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.prolog.terms import Atom, Int, Struct
+from repro.typegraph import (g_any, g_atom, g_bottom, g_equiv, g_functor,
+                             g_int, g_int_literal, g_intersect, g_le,
+                             g_list_of, g_union, g_widen, member,
+                             normalize, to_grammar, treeify)
+from repro.typegraph.views import to_automaton, to_monadic_program
+
+# -- strategies ---------------------------------------------------------------
+
+_ATOMS = ("a", "b", "[]", "foo")
+_FUNCTORS = (("f", 1), ("g", 2), (".", 2), ("s", 1))
+
+
+def _grammars(depth):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from([g_any(), g_int()]),
+            st.sampled_from(list(_ATOMS)).map(g_atom),
+            st.integers(0, 3).map(g_int_literal),
+        )
+    sub = _grammars(depth - 1)
+    return st.one_of(
+        _grammars(0),
+        st.builds(lambda name_arity, args:
+                  g_functor(name_arity[0], args[:name_arity[1]]),
+                  st.sampled_from(list(_FUNCTORS)),
+                  st.lists(sub, min_size=2, max_size=2)),
+        st.builds(g_union, sub, sub),
+        st.builds(g_list_of, sub),
+    )
+
+
+grammars = _grammars(2)
+
+
+def _terms(depth):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from(list(_ATOMS)).map(Atom),
+            st.integers(0, 3).map(Int),
+        )
+    sub = _terms(depth - 1)
+    return st.one_of(
+        _terms(0),
+        st.builds(lambda name_arity, args:
+                  Struct(name_arity[0], tuple(args[:name_arity[1]])),
+                  st.sampled_from(list(_FUNCTORS)),
+                  st.lists(sub, min_size=2, max_size=2)),
+    )
+
+
+terms = _terms(3)
+
+
+# -- properties ----------------------------------------------------------------
+
+@settings(max_examples=150, deadline=None)
+@given(grammars, terms)
+def test_any_contains_everything(g, t):
+    assert member(t, g_any())
+
+
+@settings(max_examples=150, deadline=None)
+@given(grammars, grammars, terms)
+def test_inclusion_implies_membership_monotone(g1, g2, t):
+    if g_le(g1, g2) and member(t, g1):
+        assert member(t, g2)
+
+
+@settings(max_examples=150, deadline=None)
+@given(grammars, grammars, terms)
+def test_union_upper_bound_membership(g1, g2, t):
+    u = g_union(g1, g2)
+    if member(t, g1) or member(t, g2):
+        assert member(t, u)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars, grammars)
+def test_union_upper_bound_inclusion(g1, g2):
+    u = g_union(g1, g2)
+    assert g_le(g1, u)
+    assert g_le(g2, u)
+
+
+@settings(max_examples=150, deadline=None)
+@given(grammars, grammars, terms)
+def test_intersection_exact_membership(g1, g2, t):
+    i = g_intersect(g1, g2)
+    assert member(t, i) == (member(t, g1) and member(t, g2))
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars, grammars)
+def test_intersection_lower_bound(g1, g2):
+    i = g_intersect(g1, g2)
+    assert g_le(i, g1)
+    assert g_le(i, g2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars)
+def test_inclusion_reflexive(g):
+    assert g_le(g, g)
+
+
+@settings(max_examples=75, deadline=None)
+@given(grammars, grammars, grammars)
+def test_inclusion_transitive(g1, g2, g3):
+    if g_le(g1, g2) and g_le(g2, g3):
+        assert g_le(g1, g3)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars, grammars)
+def test_widening_upper_bound(g1, g2):
+    w = g_widen(g1, g2)
+    assert g_le(g1, w)
+    assert g_le(g2, w)
+
+
+@settings(max_examples=40, deadline=None)
+@given(grammars, st.lists(grammars, min_size=1, max_size=6))
+def test_widening_chain_stabilizes(g0, gs):
+    current = g0
+    for _ in range(30):
+        changed = False
+        for g in gs:
+            new = g_widen(current, g)
+            if not g_le(new, current):
+                current = new
+                changed = True
+        if not changed:
+            return
+    pytest.fail("widening chain did not stabilize")
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars)
+def test_treeify_roundtrip(g):
+    assert g_equiv(to_grammar(treeify(g)), g)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars)
+def test_normalize_idempotent(g):
+    assert normalize(g) == g  # all constructors normalize already
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars, terms)
+def test_automaton_agrees_with_membership(g, t):
+    assert to_automaton(g).accepts(t) == member(t, g)
+
+
+@settings(max_examples=30, deadline=None)
+@given(_grammars(1), _terms(2))
+def test_monadic_program_agrees_with_membership(g, t):
+    """§6.8: the monadic logic program recognizes the denotation."""
+    from repro.prolog.interpreter import SolveLimits, Solver
+    from repro.prolog.terms import Struct
+    program = to_monadic_program(g)
+    solver = Solver(program, SolveLimits(max_depth=60, max_solutions=1))
+    goal = Struct("accept", (t,))
+    succeeded = bool(list(solver.solve(goal)))
+    assert succeeded == member(t, g)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars, grammars)
+def test_or_cap_is_upper_bound(g1, g2):
+    """The or-degree restriction only loses precision, never soundness."""
+    capped = g_union(g1, g2, max_or_width=2)
+    assert g_le(g_union(g1, g2), capped)
+
+
+@settings(max_examples=100, deadline=None)
+@given(grammars)
+def test_cosmetic_restrictions_hold(g):
+    """Flip-Flop, Or-Cycle, Isolated-Any on the graph view (§6.4)."""
+    graph = treeify(g)
+    for v in graph.vertices():
+        if v.kind == "or":
+            kinds = {s.kind for s in v.successors}
+            assert "or" not in kinds  # Flip-Flop
+            if len(v.successors) > 1:
+                assert "any" not in kinds  # Isolated-Any
+        elif v.kind == "functor":
+            assert all(s.kind == "or" for s in v.successors)  # Flip-Flop

@@ -1,0 +1,74 @@
+"""Unit tests for the automata and monadic-program views (§6.7–6.8)."""
+
+import pytest
+
+from repro.prolog import parse_term
+from repro.prolog.interpreter import SolveLimits, Solver
+from repro.prolog.terms import Struct
+from repro.typegraph import (g_any, g_atom, g_int, g_list_of, g_union,
+                             member, parse_rules)
+from repro.typegraph.views import (monadic_text, to_automaton,
+                                   to_monadic_program)
+
+
+class TestAutomaton:
+    def test_deterministic(self):
+        for g in (g_any(), g_list_of(g_any()),
+                  parse_rules("T ::= 0 | s(T)")):
+            assert to_automaton(g).is_deterministic()
+
+    def test_accepts_matches_member(self):
+        g = parse_rules("T ::= [] | cons(T1,T)\nT1 ::= a | b")
+        auto = to_automaton(g)
+        for text in ("[]", "[a]", "[a,b,a]", "[c]", "f(a)", "3"):
+            term = parse_term(text)
+            assert auto.accepts(term) == member(term, g)
+
+    def test_any_state(self):
+        auto = to_automaton(g_any())
+        assert auto.accepts(parse_term("anything(at, all)"))
+
+    def test_int_state(self):
+        auto = to_automaton(g_int())
+        assert auto.accepts(parse_term("42"))
+        assert not auto.accepts(parse_term("a"))
+
+    def test_state_count_matches_nonterminals(self):
+        g = g_list_of(g_atom("x"))
+        assert to_automaton(g).num_states == g.num_nonterminals()
+
+
+class TestMonadicProgram:
+    def test_text_contains_entry(self):
+        text = monadic_text(g_list_of(g_any()))
+        assert "accept(X) :- t0(X)." in text
+        assert "any(X)." in text
+
+    def test_program_recognizes_members(self):
+        g = parse_rules("T ::= 0 | s(T)")
+        program = to_monadic_program(g)
+        solver = Solver(program, SolveLimits(max_solutions=1))
+        assert list(solver.solve(Struct("accept",
+                                        (parse_term("s(s(0))"),))))
+        assert not list(solver.solve(Struct("accept",
+                                            (parse_term("s(a)"),))))
+
+    def test_integer_rules(self):
+        program = to_monadic_program(g_int())
+        solver = Solver(program, SolveLimits(max_solutions=1))
+        assert list(solver.solve(Struct("accept", (parse_term("7"),))))
+
+    def test_union_type(self):
+        g = g_union(g_atom("a"), g_list_of(g_atom("b")))
+        program = to_monadic_program(g)
+        solver = Solver(program, SolveLimits(max_solutions=1))
+        for text, expected in [("a", True), ("[b,b]", True),
+                               ("[a]", False), ("c", False)]:
+            got = bool(list(solver.solve(
+                Struct("accept", (parse_term(text),)))))
+            assert got == expected, text
+
+    def test_generated_program_is_monadic(self):
+        program = to_monadic_program(g_list_of(g_any()))
+        for pred in program.procedures:
+            assert pred[1] == 1

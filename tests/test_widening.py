@@ -1,0 +1,188 @@
+"""Unit tests for the widening operator (§7) — including the paper's
+worked examples."""
+
+import pytest
+
+from repro.typegraph import (g_any, g_atom, g_bottom, g_equiv, g_functor,
+                             g_le, g_list_of, g_union, g_widen, parse_rules,
+                             to_grammar, treeify, widening_clashes)
+
+
+class TestWideningBasics:
+    def test_covered_new_returns_old(self):
+        old = g_list_of(g_any())
+        new = g_atom("[]")
+        assert g_widen(old, new) is old
+
+    def test_bottom_old(self):
+        new = g_atom("a")
+        assert g_widen(g_bottom(), new) == new
+
+    def test_bottom_new(self):
+        old = g_atom("a")
+        assert g_widen(old, g_bottom()) is old
+
+    def test_upper_bound_property(self):
+        old = g_atom("a")
+        new = g_functor("f", [g_atom("a")])
+        w = g_widen(old, new)
+        assert g_le(old, w) and g_le(new, w)
+
+    def test_incomparable_roots_grow(self):
+        # no ancestor exists: the graph is allowed to grow (basic/2 case)
+        old = parse_rules("T ::= cst(Any) | var(Any)")
+        new = parse_rules("T ::= cst(Any) | par(T1) | var(Any)\nT1 ::= 0")
+        w = g_widen(old, new)
+        assert g_equiv(w, g_union(old, new))
+
+
+class TestPaperAppendExample:
+    """§7.1: the append/3 widening introducing the list cycle."""
+
+    OLD = """
+    T ::= [] | cons(Any,T1)
+    T1 ::= []
+    """
+    NEW = """
+    T ::= [] | cons(Any,T1)
+    T1 ::= [] | cons(Any,T2)
+    T2 ::= []
+    """
+
+    def test_cycle_introduced(self):
+        w = g_widen(parse_rules(self.OLD), parse_rules(self.NEW))
+        assert g_equiv(w, g_list_of(g_any()))
+
+    def test_widening_is_stationary(self):
+        w = g_widen(parse_rules(self.OLD), parse_rules(self.NEW))
+        again = g_widen(w, g_union(g_atom("[]"),
+                                   g_functor(".", [g_any(), w])))
+        assert g_equiv(again, w)
+
+    def test_clash_detected(self):
+        old = treeify(parse_rules(self.OLD))
+        new = treeify(g_union(parse_rules(self.OLD),
+                              parse_rules(self.NEW)))
+        clashes = widening_clashes(old, new)
+        assert len(clashes) == 1
+        vo, vn = clashes[0]
+        assert vo.depth == vn.depth == 2
+        assert vo.pf() != vn.pf()
+
+
+class TestPaperArithmeticExample:
+    """§7.1 / Figure 6: ancestor selection at distance (the AR widening)."""
+
+    def test_figure6(self):
+        To = parse_rules("""
+        T ::= 0 | '+'(T0,T1)
+        T0 ::= 0
+        T1 ::= 1 | '*'(T1,T2)
+        T2 ::= cst(Any) | par(T0b) | var(Any)
+        T0b ::= 0
+        """)
+        Tn = parse_rules("""
+        Tn ::= 0 | '+'(T3,T6)
+        T3 ::= 0 | '+'(Z1,T4)
+        Z1 ::= 0
+        T4 ::= 1 | '*'(T4,T5)
+        T5 ::= cst(Any) | par(Z2) | var(Any)
+        Z2 ::= 0
+        T6 ::= 1 | '*'(T6,T7)
+        T7 ::= cst(Any) | par(T3) | var(Any)
+        """)
+        expected = parse_rules("""
+        Tr ::= 0 | '+'(Tr,T1)
+        T1 ::= 1 | '*'(T1,T2)
+        T2 ::= cst(Any) | par(Tr) | var(Any)
+        """)
+        assert g_equiv(g_widen(To, Tn), expected)
+
+
+class TestAccumulatorExample:
+    """The process/3 accumulator: both branches must eventually cycle."""
+
+    def test_two_branch_convergence(self):
+        S = parse_rules("""
+        T ::= 0 | c(Any,T) | d(Any,T1)
+        T1 ::= 0
+        """)
+        gn = g_union(g_union(S, g_functor("c", [g_any(), S])),
+                     g_functor("d", [g_any(), S]))
+        w = g_widen(S, gn)
+        assert g_equiv(w, parse_rules("S ::= 0 | c(Any,S) | d(Any,S)"))
+
+    def test_chain_stabilizes(self):
+        # iterating acc_{n+1} = widen(acc_n, 0 | c(acc_n) | d(acc_n))
+        acc = parse_rules("T ::= 0")
+        for _ in range(10):
+            step = g_union(g_union(parse_rules("T ::= 0"),
+                                   g_functor("c", [g_any(), acc])),
+                           g_functor("d", [g_any(), acc]))
+            new = g_widen(acc, step)
+            if g_equiv(new, acc):
+                break
+            acc = new
+        else:
+            pytest.fail("widening chain did not stabilize in 10 steps")
+        assert g_le(parse_rules("S ::= 0 | c(Any,S) | d(Any,S)"), acc)
+
+
+class TestGentleVsStrict:
+    def test_gentle_prefers_growth(self):
+        # element type grows while the spine grows: gentle mode must not
+        # destroy the root (the llist case)
+        old = parse_rules("""
+        T ::= [] | cons(T1,T2)
+        T1 ::= []
+        T2 ::= []
+        """)
+        new = parse_rules("""
+        T ::= [] | cons(T1,T2)
+        T1 ::= [] | cons(T3,T4)
+        T3 ::= a | b
+        T4 ::= []
+        T2 ::= [] | cons(T4,T4)
+        """)
+        w = g_widen(old, new, strict=False)
+        assert not w.is_any()
+
+    def test_strict_mode_is_upper_bound_too(self):
+        old = parse_rules("T ::= [] | cons(T1,T1)\nT1 ::= []")
+        new = parse_rules("""
+        T ::= [] | cons(T1,T2)
+        T1 ::= [] | cons(T3,T4)
+        T3 ::= a | b
+        T4 ::= []
+        T2 ::= [] | cons(T4,T4)
+        """)
+        for strict in (True, False):
+            w = g_widen(old, new, strict=strict)
+            assert g_le(old, w) and g_le(new, w)
+
+
+class TestGenSucc:
+    """§2 gen/succ: two recursive structures inferred simultaneously."""
+
+    def test_simultaneous_growth(self):
+        # element towers s^k(0) and list spine grow together
+        elem = parse_rules("E ::= 0")
+        lst = g_atom("[]")
+        for _ in range(8):
+            elem_new = g_union(parse_rules("E ::= 0"),
+                               g_functor("s", [elem]))
+            lst_new = g_union(g_atom("[]"),
+                              g_functor(".", [elem_new, lst]))
+            lst2 = g_widen(lst, lst_new)
+            elem2 = g_widen(elem, elem_new)
+            if g_equiv(lst2, lst) and g_equiv(elem2, elem):
+                break
+            lst, elem = lst2, elem2
+        else:
+            pytest.fail("gen/succ chain did not stabilize")
+        paper = parse_rules("""
+        T ::= [] | cons(T1,T)
+        T1 ::= 0 | s(T1)
+        """)
+        assert g_le(lst, paper)
+        assert not lst.is_bottom()
