@@ -14,7 +14,10 @@ PLDI'94 system ``GAIA(Pat(Type))``:
   abstract builtins;
 * :mod:`repro.analysis` — the high-level API, Table 1–5 metrics, and
   tag extraction;
-* :mod:`repro.benchprogs` — the benchmark suite of §9.
+* :mod:`repro.benchprogs` — the benchmark suite of §9;
+* :mod:`repro.service` — the serving layer: canonical serialization,
+  a content-addressed result cache, a batch/parallel driver, and
+  SCC-scoped incremental re-analysis.
 
 Quickstart::
 
@@ -33,7 +36,7 @@ from .prolog.parser import parse_term
 from .typegraph.display import grammar_to_text, parse_rules
 from .typegraph.grammar import Grammar
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "TypeAnalysis", "analyze", "make_input_pattern", "AnalysisConfig",

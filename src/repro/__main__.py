@@ -1,16 +1,21 @@
-"""Command-line interface: ``python -m repro FILE QUERY``.
+"""Command-line interface: ``repro FILE QUERY`` (also reachable as
+``python -m repro``).
 
 Examples::
 
-    python -m repro program.pl nreverse/2
-    python -m repro program.pl 'append/3' --input list,list,any
-    python -m repro --benchmark QU
-    python -m repro program.pl main/1 --baseline --or-width 5 --tags
+    repro program.pl nreverse/2
+    repro program.pl 'append/3' --input list,list,any --json
+    repro --benchmark QU
+    repro program.pl main/1 --baseline --or-width 5 --tags
+    repro batch --all --cache-dir .repro-cache --workers 4
+    repro cache info --cache-dir .repro-cache
+    repro cache promote old.pl new.pl --cache-dir .repro-cache
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from . import AnalysisConfig, analyze
@@ -27,10 +32,19 @@ def _parse_query(text: str):
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "batch":
+        return batch_main(argv[1:])
+    if argv and argv[0] == "cache":
+        return cache_main(argv[1:])
     parser = argparse.ArgumentParser(
-        prog="python -m repro",
+        prog="repro",
         description="Type analysis of Prolog using type graphs "
-                    "(Van Hentenryck, Cortesi, Le Charlier, PLDI'94).")
+                    "(Van Hentenryck, Cortesi, Le Charlier, PLDI'94).  "
+                    "Subcommands: 'repro batch' analyzes many programs "
+                    "through the result cache; 'repro cache' inspects "
+                    "and maintains it.")
     parser.add_argument("file", nargs="?",
                         help="Prolog source file to analyze")
     parser.add_argument("query", nargs="?",
@@ -51,6 +65,9 @@ def main(argv=None) -> int:
     parser.add_argument("--all-predicates", action="store_true",
                         help="print grammars for every analyzed "
                              "predicate, not just the query")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the serialized analysis result as "
+                             "JSON instead of the human-readable report")
     args = parser.parse_args(argv)
 
     if args.benchmark:
@@ -67,9 +84,21 @@ def main(argv=None) -> int:
         input_types = [t.strip() for t in args.input.split(",")]
 
     config = AnalysisConfig(max_or_width=args.or_width)
-    analysis = analyze(source, query, input_types=input_types,
-                       config=config, baseline=args.baseline)
+    try:
+        analysis = analyze(source, query, input_types=input_types,
+                           config=config, baseline=args.baseline)
+    except (KeyError, ValueError) as error:
+        raise SystemExit("error: %s" % (error.args[0],))
 
+    if args.json:
+        from .service import encode_result, program_hash
+        print(json.dumps({
+            "query": list(query),
+            "program_hash": program_hash(analysis.program),
+            "wall_time": analysis.wall_time,
+            "result": encode_result(analysis.result),
+        }, indent=2, sort_keys=True))
+        return 0
     if args.baseline:
         print("(principal-functor baseline domain)")
     if analysis.output is PAT_BOTTOM:
@@ -102,6 +131,148 @@ def main(argv=None) -> int:
         print("warning: unknown predicates treated as identity: %s"
               % ", ".join("%s/%d" % p
                           for p in analysis.result.unknown_predicates))
+    return 0
+
+
+# -- repro batch -------------------------------------------------------------
+
+def batch_main(argv) -> int:
+    """Analyze many workloads through the result cache."""
+    from .benchprogs import benchmark_names
+    from .service import Job, ResultCache, jobs_from_benchmarks, run_batch
+
+    parser = argparse.ArgumentParser(
+        prog="repro batch",
+        description="Analyze a batch of workloads, consulting the "
+                    "content-addressed result cache before dispatching "
+                    "misses (optionally over a process pool).")
+    parser.add_argument("names", nargs="*",
+                        help="built-in benchmark names (%s)"
+                             % ", ".join(sorted(BENCHMARKS)))
+    parser.add_argument("--all", action="store_true",
+                        help="run the whole built-in corpus")
+    parser.add_argument("--file", action="append", default=[],
+                        metavar="FILE:QUERY",
+                        help="extra job from a Prolog file, e.g. "
+                             "prog.pl:main/1 (repeatable)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk cache directory (default: "
+                             "in-memory only)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process pool size for cache misses "
+                             "(default: serial)")
+    parser.add_argument("--or-width", type=int, default=None)
+    parser.add_argument("--baseline", action="store_true")
+    parser.add_argument("--json", action="store_true",
+                        help="dump the report as JSON")
+    args = parser.parse_args(argv)
+
+    config = AnalysisConfig(max_or_width=args.or_width)
+    names = benchmark_names() if args.all else [n.upper()
+                                                for n in args.names]
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        parser.error("unknown benchmarks: %s" % ", ".join(unknown))
+    jobs = jobs_from_benchmarks(names, config=config,
+                                baseline=args.baseline)
+    for spec in args.file:
+        path, _, query_text = spec.rpartition(":")
+        if not path:
+            parser.error("--file wants FILE:QUERY, got %r" % spec)
+        with open(path) as handle:
+            source = handle.read()
+        jobs.append(Job(name=path, source=source,
+                        query=_parse_query(query_text), config=config,
+                        baseline=args.baseline))
+    if not jobs:
+        parser.error("nothing to do: give benchmark names, --all, "
+                     "or --file")
+
+    cache = ResultCache(args.cache_dir)
+    try:
+        report = run_batch(jobs, cache, workers=args.workers)
+    except (KeyError, ValueError) as error:
+        raise SystemExit("error: %s" % (error.args[0],))
+
+    if args.json:
+        print(json.dumps({
+            "hits": report.hits,
+            "misses": report.misses,
+            "seconds": report.seconds,
+            "jobs": [{"name": r.name, "cached": r.cached,
+                      "seconds": r.seconds,
+                      "key": r.key.digest,
+                      "result": r.payload} for r in report.results],
+        }, indent=2, sort_keys=True))
+        return 0
+    rows = []
+    for job_result in report.results:
+        stats = job_result.payload["stats"]
+        rows.append([job_result.name,
+                     "hit" if job_result.cached else "miss",
+                     "%.3f" % job_result.seconds,
+                     stats["procedure_iterations"],
+                     len(job_result.payload["entries"])])
+    print(format_table(["job", "cache", "time", "proc-it", "entries"],
+                       rows))
+    print()
+    print("%d jobs: %d cache hits, %d analyzed, %.2fs total"
+          % (len(report.results), report.hits, report.misses,
+             report.seconds))
+    return 0
+
+
+# -- repro cache -------------------------------------------------------------
+
+def cache_main(argv) -> int:
+    """Inspect and maintain the on-disk result cache."""
+    from .service import ResultCache, program_hash, promote
+
+    parser = argparse.ArgumentParser(
+        prog="repro cache",
+        description="Inspect and maintain the content-addressed "
+                    "analysis result cache.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="count stored entries")
+    info.add_argument("--cache-dir", required=True)
+
+    clear = sub.add_parser("clear", help="drop every stored entry")
+    clear.add_argument("--cache-dir", required=True)
+
+    prom = sub.add_parser(
+        "promote",
+        help="carry results of OLD forward to the edited NEW: entries "
+             "whose query cone is unchanged are re-keyed, SCC-affected "
+             "ones invalidated")
+    prom.add_argument("old", help="Prolog source before the edit")
+    prom.add_argument("new", help="Prolog source after the edit")
+    prom.add_argument("--cache-dir", required=True)
+
+    args = parser.parse_args(argv)
+    cache = ResultCache(args.cache_dir)
+
+    if args.command == "info":
+        print("%d entries under %s" % (len(cache), args.cache_dir))
+        return 0
+    if args.command == "clear":
+        count = len(cache)
+        cache.clear()
+        print("cleared %d entries" % count)
+        return 0
+    assert args.command == "promote"
+    with open(args.old) as handle:
+        old_source = handle.read()
+    with open(args.new) as handle:
+        new_source = handle.read()
+    report = promote(cache, old_source, new_source)
+    print("program %s -> %s" % (report.old_program_hash[:12],
+                                report.new_program_hash[:12]))
+    if report.dirty:
+        print("dirty predicates: %s"
+              % ", ".join(sorted("%s/%d" % p for p in report.dirty)))
+    print("%d promoted, %d invalidated"
+          % (len(report.promoted), len(report.invalidated)))
     return 0
 
 

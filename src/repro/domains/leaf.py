@@ -27,7 +27,7 @@ from ..typegraph.ops import g_intersect, g_le, g_split, g_union
 from ..typegraph.widening import g_widen
 
 __all__ = ["LeafDomain", "TypeLeafDomain", "TrivialLeafDomain",
-           "DepthBoundLeafDomain", "TOP"]
+           "DepthBoundLeafDomain", "TOP", "domain_from_descriptor"]
 
 
 class _Top:
@@ -101,6 +101,21 @@ class LeafDomain:
     def display(self, value) -> str:
         raise NotImplementedError
 
+    # -- serialization (service layer) --------------------------------------
+
+    def encode_leaf(self, value):
+        """JSON-ready canonical encoding of one leaf value."""
+        raise NotImplementedError
+
+    def decode_leaf(self, data):
+        """Inverse of :meth:`encode_leaf`."""
+        raise NotImplementedError
+
+    def descriptor(self) -> dict:
+        """JSON-ready description of the domain and its configuration,
+        sufficient to rebuild it with :func:`domain_from_descriptor`."""
+        raise NotImplementedError
+
 
 class TypeLeafDomain(LeafDomain):
     """R = Type: leaves carry type grammars (paper §6).
@@ -160,6 +175,20 @@ class TypeLeafDomain(LeafDomain):
         from ..typegraph.display import grammar_to_text
         return grammar_to_text(value)
 
+    def encode_leaf(self, value: Grammar) -> dict:
+        return value.to_obj()
+
+    def decode_leaf(self, data: dict) -> Grammar:
+        return Grammar.from_obj(data)
+
+    def descriptor(self) -> dict:
+        return {
+            "name": self.name,
+            "max_or_width": self.max_or_width,
+            "type_database": (None if self.type_database is None else
+                              [g.to_obj() for g in self.type_database]),
+        }
+
 
 class DepthBoundLeafDomain(TypeLeafDomain):
     """R = Type, but with the Bruynooghe/Janssens finite subdomain in
@@ -183,6 +212,10 @@ class DepthBoundLeafDomain(TypeLeafDomain):
               strict: bool = True) -> Grammar:
         from ..typegraph.depthbound import depth_bound_join
         return depth_bound_join(old, new, self.k)
+
+    def descriptor(self) -> dict:
+        return {"name": self.name, "k": self.k,
+                "max_or_width": self.max_or_width}
 
 
 class TrivialLeafDomain(LeafDomain):
@@ -226,3 +259,28 @@ class TrivialLeafDomain(LeafDomain):
 
     def display(self, value) -> str:
         return "Any"
+
+    def encode_leaf(self, value) -> str:
+        return "top"
+
+    def decode_leaf(self, data):
+        return TOP
+
+    def descriptor(self) -> dict:
+        return {"name": self.name}
+
+
+def domain_from_descriptor(desc: dict) -> LeafDomain:
+    """Rebuild a leaf domain from :meth:`LeafDomain.descriptor` output."""
+    name = desc["name"]
+    if name == TrivialLeafDomain.name:
+        return TrivialLeafDomain()
+    type_database = desc.get("type_database")
+    if type_database is not None:
+        type_database = [Grammar.from_obj(g) for g in type_database]
+    if name == DepthBoundLeafDomain.name:
+        return DepthBoundLeafDomain(desc.get("k", 1),
+                                    desc.get("max_or_width"))
+    if name == TypeLeafDomain.name:
+        return TypeLeafDomain(desc.get("max_or_width"), type_database)
+    raise ValueError("unknown leaf domain: %r" % name)

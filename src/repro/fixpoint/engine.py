@@ -65,6 +65,7 @@ class AnalysisStats:
     procedure_iterations: int = 0
     clause_iterations: int = 0
     entries_created: int = 0
+    entries_seeded: int = 0
     input_widenings: int = 0
     cpu_time: float = 0.0
 
@@ -72,7 +73,8 @@ class AnalysisStats:
 @dataclass
 class Entry:
     """One tabulated (input pattern, predicate, output pattern) tuple —
-    the (β_in, p, β_out) triples of §2."""
+    the (β_in, p, β_out) triples of §2.  ``seeded`` marks entries
+    imported from a previous run's table rather than iterated here."""
 
     id: int
     pred: PredId
@@ -81,20 +83,37 @@ class Entry:
     dependents: Set[int] = field(default_factory=set)
     updates: int = 0
     iterations: int = 0
+    seeded: bool = False
 
 
 class AnalysisResult:
-    """Outcome of an analysis run: the full polyvariant table."""
+    """Outcome of an analysis run: the full polyvariant table.
 
-    def __init__(self, engine: "Engine", root: Entry) -> None:
-        self.program = engine.program
-        self.domain = engine.domain
-        self.stats = engine.stats
-        self.root_entry = root
-        self.entries: List[Entry] = sorted(
-            (e for es in engine.table.values() for e in es),
-            key=lambda e: e.id)
-        self.unknown_predicates = sorted(engine.unknown_predicates)
+    Constructed by the engine (:meth:`from_engine`) or rebuilt from a
+    serialized form (the service layer passes the parts directly, with
+    ``program=None`` when only the table is of interest).
+    """
+
+    def __init__(self, program, domain,
+                 stats: AnalysisStats, root_entry: Entry,
+                 entries: List[Entry],
+                 unknown_predicates: List[PredId]) -> None:
+        self.program = program
+        self.domain = domain
+        self.stats = stats
+        self.root_entry = root_entry
+        self.entries = entries
+        self.unknown_predicates = unknown_predicates
+        self._by_pred: Dict[PredId, List[Entry]] = {}
+        for entry in entries:
+            self._by_pred.setdefault(entry.pred, []).append(entry)
+
+    @classmethod
+    def from_engine(cls, engine: "Engine", root: Entry) -> "AnalysisResult":
+        entries = sorted((e for es in engine.table.values() for e in es),
+                         key=lambda e: e.id)
+        return cls(engine.program, engine.domain, engine.stats, root,
+                   entries, sorted(engine.unknown_predicates))
 
     @property
     def output(self):
@@ -106,13 +125,17 @@ class AnalysisResult:
         return [(e.beta_in, e.pred, e.beta_out) for e in self.entries]
 
     def entries_for(self, pred: PredId) -> List[Entry]:
-        return [e for e in self.entries if e.pred == pred]
+        return list(self._by_pred.get(pred, ()))
+
+    def predicates(self) -> List[PredId]:
+        """Analyzed predicates in first-entry order."""
+        return list(self._by_pred)
 
     def collapsed_for(self, pred: PredId):
         """Single-version (β_in, β_out) for ``pred``: the join over all
         entries — the "no multiple specialization" view used by the
         accuracy tables (§9)."""
-        entries = self.entries_for(pred)
+        entries = self._by_pred.get(pred)
         if not entries:
             return None
         beta_in = PAT_BOTTOM
@@ -158,7 +181,24 @@ class Engine:
         root = self._solve(pred, beta_in)
         self._run()
         self.stats.cpu_time += time.process_time() - start
-        return AnalysisResult(self, root)
+        return AnalysisResult.from_engine(self, root)
+
+    def seed_entry(self, pred: PredId, beta_in: AbstractSubst,
+                   beta_out) -> Entry:
+        """Pre-populate the table with a known-valid (β_in, p, β_out)
+        tuple — incremental re-analysis seeds surviving entries of
+        unchanged SCCs this way.  The entry is *not* scheduled: its
+        output is already a fixpoint, so callers hitting it through
+        :meth:`_solve` (exact input match only, see there) get the
+        answer without any iteration."""
+        if not self.program.defined(pred):
+            raise KeyError("cannot seed undefined predicate: %s/%d" % pred)
+        entry = Entry(len(self.entries_by_id), pred, beta_in, beta_out,
+                      seeded=True)
+        self.entries_by_id[entry.id] = entry
+        self.table.setdefault(pred, []).append(entry)
+        self.stats.entries_seeded += 1
+        return entry
 
     # -- table management ------------------------------------------------------
 
@@ -170,6 +210,13 @@ class Engine:
             if subst_eq(beta_in, entry.beta_in, self.domain):
                 return entry
         for entry in entries:
+            # Seeded entries are reused only on exact input matches:
+            # covering a *smaller* input with an imported coarse output
+            # would be sound but strictly less precise than analyzing
+            # the small input fresh — and the caller may cache the
+            # degraded result under the same key a cold run would use.
+            if entry.seeded:
+                continue
             if subst_le(beta_in, entry.beta_in, self.domain):
                 return entry
         if len(entries) >= self.config.max_input_patterns:

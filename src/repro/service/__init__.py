@@ -1,0 +1,46 @@
+"""The analysis service layer: durable, reusable analysis artifacts.
+
+Four pieces turn the one-shot analyzer into a serving substrate:
+
+* :mod:`repro.service.serialize` — canonical JSON encodings and
+  content hashes for everything the analyzer consumes and produces;
+* :mod:`repro.service.cache` — a content-addressed result store
+  (in-memory LRU over an optional on-disk object store);
+* :mod:`repro.service.batch` — a cache-first batch driver with an
+  optional process pool;
+* :mod:`repro.service.incremental` — SCC-scoped cache invalidation,
+  promotion across program edits, and table-seeded re-analysis.
+
+Quickstart::
+
+    from repro.service import Job, ResultCache, run_batch
+    cache = ResultCache("~/.cache/repro")
+    report = run_batch([Job("app", source, ("app", 3))], cache)
+    report.results[0].result().output
+"""
+
+from .batch import (BatchReport, Job, JobResult, jobs_from_benchmarks,
+                    run_batch)
+from .cache import CacheKey, CacheStats, ResultCache, make_key
+from .incremental import (PromotionReport, ReanalysisInfo,
+                          dirty_predicates, promote, reanalyze)
+from .serialize import (FORMAT_VERSION, canonical_json, config_hash,
+                        content_hash, decode_config, decode_grammar,
+                        decode_result, decode_subst, encode_config,
+                        encode_grammar, encode_result, encode_subst,
+                        predicate_hashes, program_hash)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "canonical_json", "content_hash",
+    "encode_grammar", "decode_grammar",
+    "encode_subst", "decode_subst",
+    "encode_config", "decode_config", "config_hash",
+    "encode_result", "decode_result",
+    "predicate_hashes", "program_hash",
+    "CacheKey", "CacheStats", "ResultCache", "make_key",
+    "Job", "JobResult", "BatchReport", "run_batch",
+    "jobs_from_benchmarks",
+    "dirty_predicates", "promote", "PromotionReport",
+    "reanalyze", "ReanalysisInfo",
+]

@@ -1,0 +1,158 @@
+"""Batch analysis driver: many (program, query) jobs, cache-first,
+optionally through a process pool.
+
+The driver is the service's throughput path: each :class:`Job` is
+keyed (:func:`repro.service.cache.make_key`), looked up in the cache,
+and only the misses are dispatched — serially, or across a
+``concurrent.futures.ProcessPoolExecutor`` when ``workers`` is given.
+Work crosses the process boundary as JSON-ready specs and returns as
+serialized result payloads, so the pool exercises exactly the
+serialization layer the on-disk cache uses.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..analysis.analyzer import analyze
+from ..fixpoint.engine import AnalysisConfig
+from ..prolog.program import PredId
+from ..typegraph.grammar import Grammar
+from .cache import CacheKey, ResultCache, make_key
+from .serialize import (decode_config, decode_input_types, decode_result,
+                        encode_config, encode_input_types, encode_result)
+
+__all__ = ["Job", "JobResult", "BatchReport", "run_batch",
+           "jobs_from_benchmarks"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One analysis workload."""
+
+    name: str
+    source: str
+    query: PredId
+    input_types: Optional[Tuple[Union[str, Grammar], ...]] = None
+    config: Optional[AnalysisConfig] = None
+    baseline: bool = False
+
+    def key(self) -> CacheKey:
+        return make_key(self.source, self.query, self.input_types,
+                        self.config, self.baseline)
+
+
+@dataclass
+class JobResult:
+    """Outcome of one job: the serialized payload plus provenance."""
+
+    name: str
+    key: CacheKey
+    payload: dict
+    cached: bool
+    seconds: float
+
+    def result(self, program=None):
+        """Decode the payload into an ``AnalysisResult``."""
+        return decode_result(self.payload, program)
+
+
+@dataclass
+class BatchReport:
+    results: List[JobResult] = field(default_factory=list)
+    hits: int = 0
+    misses: int = 0
+    seconds: float = 0.0
+
+    def by_name(self) -> Dict[str, JobResult]:
+        return {r.name: r for r in self.results}
+
+
+def _job_spec(job: Job) -> dict:
+    """JSON-ready form of a job for the process boundary."""
+    return {
+        "name": job.name,
+        "source": job.source,
+        "query": list(job.query),
+        "input_types": encode_input_types(job.input_types),
+        "config": (None if job.config is None
+                   else encode_config(job.config)),
+        "baseline": job.baseline,
+    }
+
+
+def _execute_spec(spec: dict) -> Tuple[str, dict, float]:
+    """Worker entry point: run one analysis, return the serialized
+    result.  Top-level so the process pool can pickle it."""
+    config = (None if spec["config"] is None
+              else decode_config(spec["config"]))
+    start = time.perf_counter()
+    analysis = analyze(spec["source"],
+                       (spec["query"][0], int(spec["query"][1])),
+                       input_types=decode_input_types(spec["input_types"]),
+                       config=config,
+                       baseline=spec["baseline"])
+    seconds = time.perf_counter() - start
+    return spec["name"], encode_result(analysis.result), seconds
+
+
+def run_batch(jobs: Sequence[Job],
+              cache: Optional[ResultCache] = None,
+              workers: Optional[int] = None) -> BatchReport:
+    """Analyze ``jobs``, consulting ``cache`` before dispatch.
+
+    ``workers``: ``None``/``0``/``1`` runs misses serially in-process;
+    ``>= 2`` fans them out over a process pool of that size.  Results
+    come back in job order either way.
+    """
+    report = BatchReport()
+    start = time.perf_counter()
+    pending: List[Tuple[int, Job, CacheKey]] = []
+    slots: List[Optional[JobResult]] = [None] * len(jobs)
+    for index, job in enumerate(jobs):
+        key = job.key()
+        payload = cache.get(key) if cache is not None else None
+        if payload is not None:
+            slots[index] = JobResult(job.name, key, payload,
+                                     cached=True, seconds=0.0)
+            report.hits += 1
+        else:
+            pending.append((index, job, key))
+            report.misses += 1
+
+    if pending:
+        specs = [_job_spec(job) for _, job, _ in pending]
+        if workers is not None and workers >= 2 and len(pending) > 1:
+            from concurrent.futures import ProcessPoolExecutor
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                outcomes = list(pool.map(_execute_spec, specs))
+        else:
+            outcomes = [_execute_spec(spec) for spec in specs]
+        for (index, job, key), (name, payload, seconds) in \
+                zip(pending, outcomes):
+            slots[index] = JobResult(name, key, payload,
+                                     cached=False, seconds=seconds)
+            if cache is not None:
+                cache.put(key, payload)
+
+    report.results = [slot for slot in slots if slot is not None]
+    report.seconds = time.perf_counter() - start
+    return report
+
+
+def jobs_from_benchmarks(names: Optional[Sequence[str]] = None,
+                         config: Optional[AnalysisConfig] = None,
+                         baseline: bool = False) -> List[Job]:
+    """Jobs for the built-in §9 corpus (default: all 15 workloads)."""
+    from ..benchprogs import benchmark, benchmark_names
+    if names is None:
+        names = benchmark_names()
+    jobs = []
+    for name in names:
+        bp = benchmark(name)
+        jobs.append(Job(name=bp.name, source=bp.source, query=bp.query,
+                        input_types=bp.input_types, config=config,
+                        baseline=baseline))
+    return jobs

@@ -1,0 +1,302 @@
+"""Content-addressed analysis result cache.
+
+A :class:`ResultCache` stores serialized analysis results keyed by
+:class:`CacheKey` — the content hash of everything a run depends on:
+``(program_hash, query, input_types, config_hash, domain, format)``.
+Two layers:
+
+* an **in-memory LRU** (bounded by ``max_memory_entries``) serving the
+  hot keys of a long-lived service process;
+* an optional **on-disk store** under ``cache_dir`` that persists
+  across processes, laid out as
+  ``objects/<program_hash>/<key_digest>.json`` so all results for one
+  program version can be listed (promotion) or dropped (invalidation)
+  without touching the rest of the store.
+
+Payloads are the JSON-ready objects of :mod:`repro.service.serialize`;
+the cache never decodes them — it is a plain content-addressed blob
+store with an index by program hash.
+"""
+
+from __future__ import annotations
+
+import functools
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..fixpoint.engine import AnalysisConfig
+from ..prolog.program import PredId, Program
+from ..typegraph.grammar import Grammar
+from .serialize import (FORMAT_VERSION, canonical_json, config_hash,
+                        content_hash, encode_input_types, program_hash)
+
+__all__ = ["CacheKey", "CacheStats", "ResultCache", "make_key"]
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Everything an analysis run's outcome depends on."""
+
+    program_hash: str
+    query: PredId
+    input_types_key: Optional[str]  # canonical JSON text, None = all Any
+    config_hash: str
+    domain: str
+    version: int = FORMAT_VERSION
+
+    @functools.cached_property
+    def digest(self) -> str:
+        return content_hash({
+            "program": self.program_hash,
+            "query": list(self.query),
+            "input_types": self.input_types_key,
+            "config": self.config_hash,
+            "domain": self.domain,
+            "version": self.version,
+        })
+
+    def with_program(self, new_program_hash: str) -> "CacheKey":
+        """The same workload against another program version — the
+        re-keying primitive behind incremental promotion."""
+        return CacheKey(new_program_hash, self.query,
+                        self.input_types_key, self.config_hash,
+                        self.domain, self.version)
+
+    def to_obj(self) -> dict:
+        return {
+            "program_hash": self.program_hash,
+            "query": list(self.query),
+            "input_types_key": self.input_types_key,
+            "config_hash": self.config_hash,
+            "domain": self.domain,
+            "version": self.version,
+        }
+
+    @classmethod
+    def from_obj(cls, data: dict) -> "CacheKey":
+        return cls(
+            program_hash=data["program_hash"],
+            query=(data["query"][0], int(data["query"][1])),
+            input_types_key=data.get("input_types_key"),
+            config_hash=data["config_hash"],
+            domain=data["domain"],
+            version=int(data.get("version", FORMAT_VERSION)),
+        )
+
+
+def make_key(source: Union[str, Program], query: PredId,
+             input_types: Optional[Sequence[Union[str, Grammar]]] = None,
+             config: Optional[AnalysisConfig] = None,
+             baseline: bool = False) -> CacheKey:
+    """Cache key for one :func:`repro.analyze` workload."""
+    encoded_types = encode_input_types(input_types)
+    return CacheKey(
+        program_hash=program_hash(source),
+        query=(query[0], int(query[1])),
+        input_types_key=(None if encoded_types is None
+                         else canonical_json(encoded_types)),
+        config_hash=config_hash(config),
+        domain="trivial" if baseline else "type",
+    )
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+
+
+class ResultCache:
+    """LRU-over-disk store for serialized analysis results."""
+
+    def __init__(self, cache_dir: Optional[Union[str, os.PathLike]] = None,
+                 max_memory_entries: int = 256) -> None:
+        if max_memory_entries < 1:
+            raise ValueError("max_memory_entries must be >= 1")
+        self.cache_dir = None if cache_dir is None else str(cache_dir)
+        self.max_memory_entries = max_memory_entries
+        self._memory: "OrderedDict[str, Tuple[CacheKey, dict]]" = \
+            OrderedDict()
+        self.stats = CacheStats()
+
+    # -- paths ---------------------------------------------------------------
+
+    def _objects_dir(self) -> str:
+        assert self.cache_dir is not None
+        return os.path.join(self.cache_dir, "objects")
+
+    def _program_dir(self, prog_hash: str) -> str:
+        return os.path.join(self._objects_dir(), prog_hash)
+
+    def _entry_path(self, key: CacheKey) -> str:
+        return os.path.join(self._program_dir(key.program_hash),
+                            key.digest + ".json")
+
+    # -- core get/put --------------------------------------------------------
+
+    def get(self, key: CacheKey) -> Optional[dict]:
+        """The stored payload, or None.  Disk hits are promoted into
+        the memory layer."""
+        digest = key.digest
+        if digest in self._memory:
+            self._memory.move_to_end(digest)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return self._memory[digest][1]
+        if self.cache_dir is not None:
+            path = self._entry_path(key)
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    record = json.load(handle)
+                payload = record["payload"]
+            except (OSError, ValueError, KeyError, TypeError):
+                payload = None  # unreadable/truncated record: a miss
+            if payload is not None:
+                self._remember(key, payload)
+                self.stats.hits += 1
+                self.stats.disk_hits += 1
+                return payload
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: CacheKey, payload: dict) -> None:
+        """Store a payload under ``key`` in both layers.  Disk writes
+        are atomic (tempfile + rename), so a crashed writer never
+        leaves a half-written object behind."""
+        self._remember(key, payload)
+        self.stats.puts += 1
+        if self.cache_dir is None:
+            return
+        directory = self._program_dir(key.program_hash)
+        os.makedirs(directory, exist_ok=True)
+        record = {"key": key.to_obj(), "payload": payload}
+        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(record, handle)
+            os.replace(tmp_path, self._entry_path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+
+    def _remember(self, key: CacheKey, payload: dict) -> None:
+        digest = key.digest
+        self._memory[digest] = (key, payload)
+        self._memory.move_to_end(digest)
+        while len(self._memory) > self.max_memory_entries:
+            self._memory.popitem(last=False)
+            self.stats.evictions += 1
+
+    # -- program-level index -------------------------------------------------
+
+    def keys_for_program(self, prog_hash: str) -> List[CacheKey]:
+        """All stored keys for one program version (both layers)."""
+        keys: Dict[str, CacheKey] = {}
+        for digest, (key, _) in self._memory.items():
+            if key.program_hash == prog_hash:
+                keys[digest] = key
+        for key, _ in self._iter_disk(prog_hash):
+            keys.setdefault(key.digest, key)
+        return list(keys.values())
+
+    def _iter_disk(self, prog_hash: str) -> Iterator[Tuple[CacheKey, dict]]:
+        if self.cache_dir is None:
+            return
+        directory = self._program_dir(prog_hash)
+        try:
+            names = sorted(os.listdir(directory))
+        except OSError:
+            return
+        for name in names:
+            if not name.endswith(".json"):
+                continue
+            try:
+                with open(os.path.join(directory, name), "r",
+                          encoding="utf-8") as handle:
+                    record = json.load(handle)
+                yield CacheKey.from_obj(record["key"]), record["payload"]
+            except (OSError, ValueError, KeyError):
+                continue
+
+    def entries_for_program(self,
+                            prog_hash: str) -> List[Tuple[CacheKey, dict]]:
+        """(key, payload) pairs stored for one program version."""
+        seen: Dict[str, Tuple[CacheKey, dict]] = {}
+        for digest, (key, payload) in self._memory.items():
+            if key.program_hash == prog_hash:
+                seen[digest] = (key, payload)
+        for key, payload in self._iter_disk(prog_hash):
+            seen.setdefault(key.digest, (key, payload))
+        return list(seen.values())
+
+    # -- invalidation --------------------------------------------------------
+
+    def invalidate(self, key: CacheKey) -> bool:
+        """Drop one entry from both layers; True if anything existed."""
+        existed = self._memory.pop(key.digest, None) is not None
+        if self.cache_dir is not None:
+            try:
+                os.unlink(self._entry_path(key))
+                existed = True
+            except OSError:
+                pass
+        if existed:
+            self.stats.invalidations += 1
+        return existed
+
+    def invalidate_program(self, prog_hash: str) -> int:
+        """Drop every entry for one program version; returns a count."""
+        dropped = 0
+        for key in self.keys_for_program(prog_hash):
+            if self.invalidate(key):
+                dropped += 1
+        return dropped
+
+    def clear(self) -> None:
+        self._memory.clear()
+        if self.cache_dir is None:
+            return
+        try:
+            program_dirs = os.listdir(self._objects_dir())
+        except OSError:
+            return
+        for prog_hash in program_dirs:
+            directory = self._program_dir(prog_hash)
+            try:
+                for name in os.listdir(directory):
+                    try:
+                        os.unlink(os.path.join(directory, name))
+                    except OSError:
+                        pass
+                os.rmdir(directory)
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        """Number of distinct stored entries across both layers."""
+        digests = set(self._memory)
+        if self.cache_dir is not None:
+            try:
+                program_dirs = os.listdir(self._objects_dir())
+            except OSError:
+                program_dirs = []
+            for prog_hash in program_dirs:
+                try:
+                    names = os.listdir(self._program_dir(prog_hash))
+                except OSError:
+                    continue
+                digests.update(name[:-5] for name in names
+                               if name.endswith(".json"))
+        return len(digests)

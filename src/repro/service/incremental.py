@@ -1,0 +1,193 @@
+"""Incremental re-analysis: SCC-scoped invalidation and table
+re-seeding.
+
+A cached analysis result depends only on the *cone* of its query — the
+predicates reachable from it in the call graph.  When a program is
+edited, :func:`dirty_predicates` diffs the per-predicate content
+hashes and closes the changed set over the SCC condensation of the new
+call graph (:mod:`repro.analysis.callgraph`): a predicate is dirty iff
+its own SCC contains an edited predicate or calls (transitively) into
+an SCC that does.  Everything else — clean predicates — provably
+reaches the same fixpoint as before, so
+
+* :func:`promote` re-keys cached results whose query is clean to the
+  new program hash (a cache hit without any analysis) and invalidates
+  only the dirty ones, and
+* :func:`reanalyze` re-runs the engine for a dirty query with the
+  table *pre-seeded* by the surviving entries of clean predicates
+  (:meth:`repro.fixpoint.engine.Engine.seed_entry`), so only the dirty
+  cone is iterated.  Seeds are reused on exact input matches only
+  (see :meth:`Engine._solve`), which keeps the seeded run's precision
+  identical to a cold run's — up to the polyvariance cap, which seeds
+  count against like any other entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple, Union
+
+from ..analysis.analyzer import analyze
+from ..analysis.callgraph import CallGraph, build_callgraph
+from ..fixpoint.engine import AnalysisConfig, AnalysisResult
+from ..prolog.program import PredId, Program, parse_program
+from ..typegraph.grammar import Grammar
+from .cache import CacheKey, ResultCache, make_key
+from .serialize import (decode_result, encode_result, predicate_hashes,
+                        program_hash)
+
+__all__ = ["dirty_predicates", "promote", "PromotionReport",
+           "reanalyze", "ReanalysisInfo"]
+
+
+def _as_program(source: Union[str, Program]) -> Program:
+    return parse_program(source) if isinstance(source, str) else source
+
+
+def dirty_predicates(old_source: Union[str, Program],
+                     new_source: Union[str, Program],
+                     new_graph: Optional[CallGraph] = None) -> Set[PredId]:
+    """Predicates of the *new* program whose analysis may differ from
+    the old program's.
+
+    Directly dirty: the predicate's clauses changed (per-predicate
+    content hash), the predicate is new, or the defined-status of one
+    of its callees changed (a callee was added or removed elsewhere).
+    The set is then closed over the new call graph's SCC condensation:
+    an SCC is dirty if it contains a directly-dirty predicate or any
+    callee SCC is dirty.
+    """
+    old_program = _as_program(old_source)
+    new_program = _as_program(new_source)
+    if new_graph is None:
+        new_graph = build_callgraph(new_program)
+    old_hashes = predicate_hashes(old_program)
+    new_hashes = predicate_hashes(new_program)
+
+    directly: Set[PredId] = set()
+    for pred, digest in new_hashes.items():
+        if old_hashes.get(pred) != digest:
+            directly.add(pred)
+            continue
+        for calls in new_graph.clause_calls.get(pred, ()):
+            for callee in calls:
+                if old_program.defined(callee) != \
+                        new_program.defined(callee):
+                    directly.add(pred)
+                    break
+            if pred in directly:
+                break
+
+    # Tarjan emits SCCs callees-first, so one pass in emission order
+    # propagates dirtiness from callee components to their callers.
+    dirty: Set[PredId] = set()
+    dirty_sccs: Set[int] = set()
+    for index, scc in enumerate(new_graph.sccs):
+        is_dirty = any(pred in directly for pred in scc)
+        if not is_dirty:
+            for pred in scc:
+                for callee in new_graph.edges.get(pred, ()):
+                    callee_scc = new_graph.scc_of[callee]
+                    if callee_scc != index and callee_scc in dirty_sccs:
+                        is_dirty = True
+                        break
+                if is_dirty:
+                    break
+        if is_dirty:
+            dirty_sccs.add(index)
+            dirty.update(scc)
+    return dirty
+
+
+@dataclass
+class PromotionReport:
+    """What :func:`promote` did to the cache."""
+
+    old_program_hash: str
+    new_program_hash: str
+    dirty: Set[PredId] = field(default_factory=set)
+    promoted: List[CacheKey] = field(default_factory=list)
+    invalidated: List[CacheKey] = field(default_factory=list)
+
+
+def promote(cache: ResultCache,
+            old_source: Union[str, Program],
+            new_source: Union[str, Program]) -> PromotionReport:
+    """Carry cached results across a program edit.
+
+    Every cached entry of the old program version whose query
+    predicate is *clean* (still defined, SCC cone unchanged) is
+    *moved* to the new program hash — a free warm cache for the new
+    version, without leaving a copy to grow the store per edit.
+    Entries whose query is dirty are invalidated; entries for other
+    old program versions are untouched.
+    """
+    old_program = _as_program(old_source)
+    new_program = _as_program(new_source)
+    report = PromotionReport(program_hash(old_program),
+                             program_hash(new_program))
+    if report.old_program_hash == report.new_program_hash:
+        return report
+    report.dirty = dirty_predicates(old_program, new_program)
+    for key, payload in cache.entries_for_program(report.old_program_hash):
+        if new_program.defined(key.query) and key.query not in report.dirty:
+            cache.put(key.with_program(report.new_program_hash), payload)
+            report.promoted.append(key)
+        else:
+            report.invalidated.append(key)
+        cache.invalidate(key)  # the old version is superseded
+    return report
+
+
+@dataclass
+class ReanalysisInfo:
+    """Provenance of one :func:`reanalyze` outcome."""
+
+    key: CacheKey
+    cached: bool = False
+    seeded: int = 0
+    dirty: Set[PredId] = field(default_factory=set)
+
+
+def reanalyze(new_source: Union[str, Program], query: PredId,
+              cache: ResultCache,
+              old_source: Optional[Union[str, Program]] = None,
+              input_types: Optional[Sequence[Union[str, Grammar]]] = None,
+              config: Optional[AnalysisConfig] = None,
+              baseline: bool = False
+              ) -> Tuple[AnalysisResult, ReanalysisInfo]:
+    """Analysis result for ``query`` over the edited program, reusing
+    as much cached work as possible.
+
+    Resolution order: exact cache hit on the new program version →
+    done; otherwise, if the same workload is cached for ``old_source``,
+    compute the dirty set and re-run the engine seeded with the old
+    table's clean entries; otherwise analyze cold.  The result is
+    stored under the new key either way.
+    """
+    new_program = _as_program(new_source)
+    key = make_key(new_program, query, input_types, config, baseline)
+    payload = cache.get(key)
+    if payload is not None:
+        return decode_result(payload), ReanalysisInfo(key, cached=True)
+
+    info = ReanalysisInfo(key)
+    seeds: List[Tuple[PredId, object, object]] = []
+    if old_source is not None:
+        old_program = _as_program(old_source)
+        old_key = make_key(old_program, query, input_types, config,
+                           baseline)
+        old_payload = cache.get(old_key)
+        if old_payload is not None:
+            info.dirty = dirty_predicates(old_program, new_program)
+            old_result = decode_result(old_payload)
+            for entry in old_result.entries:
+                if entry.pred not in info.dirty and \
+                        new_program.defined(entry.pred):
+                    seeds.append((entry.pred, entry.beta_in,
+                                  entry.beta_out))
+    analysis = analyze(new_program, query, input_types=input_types,
+                       config=config, baseline=baseline, seeds=seeds)
+    info.seeded = len(seeds)
+    cache.put(key, encode_result(analysis.result))
+    return analysis.result, info

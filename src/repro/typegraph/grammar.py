@@ -170,6 +170,52 @@ class Grammar:
                 tuple(sorted((nt, tuple(sorted(alts, key=_alt_sort_key)))
                              for nt, alts in self.rules.items())))
 
+    # -- canonical plain-object form (service serialization layer) ----------
+
+    def to_obj(self) -> dict:
+        """JSON-ready canonical encoding: rules sorted by nonterminal,
+        alternatives in :func:`_alt_sort_key` order, so equal grammars
+        encode to identical objects (content-addressable)."""
+        rules = []
+        for nt in sorted(self.rules):
+            alts = []
+            for alt in sorted(self.rules[nt], key=_alt_sort_key):
+                if alt is ANY:
+                    alts.append(["any"])
+                elif alt is INT:
+                    alts.append(["int"])
+                else:
+                    assert isinstance(alt, FuncAlt)
+                    if alt.is_int:
+                        alts.append(["i", alt.name])
+                    else:
+                        alts.append(["f", alt.name, list(alt.args)])
+            rules.append([nt, alts])
+        return {"root": self.root, "rules": rules}
+
+    @classmethod
+    def from_obj(cls, data: dict) -> "Grammar":
+        """Inverse of :meth:`to_obj`.  Re-normalizes, so hand-edited or
+        foreign encodings still yield a canonical grammar (for outputs
+        of :meth:`to_obj` normalization is the identity)."""
+        rules: Dict[int, FrozenSet[Alt]] = {}
+        for nt, alts in data["rules"]:
+            decoded: List[Alt] = []
+            for alt in alts:
+                kind = alt[0]
+                if kind == "any":
+                    decoded.append(ANY)
+                elif kind == "int":
+                    decoded.append(INT)
+                elif kind == "i":
+                    decoded.append(FuncAlt(alt[1], (), True))
+                elif kind == "f":
+                    decoded.append(FuncAlt(alt[1], tuple(alt[2])))
+                else:
+                    raise ValueError("unknown alternative kind: %r" % kind)
+            rules[int(nt)] = frozenset(decoded)
+        return normalize(cls(rules, int(data["root"])))
+
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Grammar):
             return NotImplemented

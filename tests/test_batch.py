@@ -1,0 +1,98 @@
+"""Tests for the batch analysis driver."""
+
+from repro import analyze
+from repro.benchprogs import benchmark
+from repro.domains.pattern import subst_eq
+from repro.service.batch import (Job, jobs_from_benchmarks, run_batch)
+from repro.service.cache import ResultCache
+
+
+def small_jobs():
+    return jobs_from_benchmarks(["QU", "AR"])
+
+
+def stable(payload):
+    """Payload with the wall-clock field masked (all that may differ
+    between two runs of the same workload)."""
+    masked = dict(payload)
+    masked["stats"] = {k: v for k, v in payload["stats"].items()
+                       if k != "cpu_time"}
+    return masked
+
+
+def test_serial_batch_matches_direct_analysis():
+    report = run_batch(small_jobs())
+    assert report.hits == 0 and report.misses == 2
+    for job_result in report.results:
+        bp = benchmark(job_result.name)
+        direct = analyze(bp.source, bp.query, input_types=bp.input_types)
+        decoded = job_result.result()
+        assert subst_eq(decoded.output, direct.result.output,
+                        direct.domain)
+        assert decoded.stats.procedure_iterations == \
+            direct.stats.procedure_iterations
+
+
+def test_batch_results_preserve_job_order():
+    report = run_batch(small_jobs())
+    assert [r.name for r in report.results] == ["QU", "AR"]
+
+
+def test_cache_hits_skip_analysis(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold = run_batch(small_jobs(), cache)
+    assert cold.misses == 2
+    warm = run_batch(small_jobs(), cache)
+    assert warm.hits == 2 and warm.misses == 0
+    assert all(r.cached for r in warm.results)
+    cold_by_name = cold.by_name()
+    for job_result in warm.results:
+        assert job_result.payload == cold_by_name[job_result.name].payload
+
+
+def test_warm_cache_survives_process_restart(tmp_path):
+    run_batch(small_jobs(), ResultCache(tmp_path))
+    fresh = ResultCache(tmp_path)
+    warm = run_batch(small_jobs(), fresh)
+    assert warm.hits == 2
+    assert fresh.stats.disk_hits == 2
+
+
+def test_parallel_batch_matches_serial(tmp_path):
+    serial = run_batch(small_jobs())
+    parallel = run_batch(small_jobs(), ResultCache(tmp_path), workers=2)
+    assert parallel.misses == 2
+    serial_by_name = serial.by_name()
+    for job_result in parallel.results:
+        assert stable(job_result.payload) == \
+            stable(serial_by_name[job_result.name].payload)
+    # and the pool populated the cache
+    warm = run_batch(small_jobs(), ResultCache(tmp_path))
+    assert warm.hits == 2
+
+
+def test_mixed_hit_miss_batch(tmp_path):
+    cache = ResultCache(tmp_path)
+    run_batch(jobs_from_benchmarks(["QU"]), cache)
+    report = run_batch(small_jobs(), cache)
+    assert report.hits == 1 and report.misses == 1
+    by_name = report.by_name()
+    assert by_name["QU"].cached and not by_name["AR"].cached
+
+
+def test_custom_job_and_baseline():
+    source = "p([]).\np([X|T]) :- p(T).\n"
+    jobs = [Job("lists", source, ("p", 1)),
+            Job("lists-baseline", source, ("p", 1), baseline=True)]
+    report = run_batch(jobs)
+    baseline_payload = report.by_name()["lists-baseline"].payload
+    assert baseline_payload["domain"]["name"] == "trivial"
+    assert report.by_name()["lists"].payload["domain"]["name"] == "type"
+    # distinct cache keys for the two domains
+    assert jobs[0].key() != jobs[1].key()
+
+
+def test_jobs_from_benchmarks_defaults_to_corpus():
+    jobs = jobs_from_benchmarks()
+    assert len(jobs) == 15
+    assert jobs[0].name == "KA"

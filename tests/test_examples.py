@@ -1,32 +1,43 @@
 """Smoke tests: every shipped example runs to completion."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
-EXAMPLES = sorted(
-    (pathlib.Path(__file__).parent.parent / "examples").glob("*.py"))
+_ROOT = pathlib.Path(__file__).parent.parent
+EXAMPLES = sorted((_ROOT / "examples").glob("*.py"))
 
 FAST = [p for p in EXAMPLES if p.name != "paper_benchmarks.py"]
+
+
+def _env():
+    """Example subprocesses need `repro` importable even when pytest
+    itself found it through the `pythonpath` ini option (which only
+    patches this process's sys.path, not the children's)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(_ROOT / "src")]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else []))
+    return env
 
 
 @pytest.mark.parametrize("script", FAST, ids=lambda p: p.name)
 def test_example_runs(script):
     result = subprocess.run(
         [sys.executable, str(script)],
-        capture_output=True, text=True, timeout=300)
+        capture_output=True, text=True, timeout=300, env=_env())
     assert result.returncode == 0, result.stderr
     assert result.stdout.strip(), "example produced no output"
 
 
 def test_paper_benchmarks_subset():
-    script = pathlib.Path(__file__).parent.parent / "examples" / \
-        "paper_benchmarks.py"
+    script = _ROOT / "examples" / "paper_benchmarks.py"
     result = subprocess.run(
         [sys.executable, str(script), "QU", "AR"],
-        capture_output=True, text=True, timeout=300)
+        capture_output=True, text=True, timeout=300, env=_env())
     assert result.returncode == 0, result.stderr
     assert "QU" in result.stdout
     assert "cons" in result.stdout

@@ -1,0 +1,203 @@
+"""Tests for SCC-scoped incremental invalidation and re-analysis.
+
+The acceptance scenario: editing one predicate of a benchmark program
+invalidates only the cache entries whose query reaches the edited
+predicate's SCC, promotes the rest, and re-analysis of a dirty query
+reuses the surviving table entries as seeds.
+"""
+
+from repro import analyze
+from repro.benchprogs import benchmark
+from repro.domains.pattern import subst_eq
+from repro.service.cache import ResultCache, make_key
+from repro.service.incremental import (dirty_predicates, promote,
+                                       reanalyze)
+# QU's call structure: queens -> perm -> delete, queens -> safe ->
+# noattack.  Editing noattack dirties the queens/safe cone and leaves
+# the perm/delete cone clean.
+QU = benchmark("QU")
+QU_EDITED = QU.source.replace("N1 is N + 1", "N1 is N + 2")
+assert QU_EDITED != QU.source
+
+
+# -- dirty set computation ---------------------------------------------------
+
+def test_edit_leaf_dirties_only_its_callers():
+    dirty = dirty_predicates(QU.source, QU_EDITED)
+    assert dirty == {("noattack", 3), ("safe", 1), ("queens", 2)}
+
+
+def test_identical_programs_have_no_dirty_predicates():
+    assert dirty_predicates(QU.source, QU.source + "\n% comment\n") \
+        == set()
+
+
+def test_edit_root_dirties_only_root():
+    edited = QU.source.replace("queens(X, Y) :- perm(X, Y), safe(Y).",
+                               "queens(X, Y) :- perm(X, Y), safe(Y), "
+                               "safe(X).")
+    assert dirty_predicates(QU.source, edited) == {("queens", 2)}
+
+
+def test_new_predicate_is_dirty():
+    edited = QU.source + "\nextra(a).\n"
+    assert dirty_predicates(QU.source, edited) == {("extra", 1)}
+
+
+def test_removed_callee_dirties_callers():
+    # drop safe/1: queens still calls it, so queens must be dirty
+    lines = [line for line in QU.source.splitlines()
+             if not line.startswith("safe(")]
+    edited = "\n".join(lines)
+    dirty = dirty_predicates(QU.source, edited)
+    assert ("queens", 2) in dirty
+    assert ("perm", 2) not in dirty
+
+
+def test_mutual_recursion_dirties_whole_scc():
+    source = """
+    even(z).
+    even(s(X)) :- odd(X).
+    odd(s(X)) :- even(X).
+    top(X) :- even(X).
+    aside(a).
+    """
+    edited = source.replace("odd(s(X)) :- even(X).",
+                            "odd(s(s(X))) :- odd(s(X)).\n"
+                            "odd(s(X)) :- even(X).")
+    dirty = dirty_predicates(source, edited)
+    assert dirty == {("even", 1), ("odd", 1), ("top", 1)}
+    assert ("aside", 1) not in dirty
+
+
+# -- cache promotion ---------------------------------------------------------
+
+def test_promote_invalidates_only_scc_affected_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    # cache one entry per predicate cone: clean (perm) and dirty (queens)
+    reanalyze(QU.source, ("perm", 2), cache)
+    reanalyze(QU.source, ("queens", 2), cache)
+    report = promote(cache, QU.source, QU_EDITED)
+    assert {k.query for k in report.promoted} == {("perm", 2)}
+    assert {k.query for k in report.invalidated} == {("queens", 2)}
+    # the promoted entry is an instant hit for the edited program
+    _, info = reanalyze(QU_EDITED, ("perm", 2), cache)
+    assert info.cached
+    # the dirty entry is gone even under the old program hash
+    assert cache.get(make_key(QU.source, ("queens", 2))) is None
+
+
+def test_promote_keeps_unrelated_program_versions(tmp_path):
+    cache = ResultCache(tmp_path)
+    other = benchmark("AR")
+    reanalyze(other.source, other.query, cache)
+    reanalyze(QU.source, ("queens", 2), cache)
+    promote(cache, QU.source, QU_EDITED)
+    assert cache.get(make_key(other.source, other.query)) is not None
+
+
+def test_promote_is_a_noop_for_identical_programs(tmp_path):
+    cache = ResultCache(tmp_path)
+    reanalyze(QU.source, ("queens", 2), cache)
+    report = promote(cache, QU.source, QU.source + "\n% noise\n")
+    assert not report.promoted and not report.invalidated
+
+
+# -- incremental re-analysis -------------------------------------------------
+
+def test_reanalyze_cold_then_cached(tmp_path):
+    cache = ResultCache(tmp_path)
+    result, info = reanalyze(QU.source, QU.query, cache)
+    assert not info.cached and info.seeded == 0
+    again, info2 = reanalyze(QU.source, QU.query, cache)
+    assert info2.cached
+    assert subst_eq(again.output, result.output, result.domain)
+
+
+def test_reanalyze_seeds_clean_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    cold, _ = reanalyze(QU.source, QU.query, cache)
+    warm, info = reanalyze(QU_EDITED, QU.query, cache,
+                           old_source=QU.source)
+    assert not info.cached
+    assert info.seeded > 0
+    assert info.dirty == {("noattack", 3), ("safe", 1), ("queens", 2)}
+    # seeded entries are reported and the dirty cone did less work
+    assert warm.stats.entries_seeded == info.seeded
+    assert warm.stats.procedure_iterations < \
+        cold.stats.procedure_iterations
+    # seeds only come from clean predicates
+    seeded_preds = {e.pred for e in warm.entries
+                    if e.iterations == 0 and e.pred != QU.query}
+    assert seeded_preds.isdisjoint(info.dirty)
+
+
+def test_seeded_reanalysis_matches_cold_analysis(tmp_path):
+    cache = ResultCache(tmp_path)
+    reanalyze(QU.source, QU.query, cache)
+    warm, info = reanalyze(QU_EDITED, QU.query, cache,
+                           old_source=QU.source)
+    assert info.seeded > 0
+    cold = analyze(QU_EDITED, QU.query)
+    assert subst_eq(warm.output, cold.result.output, cold.domain)
+    for pred in cold.analyzed_predicates():
+        collapsed_warm = warm.collapsed_for(pred)
+        collapsed_cold = cold.result.collapsed_for(pred)
+        assert (collapsed_warm is None) == (collapsed_cold is None)
+        if collapsed_warm is not None:
+            assert subst_eq(collapsed_warm[1], collapsed_cold[1],
+                            cold.domain)
+
+
+def test_seeds_never_degrade_precision_for_smaller_inputs(tmp_path):
+    """A dirty caller may call a clean predicate with a *smaller*
+    input than any old entry's; the seed must not be reused for it
+    (sound but coarser), or the degraded result would be cached under
+    the same key a cold run populates."""
+    old = "id(X, X).\nmain(X, Y) :- id(X, Y).\n"
+    new = "id(X, X).\nmain(X, Y) :- X = [a|_], id(X, Y).\n"
+    cache = ResultCache(tmp_path)
+    reanalyze(old, ("main", 2), cache)
+    warm, info = reanalyze(new, ("main", 2), cache, old_source=old)
+    assert info.seeded == 1  # id/2 is clean and was seeded
+    cold = analyze(new, ("main", 2))
+    assert subst_eq(warm.output, cold.result.output, cold.domain)
+
+
+def test_promote_moves_instead_of_copying(tmp_path):
+    """Promotion re-keys clean entries; the superseded version's
+    copies are dropped so the store does not grow per edit."""
+    cache = ResultCache(tmp_path)
+    reanalyze(QU.source, ("perm", 2), cache)
+    reanalyze(QU.source, ("queens", 2), cache)
+    promote(cache, QU.source, QU_EDITED)
+    assert cache.get(make_key(QU.source, ("perm", 2))) is None
+    assert cache.get(make_key(QU_EDITED, ("perm", 2))) is not None
+    assert len(cache) == 1
+
+
+def test_corrupt_record_without_payload_is_a_miss(tmp_path):
+    import json
+    cache = ResultCache(tmp_path)
+    result, info = reanalyze(QU.source, ("perm", 2), cache)
+    with open(cache._entry_path(info.key), "w") as handle:
+        json.dump({"key": info.key.to_obj()}, handle)  # no payload
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(info.key) is None
+
+
+def test_reanalyze_without_old_result_runs_cold(tmp_path):
+    cache = ResultCache(tmp_path)
+    result, info = reanalyze(QU_EDITED, QU.query, cache,
+                             old_source=QU.source)
+    assert not info.cached and info.seeded == 0
+    cold = analyze(QU_EDITED, QU.query)
+    assert subst_eq(result.output, cold.result.output, cold.domain)
+
+
+def test_reanalyze_stores_result_for_next_time(tmp_path):
+    cache = ResultCache(tmp_path)
+    reanalyze(QU.source, QU.query, cache)
+    reanalyze(QU_EDITED, QU.query, cache, old_source=QU.source)
+    _, info = reanalyze(QU_EDITED, QU.query, cache)
+    assert info.cached

@@ -1,0 +1,147 @@
+"""Tests for the content-addressed result cache."""
+
+import pytest
+
+from repro import AnalysisConfig, analyze
+from repro.service.cache import ResultCache, make_key
+from repro.service.serialize import encode_result, program_hash
+
+
+@pytest.fixture
+def payload(append_source):
+    return encode_result(analyze(append_source, ("append", 3)).result)
+
+
+def test_memory_get_put(append_source, payload):
+    cache = ResultCache()
+    key = make_key(append_source, ("append", 3))
+    assert cache.get(key) is None
+    cache.put(key, payload)
+    assert cache.get(key) == payload
+    assert cache.stats.misses == 1
+    assert cache.stats.memory_hits == 1
+
+
+def test_key_components_distinguish(append_source):
+    base = make_key(append_source, ("append", 3))
+    assert base == make_key(append_source, ("append", 3))
+    assert base != make_key(append_source, ("append", 3),
+                            input_types=["list", "any", "any"])
+    assert base != make_key(append_source, ("append", 3),
+                            config=AnalysisConfig(max_or_width=2))
+    assert base != make_key(append_source, ("append", 3), baseline=True)
+    assert base != make_key(append_source + "\nq(a).\n", ("append", 3))
+    assert base.digest != make_key(append_source, ("append", 3),
+                                   baseline=True).digest
+
+
+def test_disk_persistence(tmp_path, append_source, payload):
+    key = make_key(append_source, ("append", 3))
+    writer = ResultCache(tmp_path)
+    writer.put(key, payload)
+    reader = ResultCache(tmp_path)
+    assert reader.get(key) == payload
+    assert reader.stats.disk_hits == 1
+    # a second read is served from memory
+    assert reader.get(key) == payload
+    assert reader.stats.memory_hits == 1
+
+
+def test_lru_eviction(append_source, payload):
+    cache = ResultCache(max_memory_entries=2)
+    keys = [make_key(append_source + "\np%d(a).\n" % i, ("append", 3))
+            for i in range(3)]
+    for key in keys:
+        cache.put(key, payload)
+    assert cache.stats.evictions == 1
+    assert cache.get(keys[0]) is None  # oldest evicted
+    assert cache.get(keys[1]) == payload
+    assert cache.get(keys[2]) == payload
+
+
+def test_lru_eviction_keeps_recently_used(append_source, payload):
+    cache = ResultCache(max_memory_entries=2)
+    keys = [make_key(append_source + "\np%d(a).\n" % i, ("append", 3))
+            for i in range(3)]
+    cache.put(keys[0], payload)
+    cache.put(keys[1], payload)
+    cache.get(keys[0])  # refresh 0 so 1 is the LRU victim
+    cache.put(keys[2], payload)
+    assert cache.get(keys[0]) == payload
+    assert cache.get(keys[1]) is None
+
+
+def test_disk_backs_memory_eviction(tmp_path, append_source, payload):
+    cache = ResultCache(tmp_path, max_memory_entries=1)
+    keys = [make_key(append_source + "\np%d(a).\n" % i, ("append", 3))
+            for i in range(2)]
+    cache.put(keys[0], payload)
+    cache.put(keys[1], payload)  # evicts keys[0] from memory
+    assert cache.get(keys[0]) == payload  # served from disk
+    assert cache.stats.disk_hits == 1
+
+
+def test_entries_for_program(tmp_path, append_source, payload):
+    cache = ResultCache(tmp_path)
+    key1 = make_key(append_source, ("append", 3))
+    key2 = make_key(append_source, ("append", 3),
+                    config=AnalysisConfig(max_or_width=5))
+    other = make_key(append_source + "\nq(a).\n", ("append", 3))
+    for key in (key1, key2, other):
+        cache.put(key, payload)
+    prog_hash = program_hash(append_source)
+    entries = cache.entries_for_program(prog_hash)
+    assert sorted(k.digest for k, _ in entries) == \
+        sorted([key1.digest, key2.digest])
+    assert len(cache.keys_for_program(other.program_hash)) == 1
+
+
+def test_invalidate(tmp_path, append_source, payload):
+    cache = ResultCache(tmp_path)
+    key = make_key(append_source, ("append", 3))
+    cache.put(key, payload)
+    assert cache.invalidate(key)
+    assert cache.get(key) is None
+    assert not cache.invalidate(key)
+    # the disk copy is gone too
+    assert ResultCache(tmp_path).get(key) is None
+
+
+def test_invalidate_program(tmp_path, append_source, payload):
+    cache = ResultCache(tmp_path)
+    key1 = make_key(append_source, ("append", 3))
+    key2 = make_key(append_source, ("append", 3), baseline=True)
+    other = make_key(append_source + "\nq(a).\n", ("append", 3))
+    for key in (key1, key2, other):
+        cache.put(key, payload)
+    assert cache.invalidate_program(key1.program_hash) == 2
+    assert cache.get(key1) is None
+    assert cache.get(key2) is None
+    assert cache.get(other) == payload
+
+
+def test_clear_and_len(tmp_path, append_source, payload):
+    cache = ResultCache(tmp_path)
+    cache.put(make_key(append_source, ("append", 3)), payload)
+    cache.put(make_key(append_source, ("append", 3), baseline=True),
+              payload)
+    assert len(cache) == 2
+    cache.clear()
+    assert len(cache) == 0
+    assert len(ResultCache(tmp_path)) == 0
+
+
+def test_corrupt_disk_entry_is_a_miss(tmp_path, append_source, payload):
+    cache = ResultCache(tmp_path)
+    key = make_key(append_source, ("append", 3))
+    cache.put(key, payload)
+    path = cache._entry_path(key)
+    with open(path, "w") as handle:
+        handle.write("{not json")
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(key) is None
+
+
+def test_rejects_zero_capacity():
+    with pytest.raises(ValueError):
+        ResultCache(max_memory_entries=0)

@@ -1,0 +1,102 @@
+"""Tests for the service-facing CLI: the batch and cache subcommands
+and the --json output flag."""
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+from repro.service.serialize import FORMAT_VERSION, decode_result
+
+APP = """
+app([], X, X).
+app([F|T], S, [F|R]) :- app(T, S, R).
+"""
+
+
+def test_json_flag_dumps_decodable_result(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    source.write_text(APP)
+    assert main([str(source), "app/3", "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["query"] == ["app", 3]
+    assert data["result"]["version"] == FORMAT_VERSION
+    result = decode_result(data["result"])
+    assert result.root_entry.pred == ("app", 3)
+
+
+def test_batch_cold_then_warm(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["batch", "QU", "AR", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "2 analyzed" in out and "0 cache hits" in out
+    assert main(["batch", "QU", "AR", "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "2 cache hits" in out and "0 analyzed" in out
+
+
+def test_batch_json_report(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    assert main(["batch", "QU", "--cache-dir", cache_dir,
+                 "--json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["misses"] == 1
+    assert data["jobs"][0]["name"] == "QU"
+    assert decode_result(data["jobs"][0]["result"]).output is not None
+
+
+def test_batch_file_jobs(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    source.write_text(APP)
+    assert main(["batch", "--file", "%s:app/3" % source]) == 0
+    out = capsys.readouterr().out
+    assert "1 analyzed" in out
+
+
+def test_batch_rejects_unknown_benchmark(capsys):
+    with pytest.raises(SystemExit):
+        main(["batch", "NOPE"])
+
+
+def test_batch_requires_some_work(capsys):
+    with pytest.raises(SystemExit):
+        main(["batch"])
+
+
+def test_cache_info_and_clear(tmp_path, capsys):
+    cache_dir = str(tmp_path / "cache")
+    main(["batch", "QU", "--cache-dir", cache_dir])
+    capsys.readouterr()
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    assert "1 entries" in capsys.readouterr().out
+    assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+    assert "cleared 1" in capsys.readouterr().out
+    assert main(["cache", "info", "--cache-dir", cache_dir]) == 0
+    assert "0 entries" in capsys.readouterr().out
+
+
+def test_cache_promote_cli(tmp_path, capsys):
+    from repro.benchprogs import benchmark
+    cache_dir = str(tmp_path / "cache")
+    old = tmp_path / "old.pl"
+    new = tmp_path / "new.pl"
+    qu = benchmark("QU")
+    old.write_text(qu.source)
+    new.write_text(qu.source.replace("N1 is N + 1", "N1 is N + 2"))
+    main(["batch", "--file", "%s:perm/2" % old,
+          "--file", "%s:queens/2" % old, "--cache-dir", cache_dir])
+    capsys.readouterr()
+    assert main(["cache", "promote", str(old), str(new),
+                 "--cache-dir", cache_dir]) == 0
+    out = capsys.readouterr().out
+    assert "1 promoted, 1 invalidated" in out
+    assert "noattack/3" in out
+    # the promoted perm entry is a hit for the edited program
+    main(["batch", "--file", "%s:perm/2" % new,
+          "--cache-dir", cache_dir])
+    assert "1 cache hits" in capsys.readouterr().out
+
+
+def test_legacy_interface_still_works(capsys):
+    assert main(["--benchmark", "QU"]) == 0
+    assert "queens/2:" in capsys.readouterr().out
