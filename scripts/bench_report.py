@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Benchmark report for the Table-3 suite — the repo's perf trajectory.
+
+Runs the paper's benchmark programs (``repro.benchprogs``) through the
+full ``GAIA(Pat(Type))`` analysis and records, per program:
+
+* wall time (seconds, one full analysis),
+* procedure / clause iterations (Table 3's own counters),
+* operation-cache traffic and hit rate
+  (:mod:`repro.typegraph.opcache`),
+* a content fingerprint of the resulting polyvariant table (stats
+  stripped), so runs can be checked bit-identical across cache
+  configurations and commits.
+
+Typical uses::
+
+    # print the suite report
+    PYTHONPATH=src python scripts/bench_report.py
+
+    # compare against the committed trajectory file (non-blocking; CI)
+    PYTHONPATH=src python scripts/bench_report.py --baseline BENCH_pr2.json
+
+    # refresh the "current" section of the trajectory file
+    PYTHONPATH=src python scripts/bench_report.py \
+        --write-bench BENCH_pr2.json --label "PR2"
+
+    # record a run as the baseline section instead
+    PYTHONPATH=src python scripts/bench_report.py \
+        --write-bench BENCH_pr2.json --as-baseline --label "pre-PR2"
+
+    # measure the uncached path
+    REPRO_OPCACHE=0 PYTHONPATH=src python scripts/bench_report.py
+
+``--baseline`` never fails the process (exit 0) unless ``--strict`` is
+given *and* fingerprints diverge — speed is advisory in CI, result
+integrity is not.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro import analyze
+from repro.benchprogs import benchmark, benchmark_names
+from repro.service.serialize import canonical_json, content_hash, \
+    encode_result
+
+SCHEMA = 1
+
+
+def measure_program(name: str) -> dict:
+    """One full analysis of one benchmark program."""
+    bp = benchmark(name)
+    start = time.perf_counter()
+    analysis = analyze(bp.source, bp.query, input_types=bp.input_types)
+    wall = time.perf_counter() - start
+    stats = analysis.stats
+    hits = getattr(stats, "opcache_hits", 0)
+    misses = getattr(stats, "opcache_misses", 0)
+    table = encode_result(analysis.result)
+    # timing/cache counters and format version differ legitimately;
+    # the fingerprint tracks the analysis *table* only
+    table.pop("stats", None)
+    table.pop("version", None)
+    return {
+        "wall_time": round(wall, 4),
+        "procedure_iterations": stats.procedure_iterations,
+        "clause_iterations": stats.clause_iterations,
+        "opcache_hits": hits,
+        "opcache_misses": misses,
+        "opcache_hit_rate": (round(hits / (hits + misses), 4)
+                             if hits + misses else None),
+        "table_fingerprint": content_hash(table),
+    }
+
+
+def run_suite(programs) -> dict:
+    try:
+        from repro.typegraph import opcache
+        cache_enabled = opcache.enabled()
+    except ImportError:  # pre-PR2 checkouts measured as baselines
+        cache_enabled = False
+    results = {}
+    for name in programs:
+        results[name] = measure_program(name)
+        print("  %-4s %8.3fs  proc=%-6d clause=%-6d hit-rate=%s"
+              % (name, results[name]["wall_time"],
+                 results[name]["procedure_iterations"],
+                 results[name]["clause_iterations"],
+                 results[name]["opcache_hit_rate"]),
+              file=sys.stderr)
+    return {
+        "programs": results,
+        "total_wall_time": round(sum(r["wall_time"]
+                                     for r in results.values()), 4),
+        "opcache_enabled": cache_enabled,
+        "python": platform.python_version(),
+    }
+
+
+def print_comparison(run: dict, reference: dict, ref_name: str) -> bool:
+    """Side-by-side table; returns True when fingerprints all match."""
+    ref_programs = reference.get("programs", {})
+    print("\n%-6s %10s %12s %9s %10s  %s"
+          % ("prog", "wall(s)", "%s(s)" % ref_name, "speedup",
+             "hit-rate", "table"))
+    fingerprints_ok = True
+    for name, row in run["programs"].items():
+        ref = ref_programs.get(name)
+        if ref is None:
+            print("%-6s %10.3f %12s" % (name, row["wall_time"], "-"))
+            continue
+        speedup = (ref["wall_time"] / row["wall_time"]
+                   if row["wall_time"] else float("inf"))
+        same = (row["table_fingerprint"] == ref.get("table_fingerprint"))
+        fingerprints_ok &= same or ref.get("table_fingerprint") is None
+        print("%-6s %10.3f %12.3f %8.2fx %10s  %s"
+              % (name, row["wall_time"], ref["wall_time"], speedup,
+                 row["opcache_hit_rate"],
+                 "same" if same else "DIFFERENT"))
+    ref_total = reference.get("total_wall_time")
+    if ref_total:
+        print("%-6s %10.3f %12.3f %8.2fx   (aggregate, vs %s)"
+              % ("TOTAL", run["total_wall_time"], ref_total,
+                 ref_total / run["total_wall_time"], ref_name))
+    return fingerprints_ok
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Run the Table-3 benchmark suite and report "
+                    "timings, iteration counts, and cache hit rates.")
+    parser.add_argument("--programs", nargs="*", metavar="NAME",
+                        help="subset of benchmark programs (default all)")
+    parser.add_argument("--label", default=None,
+                        help="label recorded with the run")
+    parser.add_argument("--out", metavar="FILE",
+                        help="write this run's raw measurements as JSON")
+    parser.add_argument("--baseline", metavar="FILE",
+                        help="compare against the baseline (and current) "
+                             "sections of a trajectory file; non-blocking")
+    parser.add_argument("--write-bench", metavar="FILE",
+                        help="update a trajectory file's 'current' section "
+                             "with this run (keeps its baseline)")
+    parser.add_argument("--as-baseline", action="store_true",
+                        help="with --write-bench: record this run as the "
+                             "'baseline' section instead")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit non-zero when table fingerprints "
+                             "diverge from the baseline's")
+    args = parser.parse_args(argv)
+
+    programs = args.programs or benchmark_names(include_variants=False)
+    print("running %d benchmark programs..." % len(programs),
+          file=sys.stderr)
+    run = run_suite(programs)
+    if args.label:
+        run["label"] = args.label
+
+    print("\naggregate wall time: %.3fs" % run["total_wall_time"])
+
+    if args.out:
+        Path(args.out).write_text(json.dumps(run, indent=2, sort_keys=True)
+                                  + "\n")
+        print("wrote %s" % args.out, file=sys.stderr)
+
+    fingerprints_ok = True
+    if args.baseline:
+        bench = json.loads(Path(args.baseline).read_text())
+        if "baseline" in bench:
+            fingerprints_ok &= print_comparison(run, bench["baseline"],
+                                                "baseline")
+        if "current" in bench:
+            fingerprints_ok &= print_comparison(run, bench["current"],
+                                                "committed")
+
+    if args.write_bench:
+        path = Path(args.write_bench)
+        bench = (json.loads(path.read_text()) if path.exists()
+                 else {"schema": SCHEMA})
+        bench["schema"] = SCHEMA
+        bench["baseline" if args.as_baseline else "current"] = run
+        baseline = bench.get("baseline")
+        current = bench.get("current")
+        if baseline and current and current.get("total_wall_time"):
+            bench["aggregate_speedup"] = round(
+                baseline["total_wall_time"] / current["total_wall_time"], 2)
+        path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
+        print("wrote %s" % path, file=sys.stderr)
+
+    if args.strict and not fingerprints_ok:
+        print("ERROR: analysis tables diverge from the baseline",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -135,7 +135,10 @@ class TypeLeafDomain(LeafDomain):
         return g_any()
 
     def is_top(self, value: Grammar) -> bool:
-        return value.is_any()
+        # normalization collapses any grammar containing a root ANY to
+        # exactly {0: Any}, so the interned Any instance is unique and
+        # the common case is one identity check
+        return value is g_any() or value.is_any()
 
     def meet(self, a: Grammar, b: Grammar) -> Optional[Grammar]:
         result = g_intersect(a, b, self.max_or_width)

@@ -80,24 +80,31 @@ PAT_BOTTOM = PatBottom()
 class AbstractSubst:
     """Frozen abstract substitution.  Nodes are numbered in DFS order
     from ``sv`` (canonical), so structurally equal substitutions
-    compare equal."""
+    compare equal.  The hash is memoized: with leaf grammars interned,
+    it reduces to combining precomputed grammar hashes, which is what
+    makes the engine's hash-indexed table lookups cheap."""
 
-    __slots__ = ("nvars", "sv", "nodes")
+    __slots__ = ("nvars", "sv", "nodes", "_hash")
 
     def __init__(self, nvars: int, sv: Tuple[int, ...],
                  nodes: Tuple[PatNode, ...]) -> None:
         self.nvars = nvars
         self.sv = sv
         self.nodes = nodes
+        self._hash: Optional[int] = None
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, AbstractSubst):
             return NotImplemented
         return (self.nvars == other.nvars and self.sv == other.sv
                 and self.nodes == other.nodes)
 
     def __hash__(self) -> int:
-        return hash((self.nvars, self.sv, self.nodes))
+        if self._hash is None:
+            self._hash = hash((self.nvars, self.sv, self.nodes))
+        return self._hash
 
     def refcounts(self) -> List[int]:
         counts = [0] * len(self.nodes)

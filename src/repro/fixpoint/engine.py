@@ -31,6 +31,7 @@ from ..domains.pattern import (AbstractSubst, PAT_BOTTOM, SubstBuilder,
                                subst_widen)
 from ..prolog.normalize import NBuild, NCall, NUnify, NormClause, NormProgram
 from ..prolog.program import PredId
+from ..typegraph import opcache
 from .builtins import BUILTINS, tag_value
 
 __all__ = ["AnalysisConfig", "AnalysisStats", "Entry", "AnalysisResult",
@@ -68,6 +69,11 @@ class AnalysisStats:
     entries_seeded: int = 0
     input_widenings: int = 0
     cpu_time: float = 0.0
+    #: type-graph operation cache traffic attributed to this run (the
+    #: delta of :func:`repro.typegraph.opcache.snapshot` across
+    #: :meth:`Engine.analyze`); both stay 0 with caching disabled.
+    opcache_hits: int = 0
+    opcache_misses: int = 0
 
 
 @dataclass
@@ -159,6 +165,12 @@ class Engine:
                                     self.config.type_database)
         self.domain = domain
         self.table: Dict[PredId, List[Entry]] = {}
+        # Memo of _solve's table scans, keyed by the (hash-indexed)
+        # structural input pattern; invalidated per predicate whenever
+        # an entry is appended, so a hit returns exactly what the scan
+        # would.  Repeated call patterns — the common case, every
+        # procedure iteration re-issues its calls — resolve in O(1).
+        self._lookup_memo: Dict[PredId, Dict[AbstractSubst, Entry]] = {}
         self.general_entry: Dict[PredId, int] = {}
         self.input_widen_count: Dict[PredId, int] = {}
         self.entries_by_id: Dict[int, Entry] = {}
@@ -174,6 +186,7 @@ class Engine:
         """Run the fixpoint for ``pred`` called with ``beta_in``
         (default: all arguments Any)."""
         start = time.process_time()
+        cache_hits, cache_misses = opcache.snapshot()
         if beta_in is None:
             beta_in = subst_top(pred[1], self.domain)
         if not self.program.defined(pred):
@@ -181,6 +194,9 @@ class Engine:
         root = self._solve(pred, beta_in)
         self._run()
         self.stats.cpu_time += time.process_time() - start
+        new_hits, new_misses = opcache.snapshot()
+        self.stats.opcache_hits += new_hits - cache_hits
+        self.stats.opcache_misses += new_misses - cache_misses
         return AnalysisResult.from_engine(self, root)
 
     def seed_entry(self, pred: PredId, beta_in: AbstractSubst,
@@ -196,18 +212,35 @@ class Engine:
         entry = Entry(len(self.entries_by_id), pred, beta_in, beta_out,
                       seeded=True)
         self.entries_by_id[entry.id] = entry
-        self.table.setdefault(pred, []).append(entry)
+        self._append_entry(pred, entry)
         self.stats.entries_seeded += 1
         return entry
+
+    def _append_entry(self, pred: PredId, entry: Entry) -> None:
+        """Append to the predicate's entry list, invalidating the
+        lookup memo (scan results may change once the list grows)."""
+        self.table.setdefault(pred, []).append(entry)
+        self._lookup_memo.pop(pred, None)
 
     # -- table management ------------------------------------------------------
 
     def _solve(self, pred: PredId, beta_in: AbstractSubst) -> Entry:
         """Entry whose input covers ``beta_in``, creating/widening as
-        needed."""
+        needed.  The two table scans below are memoized by structural
+        input pattern (hash-indexed, O(1) on repeat calls); the memo is
+        dropped whenever the entry list grows, so a hit is always
+        exactly what the scans would return."""
         entries = self.table.setdefault(pred, [])
+        memo = self._lookup_memo.get(pred)
+        if memo is None:
+            memo = self._lookup_memo[pred] = {}
+        else:
+            hit = memo.get(beta_in)
+            if hit is not None:
+                return hit
         for entry in entries:
             if subst_eq(beta_in, entry.beta_in, self.domain):
+                memo[beta_in] = entry
                 return entry
         for entry in entries:
             # Seeded entries are reused only on exact input matches:
@@ -218,6 +251,7 @@ class Engine:
             if entry.seeded:
                 continue
             if subst_le(beta_in, entry.beta_in, self.domain):
+                memo[beta_in] = entry
                 return entry
         if len(entries) >= self.config.max_input_patterns:
             # Call-pattern widening (§7.1 case 2): accumulate into one
@@ -245,14 +279,14 @@ class Engine:
             beta_in = widened
             entry = Entry(len(self.entries_by_id), pred, beta_in)
             self.entries_by_id[entry.id] = entry
-            entries.append(entry)
+            self._append_entry(pred, entry)
             self.general_entry[pred] = entry.id
             self.stats.entries_created += 1
             self._schedule(entry)
             return entry
         entry = Entry(len(self.entries_by_id), pred, beta_in)
         self.entries_by_id[entry.id] = entry
-        entries.append(entry)
+        self._append_entry(pred, entry)
         self.stats.entries_created += 1
         self._schedule(entry)
         return entry

@@ -32,7 +32,7 @@ from ..fixpoint.engine import AnalysisConfig
 from ..prolog.program import PredId, Program
 from ..typegraph.grammar import Grammar
 from .serialize import (FORMAT_VERSION, canonical_json, config_hash,
-                        content_hash, encode_input_types, program_hash)
+                        content_hash, grammar_content_hash, program_hash)
 
 __all__ = ["CacheKey", "CacheStats", "ResultCache", "make_key"]
 
@@ -43,7 +43,8 @@ class CacheKey:
 
     program_hash: str
     query: PredId
-    input_types_key: Optional[str]  # canonical JSON text, None = all Any
+    # canonical JSON text, grammar specs as content hashes; None = all Any
+    input_types_key: Optional[str]
     config_hash: str
     domain: str
     version: int = FORMAT_VERSION
@@ -92,13 +93,19 @@ def make_key(source: Union[str, Program], query: PredId,
              input_types: Optional[Sequence[Union[str, Grammar]]] = None,
              config: Optional[AnalysisConfig] = None,
              baseline: bool = False) -> CacheKey:
-    """Cache key for one :func:`repro.analyze` workload."""
-    encoded_types = encode_input_types(input_types)
+    """Cache key for one :func:`repro.analyze` workload.
+
+    Grammar-valued input types enter the key by their (memoized)
+    content hash rather than a full re-encoding — interned grammars
+    shared across many jobs are hashed once per process."""
     return CacheKey(
         program_hash=program_hash(source),
         query=(query[0], int(query[1])),
-        input_types_key=(None if encoded_types is None
-                         else canonical_json(encoded_types)),
+        input_types_key=(None if input_types is None
+                         else canonical_json([
+                             spec if isinstance(spec, str)
+                             else ["g", grammar_content_hash(spec)]
+                             for spec in input_types])),
         config_hash=config_hash(config),
         domain="trivial" if baseline else "type",
     )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import weakref
 from typing import Dict, Optional, Sequence, Union
 
 from ..domains.leaf import LeafDomain, domain_from_descriptor
@@ -32,7 +33,7 @@ from ..typegraph.grammar import Grammar
 
 __all__ = [
     "FORMAT_VERSION", "canonical_json", "content_hash",
-    "encode_grammar", "decode_grammar",
+    "encode_grammar", "decode_grammar", "grammar_content_hash",
     "encode_subst", "decode_subst",
     "encode_entry", "decode_entry",
     "encode_result", "decode_result",
@@ -43,7 +44,8 @@ __all__ = [
 
 #: Bump when any encoding changes shape — part of every cache key, so
 #: stale on-disk artifacts from older formats are never decoded.
-FORMAT_VERSION = 1
+#: v2: AnalysisStats gained the opcache hit/miss counters.
+FORMAT_VERSION = 2
 
 
 # -- canonical JSON and hashing ----------------------------------------------
@@ -60,6 +62,27 @@ def content_hash(obj) -> str:
 
 
 # -- grammars ----------------------------------------------------------------
+
+#: Per-instance content-hash memo for interned grammars: interning
+#: makes structurally equal grammars one shared object, so the hash of
+#: its canonical encoding is computed once per process instead of once
+#: per cache-key/batch-job that mentions it.  Weak keys, so the memo
+#: never outlives the intern table.
+_GRAMMAR_HASH_MEMO: "weakref.WeakKeyDictionary[Grammar, str]" = \
+    weakref.WeakKeyDictionary()
+
+
+def grammar_content_hash(grammar: Grammar) -> str:
+    """``content_hash(encode_grammar(grammar))``, memoized on interned
+    instances (their encodings are immutable)."""
+    if not grammar.interned:
+        return content_hash(grammar.to_obj())
+    digest = _GRAMMAR_HASH_MEMO.get(grammar)
+    if digest is None:
+        digest = content_hash(grammar.to_obj())
+        _GRAMMAR_HASH_MEMO[grammar] = digest
+    return digest
+
 
 def encode_grammar(grammar: Grammar) -> dict:
     return grammar.to_obj()
@@ -142,6 +165,8 @@ def _encode_stats(stats: AnalysisStats) -> dict:
         "entries_seeded": stats.entries_seeded,
         "input_widenings": stats.input_widenings,
         "cpu_time": stats.cpu_time,
+        "opcache_hits": stats.opcache_hits,
+        "opcache_misses": stats.opcache_misses,
     }
 
 
@@ -149,7 +174,7 @@ def _decode_stats(data: dict) -> AnalysisStats:
     stats = AnalysisStats()
     for name in ("procedure_iterations", "clause_iterations",
                  "entries_created", "entries_seeded", "input_widenings",
-                 "cpu_time"):
+                 "cpu_time", "opcache_hits", "opcache_misses"):
         if name in data:
             setattr(stats, name, data[name])
     return stats

@@ -2,9 +2,11 @@
 the widening operator, and alternative views (tree automata, monadic
 logic programs)."""
 
+from . import opcache
 from .grammar import (ANY, INT, Alt, FuncAlt, Grammar, GrammarBuilder,
                       g_alternatives, g_any, g_atom, g_bottom, g_functor,
-                      g_int, g_int_literal, member, normalize, subgrammar)
+                      g_int, g_int_literal, intern_grammar, member,
+                      normalize, subgrammar)
 from .ops import (g_equiv, g_intersect, g_is_list, g_le, g_list_of,
                   g_split, g_union)
 from .widening import g_widen, widening_clashes
@@ -16,7 +18,8 @@ from .depthbound import depth_bound_join, restrict_depth
 __all__ = [
     "ANY", "INT", "Alt", "FuncAlt", "Grammar", "GrammarBuilder",
     "g_alternatives", "g_any", "g_atom", "g_bottom", "g_functor",
-    "g_int", "g_int_literal", "member", "normalize", "subgrammar",
+    "g_int", "g_int_literal", "intern_grammar", "member", "normalize",
+    "opcache", "subgrammar",
     "g_equiv", "g_intersect", "g_is_list", "g_le", "g_list_of",
     "g_split", "g_union",
     "g_widen", "widening_clashes",

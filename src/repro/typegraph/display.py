@@ -11,6 +11,7 @@ paper.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, List
 
 from .grammar import ANY, INT, FuncAlt, Grammar
@@ -21,9 +22,9 @@ __all__ = ["grammar_to_text", "grammar_rules", "parse_rules"]
 def _nt_names(grammar: Grammar) -> Dict[int, str]:
     order: List[int] = []
     seen = set()
-    queue = [grammar.root]
+    queue: deque = deque([grammar.root])
     while queue:
-        nt = queue.pop(0)
+        nt = queue.popleft()
         if nt in seen:
             continue
         seen.add(nt)

@@ -27,14 +27,17 @@ view in :mod:`repro.typegraph.graph`.
 
 from __future__ import annotations
 
+import weakref
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
 from ..prolog.terms import Atom, Int, Struct, Term, Var
+from . import opcache
 
 __all__ = [
     "ANY", "INT", "FuncAlt", "Alt", "Grammar", "GrammarBuilder",
-    "normalize", "g_any", "g_bottom", "g_int",
+    "normalize", "intern_grammar", "g_any", "g_bottom", "g_int",
     "g_atom", "g_int_literal", "g_functor", "g_alternatives",
     "nonempty_nonterminals", "member", "pf_of",
 ]
@@ -114,14 +117,26 @@ def _alt_sort_key(alt: Alt) -> tuple:
 class Grammar:
     """An immutable, normalized tree grammar.  Construct through the
     ``g_*`` helpers, :class:`GrammarBuilder`, or the operations in
-    :mod:`repro.typegraph.ops` — never by mutating ``rules``."""
+    :mod:`repro.typegraph.ops` — never by mutating ``rules``.
 
-    __slots__ = ("rules", "root", "_hash")
+    Grammars returned by :func:`normalize` (hence by every public
+    constructor and operation) are *interned*: structurally equal
+    results are the same object, ``==`` is an identity check on the
+    hot path, and ``hash`` is a precomputed field.  ``interned`` marks
+    canonical instances; raw intermediates (e.g. the widening's
+    vertex-view grammars) keep the structural slow paths.
+    """
+
+    __slots__ = ("rules", "root", "_hash", "_key_cache", "_obj_cache",
+                 "interned", "__weakref__")
 
     def __init__(self, rules: Dict[int, FrozenSet[Alt]], root: int) -> None:
         self.rules = rules
         self.root = root
         self._hash: Optional[int] = None
+        self._key_cache: Optional[tuple] = None
+        self._obj_cache: Optional[dict] = None
+        self.interned = False
 
     def alts(self, nt: int) -> FrozenSet[Alt]:
         return self.rules[nt]
@@ -166,16 +181,26 @@ class Grammar:
         return frozenset(keys)
 
     def _key(self) -> tuple:
-        return (self.root,
-                tuple(sorted((nt, tuple(sorted(alts, key=_alt_sort_key)))
-                             for nt, alts in self.rules.items())))
+        key = self._key_cache
+        if key is None:
+            key = (self.root,
+                   tuple(sorted((nt, tuple(sorted(alts, key=_alt_sort_key)))
+                                for nt, alts in self.rules.items())))
+            self._key_cache = key
+        return key
 
     # -- canonical plain-object form (service serialization layer) ----------
 
     def to_obj(self) -> dict:
         """JSON-ready canonical encoding: rules sorted by nonterminal,
         alternatives in :func:`_alt_sort_key` order, so equal grammars
-        encode to identical objects (content-addressable)."""
+        encode to identical objects (content-addressable).
+
+        Memoized on interned instances (the service layer re-encodes
+        the same shared grammars constantly); treat the returned
+        object as read-only."""
+        if self._obj_cache is not None:
+            return self._obj_cache
         rules = []
         for nt in sorted(self.rules):
             alts = []
@@ -191,7 +216,10 @@ class Grammar:
                     else:
                         alts.append(["f", alt.name, list(alt.args)])
             rules.append([nt, alts])
-        return {"root": self.root, "rules": rules}
+        obj = {"root": self.root, "rules": rules}
+        if self.interned:
+            self._obj_cache = obj
+        return obj
 
     @classmethod
     def from_obj(cls, data: dict) -> "Grammar":
@@ -217,24 +245,24 @@ class Grammar:
         return normalize(cls(rules, int(data["root"])))
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Grammar):
             return NotImplemented
+        if self.interned and other.interned:
+            return False  # interning makes structural equality identity
         return self._key() == other._key()
 
     def __hash__(self) -> int:
         if self._hash is None:
-            def freeze(x):
-                if isinstance(x, tuple):
-                    return tuple(freeze(i) for i in x)
-                if isinstance(x, FuncAlt):
-                    return ("F",) + x.fkey + (x.args,)
-                if x is ANY:
-                    return "ANY"
-                if x is INT:
-                    return "INT"
-                return x
-            self._hash = hash(freeze(self._key()))
+            self._hash = hash(self._key())
         return self._hash
+
+    def __reduce__(self):
+        # Canonical identity is per-process: an unpickled grammar must
+        # re-enter the receiving process's intern table (or arrive as a
+        # plain structural grammar), never claim to be interned there.
+        return (_unpickle_grammar, (self.rules, self.root, self.interned))
 
     def __repr__(self) -> str:
         from .display import grammar_to_text
@@ -266,27 +294,86 @@ class GrammarBuilder:
         return normalize(Grammar(rules, root), max_or_width)
 
 
+def _unpickle_grammar(rules: Dict[int, FrozenSet[Alt]], root: int,
+                      was_interned: bool) -> "Grammar":
+    grammar = Grammar(rules, root)
+    if was_interned:  # was normalized, so interning directly is sound
+        return intern_grammar(grammar)
+    return grammar
+
+
+# -- interning ---------------------------------------------------------------
+
+#: Process-wide weak intern table: canonical key -> the one shared
+#: Grammar instance.  Weak values, so grammars no longer referenced
+#: anywhere are collected and do not pin memory for a long-lived
+#: service process.
+_INTERN: "weakref.WeakValueDictionary[tuple, Grammar]" = \
+    weakref.WeakValueDictionary()
+
+
+def intern_grammar(grammar: Grammar) -> Grammar:
+    """Canonical shared instance of an already-*normalized* grammar.
+
+    The first grammar seen for a given structural key becomes the
+    canonical instance (with its hash precomputed); later structurally
+    equal grammars resolve to it.  Interned grammars compare with a
+    pure identity check, which is what makes the operation caches in
+    :mod:`repro.typegraph.opcache` cheap to key.
+    """
+    if grammar.interned:
+        return grammar
+    key = grammar._key()
+    canonical = _INTERN.get(key)
+    if canonical is None:
+        grammar.interned = True
+        hash(grammar)  # precompute
+        _INTERN[key] = grammar
+        return grammar
+    return canonical
+
+
 # -- normalization ----------------------------------------------------------
 
 def nonempty_nonterminals(rules: Dict[int, FrozenSet[Alt]]) -> set:
-    """Least fixpoint of "has at least one finite tree"."""
+    """Least fixpoint of "has at least one finite tree".
+
+    Worklist formulation: each functor alternative tracks how many of
+    its argument nonterminals are still unproven; proving a
+    nonterminal decrements the counters of the alternatives waiting on
+    it.  Linear in the grammar size, replacing the quadratic
+    restart-the-scan loop.
+    """
     nonempty: set = set()
-    changed = True
-    while changed:
-        changed = False
-        for nt, alts in rules.items():
-            if nt in nonempty:
-                continue
+    # waiting[nt] = list of counter cells for alternatives blocked on nt
+    waiting: Dict[int, List[List]] = {}
+    queue: deque = deque()
+    for nt, alts in rules.items():
+        for alt in alts:
+            if alt is ANY or alt is INT:
+                if nt not in nonempty:
+                    nonempty.add(nt)
+                    queue.append(nt)
+                break
+        else:
             for alt in alts:
-                if alt is ANY or alt is INT:
-                    nonempty.add(nt)
-                    changed = True
-                    break
                 assert isinstance(alt, FuncAlt)
-                if all(a in nonempty for a in alt.args):
-                    nonempty.add(nt)
-                    changed = True
+                pending = set(alt.args)
+                if not pending:
+                    if nt not in nonempty:
+                        nonempty.add(nt)
+                        queue.append(nt)
                     break
+                cell = [nt, len(pending)]
+                for arg in pending:
+                    waiting.setdefault(arg, []).append(cell)
+    while queue:
+        proved = queue.popleft()
+        for cell in waiting.get(proved, ()):
+            cell[1] -= 1
+            if cell[1] == 0 and cell[0] not in nonempty:
+                nonempty.add(cell[0])
+                queue.append(cell[0])
     return nonempty
 
 
@@ -299,10 +386,20 @@ def _absorb(alts: FrozenSet[Alt]) -> FrozenSet[Alt]:
     return alts
 
 
+def _within_width(grammar: Grammar, max_or_width: int) -> bool:
+    return all(len(alts) <= max_or_width
+               for alts in grammar.rules.values())
+
+
 def normalize(grammar: Grammar,
               max_or_width: Optional[int] = None) -> Grammar:
     """Prune empties, absorb, cap or-width, merge bisimilar
-    nonterminals, renumber in BFS order."""
+    nonterminals, renumber in BFS order.  The result is interned
+    (:func:`intern_grammar`); re-normalizing an interned grammar that
+    already satisfies the width cap is free."""
+    if grammar.interned and (max_or_width is None
+                             or _within_width(grammar, max_or_width)):
+        return grammar
     rules = dict(grammar.rules)
     root = grammar.root
 
@@ -329,26 +426,37 @@ def normalize(grammar: Grammar,
     #    with one class and split by signature until stable.  For
     #    deterministic grammars bisimilarity implies language equality,
     #    so merging is sound and keeps graphs small (handles mutually
-    #    recursive copies, not just acyclic sharing).
+    #    recursive copies, not just acyclic sharing).  Signatures hash
+    #    a precomputed static part (functor keys, sorted once) with
+    #    the per-round argument classes; refinement only ever splits,
+    #    so the loop stops as soon as the class count stops growing,
+    #    and immediately when every nonterminal sits alone.
+    order = sorted(pruned)
+    # static per-nt shape: (functor prefix, raw arg nts) per alternative
+    shapes: Dict[int, List[Tuple[tuple, Tuple[int, ...]]]] = {}
+    for nt in order:
+        sig_alts = []
+        for alt in pruned[nt]:
+            if isinstance(alt, FuncAlt):
+                sig_alts.append((("F",) + alt.fkey, alt.args))
+            else:
+                sig_alts.append((("ANY",) if alt is ANY else ("INT",), ()))
+        shapes[nt] = sig_alts
     classes: Dict[int, int] = {nt: 0 for nt in pruned}
-    while True:
+    num_classes = 1
+    while num_classes < len(order):
         signature_ids: Dict[tuple, int] = {}
         new_classes: Dict[int, int] = {}
-        for nt in sorted(pruned):
-            sig_alts = []
-            for alt in pruned[nt]:
-                if isinstance(alt, FuncAlt):
-                    sig_alts.append(("F",) + alt.fkey
-                                    + (tuple(classes[a] for a in alt.args),))
-                else:
-                    sig_alts.append(("ANY",) if alt is ANY else ("INT",))
-            sig = (classes[nt],) + tuple(sorted(sig_alts))
-            if sig not in signature_ids:
-                signature_ids[sig] = len(signature_ids)
-            new_classes[nt] = signature_ids[sig]
-        if new_classes == classes:
-            break
+        for nt in order:
+            sig = (classes[nt],) + tuple(sorted(
+                static + (tuple(classes[a] for a in args),)
+                for static, args in shapes[nt]))
+            cls = signature_ids.setdefault(sig, len(signature_ids))
+            new_classes[nt] = cls
+        if len(signature_ids) == num_classes:
+            break  # refinement only splits: same count => same partition
         classes = new_classes
+        num_classes = len(signature_ids)
     # map each class to one representative nonterminal
     representative: Dict[int, int] = {}
     for nt in sorted(pruned):
@@ -368,9 +476,9 @@ def normalize(grammar: Grammar,
 
     # 4. BFS renumbering from the root (canonical numbering)
     numbering: Dict[int, int] = {root: 0}
-    queue = [root]
+    queue: deque = deque([root])
     while queue:
-        nt = queue.pop(0)
+        nt = queue.popleft()
         for alt in sorted(merged[nt], key=_alt_sort_key):
             if isinstance(alt, FuncAlt):
                 for child in alt.args:
@@ -383,14 +491,18 @@ def normalize(grammar: Grammar,
             FuncAlt(a.name, tuple(numbering[x] for x in a.args), a.is_int)
             if isinstance(a, FuncAlt) else a
             for a in merged[nt])
-    return Grammar(final, 0)
+    return intern_grammar(Grammar(final, 0))
 
 
 # -- constructors -----------------------------------------------------------
 
-_G_ANY = Grammar({0: frozenset([ANY])}, 0)
-_G_BOTTOM = Grammar({0: frozenset()}, 0)
-_G_INT = Grammar({0: frozenset([INT])}, 0)
+_G_ANY = intern_grammar(Grammar({0: frozenset([ANY])}, 0))
+_G_BOTTOM = intern_grammar(Grammar({0: frozenset()}, 0))
+_G_INT = intern_grammar(Grammar({0: frozenset([INT])}, 0))
+
+# strong caches for the tiny flat constructors called in hot loops
+_ATOM_CACHE: Dict[str, Grammar] = {}
+_INT_LITERAL_CACHE: Dict[int, Grammar] = {}
 
 
 def g_any() -> Grammar:
@@ -410,12 +522,23 @@ def g_int() -> Grammar:
 
 def g_atom(name: str) -> Grammar:
     """The singleton type of one atom."""
-    return Grammar({0: frozenset([FuncAlt(name)])}, 0)
+    grammar = _ATOM_CACHE.get(name)
+    if grammar is None:
+        grammar = intern_grammar(Grammar({0: frozenset([FuncAlt(name)])}, 0))
+        if len(_ATOM_CACHE) < 4096:
+            _ATOM_CACHE[name] = grammar
+    return grammar
 
 
 def g_int_literal(value: int) -> Grammar:
     """The singleton type of one integer literal."""
-    return Grammar({0: frozenset([FuncAlt(str(value), (), True)])}, 0)
+    grammar = _INT_LITERAL_CACHE.get(value)
+    if grammar is None:
+        grammar = intern_grammar(
+            Grammar({0: frozenset([FuncAlt(str(value), (), True)])}, 0))
+        if len(_INT_LITERAL_CACHE) < 4096:
+            _INT_LITERAL_CACHE[value] = grammar
+    return grammar
 
 
 def _embed(builder: GrammarBuilder, grammar: Grammar) -> int:
@@ -441,7 +564,22 @@ def _embed(builder: GrammarBuilder, grammar: Grammar) -> int:
 
 def g_functor(name: str, children: Sequence[Grammar],
               max_or_width: Optional[int] = None) -> Grammar:
-    """The type ``name(c1, ..., cn)``."""
+    """The type ``name(c1, ..., cn)``.
+
+    Memoized on interned child identities — collapsing pattern
+    subtrees into grammars (``value_of`` in the Pat(R) domain) rebuilds
+    the same functor types constantly.
+    """
+    children = tuple(children)
+    if all(c.interned for c in children):
+        return opcache.cached(
+            "g_functor", (name, children, max_or_width),
+            lambda: _g_functor_impl(name, children, max_or_width))
+    return _g_functor_impl(name, children, max_or_width)
+
+
+def _g_functor_impl(name: str, children: Tuple[Grammar, ...],
+                    max_or_width: Optional[int]) -> Grammar:
     builder = GrammarBuilder()
     root = builder.fresh()
     child_nts = tuple(_embed(builder, c) for c in children)
@@ -461,9 +599,18 @@ def g_alternatives(grammars: Sequence[Grammar],
 
 
 def subgrammar(grammar: Grammar, nt: int) -> Grammar:
-    """The grammar rooted at nonterminal ``nt``."""
+    """The grammar rooted at nonterminal ``nt``.
+
+    Memoized on interned grammars — abstract unification splits the
+    same argument positions out of the same shared grammars on every
+    clause iteration.
+    """
     if nt == grammar.root:
         return grammar
+    if grammar.interned:
+        return opcache.cached(
+            "subgrammar", (grammar, nt),
+            lambda: normalize(Grammar(grammar.rules, nt)))
     return normalize(Grammar(grammar.rules, nt))
 
 

@@ -21,6 +21,7 @@ back with :func:`to_grammar`.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from .grammar import (ANY, INT, INT_FKEY, Alt, FuncAlt, Grammar,
@@ -85,9 +86,9 @@ class TypeGraph:
         """Recompute depths (tree depth = shortest-path depth, thanks to
         No-Sharing) after a transformation."""
         seen = set()
-        queue = [(self.root, 0)]
+        queue: deque = deque([(self.root, 0)])
         while queue:
-            vertex, depth = queue.pop(0)
+            vertex, depth = queue.popleft()
             if id(vertex) in seen:
                 continue
             seen.add(id(vertex))
@@ -98,9 +99,9 @@ class TypeGraph:
 
     def vertices(self) -> Iterator[Vertex]:
         seen = set()
-        queue = [self.root]
+        queue: deque = deque([self.root])
         while queue:
-            vertex = queue.pop(0)
+            vertex = queue.popleft()
             if id(vertex) in seen:
                 continue
             seen.add(id(vertex))

@@ -1,0 +1,178 @@
+"""Bounded memo tables for the type-graph operations.
+
+With grammars interned (:func:`repro.typegraph.grammar.intern_grammar`)
+every operation on the engine's hot path — ``g_le``, ``g_union``,
+``g_intersect``, ``g_widen``, and the ``g_functor`` constructor — is a
+pure function of the *identities* of its operands.  This module keeps
+one bounded LRU table per operation, keyed on those identities (plus
+scalar options such as ``max_or_width``), so the fixpoint engine stops
+recomputing structurally identical results thousands of times per run.
+
+Design notes:
+
+* **Keys** hold the operand grammars themselves.  Interned grammars
+  carry a precomputed hash and compare by identity, so lookups cost a
+  couple of dict probes — no structural traversal.
+* **Bounded**: each table is an LRU with a configurable ``maxsize``
+  (default 65536 entries), so a long-lived batch/service process does
+  not grow without limit.  Entries keep their operand grammars alive
+  while cached; eviction releases them back to the weak intern table's
+  discretion.
+* **Transparent**: results are exactly what the uncached operation
+  returns (the property tests in ``tests/test_opcache_properties.py``
+  assert bit-identical analysis results with caches on and off).
+* **Observable**: per-operation hit/miss counters are surfaced through
+  :func:`stats` and :func:`snapshot`; the engine records the delta of
+  a run in ``AnalysisStats.opcache_hits``/``opcache_misses``.
+
+Knobs: ``configure(enabled=..., maxsize=...)`` at runtime, or the
+``REPRO_OPCACHE`` environment variable (``0``/``off``/``false``
+disables caching before the process starts — used by the benchmark
+comparison and the equivalence tests).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from typing import Callable, Dict, Iterator, Optional, Tuple
+
+__all__ = ["OpCache", "cached", "configure", "enabled", "clear",
+           "stats", "snapshot", "caches", "DEFAULT_MAXSIZE"]
+
+DEFAULT_MAXSIZE = 65536
+
+_MISSING = object()
+
+
+def _env_enabled() -> bool:
+    value = os.environ.get("REPRO_OPCACHE", "1").strip().lower()
+    return value not in ("0", "off", "false", "no")
+
+
+class OpCache:
+    """One bounded LRU memo table with hit/miss counters."""
+
+    __slots__ = ("name", "maxsize", "hits", "misses", "_table")
+
+    def __init__(self, name: str, maxsize: int = DEFAULT_MAXSIZE) -> None:
+        self.name = name
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._table: "OrderedDict" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def get(self, key):
+        """Cached value for ``key`` or ``None`` (values are never
+        ``None``); counts a hit or a miss."""
+        value = self._table.get(key, _MISSING)
+        if value is _MISSING:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._table.move_to_end(key)
+        return value
+
+    def put(self, key, value) -> None:
+        table = self._table
+        if key in table:
+            table.move_to_end(key)
+        table[key] = value
+        if len(table) > self.maxsize:
+            table.popitem(last=False)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def reset(self) -> None:
+        """Clear entries *and* counters (tests, benchmarks)."""
+        self.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+# -- registry ----------------------------------------------------------------
+
+_ENABLED = _env_enabled()
+_CACHES: Dict[str, OpCache] = {}
+
+
+def cache_for(name: str) -> OpCache:
+    """The process-wide cache for operation ``name`` (created lazily)."""
+    cache = _CACHES.get(name)
+    if cache is None:
+        cache = OpCache(name)
+        _CACHES[name] = cache
+    return cache
+
+
+def caches() -> Iterator[OpCache]:
+    return iter(_CACHES.values())
+
+
+def enabled() -> bool:
+    return _ENABLED
+
+
+def configure(enabled: Optional[bool] = None,
+              maxsize: Optional[int] = None) -> None:
+    """Runtime knobs: toggle caching and/or resize every table.
+
+    Disabling does not clear the tables; re-enabling resumes with the
+    previously cached results (still valid — operations are pure).
+    """
+    global _ENABLED
+    if enabled is not None:
+        _ENABLED = bool(enabled)
+    if maxsize is not None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        for cache in _CACHES.values():
+            cache.maxsize = maxsize
+            while len(cache._table) > maxsize:
+                cache._table.popitem(last=False)
+        global DEFAULT_MAXSIZE
+        DEFAULT_MAXSIZE = maxsize
+
+
+def clear(reset_counters: bool = False) -> None:
+    """Drop every cached result (optionally also the counters)."""
+    for cache in _CACHES.values():
+        if reset_counters:
+            cache.reset()
+        else:
+            cache.clear()
+
+
+def stats() -> Dict[str, Dict[str, int]]:
+    """Per-operation ``{hits, misses, size}`` snapshot."""
+    return {cache.name: {"hits": cache.hits, "misses": cache.misses,
+                         "size": len(cache)}
+            for cache in _CACHES.values()}
+
+
+def snapshot() -> Tuple[int, int]:
+    """Aggregate ``(hits, misses)`` across all tables — the engine
+    diffs two snapshots to attribute cache traffic to one run."""
+    hits = 0
+    misses = 0
+    for cache in _CACHES.values():
+        hits += cache.hits
+        misses += cache.misses
+    return hits, misses
+
+
+def cached(name: str, key: tuple, compute: Callable[[], object]):
+    """Memoize ``compute()`` under ``key`` in the ``name`` table;
+    falls straight through when caching is disabled."""
+    if not _ENABLED:
+        return compute()
+    cache = cache_for(name)
+    value = cache.get(key)
+    if value is None:
+        value = compute()
+        cache.put(key, value)
+    return value

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from . import opcache
 from .grammar import (ANY, INT, Alt, FuncAlt, Grammar, GrammarBuilder,
                       g_any, g_bottom, normalize)
 
@@ -27,7 +28,20 @@ __all__ = ["g_le", "g_equiv", "g_union", "g_intersect", "g_split",
 # -- inclusion --------------------------------------------------------------
 
 def g_le(g1: Grammar, g2: Grammar) -> bool:
-    """``Cc(g1) <= Cc(g2)`` — exact on normalized grammars."""
+    """``Cc(g1) <= Cc(g2)`` — exact on normalized grammars.
+
+    Memoized on interned operand identities (see
+    :mod:`repro.typegraph.opcache`); ``g1 is g2`` is free.
+    """
+    if g1 is g2:
+        return True
+    if g1.interned and g2.interned:
+        return opcache.cached("g_le", (g1, g2),
+                              lambda: _g_le_impl(g1, g2))
+    return _g_le_impl(g1, g2)
+
+
+def _g_le_impl(g1: Grammar, g2: Grammar) -> bool:
     memo: Dict[Tuple[int, int], bool] = {}
 
     def le(n1: int, n2: int) -> bool:
@@ -78,12 +92,24 @@ def g_equiv(g1: Grammar, g2: Grammar) -> bool:
 def g_union(g1: Grammar, g2: Grammar,
             max_or_width: Optional[int] = None) -> Grammar:
     """Upper bound; exact union when principal functors are disjoint,
-    pointwise-merged otherwise (principal functor restriction)."""
+    pointwise-merged otherwise (principal functor restriction).
+
+    Memoized on interned operand identities.
+    """
     if g1.is_bottom():
         return normalize(g2, max_or_width)
     if g2.is_bottom():
         return normalize(g1, max_or_width)
+    if g1 is g2:
+        return normalize(g1, max_or_width)
+    if g1.interned and g2.interned:
+        return opcache.cached("g_union", (g1, g2, max_or_width),
+                              lambda: _g_union_impl(g1, g2, max_or_width))
+    return _g_union_impl(g1, g2, max_or_width)
 
+
+def _g_union_impl(g1: Grammar, g2: Grammar,
+                  max_or_width: Optional[int]) -> Grammar:
     builder = GrammarBuilder()
     # keys: ('L', nt) from g1, ('R', nt) from g2, ('B', n1, n2) merged
     memo: Dict[tuple, int] = {}
@@ -143,14 +169,29 @@ def g_union(g1: Grammar, g2: Grammar,
 
 def g_intersect(g1: Grammar, g2: Grammar,
                 max_or_width: Optional[int] = None) -> Grammar:
-    """Exact intersection (product of deterministic automata)."""
+    """Exact intersection (product of deterministic automata).
+
+    Memoized on interned operand identities.
+    """
     if g1.is_bottom() or g2.is_bottom():
         return g_bottom()
+    # The fast paths still apply the or-width cap, like every other
+    # operation (a cap-violating operand must not leak through).
     if g1.is_any():
-        return g2
+        return normalize(g2, max_or_width)
     if g2.is_any():
-        return g1
+        return normalize(g1, max_or_width)
+    if g1 is g2:
+        return normalize(g1, max_or_width)
+    if g1.interned and g2.interned:
+        return opcache.cached(
+            "g_intersect", (g1, g2, max_or_width),
+            lambda: _g_intersect_impl(g1, g2, max_or_width))
+    return _g_intersect_impl(g1, g2, max_or_width)
 
+
+def _g_intersect_impl(g1: Grammar, g2: Grammar,
+                      max_or_width: Optional[int]) -> Grammar:
     builder = GrammarBuilder()
     memo: Dict[tuple, int] = {}
 

@@ -38,8 +38,10 @@ overgrown list region).  See :func:`g_widen`'s ``type_database``.
 from __future__ import annotations
 
 import warnings
+from collections import deque
 from typing import Dict, List, Optional, Tuple
 
+from . import opcache
 from .grammar import Grammar, normalize
 from .graph import TypeGraph, Vertex, to_grammar, treeify
 from .ops import g_le, g_union
@@ -80,11 +82,24 @@ def _vertex_grammars(graph: TypeGraph) -> Tuple[Grammar, Dict[int, int]]:
 
 
 def _vertex_le(raw: Grammar, nts: Dict[int, int],
-               v1: Vertex, v2: Vertex) -> bool:
-    """Denotation inclusion between two or-vertices of the same graph."""
-    g1 = Grammar(raw.rules, nts[id(v1)])
-    g2 = Grammar(raw.rules, nts[id(v2)])
-    return g_le(g1, g2)
+               v1: Vertex, v2: Vertex,
+               memo: Optional[Dict[Tuple[int, int], bool]] = None) -> bool:
+    """Denotation inclusion between two or-vertices of the same graph.
+
+    ``memo`` (nonterminal-pair -> bool) is shared across every
+    inclusion query of one widening step — the ancestor scans of both
+    transformation rules probe many overlapping vertex pairs, so one
+    step-wide memo replaces a fresh traversal per query.
+    """
+    key = (nts[id(v1)], nts[id(v2)])
+    if memo is not None:
+        cached = memo.get(key)
+        if cached is not None:
+            return cached
+    result = g_le(Grammar(raw.rules, key[0]), Grammar(raw.rules, key[1]))
+    if memo is not None:
+        memo[key] = result
+    return result
 
 
 def widening_clashes(g_old: TypeGraph,
@@ -93,9 +108,9 @@ def widening_clashes(g_old: TypeGraph,
     order of the correspondence set (Definition 7.1)."""
     clashes: List[Tuple[Vertex, Vertex]] = []
     seen = set()
-    queue: List[Tuple[Vertex, Vertex]] = [(g_old.root, g_new.root)]
+    queue: deque = deque([(g_old.root, g_new.root)])
     while queue:
-        vo, vn = queue.pop(0)
+        vo, vn = queue.popleft()
         key = (id(vo), id(vn))
         if key in seen:
             continue
@@ -125,7 +140,9 @@ def widening_clashes(g_old: TypeGraph,
 def _try_cycle_introduction(graph_new: TypeGraph, raw: Grammar,
                             nts: Dict[int, int],
                             clashes: List[Tuple[Vertex, Vertex]],
-                            strict: bool) -> Optional[Grammar]:
+                            strict: bool,
+                            le_memo: Optional[Dict] = None
+                            ) -> Optional[Grammar]:
     """Apply TRi (Definition 7.4) to the first eligible clash; the
     ancestor search is nearest-first.
 
@@ -149,7 +166,7 @@ def _try_cycle_introduction(graph_new: TypeGraph, raw: Grammar,
                     continue  # quick filter implied by va >= vn
             elif vn.pf() != va.pf():
                 continue
-            if not _vertex_le(raw, nts, vn, va):
+            if not _vertex_le(raw, nts, vn, va, le_memo):
                 continue
             parent = vn.parent
             parent.successors = [va if s is vn else s
@@ -164,7 +181,8 @@ def _try_replacement(graph_new: TypeGraph, raw: Grammar,
                      current: Grammar,
                      max_or_width: Optional[int],
                      strict: bool,
-                     type_database: Optional[List[Grammar]] = None
+                     type_database: Optional[List[Grammar]] = None,
+                     le_memo: Optional[Dict] = None
                      ) -> Optional[Grammar]:
     """Apply TRr (Definition 7.5) to the first eligible clash.
 
@@ -184,7 +202,7 @@ def _try_replacement(graph_new: TypeGraph, raw: Grammar,
                 continue  # need depth(vo) >= depth(va)
             if not (vn.pf() <= va.pf() or vo.depth < vn.depth):
                 continue
-            if _vertex_le(raw, nts, vn, va):
+            if _vertex_le(raw, nts, vn, va, le_memo):
                 continue  # CI territory, not CR
             nt_va, nt_vn = nts[id(va)], nts[id(vn)]
             # Precise attempt: upper bound of va and vn grafted at va.
@@ -257,6 +275,21 @@ def g_widen(g_old: Grammar, g_new: Grammar,
     """
     if g_new.is_bottom() or g_le(g_new, g_old):
         return g_old
+    if g_old.interned and g_new.interned:
+        db_key = (None if type_database is None
+                  else tuple(type_database))
+        return opcache.cached(
+            "g_widen", (g_old, g_new, max_or_width, strict, db_key),
+            lambda: _g_widen_impl(g_old, g_new, max_or_width, strict,
+                                  type_database))
+    return _g_widen_impl(g_old, g_new, max_or_width, strict,
+                         type_database)
+
+
+def _g_widen_impl(g_old: Grammar, g_new: Grammar,
+                  max_or_width: Optional[int],
+                  strict: bool,
+                  type_database: Optional[List[Grammar]]) -> Grammar:
     gn = g_union(g_old, g_new, max_or_width)
     if g_old.is_bottom():
         return gn
@@ -268,11 +301,15 @@ def g_widen(g_old: Grammar, g_new: Grammar,
         clashes = widening_clashes(graph_old, graph_new)
         if not clashes:
             return gn
+        # One inclusion memo per step: raw/nts are fixed until the
+        # graph is transformed, so every ancestor scan below shares it.
+        le_memo: Dict = {}
         result = _try_cycle_introduction(graph_new, raw, nts, clashes,
-                                         strict)
+                                         strict, le_memo)
         if result is None:
             result = _try_replacement(graph_new, raw, nts, clashes, gn,
-                                      max_or_width, strict, type_database)
+                                      max_or_width, strict, type_database,
+                                      le_memo)
         if result is None:
             return gn
         gn = normalize(result, max_or_width)

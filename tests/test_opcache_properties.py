@@ -1,0 +1,131 @@
+"""Cache-correctness properties: every memoized type-graph operation
+returns exactly what the uncached computation returns, and a whole
+fixpoint run produces the identical polyvariant table with the
+operation caches on and off.
+
+The comparison is intentionally *bit-level*: results are canonically
+serialized (:mod:`repro.service.serialize`) and the JSON texts
+compared, so even a "semantically equal but structurally different"
+divergence would fail.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import analyze
+from repro.benchprogs import benchmark
+from repro.service.serialize import canonical_json, encode_result
+from repro.typegraph import (g_any, g_atom, g_functor, g_int,
+                             g_int_literal, g_intersect, g_le, g_list_of,
+                             g_union, g_widen)
+from repro.typegraph import opcache
+
+# -- strategies (compact version of test_typegraph_properties') --------------
+
+_ATOMS = ("a", "b", "[]", "foo")
+_FUNCTORS = (("f", 1), ("g", 2), (".", 2))
+
+
+def _grammars(depth):
+    if depth == 0:
+        return st.one_of(
+            st.sampled_from([g_any(), g_int()]),
+            st.sampled_from(list(_ATOMS)).map(g_atom),
+            st.integers(0, 3).map(g_int_literal),
+        )
+    sub = _grammars(depth - 1)
+    return st.one_of(
+        _grammars(0),
+        st.builds(lambda name_arity, args:
+                  g_functor(name_arity[0], args[:name_arity[1]]),
+                  st.sampled_from(list(_FUNCTORS)),
+                  st.lists(sub, min_size=2, max_size=2)),
+        st.builds(g_union, sub, sub),
+        st.builds(g_list_of, sub),
+    )
+
+
+grammars = _grammars(2)
+widths = st.sampled_from([None, 1, 2, 5])
+
+
+@pytest.fixture(autouse=True)
+def _cache_enabled_and_restored():
+    was_enabled = opcache.enabled()
+    opcache.configure(enabled=True)
+    yield
+    opcache.configure(enabled=was_enabled)
+
+
+def _uncached(op, *args):
+    """Run ``op`` with the caches switched off."""
+    opcache.configure(enabled=False)
+    try:
+        return op(*args)
+    finally:
+        opcache.configure(enabled=True)
+
+
+# -- per-operation equivalence ------------------------------------------------
+
+@given(grammars, grammars)
+@settings(max_examples=120, deadline=None)
+def test_g_le_cached_equals_uncached(g1, g2):
+    assert g_le(g1, g2) == _uncached(g_le, g1, g2)
+
+
+@given(grammars, grammars, widths)
+@settings(max_examples=120, deadline=None)
+def test_g_union_cached_equals_uncached(g1, g2, width):
+    cached = g_union(g1, g2, width)
+    uncached = _uncached(g_union, g1, g2, width)
+    # interning makes "equal" mean "identical object"
+    assert cached is uncached
+
+
+@given(grammars, grammars, widths)
+@settings(max_examples=120, deadline=None)
+def test_g_intersect_cached_equals_uncached(g1, g2, width):
+    assert g_intersect(g1, g2, width) is _uncached(g_intersect,
+                                                   g1, g2, width)
+
+
+@given(grammars, grammars, widths)
+@settings(max_examples=60, deadline=None)
+def test_g_widen_cached_equals_uncached(g1, g2, width):
+    assert g_widen(g1, g2, width) is _uncached(g_widen, g1, g2, width)
+
+
+@given(grammars, grammars)
+@settings(max_examples=60, deadline=None)
+def test_g_widen_gentle_cached_equals_uncached(g1, g2):
+    assert g_widen(g1, g2, strict=False) is _uncached(
+        lambda a, b: g_widen(a, b, strict=False), g1, g2)
+
+
+# -- whole-analysis equivalence ----------------------------------------------
+
+def _table_json(analysis):
+    obj = encode_result(analysis.result)
+    # timing and cache-traffic stats legitimately differ run to run
+    obj.pop("stats")
+    return canonical_json(obj)
+
+
+@pytest.mark.parametrize("name", ["QU", "PE", "PG", "PL", "DS"])
+def test_analyze_identical_with_and_without_opcache(name):
+    bp = benchmark(name)
+    with_cache = analyze(bp.source, bp.query, input_types=bp.input_types)
+    assert with_cache.stats.opcache_hits > 0
+    opcache.configure(enabled=False)
+    try:
+        without = analyze(bp.source, bp.query, input_types=bp.input_types)
+        assert without.stats.opcache_hits == 0
+        assert without.stats.opcache_misses == 0
+    finally:
+        opcache.configure(enabled=True)
+    assert _table_json(with_cache) == _table_json(without)
+    assert (with_cache.stats.procedure_iterations
+            == without.stats.procedure_iterations)
+    assert (with_cache.stats.clause_iterations
+            == without.stats.clause_iterations)
