@@ -6,11 +6,17 @@ full ``GAIA(Pat(Type))`` analysis and records, per program:
 
 * wall time (seconds, one full analysis),
 * procedure / clause iterations (Table 3's own counters),
+* differential-engine counters: clause iterations *skipped* (cached
+  clause outputs joined instead of re-executed) and call-site
+  resumptions (dirty clauses resumed from a pre-call snapshot),
 * operation-cache traffic and hit rate
   (:mod:`repro.typegraph.opcache`),
-* a content fingerprint of the resulting polyvariant table (stats
-  stripped), so runs can be checked bit-identical across cache
-  configurations and commits.
+* a content fingerprint of the resulting *semantic* table
+  (:func:`repro.service.serialize.result_fingerprint` — per entry its
+  predicate, β_in, and β_out; scheduling provenance such as dependency
+  edges and iteration counts excluded), so runs can be checked
+  bit-identical across cache configurations, engine modes, and
+  commits.
 
 Typical uses::
 
@@ -47,10 +53,16 @@ from pathlib import Path
 
 from repro import analyze
 from repro.benchprogs import benchmark, benchmark_names
-from repro.service.serialize import canonical_json, content_hash, \
-    encode_result
+from repro.service.serialize import result_fingerprint
 
-SCHEMA = 1
+#: v2: the table fingerprint is the *semantic* fingerprint
+#: (result_fingerprint — β values only); per-program rows gained the
+#: differential-engine counters and scheduler provenance.
+SCHEMA = 2
+
+#: A run slower than the reference by more than this factor draws a
+#: WARNING line in the comparison (advisory — CI hardware varies).
+WALL_REGRESSION_FACTOR = 1.20
 
 
 def measure_program(name: str) -> dict:
@@ -62,20 +74,19 @@ def measure_program(name: str) -> dict:
     stats = analysis.stats
     hits = getattr(stats, "opcache_hits", 0)
     misses = getattr(stats, "opcache_misses", 0)
-    table = encode_result(analysis.result)
-    # timing/cache counters and format version differ legitimately;
-    # the fingerprint tracks the analysis *table* only
-    table.pop("stats", None)
-    table.pop("version", None)
     return {
         "wall_time": round(wall, 4),
         "procedure_iterations": stats.procedure_iterations,
         "clause_iterations": stats.clause_iterations,
+        "clause_iterations_skipped": getattr(
+            stats, "clause_iterations_skipped", 0),
+        "callsite_resumptions": getattr(stats, "callsite_resumptions", 0),
+        "scheduler": getattr(stats, "scheduler", "lifo"),
         "opcache_hits": hits,
         "opcache_misses": misses,
         "opcache_hit_rate": (round(hits / (hits + misses), 4)
                              if hits + misses else None),
-        "table_fingerprint": content_hash(table),
+        "table_fingerprint": result_fingerprint(analysis.result),
     }
 
 
@@ -85,20 +96,36 @@ def run_suite(programs) -> dict:
         cache_enabled = opcache.enabled()
     except ImportError:  # pre-PR2 checkouts measured as baselines
         cache_enabled = False
+    try:
+        from repro.fixpoint.engine import AnalysisConfig, \
+            _env_differential
+        env = _env_differential()
+        differential = (AnalysisConfig().differential if env is None
+                        else env)
+    except ImportError:  # pre-PR3 checkouts measured as baselines
+        differential = False
     results = {}
     for name in programs:
         results[name] = measure_program(name)
-        print("  %-4s %8.3fs  proc=%-6d clause=%-6d hit-rate=%s"
+        print("  %-4s %8.3fs  proc=%-6d clause=%-6d skipped=%-6d "
+              "resumed=%-5d hit-rate=%s"
               % (name, results[name]["wall_time"],
                  results[name]["procedure_iterations"],
                  results[name]["clause_iterations"],
+                 results[name]["clause_iterations_skipped"],
+                 results[name]["callsite_resumptions"],
                  results[name]["opcache_hit_rate"]),
               file=sys.stderr)
     return {
         "programs": results,
         "total_wall_time": round(sum(r["wall_time"]
                                      for r in results.values()), 4),
+        "total_clause_iterations": sum(r["clause_iterations"]
+                                       for r in results.values()),
+        "total_clause_iterations_skipped": sum(
+            r["clause_iterations_skipped"] for r in results.values()),
         "opcache_enabled": cache_enabled,
+        "differential_enabled": differential,
         "python": platform.python_version(),
     }
 
@@ -123,11 +150,31 @@ def print_comparison(run: dict, reference: dict, ref_name: str) -> bool:
               % (name, row["wall_time"], ref["wall_time"], speedup,
                  row["opcache_hit_rate"],
                  "same" if same else "DIFFERENT"))
-    ref_total = reference.get("total_wall_time")
-    if ref_total:
-        print("%-6s %10.3f %12.3f %8.2fx   (aggregate, vs %s)"
-              % ("TOTAL", run["total_wall_time"], ref_total,
-                 ref_total / run["total_wall_time"], ref_name))
+    # Aggregates over the programs both sides actually measured, so a
+    # --programs subset run compares apples to apples.
+    common = [name for name in run["programs"] if name in ref_programs]
+    if common:
+        run_total = sum(run["programs"][n]["wall_time"] for n in common)
+        ref_total = sum(ref_programs[n]["wall_time"] for n in common)
+        if run_total and ref_total:
+            print("%-6s %10.3f %12.3f %8.2fx   (aggregate over %d "
+                  "common programs, vs %s)"
+                  % ("TOTAL", run_total, ref_total,
+                     ref_total / run_total, len(common), ref_name))
+            if run_total > ref_total * WALL_REGRESSION_FACTOR:
+                print("WARNING: aggregate wall time regressed more than "
+                      "%d%% vs %s (%.3fs > %.3fs) — advisory only"
+                      % (round((WALL_REGRESSION_FACTOR - 1) * 100),
+                         ref_name, run_total, ref_total),
+                      file=sys.stderr)
+        run_clauses = sum(run["programs"][n]["clause_iterations"]
+                          for n in common)
+        ref_clauses = sum(ref_programs[n].get("clause_iterations", 0)
+                          for n in common)
+        if run_clauses and ref_clauses:
+            print("%-6s %10d %12d %8.2fx   (executed clause iterations)"
+                  % ("CLAUSE", run_clauses, ref_clauses,
+                     ref_clauses / run_clauses))
     return fingerprints_ok
 
 
@@ -141,9 +188,10 @@ def main(argv=None) -> int:
                         help="label recorded with the run")
     parser.add_argument("--out", metavar="FILE",
                         help="write this run's raw measurements as JSON")
-    parser.add_argument("--baseline", metavar="FILE",
+    parser.add_argument("--baseline", metavar="FILE", nargs="+",
                         help="compare against the baseline (and current) "
-                             "sections of a trajectory file; non-blocking")
+                             "sections of one or more trajectory files "
+                             "(the suite runs once); non-blocking")
     parser.add_argument("--write-bench", metavar="FILE",
                         help="update a trajectory file's 'current' section "
                              "with this run (keeps its baseline)")
@@ -170,8 +218,18 @@ def main(argv=None) -> int:
         print("wrote %s" % args.out, file=sys.stderr)
 
     fingerprints_ok = True
-    if args.baseline:
-        bench = json.loads(Path(args.baseline).read_text())
+    for baseline_file in args.baseline or ():
+        bench = json.loads(Path(baseline_file).read_text())
+        print("\n== vs %s ==" % baseline_file)
+        if bench.get("schema") != SCHEMA:
+            # Older schemas fingerprint with a different definition
+            # (v1 hashed the full encode_result payload), so every row
+            # would read DIFFERENT on bit-identical tables.
+            print("NOTE: %s has schema %r, this script expects %d — "
+                  "fingerprints are not comparable; skipping"
+                  % (baseline_file, bench.get("schema"), SCHEMA),
+                  file=sys.stderr)
+            continue
         if "baseline" in bench:
             fingerprints_ok &= print_comparison(run, bench["baseline"],
                                                 "baseline")

@@ -122,10 +122,12 @@ def main(argv=None) -> int:
         print(format_table(["predicate", "input tags", "output tags"],
                            rows))
     print()
-    print("time %.2fs, %d procedure iterations, %d clause iterations, "
-          "%d entries"
+    print("time %.2fs, %d procedure iterations, %d clause iterations "
+          "(%d skipped, %d resumed), %d entries"
           % (analysis.wall_time, analysis.stats.procedure_iterations,
              analysis.stats.clause_iterations,
+             analysis.stats.clause_iterations_skipped,
+             analysis.stats.callsite_resumptions,
              analysis.stats.entries_created))
     if analysis.result.unknown_predicates:
         print("warning: unknown predicates treated as identity: %s"

@@ -4,7 +4,8 @@ report formatting."""
 from .analyzer import TypeAnalysis, analyze, make_input_pattern
 from .callgraph import (CallGraph, ProgramMetrics, RecursionClass,
                         build_callgraph, classify_procedures,
-                        program_metrics, recursion_summary)
+                        norm_scc_indices, program_metrics,
+                        recursion_summary)
 from .report import format_table, format_tag_row
 from .tags import (TAGS, TagComparison, compare_tags, tag_of_grammar,
                    tags_of_subst)
@@ -12,7 +13,8 @@ from .tags import (TAGS, TagComparison, compare_tags, tag_of_grammar,
 __all__ = [
     "TypeAnalysis", "analyze", "make_input_pattern",
     "CallGraph", "ProgramMetrics", "RecursionClass", "build_callgraph",
-    "classify_procedures", "program_metrics", "recursion_summary",
+    "classify_procedures", "norm_scc_indices", "program_metrics",
+    "recursion_summary",
     "format_table", "format_tag_row",
     "TAGS", "TagComparison", "compare_tags", "tag_of_grammar",
     "tags_of_subst",

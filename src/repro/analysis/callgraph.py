@@ -29,7 +29,8 @@ from ..prolog.program import Clause, PredId, Program
 from ..prolog.terms import Atom, Struct, Term
 
 __all__ = ["CallGraph", "ProgramMetrics", "RecursionClass",
-           "build_callgraph", "program_metrics", "classify_procedures"]
+           "build_callgraph", "program_metrics", "classify_procedures",
+           "norm_scc_indices"]
 
 _CONTROL = {(",", 2), (";", 2), ("->", 2), ("\\+", 1), ("not", 1),
             ("true", 0)}
@@ -160,6 +161,29 @@ def _tarjan(edges: Dict[PredId, Set[PredId]]) -> List[FrozenSet[PredId]]:
         if pred not in index:
             strongconnect(pred)
     return result
+
+
+def norm_scc_indices(norm: NormProgram) -> Dict[PredId, int]:
+    """SCC index of every defined predicate of a *normalized* program.
+
+    Tarjan emits components callees-first, so a smaller index means a
+    deeper (callee-most) component; the fixpoint engine's opt-in
+    ``scheduler="scc"`` uses this as the worklist priority to drive
+    callee SCCs to a local fixpoint before their callers resume.
+    Working on the normalized form keeps the engine independent of the
+    parsed :class:`~repro.prolog.program.Program` (disjunction
+    expansion cannot add call edges, so the components match
+    :func:`build_callgraph`'s for the same source)."""
+    edges: Dict[PredId, Set[PredId]] = {}
+    for pred, procedure in norm.procedures.items():
+        callees = edges.setdefault(pred, set())
+        for clause in procedure.clauses:
+            for goal in clause.body:
+                if isinstance(goal, NCall) and goal.pred in norm.procedures:
+                    callees.add(goal.pred)
+    return {pred: index
+            for index, scc in enumerate(_tarjan(edges))
+            for pred in scc}
 
 
 @dataclass

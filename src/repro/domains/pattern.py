@@ -175,6 +175,41 @@ class SubstBuilder:
         merge.args = None
         merge.value = None
 
+    # -- snapshot / fork -----------------------------------------------------
+
+    def fork(self, roots: Sequence[_UNode]
+             ) -> Tuple["SubstBuilder", List[_UNode]]:
+        """Persistent snapshot of the union-find state reachable from
+        ``roots``: an isomorphic copy (fresh nodes, same structure,
+        sharing and leaf values preserved) that shares no mutable state
+        with the original.  Execution can continue on either side
+        independently — the engine snapshots the builder before every
+        call site so a clause whose callee later improves resumes from
+        that point instead of from the clause head (GAIA-style prefix
+        resumption)."""
+        copies: Dict[int, _UNode] = {}
+        originals: List[_UNode] = []
+        stack = list(roots)
+        while stack:
+            node = stack.pop()
+            if id(node) in copies:
+                continue
+            copies[id(node)] = _UNode(value=node.value, name=node.name,
+                                      is_int=node.is_int)
+            originals.append(node)
+            if node.parent is not None:
+                stack.append(node.parent)
+            if node.args is not None:
+                stack.extend(node.args)
+        for node in originals:
+            copy = copies[id(node)]
+            if node.parent is not None:
+                copy.parent = copies[id(node.parent)]
+            if node.args is not None:
+                copy.args = [copies[id(arg)] for arg in node.args]
+        return (SubstBuilder(self.domain),
+                [copies[id(root)] for root in roots])
+
     # -- abstract unification ------------------------------------------------
 
     def unify(self, a: _UNode, b: _UNode) -> bool:
@@ -410,6 +445,8 @@ def subst_le(s1, s2, domain: LeafDomain) -> bool:
     """Order: Cc(s1) ⊆ Cc(s2).  Exact when structures align; when s1
     has a leaf where s2 has a pattern, decided through the leaf domain
     if s2's subtree is sharing-free, else conservatively False."""
+    if s1 is s2:
+        return True
     if s1 is PAT_BOTTOM:
         return True
     if s2 is PAT_BOTTOM:
@@ -460,9 +497,15 @@ def subst_le(s1, s2, domain: LeafDomain) -> bool:
 
 
 def subst_eq(s1, s2, domain: LeafDomain) -> bool:
+    if s1 is s2:
+        return True
     if s1 is PAT_BOTTOM or s2 is PAT_BOTTOM:
-        return s1 is s2
-    if s1 == s2:
+        return False
+    # The structural == walk is only worth attempting when the
+    # memoized hashes agree (with interned leaf grammars both hashes
+    # are a few cached integer combines); differing hashes certify the
+    # walk would fail, so fall straight through to the semantic check.
+    if s1.nvars == s2.nvars and hash(s1) == hash(s2) and s1 == s2:
         return True
     return subst_le(s1, s2, domain) and subst_le(s2, s1, domain)
 

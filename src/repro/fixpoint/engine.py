@@ -15,14 +15,46 @@ A worklist algorithm over a table of *entries* ``(pred, β_in) → β_out``:
   (operation WIDEN) — delaying the widening "until the structure of the
   type appears clearly", as §2 requires for the AR1 example.
 
+**Differential re-evaluation** (default, ``AnalysisConfig.differential``
+/ ``REPRO_DIFFERENTIAL``): the worklist is clause-granular underneath.
+Dependencies are recorded per *call site* — ``(entry, clause index,
+call-site index)`` — and each entry caches every clause's last output,
+so re-analyzing an entry only re-executes clauses with a *dirty* call
+site (one whose callee tuple updated since the clause last ran) and
+joins the cached outputs of the rest.  Abstract clause execution is a
+deterministic function of the entry's β_in and the callee outputs at
+its call sites, so the joined result — and therefore every β_out and
+the whole table — is bit-identical to full re-execution; only the
+`clause_iterations` work drops.  A dirty clause additionally resumes
+from a :meth:`~repro.domains.pattern.SubstBuilder.fork` snapshot taken
+just before its first dirty call site instead of from the clause head
+(GAIA-style prefix resumption, counted in
+``AnalysisStats.callsite_resumptions``).  Call-site granularity also
+lets the engine drop stale edges — a call site that re-resolves to a
+different table entry unsubscribes from the old one — and skip
+scheduling dependents that end up with no dirty clause (the stale
+self-edge case), so wasted procedure iterations disappear as well.
+
+**Scheduling**: the default worklist is a LIFO stack (newly discovered
+callees are analyzed before their callers retry — GAIA's top-down
+descent).  ``AnalysisConfig.scheduler="scc"`` switches to an opt-in
+SCC-stratified priority queue: entries of callee-most strongly
+connected components (``repro.analysis.callgraph.norm_scc_indices``)
+are driven to a local fixpoint before their callers resume, cutting
+wasted caller iterations on deep programs.
+
 Statistics match Table 3: procedure iterations (entry analyses) and
-clause iterations.
+clause iterations; ``clause_iterations_skipped`` counts clause runs the
+differential mode avoided (executed + skipped = what a full engine
+would have executed over the same procedure iterations).
 """
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
+from heapq import heappop, heappush
 from typing import Dict, List, Optional, Set, Tuple
 
 from ..domains.leaf import LeafDomain, TypeLeafDomain
@@ -35,12 +67,23 @@ from ..typegraph import opcache
 from .builtins import BUILTINS, tag_value
 
 __all__ = ["AnalysisConfig", "AnalysisStats", "Entry", "AnalysisResult",
-           "Engine", "AnalysisBudgetExceeded"]
+           "Engine", "AnalysisBudgetExceeded", "SCHEDULERS"]
+
+#: Recognized ``AnalysisConfig.scheduler`` values.
+SCHEDULERS = ("lifo", "scc")
 
 
 class AnalysisBudgetExceeded(RuntimeError):
     """The global iteration budget was exhausted (safety net; should not
     happen — widening guarantees termination)."""
+
+
+def _env_differential() -> Optional[bool]:
+    """Tri-state ``REPRO_DIFFERENTIAL`` override: None when unset."""
+    value = os.environ.get("REPRO_DIFFERENTIAL")
+    if value is None:
+        return None
+    return value.strip().lower() not in ("0", "off", "false", "no")
 
 
 @dataclass
@@ -51,6 +94,11 @@ class AnalysisConfig:
     ``max_input_patterns`` bounds polyvariance per predicate.
     ``widening_delay`` counts output updates joined before widening
     kicks in.
+    ``differential`` toggles clause-granular differential re-evaluation
+    (results are bit-identical either way; the ``REPRO_DIFFERENTIAL``
+    environment variable, when set, overrides this for A/B runs).
+    ``scheduler`` picks the worklist policy: ``"lifo"`` (default, the
+    paper's descent order) or ``"scc"`` (callee SCCs first).
     """
 
     max_or_width: Optional[int] = None
@@ -59,6 +107,8 @@ class AnalysisConfig:
     strict_widening_after: int = 12
     max_procedure_iterations: int = 200000
     type_database: Optional[list] = None  # §10 widening extension
+    differential: bool = True
+    scheduler: str = "lifo"
 
 
 @dataclass
@@ -74,13 +124,28 @@ class AnalysisStats:
     #: :meth:`Engine.analyze`); both stay 0 with caching disabled.
     opcache_hits: int = 0
     opcache_misses: int = 0
+    #: clause runs the differential mode proved redundant and skipped
+    #: (their cached output was joined instead of re-executing);
+    #: ``clause_iterations + clause_iterations_skipped`` equals the
+    #: clause work a non-differential engine performs for the same
+    #: procedure iterations.
+    clause_iterations_skipped: int = 0
+    #: dirty clause runs that resumed from a pre-call-site snapshot
+    #: instead of re-executing the clause from its head.
+    callsite_resumptions: int = 0
+    #: worklist policy the run used (provenance for bench reports).
+    scheduler: str = "lifo"
 
 
 @dataclass
 class Entry:
     """One tabulated (input pattern, predicate, output pattern) tuple —
     the (β_in, p, β_out) triples of §2.  ``seeded`` marks entries
-    imported from a previous run's table rather than iterated here."""
+    imported from a previous run's table rather than iterated here.
+    ``dependents`` holds caller *entry ids*; the differential engine
+    additionally keeps per-call-site edges in
+    ``Engine._callsite_deps`` and prunes both when a call site
+    re-resolves elsewhere."""
 
     id: int
     pred: PredId
@@ -90,6 +155,32 @@ class Entry:
     updates: int = 0
     iterations: int = 0
     seeded: bool = False
+
+
+class _ClauseState:
+    """Differential-mode memory of one (entry, clause) pair.
+
+    ``out`` is the clause's last output (valid once ``ran``); ``dirty``
+    is ``None`` when the cached output is provably current, ``-1`` when
+    the clause must run from its head, else the smallest dirty
+    call-site ordinal (resume point).  ``callees`` / ``snapshots`` are
+    parallel per-call-site records: the table entry the call resolved
+    to and the builder snapshot taken just before the call."""
+
+    __slots__ = ("out", "ran", "dirty", "callees", "snapshots")
+
+    FROM_HEAD = -1
+
+    def __init__(self) -> None:
+        self.out = PAT_BOTTOM
+        self.ran = False
+        self.dirty: Optional[int] = self.FROM_HEAD
+        self.callees: List[Optional[int]] = []
+        self.snapshots: List[Optional[List[object]]] = []
+
+    def mark_dirty(self, callsite: int) -> None:
+        if self.dirty is None or callsite < self.dirty:
+            self.dirty = callsite
 
 
 class AnalysisResult:
@@ -113,6 +204,7 @@ class AnalysisResult:
         self._by_pred: Dict[PredId, List[Entry]] = {}
         for entry in entries:
             self._by_pred.setdefault(entry.pred, []).append(entry)
+        self._collapsed: Dict[PredId, Optional[Tuple[object, object]]] = {}
 
     @classmethod
     def from_engine(cls, engine: "Engine", root: Entry) -> "AnalysisResult":
@@ -140,15 +232,21 @@ class AnalysisResult:
     def collapsed_for(self, pred: PredId):
         """Single-version (β_in, β_out) for ``pred``: the join over all
         entries — the "no multiple specialization" view used by the
-        accuracy tables (§9)."""
+        accuracy tables (§9).  Memoized: tag extraction and grammar
+        display ask for the same predicate repeatedly, and the table is
+        immutable once built."""
+        if pred in self._collapsed:
+            return self._collapsed[pred]
         entries = self._by_pred.get(pred)
         if not entries:
+            self._collapsed[pred] = None
             return None
         beta_in = PAT_BOTTOM
         beta_out = PAT_BOTTOM
         for entry in entries:
             beta_in = subst_join(beta_in, entry.beta_in, self.domain)
             beta_out = subst_join(beta_out, entry.beta_out, self.domain)
+        self._collapsed[pred] = (beta_in, beta_out)
         return beta_in, beta_out
 
 
@@ -164,6 +262,14 @@ class Engine:
             domain = TypeLeafDomain(self.config.max_or_width,
                                     self.config.type_database)
         self.domain = domain
+        env = _env_differential()
+        self.differential: bool = (self.config.differential if env is None
+                                   else env)
+        if self.config.scheduler not in SCHEDULERS:
+            raise ValueError("unknown scheduler: %r (expected one of %s)"
+                             % (self.config.scheduler,
+                                ", ".join(SCHEDULERS)))
+        self.scheduler: str = self.config.scheduler
         self.table: Dict[PredId, List[Entry]] = {}
         # Memo of _solve's table scans, keyed by the (hash-indexed)
         # structural input pattern; invalidated per predicate whenever
@@ -174,9 +280,25 @@ class Engine:
         self.general_entry: Dict[PredId, int] = {}
         self.input_widen_count: Dict[PredId, int] = {}
         self.entries_by_id: Dict[int, Entry] = {}
-        self.worklist: List[int] = []
+        #: LIFO stack of entry ids, or a heap of (scc, -seq, id)
+        #: triples under the SCC scheduler.
+        self.worklist: List = []
         self.queued: Set[int] = set()
-        self.stats = AnalysisStats()
+        self._push_seq = 0
+        self._scc_index: Optional[Dict[PredId, int]] = None
+        if self.scheduler == "scc":
+            # Local import: repro.analysis imports this module back.
+            from ..analysis.callgraph import norm_scc_indices
+            self._scc_index = norm_scc_indices(program)
+        # -- differential state ------------------------------------------
+        #: entry id -> one _ClauseState per clause of its procedure.
+        self._clause_states: Dict[int, List[_ClauseState]] = {}
+        #: callee entry id -> {(caller entry id, clause idx, call-site
+        #: ordinal)} — the clause-granular dependency edges.
+        self._callsite_deps: Dict[int, Set[Tuple[int, int, int]]] = {}
+        #: (pred, clause idx) -> body positions of defined-pred calls.
+        self._call_positions: Dict[Tuple[PredId, int], List[int]] = {}
+        self.stats = AnalysisStats(scheduler=self.scheduler)
         self.unknown_predicates: Set[PredId] = set()
 
     # -- public API -----------------------------------------------------------
@@ -291,10 +413,31 @@ class Engine:
         self._schedule(entry)
         return entry
 
+    # -- scheduling -----------------------------------------------------------
+
     def _schedule(self, entry: Entry) -> None:
-        if entry.id not in self.queued:
-            self.queued.add(entry.id)
+        if entry.id in self.queued:
+            return
+        self.queued.add(entry.id)
+        if self._scc_index is None:
             self.worklist.append(entry.id)
+        else:
+            # Callee-most SCC first (Tarjan emits callees before
+            # callers, so a smaller index is a deeper component); ties
+            # pop most-recently-pushed first, preserving the LIFO
+            # descent inside one component.
+            self._push_seq += 1
+            heappush(self.worklist,
+                     (self._scc_index.get(entry.pred, len(self._scc_index)),
+                      -self._push_seq, entry.id))
+
+    def _pop(self) -> int:
+        if self._scc_index is None:
+            # LIFO: newly discovered callees are analyzed before their
+            # callers are retried — the top-down descent order of GAIA,
+            # which lets callee types mature before callers widen.
+            return self.worklist.pop()
+        return heappop(self.worklist)[2]
 
     def _run(self) -> None:
         budget = self.config.max_procedure_iterations
@@ -302,10 +445,7 @@ class Engine:
             if self.stats.procedure_iterations >= budget:
                 raise AnalysisBudgetExceeded(
                     "procedure iteration budget exceeded (%d)" % budget)
-            # LIFO: newly discovered callees are analyzed before their
-            # callers are retried — the top-down descent order of GAIA,
-            # which lets callee types mature before callers widen.
-            entry_id = self.worklist.pop()
+            entry_id = self._pop()
             self.queued.discard(entry_id)
             self._analyze_entry(self.entries_by_id[entry_id])
 
@@ -316,10 +456,34 @@ class Engine:
         entry.iterations += 1
         procedure = self.program.procedure(entry.pred)
         assert procedure is not None
+        differential = self.differential
+        states: Optional[List[_ClauseState]] = None
+        if differential:
+            states = self._clause_states.get(entry.id)
+            if states is None:
+                states = [_ClauseState() for _ in procedure.clauses]
+                self._clause_states[entry.id] = states
         result = PAT_BOTTOM
-        for clause in procedure.clauses:
-            self.stats.clause_iterations += 1
-            clause_out = self._exec_clause(entry, clause)
+        for ci, clause in enumerate(procedure.clauses):
+            if differential:
+                state = states[ci]
+                if state.ran and state.dirty is None:
+                    # No call site of this clause saw a callee update
+                    # since it last ran; re-execution would reproduce
+                    # the cached output exactly (abstract execution is
+                    # a deterministic function of β_in and the callee
+                    # outputs), so join the cache instead.
+                    self.stats.clause_iterations_skipped += 1
+                    clause_out = state.out
+                else:
+                    self.stats.clause_iterations += 1
+                    clause_out = self._exec_clause(entry, clause, ci, state)
+                    state.out = clause_out
+                    state.ran = True
+                    state.dirty = None
+            else:
+                self.stats.clause_iterations += 1
+                clause_out = self._exec_clause(entry, clause)
             result = subst_join(result, clause_out, self.domain)
         if result is PAT_BOTTOM:
             return  # nothing new
@@ -336,39 +500,168 @@ class Engine:
             return  # stable
         entry.beta_out = new_out
         entry.updates += 1
+        if not differential:
+            for dependent_id in entry.dependents:
+                self._schedule(self.entries_by_id[dependent_id])
+            return
+        # Mark the exact (caller, clause, call site) triples that
+        # consumed this entry's old output dirty, then schedule only
+        # callers left with work: an entry whose clauses are all clean
+        # would join its caches and change nothing, so skipping it is a
+        # pure procedure-iteration saving (this is also what stops a
+        # stale self-edge from rescheduling the entry it points to).
+        for caller_id, ci, cs in self._callsite_deps.get(entry.id, ()):
+            caller_states = self._clause_states.get(caller_id)
+            if caller_states is not None:
+                caller_states[ci].mark_dirty(cs)
         for dependent_id in entry.dependents:
-            self._schedule(self.entries_by_id[dependent_id])
+            dep_states = self._clause_states.get(dependent_id)
+            if dep_states is None or any(
+                    state.dirty is not None for state in dep_states):
+                self._schedule(self.entries_by_id[dependent_id])
 
     # -- abstract clause execution --------------------------------------------------
 
-    def _exec_clause(self, entry: Entry, clause: NormClause):
+    def _callsites_of(self, pred: PredId, ci: int,
+                      clause: NormClause) -> List[int]:
+        """Body positions of this clause's defined-predicate calls
+        (the call sites), cached per (pred, clause index)."""
+        key = (pred, ci)
+        positions = self._call_positions.get(key)
+        if positions is None:
+            positions = [pos for pos, goal in enumerate(clause.body)
+                         if isinstance(goal, NCall)
+                         and self.program.defined(goal.pred)]
+            self._call_positions[key] = positions
+        return positions
+
+    def _exec_clause(self, entry: Entry, clause: NormClause,
+                     ci: Optional[int] = None,
+                     state: Optional[_ClauseState] = None):
+        """Abstract execution of one clause against ``entry.beta_in``.
+
+        With differential ``state``, execution resumes from the
+        snapshot taken before the first dirty call site when one is
+        available (the prefix re-runs nothing); otherwise — first run,
+        head-dirty, or no snapshot — it starts from the clause head.
+        """
         builder = SubstBuilder(self.domain)
-        nodes = builder.instantiate(entry.beta_in)
-        for _ in range(clause.pred[1], clause.nvars):
-            nodes.append(builder.fresh_leaf())
-        for goal in clause.body:
+        start_pos = 0
+        cs = 0
+        resumed_at = -1
+        if state is not None and state.ran:
+            k = state.dirty
+            if k is not None and 0 <= k < len(state.snapshots) \
+                    and state.snapshots[k] is not None:
+                builder, nodes = builder.fork(state.snapshots[k])
+                start_pos = self._callsites_of(entry.pred, ci, clause)[k]
+                cs = k
+                resumed_at = k
+                self.stats.callsite_resumptions += 1
+        if resumed_at < 0:
+            nodes = builder.instantiate(entry.beta_in)
+            for _ in range(clause.pred[1], clause.nvars):
+                nodes.append(builder.fresh_leaf())
+        body = clause.body
+        for pos in range(start_pos, len(body)):
+            goal = body[pos]
             if isinstance(goal, NUnify):
                 if not builder.unify(nodes[goal.a], nodes[goal.b]):
-                    return PAT_BOTTOM
+                    return self._finish_clause(entry, ci, state, cs,
+                                               PAT_BOTTOM)
             elif isinstance(goal, NBuild):
                 pattern = builder.make_pattern(
                     goal.name, goal.is_int, [nodes[a] for a in goal.args])
                 if not builder.unify(nodes[goal.v], pattern):
-                    return PAT_BOTTOM
+                    return self._finish_clause(entry, ci, state, cs,
+                                               PAT_BOTTOM)
             else:
                 assert isinstance(goal, NCall)
-                if not self._exec_call(entry, builder, nodes, goal):
-                    return PAT_BOTTOM
-        return builder.freeze(nodes[:clause.pred[1]])
+                tracked = (state is not None
+                           and self.program.defined(goal.pred))
+                if tracked:
+                    if cs != resumed_at:
+                        # Snapshot the builder before the call so a
+                        # later update of this call site's callee can
+                        # resume right here.  (On the resume call site
+                        # itself the stored snapshot is already this
+                        # exact state.)
+                        _, snap = builder.fork(nodes)
+                        self._put_callsite(state, cs, snap)
+                    ok = self._exec_call(entry, builder, nodes, goal,
+                                         ci, cs, state)
+                    cs += 1
+                else:
+                    ok = self._exec_call(entry, builder, nodes, goal)
+                if not ok:
+                    return self._finish_clause(entry, ci, state, cs,
+                                               PAT_BOTTOM)
+        return self._finish_clause(
+            entry, ci, state, cs,
+            builder.freeze(nodes[:clause.pred[1]]))
+
+    def _finish_clause(self, entry: Entry, ci: Optional[int],
+                       state: Optional[_ClauseState], reach: int,
+                       clause_out):
+        """Truncate per-call-site records past what this run reached —
+        their snapshots would no longer reproduce full re-execution —
+        and unsubscribe the dropped call sites from their callees."""
+        if state is not None and len(state.callees) > reach:
+            for cs in range(reach, len(state.callees)):
+                old = state.callees[cs]
+                if old is not None:
+                    self._drop_callsite_dep(entry, old, ci, cs)
+            del state.callees[reach:]
+            del state.snapshots[reach:]
+        return clause_out
+
+    def _put_callsite(self, state: _ClauseState, cs: int,
+                      snapshot: List[object]) -> None:
+        if cs < len(state.snapshots):
+            state.snapshots[cs] = snapshot
+        else:
+            state.snapshots.append(snapshot)
+            state.callees.append(None)
+
+    def _drop_callsite_dep(self, entry: Entry, old_callee_id: int,
+                           ci: int, cs: int) -> None:
+        """Remove the (entry, ci, cs) edge from ``old_callee_id``; when
+        that was the entry's last call site into the old callee, prune
+        the entry-level dependent edge too, so superseded entries stop
+        rescheduling callers that no longer read them."""
+        deps = self._callsite_deps.get(old_callee_id)
+        if deps is None:
+            return
+        deps.discard((entry.id, ci, cs))
+        if not any(caller == entry.id for caller, _, _ in deps):
+            old_entry = self.entries_by_id.get(old_callee_id)
+            if old_entry is not None:
+                old_entry.dependents.discard(entry.id)
+
+    def _bind_callsite(self, entry: Entry, ci: int, cs: int,
+                       state: _ClauseState, callee: Entry) -> None:
+        old = state.callees[cs]
+        if old is not None and old != callee.id:
+            # Input-pattern widening (or an earlier callee's growth)
+            # re-resolved this call site: unsubscribe from the entry it
+            # used to read, so its future updates no longer dirty us.
+            self._drop_callsite_dep(entry, old, ci, cs)
+        state.callees[cs] = callee.id
+        self._callsite_deps.setdefault(callee.id, set()).add(
+            (entry.id, ci, cs))
 
     def _exec_call(self, entry: Entry, builder: SubstBuilder,
-                   nodes: List, goal: NCall) -> bool:
+                   nodes: List, goal: NCall,
+                   ci: Optional[int] = None, cs: Optional[int] = None,
+                   state: Optional[_ClauseState] = None) -> bool:
         arg_nodes = [nodes[a] for a in goal.args]
         if self.program.defined(goal.pred):
             beta_call = builder.freeze(arg_nodes)
             if beta_call is PAT_BOTTOM:
                 return False
             callee = self._solve(goal.pred, beta_call)
+            if state is not None:
+                self._bind_callsite(entry, ci, cs, state, callee)
             callee.dependents.add(entry.id)
             if callee.beta_out is PAT_BOTTOM:
                 return False  # no success known (yet)

@@ -28,7 +28,8 @@ from .serialize import (FORMAT_VERSION, canonical_json, config_hash,
                         content_hash, decode_config, decode_grammar,
                         decode_result, decode_subst, encode_config,
                         encode_grammar, encode_result, encode_subst,
-                        predicate_hashes, program_hash)
+                        predicate_hashes, program_hash,
+                        result_fingerprint)
 
 __all__ = [
     "FORMAT_VERSION",
@@ -36,7 +37,7 @@ __all__ = [
     "encode_grammar", "decode_grammar",
     "encode_subst", "decode_subst",
     "encode_config", "decode_config", "config_hash",
-    "encode_result", "decode_result",
+    "encode_result", "decode_result", "result_fingerprint",
     "predicate_hashes", "program_hash",
     "CacheKey", "CacheStats", "ResultCache", "make_key",
     "Job", "JobResult", "BatchReport", "run_batch",

@@ -36,7 +36,7 @@ __all__ = [
     "encode_grammar", "decode_grammar", "grammar_content_hash",
     "encode_subst", "decode_subst",
     "encode_entry", "decode_entry",
-    "encode_result", "decode_result",
+    "encode_result", "decode_result", "result_fingerprint",
     "encode_config", "decode_config", "config_hash",
     "encode_input_types", "decode_input_types",
     "predicate_hashes", "program_hash",
@@ -45,7 +45,10 @@ __all__ = [
 #: Bump when any encoding changes shape — part of every cache key, so
 #: stale on-disk artifacts from older formats are never decoded.
 #: v2: AnalysisStats gained the opcache hit/miss counters.
-FORMAT_VERSION = 2
+#: v3: AnalysisStats gained the differential-engine counters
+#: (clause_iterations_skipped, callsite_resumptions) and scheduler
+#: provenance; AnalysisConfig gained ``differential``/``scheduler``.
+FORMAT_VERSION = 3
 
 
 # -- canonical JSON and hashing ----------------------------------------------
@@ -167,6 +170,9 @@ def _encode_stats(stats: AnalysisStats) -> dict:
         "cpu_time": stats.cpu_time,
         "opcache_hits": stats.opcache_hits,
         "opcache_misses": stats.opcache_misses,
+        "clause_iterations_skipped": stats.clause_iterations_skipped,
+        "callsite_resumptions": stats.callsite_resumptions,
+        "scheduler": stats.scheduler,
     }
 
 
@@ -174,7 +180,9 @@ def _decode_stats(data: dict) -> AnalysisStats:
     stats = AnalysisStats()
     for name in ("procedure_iterations", "clause_iterations",
                  "entries_created", "entries_seeded", "input_widenings",
-                 "cpu_time", "opcache_hits", "opcache_misses"):
+                 "cpu_time", "opcache_hits", "opcache_misses",
+                 "clause_iterations_skipped", "callsite_resumptions",
+                 "scheduler"):
         if name in data:
             setattr(stats, name, data[name])
     return stats
@@ -193,6 +201,37 @@ def encode_result(result: AnalysisResult) -> dict:
         "unknown_predicates": [list(p) for p in result.unknown_predicates],
         "stats": _encode_stats(result.stats),
     }
+
+
+def result_fingerprint(result: AnalysisResult) -> str:
+    """Content hash of the *semantic* table: the multiset of
+    (predicate, β_in, β_out, seeded) tuples, the root tuple by value,
+    the leaf domain, and the unknown predicates.  Scheduling
+    provenance — dependency edges, update/iteration counts, timing,
+    and entry *ids* (creation order) — is deliberately excluded: two
+    runs that compute the same types through different work or
+    discovery order (operation caches on/off, differential
+    re-evaluation on/off, a future worklist tweak) fingerprint
+    identically, which is what the benchmark trajectory and the
+    equivalence property tests compare."""
+    domain = result.domain
+
+    def tuple_of(entry: Entry) -> dict:
+        return {
+            "pred": list(entry.pred),
+            "beta_in": encode_subst(entry.beta_in, domain),
+            "beta_out": encode_subst(entry.beta_out, domain),
+            "seeded": entry.seeded,
+        }
+
+    return content_hash({
+        "domain": domain.descriptor(),
+        "root": tuple_of(result.root_entry),
+        "entries": sorted((tuple_of(e) for e in result.entries),
+                          key=canonical_json),
+        "unknown_predicates": [list(p)
+                               for p in result.unknown_predicates],
+    })
 
 
 def decode_result(data: dict, program=None,
@@ -224,6 +263,8 @@ def encode_config(config: AnalysisConfig) -> dict:
         "max_procedure_iterations": config.max_procedure_iterations,
         "type_database": (None if config.type_database is None else
                           [g.to_obj() for g in config.type_database]),
+        "differential": config.differential,
+        "scheduler": config.scheduler,
     }
 
 
@@ -239,12 +280,26 @@ def decode_config(data: dict) -> AnalysisConfig:
         max_procedure_iterations=data.get("max_procedure_iterations",
                                           200000),
         type_database=type_database,
+        differential=data.get("differential", True),
+        scheduler=data.get("scheduler", "lifo"),
     )
 
 
 def config_hash(config: Optional[AnalysisConfig]) -> str:
-    return content_hash(encode_config(config if config is not None
-                                      else AnalysisConfig()))
+    """Content hash of the semantically relevant config knobs.
+
+    ``differential`` is deliberately excluded: differential and full
+    re-evaluation produce bit-identical tables (enforced by
+    ``tests/test_differential_properties.py``), so it must not split
+    the result cache — and the ``REPRO_DIFFERENTIAL`` override could
+    not be reflected here anyway.  ``scheduler`` *is* included: the
+    iteration order feeds the widening sequence, so different
+    schedulers may legitimately reach different (equally sound)
+    tables."""
+    obj = encode_config(config if config is not None
+                        else AnalysisConfig())
+    obj.pop("differential", None)
+    return content_hash(obj)
 
 
 def encode_input_types(

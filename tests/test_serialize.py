@@ -142,6 +142,23 @@ def test_config_hash_distinguishes():
         config_hash(AnalysisConfig())
 
 
+def test_config_roundtrip_engine_knobs():
+    config = AnalysisConfig(differential=False, scheduler="scc")
+    decoded = decode_config(json_rt(encode_config(config)))
+    assert decoded.differential is False
+    assert decoded.scheduler == "scc"
+
+
+def test_config_hash_engine_knob_semantics():
+    # differential on/off computes bit-identical tables, so it must
+    # not split the result cache; the scheduler may reach a different
+    # (equally sound) table, so it must.
+    assert config_hash(AnalysisConfig(differential=False)) == \
+        config_hash(AnalysisConfig())
+    assert config_hash(AnalysisConfig(scheduler="scc")) != \
+        config_hash(AnalysisConfig())
+
+
 def test_input_types_roundtrip():
     assert decode_input_types(encode_input_types(None)) is None
     specs = ["list", "any", g_list_of(g_int())]
