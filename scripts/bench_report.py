@@ -37,9 +37,10 @@ Typical uses::
     # measure the uncached path
     REPRO_OPCACHE=0 PYTHONPATH=src python scripts/bench_report.py
 
-``--baseline`` never fails the process (exit 0) unless ``--strict`` is
-given *and* fingerprints diverge — speed is advisory in CI, result
-integrity is not.
+Speed is advisory — a slow run only draws a WARNING (CI hardware
+varies).  Result integrity is not: a table-fingerprint divergence from
+any compared baseline exits non-zero (PR 4; previously that required
+``--strict``, which is still accepted as a no-op).
 """
 
 from __future__ import annotations
@@ -76,6 +77,7 @@ def measure_program(name: str) -> dict:
     misses = getattr(stats, "opcache_misses", 0)
     return {
         "wall_time": round(wall, 4),
+        "arena_compiles": getattr(stats, "arena_compiles", 0),
         "procedure_iterations": stats.procedure_iterations,
         "clause_iterations": stats.clause_iterations,
         "clause_iterations_skipped": getattr(
@@ -97,6 +99,11 @@ def run_suite(programs) -> dict:
     except ImportError:  # pre-PR2 checkouts measured as baselines
         cache_enabled = False
     try:
+        from repro.typegraph import arena
+        arena_enabled = arena.enabled()
+    except ImportError:  # pre-PR4 checkouts measured as baselines
+        arena_enabled = False
+    try:
         from repro.fixpoint.engine import AnalysisConfig, \
             _env_differential
         env = _env_differential()
@@ -108,12 +115,13 @@ def run_suite(programs) -> dict:
     for name in programs:
         results[name] = measure_program(name)
         print("  %-4s %8.3fs  proc=%-6d clause=%-6d skipped=%-6d "
-              "resumed=%-5d hit-rate=%s"
+              "resumed=%-5d arena=%-5d hit-rate=%s"
               % (name, results[name]["wall_time"],
                  results[name]["procedure_iterations"],
                  results[name]["clause_iterations"],
                  results[name]["clause_iterations_skipped"],
                  results[name]["callsite_resumptions"],
+                 results[name]["arena_compiles"],
                  results[name]["opcache_hit_rate"]),
               file=sys.stderr)
     return {
@@ -124,7 +132,10 @@ def run_suite(programs) -> dict:
                                        for r in results.values()),
         "total_clause_iterations_skipped": sum(
             r["clause_iterations_skipped"] for r in results.values()),
+        "total_arena_compiles": sum(r["arena_compiles"]
+                                    for r in results.values()),
         "opcache_enabled": cache_enabled,
+        "arena_enabled": arena_enabled,
         "differential_enabled": differential,
         "python": platform.python_version(),
     }
@@ -199,8 +210,8 @@ def main(argv=None) -> int:
                         help="with --write-bench: record this run as the "
                              "'baseline' section instead")
     parser.add_argument("--strict", action="store_true",
-                        help="exit non-zero when table fingerprints "
-                             "diverge from the baseline's")
+                        help="accepted for compatibility; fingerprint "
+                             "divergence always exits non-zero now")
     args = parser.parse_args(argv)
 
     programs = args.programs or benchmark_names(include_variants=False)
@@ -251,7 +262,7 @@ def main(argv=None) -> int:
         path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
         print("wrote %s" % path, file=sys.stderr)
 
-    if args.strict and not fingerprints_ok:
+    if not fingerprints_ok:
         print("ERROR: analysis tables diverge from the baseline",
               file=sys.stderr)
         return 1

@@ -10,6 +10,7 @@ Examples::
     repro batch --all --cache-dir .repro-cache --workers 4
     repro cache info --cache-dir .repro-cache
     repro cache promote old.pl new.pl --cache-dir .repro-cache
+    repro profile --benchmark RE --top 20
 """
 
 from __future__ import annotations
@@ -38,6 +39,8 @@ def main(argv=None) -> int:
         return batch_main(argv[1:])
     if argv and argv[0] == "cache":
         return cache_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Type analysis of Prolog using type graphs "
@@ -133,6 +136,110 @@ def main(argv=None) -> int:
         print("warning: unknown predicates treated as identity: %s"
               % ", ".join("%s/%d" % p
                           for p in analysis.result.unknown_predicates))
+    return 0
+
+
+# -- repro profile -----------------------------------------------------------
+
+def profile_main(argv) -> int:
+    """Profile one analysis run and print a per-operation breakdown.
+
+    The point (PR 4): perf work should start from data.  Reports wall
+    time, the cProfile hot spots inside ``repro``, per-operation memo
+    traffic (hits/misses/hit rate for every opcache table), and arena
+    compilation counters.
+    """
+    import cProfile
+    import pstats
+
+    from .typegraph import arena, opcache
+
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="Run one analysis under cProfile and report "
+                    "per-operation wall/call/cache statistics.")
+    parser.add_argument("file", nargs="?",
+                        help="Prolog source file to analyze")
+    parser.add_argument("query", nargs="?",
+                        help="query predicate as name/arity")
+    parser.add_argument("--benchmark", metavar="NAME",
+                        help="profile a built-in benchmark (%s)"
+                             % ", ".join(sorted(BENCHMARKS)))
+    parser.add_argument("--input", metavar="TYPES",
+                        help="comma-separated input types per argument")
+    parser.add_argument("--or-width", type=int, default=None)
+    parser.add_argument("--baseline", action="store_true",
+                        help="use the principal-functor baseline domain")
+    parser.add_argument("--top", type=int, default=15,
+                        help="number of hot functions to list")
+    parser.add_argument("--sort", choices=("cumulative", "tottime"),
+                        default="tottime",
+                        help="profile ordering (default: tottime)")
+    args = parser.parse_args(argv)
+
+    if args.benchmark:
+        bp = benchmark(args.benchmark)
+        source, query, input_types = bp.source, bp.query, bp.input_types
+    else:
+        if not args.file or not args.query:
+            parser.error("either FILE QUERY or --benchmark is required")
+        with open(args.file) as handle:
+            source = handle.read()
+        query = _parse_query(args.query)
+        input_types = None
+    if args.input:
+        input_types = [t.strip() for t in args.input.split(",")]
+
+    # Fresh counters so the report attributes traffic to this run only
+    # (cached *results* are kept — a warm service process profiles as
+    # the warm process it is).
+    before = {cache.name: (cache.hits, cache.misses)
+              for cache in opcache.caches()}
+    arena_before = arena.stats()
+
+    config = AnalysisConfig(max_or_width=args.or_width)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        analysis = analyze(source, query, input_types=input_types,
+                           config=config, baseline=args.baseline)
+    finally:
+        profiler.disable()
+
+    stats = analysis.stats
+    print("wall %.3fs  cpu %.3fs  proc-it %d  clause-it %d "
+          "(%d skipped, %d resumed)  entries %d"
+          % (analysis.wall_time, stats.cpu_time,
+             stats.procedure_iterations, stats.clause_iterations,
+             stats.clause_iterations_skipped, stats.callsite_resumptions,
+             stats.entries_created))
+
+    print("\n== operation caches (this run) ==")
+    rows = []
+    for name, table in sorted(opcache.stats().items()):
+        old_hits, old_misses = before.get(name, (0, 0))
+        hits = table["hits"] - old_hits
+        misses = table["misses"] - old_misses
+        total = hits + misses
+        if not total:
+            continue
+        rows.append([name, hits, misses,
+                     "%.1f%%" % (100.0 * hits / total), table["size"]])
+    print(format_table(["op", "hits", "misses", "hit-rate", "entries"],
+                       rows))
+
+    arena_now = arena.stats()
+    print("\n== arena ==")
+    print("enabled=%s  grammar-compiles=%d (+%d this run)  "
+          "step-indexes=%d  symbols=%d"
+          % (arena.enabled(), arena_now["compiles"],
+             arena_now["compiles"] - arena_before["compiles"],
+             arena_now["index_builds"], arena_now["symbols"]))
+
+    print("\n== hot functions (repro code, by %s) ==" % args.sort)
+    profile_stats = pstats.Stats(profiler, stream=sys.stdout)
+    profile_stats.sort_stats(args.sort)
+    profile_stats.print_stats(r"repro", args.top)
     return 0
 
 

@@ -48,11 +48,32 @@ class _Top:
 TOP = _Top()
 
 
+_NEXT_DID = 0
+
+
 class LeafDomain:
     """Abstract base for leaf domains.  Subclasses must be stateless
-    apart from configuration (they are shared across substitutions)."""
+    apart from configuration (they are shared across substitutions).
+
+    Every instance gets a dense per-process id ``did`` (assigned here,
+    never reused) so the pattern-level operation memos in
+    :mod:`repro.domains.pattern` can key on it — two distinct domain
+    instances never share cache lines, even if one is garbage
+    collected and another allocated at the same address."""
 
     name = "abstract"
+
+    #: True when ``join(a, a) == a`` and ``widen(a, a) == a`` for every
+    #: domain value — lets the pattern layer skip merge walks on equal
+    #: substitutions.  :class:`DepthBoundLeafDomain` overrides this:
+    #: its join is ``restrict_depth(union)``, which can *shrink* a
+    #: value that exceeds the depth bound, so even x ⊔ x must run.
+    idempotent_joins = True
+
+    def __init__(self) -> None:
+        global _NEXT_DID
+        self.did = _NEXT_DID
+        _NEXT_DID += 1
 
     def top(self):
         """The value describing every term (free variables included)."""
@@ -128,6 +149,7 @@ class TypeLeafDomain(LeafDomain):
 
     def __init__(self, max_or_width: Optional[int] = None,
                  type_database: Optional[list] = None) -> None:
+        super().__init__()
         self.max_or_width = max_or_width
         self.type_database = type_database
 
@@ -201,6 +223,7 @@ class DepthBoundLeafDomain(TypeLeafDomain):
     by the ablation benchmarks."""
 
     name = "type-depth-bound"
+    idempotent_joins = False  # depth restriction may shrink x ⊔ x
 
     def __init__(self, k: int = 1,
                  max_or_width: Optional[int] = None) -> None:

@@ -27,15 +27,17 @@ and replaced by an equivalent type graph.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..typegraph import opcache
 from .leaf import LeafDomain
 
 __all__ = [
     "PatNode", "AbstractSubst", "SubstBuilder", "PAT_BOTTOM", "PatBottom",
-    "subst_top", "subst_join", "subst_widen", "subst_le", "subst_eq",
-    "value_of", "display_subst",
+    "intern_subst", "subst_top", "subst_join", "subst_widen", "subst_le",
+    "subst_eq", "value_of", "display_subst",
 ]
 
 
@@ -76,6 +78,48 @@ class PatBottom:
 
 PAT_BOTTOM = PatBottom()
 
+#: Pattern-level operation memo tables (bounded LRUs shared with the
+#: type-graph op caches' configuration and counters).
+_JOIN_CACHE = opcache.cache_for("subst_join")
+_WIDEN_CACHE = opcache.cache_for("subst_widen")
+_LE_CACHE = opcache.cache_for("subst_le")
+
+
+def _unpickle_subst(nvars, sv, nodes, was_interned):
+    subst = AbstractSubst(nvars, sv, nodes)
+    if was_interned:
+        return intern_subst(subst)
+    return subst
+
+
+#: Process-wide weak intern table for frozen substitutions, mirroring
+#: the grammar intern table: the engine's tables, clause-output caches,
+#: and differential joins circulate the same frozen substitutions over
+#: and over, and interning makes their equality an identity check and
+#: the pattern-level operations memoizable by id pair.
+_SUBST_INTERN: "weakref.WeakValueDictionary[tuple, AbstractSubst]" = \
+    weakref.WeakValueDictionary()
+_NEXT_SID = 0
+
+
+def intern_subst(subst: "AbstractSubst") -> "AbstractSubst":
+    """Canonical shared instance of a frozen substitution (structural
+    hash-consing; semantically-equal-but-structurally-different
+    substitutions stay distinct, exactly like `==`)."""
+    global _NEXT_SID
+    if subst.interned:
+        return subst
+    key = (subst.nvars, subst.sv, subst.nodes)
+    canonical = _SUBST_INTERN.get(key)
+    if canonical is None:
+        subst.interned = True
+        subst.sid = _NEXT_SID
+        _NEXT_SID += 1
+        hash(subst)  # precompute
+        _SUBST_INTERN[key] = subst
+        return subst
+    return canonical
+
 
 class AbstractSubst:
     """Frozen abstract substitution.  Nodes are numbered in DFS order
@@ -84,7 +128,8 @@ class AbstractSubst:
     it reduces to combining precomputed grammar hashes, which is what
     makes the engine's hash-indexed table lookups cheap."""
 
-    __slots__ = ("nvars", "sv", "nodes", "_hash")
+    __slots__ = ("nvars", "sv", "nodes", "_hash", "_collapse",
+                 "interned", "sid", "__weakref__")
 
     def __init__(self, nvars: int, sv: Tuple[int, ...],
                  nodes: Tuple[PatNode, ...]) -> None:
@@ -92,6 +137,22 @@ class AbstractSubst:
         self.sv = sv
         self.nodes = nodes
         self._hash: Optional[int] = None
+        #: per-instance :func:`value_of` memo, keyed (domain, index) —
+        #: the engine collapses the same cached clause outputs on
+        #: every join/compare, so the memo pays across calls, not just
+        #: within one merge walk.
+        self._collapse: Optional[Dict] = None
+        #: interning marker + dense per-process id (see
+        #: :func:`intern_subst`); -1 until interned, never reused.
+        self.interned = False
+        self.sid = -1
+
+    def __reduce__(self):
+        # Like grammars, canonical identity is per-process: unpickled
+        # substitutions re-intern on arrival instead of claiming the
+        # sending process's id.
+        return (_unpickle_subst,
+                (self.nvars, self.sv, self.nodes, self.interned))
 
     def __eq__(self, other: object) -> bool:
         if self is other:
@@ -127,7 +188,7 @@ class AbstractSubst:
 # -- the union-find unification engine ---------------------------------------
 
 class _UNode:
-    __slots__ = ("parent", "name", "is_int", "args", "value")
+    __slots__ = ("parent", "name", "is_int", "args", "value", "size")
 
     def __init__(self, value=None, name: Optional[str] = None,
                  is_int: bool = False,
@@ -137,10 +198,16 @@ class _UNode:
         self.is_int = is_int
         self.args = args
         self.value = value
+        self.size = 1  # union-by-size weight (class size at the root)
 
     @property
     def is_leaf(self) -> bool:
         return self.args is None
+
+
+class _CyclicPattern(Exception):
+    """Raised inside :meth:`SubstBuilder.freeze` when the occur check
+    fails (unification built a cyclic pattern)."""
 
 
 class SubstBuilder:
@@ -162,15 +229,22 @@ class SubstBuilder:
 
     @staticmethod
     def find(node: _UNode) -> _UNode:
-        root = node
-        while root.parent is not None:
-            root = root.parent
-        while node.parent is not None:  # path compression
-            node.parent, node = root, node.parent
-        return root
+        # Path halving: every node on the walk is pointed at its
+        # grandparent, so the chain shortens in the same single pass
+        # that locates the root (no second compression loop).
+        parent = node.parent
+        while parent is not None:
+            grand = parent.parent
+            if grand is None:
+                return parent
+            node.parent = grand
+            node = grand
+            parent = node.parent
+        return node
 
     @staticmethod
     def _union(keep: _UNode, merge: _UNode) -> None:
+        keep.size += merge.size
         merge.parent = keep
         merge.args = None
         merge.value = None
@@ -194,8 +268,10 @@ class SubstBuilder:
             node = stack.pop()
             if id(node) in copies:
                 continue
-            copies[id(node)] = _UNode(value=node.value, name=node.name,
-                                      is_int=node.is_int)
+            copy = _UNode(value=node.value, name=node.name,
+                          is_int=node.is_int)
+            copy.size = node.size
+            copies[id(node)] = copy
             originals.append(node)
             if node.parent is not None:
                 stack.append(node.parent)
@@ -248,6 +324,11 @@ class SubstBuilder:
                 value = domain.meet(x.value, y.value)
                 if value is None:
                     return False
+                # Leaf-leaf is the one direction-free union: keep the
+                # larger class as the root (union by size), so the
+                # forest stays shallow under adversarial merge orders.
+                if y.size > x.size:
+                    x, y = y, x
                 self._union(x, y)
                 x.value = value
         return True
@@ -278,64 +359,46 @@ class SubstBuilder:
                 work.extend(zip(n.args, pieces))
         return True
 
-    # -- occur check ---------------------------------------------------------
-
-    def acyclic(self, roots: Sequence[_UNode]) -> bool:
-        """Occur check: unification creating cyclic patterns fails
-        concretely (finite-tree semantics), so bottom is sound."""
-        WHITE, GRAY, BLACK = 0, 1, 2
-        color: Dict[int, int] = {}
-        for root in roots:
-            stack = [(self.find(root), False)]
-            while stack:
-                node, done = stack.pop()
-                node = self.find(node)
-                if done:
-                    color[id(node)] = BLACK
-                    continue
-                state = color.get(id(node), WHITE)
-                if state == GRAY:
-                    return False
-                if state == BLACK:
-                    continue
-                color[id(node)] = GRAY
-                stack.append((node, True))
-                if node.args is not None:
-                    for child in node.args:
-                        child = self.find(child)
-                        if color.get(id(child), WHITE) == GRAY:
-                            return False
-                        if color.get(id(child), WHITE) == WHITE:
-                            stack.append((child, False))
-                        # BLACK children: nothing to do
-        return True
-
     # -- freeze / thaw / instantiate ------------------------------------------
 
     def freeze(self, roots: Sequence[_UNode]):
         """Canonical frozen form restricted to what ``roots`` reach;
-        PAT_BOTTOM if the occur check fails."""
-        if not self.acyclic(roots):
-            return PAT_BOTTOM
+        PAT_BOTTOM if the occur check fails.
+
+        The occur check runs *inside* the freezing DFS (a pattern node
+        re-entered while its arguments are still being built is a
+        cycle) instead of as a separate :meth:`acyclic` traversal."""
         index: Dict[int, int] = {}
         out: List[Optional[PatNode]] = []
+        building: set = set()
+        find = self.find
 
         def visit(node: _UNode) -> int:
-            node = self.find(node)
-            if id(node) in index:
-                return index[id(node)]
+            node = find(node)
+            key = id(node)
+            slot = index.get(key)
+            if slot is not None:
+                if key in building:
+                    raise _CyclicPattern
+                return slot
             slot = len(out)
-            index[id(node)] = slot
+            index[key] = slot
             out.append(None)
             if node.is_leaf:
                 out[slot] = PatNode(value=node.value)
             else:
+                building.add(key)
                 args = tuple(visit(child) for child in node.args)
+                building.discard(key)
                 out[slot] = PatNode(node.name, node.is_int, args)
             return slot
 
-        sv = tuple(visit(root) for root in roots)
-        return AbstractSubst(len(sv), sv, tuple(out))
+        try:
+            sv = tuple(visit(root) for root in roots)
+        except _CyclicPattern:
+            # cyclic patterns denote no finite tree: sure failure
+            return PAT_BOTTOM
+        return intern_subst(AbstractSubst(len(sv), sv, tuple(out)))
 
     def instantiate(self, subst: AbstractSubst) -> List[_UNode]:
         """Copy ``subst`` into this builder (fresh nodes, sharing
@@ -369,23 +432,33 @@ def subst_top(nvars: int, domain: LeafDomain) -> AbstractSubst:
     """n variables, no structure, no sharing, all leaves top —
     the input pattern ``p(Any, ..., Any)``."""
     nodes = tuple(PatNode(value=domain.top()) for _ in range(nvars))
-    return AbstractSubst(nvars, tuple(range(nvars)), nodes)
+    return intern_subst(AbstractSubst(nvars, tuple(range(nvars)), nodes))
 
 
 def value_of(subst: AbstractSubst, index: int, domain: LeafDomain,
              memo: Optional[Dict[int, object]] = None):
-    """Collapse the subtree at ``index`` into a single R-value."""
-    if memo is None:
-        memo = {}
-    if index in memo:
-        return memo[index]
+    """Collapse the subtree at ``index`` into a single R-value.
+
+    Memoized on the substitution instance (nodes are immutable), keyed
+    by domain, so repeated joins/compares against the same frozen
+    substitution collapse each subtree once per process instead of
+    once per call.  The ``memo`` parameter is kept for API
+    compatibility; the instance cache subsumes it."""
+    cache = subst._collapse
+    if cache is None:
+        cache = {}
+        subst._collapse = cache
+    key = (domain, index)
+    value = cache.get(key)
+    if value is not None:
+        return value
     node = subst.nodes[index]
     if node.is_leaf:
         value = node.value
     else:
-        children = [value_of(subst, a, domain, memo) for a in node.args]
+        children = [value_of(subst, a, domain) for a in node.args]
         value = domain.from_functor(node.name, node.is_int, children)
-    memo[index] = value
+    cache[key] = value
     return value
 
 
@@ -395,8 +468,6 @@ def _merge(s1: AbstractSubst, s2: AbstractSubst, domain: LeafDomain,
     assert s1.nvars == s2.nvars
     memo: Dict[Tuple[int, int], int] = {}
     out: List[Optional[PatNode]] = []
-    m1: Dict[int, object] = {}
-    m2: Dict[int, object] = {}
 
     def walk(i1: int, i2: int) -> int:
         key = (i1, i2)
@@ -410,21 +481,36 @@ def _merge(s1: AbstractSubst, s2: AbstractSubst, domain: LeafDomain,
             args = tuple(walk(a1, a2) for a1, a2 in zip(n1.args, n2.args))
             out[slot] = PatNode(n1.name, n1.is_int, args)
         else:
-            value = combine(value_of(s1, i1, domain, m1),
-                            value_of(s2, i2, domain, m2))
+            value = combine(value_of(s1, i1, domain),
+                            value_of(s2, i2, domain))
             out[slot] = PatNode(value=value)
         return slot
 
     sv = tuple(walk(s1.sv[k], s2.sv[k]) for k in range(s1.nvars))
-    return AbstractSubst(s1.nvars, sv, tuple(out))
+    return intern_subst(AbstractSubst(s1.nvars, sv, tuple(out)))
 
 
 def subst_join(s1, s2, domain: LeafDomain):
-    """Upper bound (operation UNION of GAIA)."""
+    """Upper bound (operation UNION of GAIA).
+
+    Memoized on interned identities (the differential engine re-joins
+    the same cached clause outputs on every re-analysis)."""
     if s1 is PAT_BOTTOM:
         return s2
     if s2 is PAT_BOTTOM:
         return s1
+    if s1 is s2 and domain.idempotent_joins:
+        return s1  # x ⊔ x = x; the merge walk would rebuild s1
+    if s1.interned and s2.interned and opcache.enabled():
+        # open-coded opcache.cached: this is one of the engine's
+        # hottest call sites, so skip the closure per call
+        cache = _JOIN_CACHE
+        key = (domain.did, s1.sid, s2.sid)
+        value = cache.get(key)
+        if value is None:
+            value = _merge(s1, s2, domain, domain.join)
+            cache.put(key, value)
+        return value
     return _merge(s1, s2, domain, domain.join)
 
 
@@ -437,6 +523,17 @@ def subst_widen(old, new, domain: LeafDomain, strict: bool = True):
         return new
     if new is PAT_BOTTOM:
         return old
+    if old is new and domain.idempotent_joins:
+        return old  # x V x = x for the leaf widening too
+    if old.interned and new.interned and opcache.enabled():
+        cache = _WIDEN_CACHE
+        key = (domain.did, old.sid, new.sid, strict)
+        value = cache.get(key)
+        if value is None:
+            value = _merge(old, new, domain,
+                           lambda a, b: domain.widen(a, b, strict))
+            cache.put(key, value)
+        return value
     return _merge(old, new, domain,
                   lambda a, b: domain.widen(a, b, strict))
 
@@ -444,7 +541,10 @@ def subst_widen(old, new, domain: LeafDomain, strict: bool = True):
 def subst_le(s1, s2, domain: LeafDomain) -> bool:
     """Order: Cc(s1) ⊆ Cc(s2).  Exact when structures align; when s1
     has a leaf where s2 has a pattern, decided through the leaf domain
-    if s2's subtree is sharing-free, else conservatively False."""
+    if s2's subtree is sharing-free, else conservatively False.
+
+    Memoized on interned identities (the engine's table scans compare
+    the same candidate/entry pattern pairs across iterations)."""
     if s1 is s2:
         return True
     if s1 is PAT_BOTTOM:
@@ -453,10 +553,20 @@ def subst_le(s1, s2, domain: LeafDomain) -> bool:
         return False
     if s1.nvars != s2.nvars:
         raise ValueError("arity mismatch")
+    if s1.interned and s2.interned and opcache.enabled():
+        cache = _LE_CACHE
+        key = (domain.did, s1.sid, s2.sid)
+        value = cache.get(key)
+        if value is None:
+            value = _subst_le_impl(s1, s2, domain)
+            cache.put(key, value)
+        return value
+    return _subst_le_impl(s1, s2, domain)
+
+
+def _subst_le_impl(s1, s2, domain: LeafDomain) -> bool:
     refcounts2 = s2.refcounts()
     map21: Dict[int, int] = {}
-    m1: Dict[int, object] = {}
-    m2: Dict[int, object] = {}
 
     def subtree_shared(i2: int) -> bool:
         seen = set()
@@ -479,7 +589,7 @@ def subst_le(s1, s2, domain: LeafDomain) -> bool:
         map21[i2] = i1
         n1, n2 = s1.nodes[i1], s2.nodes[i2]
         if n2.is_leaf:
-            return domain.le(value_of(s1, i1, domain, m1), n2.value)
+            return domain.le(value_of(s1, i1, domain), n2.value)
         if not n1.is_leaf and n1.fkey == n2.fkey:
             return all(le(a1, a2) for a1, a2 in zip(n1.args, n2.args))
         if n1.is_leaf:
@@ -488,8 +598,8 @@ def subst_le(s1, s2, domain: LeafDomain) -> bool:
             # principal-functor baseline cannot).
             if subtree_shared(i2):
                 return False
-            n2_children = [value_of(s2, a, domain, m2) for a in n2.args]
-            return domain.le_tree(value_of(s1, i1, domain, m1),
+            n2_children = [value_of(s2, a, domain) for a in n2.args]
+            return domain.le_tree(value_of(s1, i1, domain),
                                   n2.name, n2.is_int, n2_children)
         return False
 

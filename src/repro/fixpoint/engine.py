@@ -63,7 +63,7 @@ from ..domains.pattern import (AbstractSubst, PAT_BOTTOM, SubstBuilder,
                                subst_widen)
 from ..prolog.normalize import NBuild, NCall, NUnify, NormClause, NormProgram
 from ..prolog.program import PredId
-from ..typegraph import opcache
+from ..typegraph import arena, opcache
 from .builtins import BUILTINS, tag_value
 
 __all__ = ["AnalysisConfig", "AnalysisStats", "Entry", "AnalysisResult",
@@ -135,6 +135,11 @@ class AnalysisStats:
     callsite_resumptions: int = 0
     #: worklist policy the run used (provenance for bench reports).
     scheduler: str = "lifo"
+    #: arena compilations attributed to this run (grammar arenas plus
+    #: widening step indexes — the delta of
+    #: :func:`repro.typegraph.arena.snapshot`); 0 with ``REPRO_ARENA``
+    #: off.
+    arena_compiles: int = 0
 
 
 @dataclass
@@ -309,6 +314,7 @@ class Engine:
         (default: all arguments Any)."""
         start = time.process_time()
         cache_hits, cache_misses = opcache.snapshot()
+        arena_compiles = arena.snapshot()
         if beta_in is None:
             beta_in = subst_top(pred[1], self.domain)
         if not self.program.defined(pred):
@@ -319,6 +325,7 @@ class Engine:
         new_hits, new_misses = opcache.snapshot()
         self.stats.opcache_hits += new_hits - cache_hits
         self.stats.opcache_misses += new_misses - cache_misses
+        self.stats.arena_compiles += arena.snapshot() - arena_compiles
         return AnalysisResult.from_engine(self, root)
 
     def seed_entry(self, pred: PredId, beta_in: AbstractSubst,

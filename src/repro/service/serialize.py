@@ -48,7 +48,8 @@ __all__ = [
 #: v3: AnalysisStats gained the differential-engine counters
 #: (clause_iterations_skipped, callsite_resumptions) and scheduler
 #: provenance; AnalysisConfig gained ``differential``/``scheduler``.
-FORMAT_VERSION = 3
+#: v4: AnalysisStats gained ``arena_compiles`` (PR 4's arena kernel).
+FORMAT_VERSION = 4
 
 
 # -- canonical JSON and hashing ----------------------------------------------
@@ -128,8 +129,12 @@ def decode_subst(data, domain: LeafDomain):
             nodes.append(PatNode(node[1], False, tuple(node[2])))
         else:
             raise ValueError("unknown node kind: %r" % kind)
-    return AbstractSubst(int(data["nvars"]), tuple(data["sv"]),
-                         tuple(nodes))
+    # Interned on arrival: decoded substitutions join the process-wide
+    # canonical instances (seeded re-analysis and cache promotion feed
+    # them straight back into the engine's tables).
+    from ..domains.pattern import intern_subst
+    return intern_subst(AbstractSubst(int(data["nvars"]),
+                                      tuple(data["sv"]), tuple(nodes)))
 
 
 # -- table entries and whole results -----------------------------------------
@@ -173,6 +178,7 @@ def _encode_stats(stats: AnalysisStats) -> dict:
         "clause_iterations_skipped": stats.clause_iterations_skipped,
         "callsite_resumptions": stats.callsite_resumptions,
         "scheduler": stats.scheduler,
+        "arena_compiles": stats.arena_compiles,
     }
 
 
@@ -182,7 +188,7 @@ def _decode_stats(data: dict) -> AnalysisStats:
                  "entries_created", "entries_seeded", "input_widenings",
                  "cpu_time", "opcache_hits", "opcache_misses",
                  "clause_iterations_skipped", "callsite_resumptions",
-                 "scheduler"):
+                 "scheduler", "arena_compiles"):
         if name in data:
             setattr(stats, name, data[name])
     return stats

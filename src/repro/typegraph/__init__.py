@@ -1,12 +1,14 @@
 """The type graph domain (paper §6–§7): grammars, graphs, operations,
 the widening operator, and alternative views (tree automata, monadic
-logic programs)."""
+logic programs).  The hot kernels run on the flat-int arena
+(:mod:`repro.typegraph.arena`) unless ``REPRO_ARENA`` disables it."""
 
 from . import opcache
 from .grammar import (ANY, INT, Alt, FuncAlt, Grammar, GrammarBuilder,
                       g_alternatives, g_any, g_atom, g_bottom, g_functor,
                       g_int, g_int_literal, intern_grammar, member,
-                      normalize, subgrammar)
+                      normalize, normalize_reference, subgrammar)
+from . import arena
 from .ops import (g_equiv, g_intersect, g_is_list, g_le, g_list_of,
                   g_split, g_union)
 from .widening import g_widen, widening_clashes
@@ -17,9 +19,10 @@ from .depthbound import depth_bound_join, restrict_depth
 
 __all__ = [
     "ANY", "INT", "Alt", "FuncAlt", "Grammar", "GrammarBuilder",
+    "arena",
     "g_alternatives", "g_any", "g_atom", "g_bottom", "g_functor",
     "g_int", "g_int_literal", "intern_grammar", "member", "normalize",
-    "opcache", "subgrammar",
+    "normalize_reference", "opcache", "subgrammar",
     "g_equiv", "g_intersect", "g_is_list", "g_le", "g_list_of",
     "g_split", "g_union",
     "g_widen", "widening_clashes",

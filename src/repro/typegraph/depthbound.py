@@ -21,8 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Set, Tuple
 
-from .grammar import ANY, FuncAlt, Grammar, GrammarBuilder, normalize
-from .graph import TypeGraph, Vertex, to_grammar, treeify
+from .grammar import FuncAlt, Grammar, GrammarBuilder, normalize
+from .graph import Vertex, treeify
 from .ops import g_union
 
 __all__ = ["restrict_depth", "depth_bound_join", "path_functor_depth"]
@@ -59,29 +59,10 @@ def _fold_once(grammar: Grammar, k: int) -> Optional[Grammar]:
     """Find one path with a functor repeated more than ``k`` times and
     merge the deepest occurrence into the earliest; None if clean."""
     graph = treeify(grammar)
-    raw_rules: Dict[int, frozenset] = {}
     nts: Dict[int, int] = {}
     builder = GrammarBuilder()
-
-    def or_nt(vertex: Vertex) -> int:
-        key = id(vertex)
-        if key in nts:
-            return nts[key]
-        nt = builder.fresh()
-        nts[key] = nt
-        for successor in vertex.successors:
-            if successor.kind == "any":
-                builder.add(nt, ANY)
-            elif successor.kind == "int":
-                from .grammar import INT
-                builder.add(nt, INT)
-            else:
-                children = tuple(or_nt(c) for c in successor.successors)
-                builder.add(nt, FuncAlt(successor.name, children,
-                                        successor.is_int))
-        return nt
-
-    root_nt = or_nt(graph.root)
+    from .graph import vertex_rules
+    root_nt = vertex_rules(graph.root, builder, nts)
     raw = Grammar({nt: frozenset(alts)
                    for nt, alts in builder._rules.items()}, root_nt)
 

@@ -37,9 +37,9 @@ from . import opcache
 
 __all__ = [
     "ANY", "INT", "FuncAlt", "Alt", "Grammar", "GrammarBuilder",
-    "normalize", "intern_grammar", "g_any", "g_bottom", "g_int",
-    "g_atom", "g_int_literal", "g_functor", "g_alternatives",
-    "nonempty_nonterminals", "member", "pf_of",
+    "normalize", "normalize_reference", "intern_grammar", "g_any",
+    "g_bottom", "g_int", "g_atom", "g_int_literal", "g_functor",
+    "g_alternatives", "nonempty_nonterminals", "member", "pf_of",
 ]
 
 
@@ -128,7 +128,7 @@ class Grammar:
     """
 
     __slots__ = ("rules", "root", "_hash", "_key_cache", "_obj_cache",
-                 "interned", "__weakref__")
+                 "interned", "gid", "_arena", "__weakref__")
 
     def __init__(self, rules: Dict[int, FrozenSet[Alt]], root: int) -> None:
         self.rules = rules
@@ -137,6 +137,12 @@ class Grammar:
         self._key_cache: Optional[tuple] = None
         self._obj_cache: Optional[dict] = None
         self.interned = False
+        #: dense per-process arena id, assigned at interning (-1 until
+        #: then); never reused, so int-keyed memo tables stay sound
+        #: even after the weak intern table drops the grammar.
+        self.gid = -1
+        #: lazily compiled :class:`repro.typegraph.arena.GrammarArena`.
+        self._arena = None
 
     def alts(self, nt: int) -> FrozenSet[Alt]:
         return self.rules[nt]
@@ -311,6 +317,10 @@ def _unpickle_grammar(rules: Dict[int, FrozenSet[Alt]], root: int,
 _INTERN: "weakref.WeakValueDictionary[tuple, Grammar]" = \
     weakref.WeakValueDictionary()
 
+#: Next arena id handed to a newly interned grammar (monotonic, never
+#: reused — see :attr:`Grammar.gid`).
+_NEXT_GID = 0
+
 
 def intern_grammar(grammar: Grammar) -> Grammar:
     """Canonical shared instance of an already-*normalized* grammar.
@@ -321,12 +331,15 @@ def intern_grammar(grammar: Grammar) -> Grammar:
     pure identity check, which is what makes the operation caches in
     :mod:`repro.typegraph.opcache` cheap to key.
     """
+    global _NEXT_GID
     if grammar.interned:
         return grammar
     key = grammar._key()
     canonical = _INTERN.get(key)
     if canonical is None:
         grammar.interned = True
+        grammar.gid = _NEXT_GID
+        _NEXT_GID += 1
         hash(grammar)  # precompute
         _INTERN[key] = grammar
         return grammar
@@ -396,7 +409,24 @@ def normalize(grammar: Grammar,
     """Prune empties, absorb, cap or-width, merge bisimilar
     nonterminals, renumber in BFS order.  The result is interned
     (:func:`intern_grammar`); re-normalizing an interned grammar that
-    already satisfies the width cap is free."""
+    already satisfies the width cap is free.
+
+    Runs on the flat-int arena pipeline
+    (:func:`repro.typegraph.arena.arena_normalize`) unless the arena
+    kernels are disabled; both paths are bit-identical."""
+    if grammar.interned and (max_or_width is None
+                             or _within_width(grammar, max_or_width)):
+        return grammar
+    if arena.enabled():
+        return arena.arena_normalize(grammar, max_or_width)
+    return normalize_reference(grammar, max_or_width)
+
+
+def normalize_reference(grammar: Grammar,
+                        max_or_width: Optional[int] = None) -> Grammar:
+    """The original object-walking normalization, kept as the
+    reference path (``REPRO_ARENA=0``) and as the oracle the arena
+    property tests compare against."""
     if grammar.interned and (max_or_width is None
                              or _within_width(grammar, max_or_width)):
         return grammar
@@ -571,15 +601,21 @@ def g_functor(name: str, children: Sequence[Grammar],
     the same functor types constantly.
     """
     children = tuple(children)
-    if all(c.interned for c in children):
-        return opcache.cached(
-            "g_functor", (name, children, max_or_width),
-            lambda: _g_functor_impl(name, children, max_or_width))
+    if all(c.interned for c in children) and opcache.enabled():
+        cache = opcache.cache_for("g_functor")
+        key = (name, tuple(c.gid for c in children), max_or_width)
+        value = cache.get(key)
+        if value is None:
+            value = _g_functor_impl(name, children, max_or_width)
+            cache.put(key, value)
+        return value
     return _g_functor_impl(name, children, max_or_width)
 
 
 def _g_functor_impl(name: str, children: Tuple[Grammar, ...],
                     max_or_width: Optional[int]) -> Grammar:
+    if arena.enabled() and all(c.interned for c in children):
+        return arena.arena_functor(name, children, max_or_width)
     builder = GrammarBuilder()
     root = builder.fresh()
     child_nts = tuple(_embed(builder, c) for c in children)
@@ -607,10 +643,18 @@ def subgrammar(grammar: Grammar, nt: int) -> Grammar:
     """
     if nt == grammar.root:
         return grammar
-    if grammar.interned:
-        return opcache.cached(
-            "subgrammar", (grammar, nt),
-            lambda: normalize(Grammar(grammar.rules, nt)))
+    if grammar.interned and opcache.enabled():
+        cache = opcache.cache_for("subgrammar")
+        key = (grammar.gid, nt)
+        value = cache.get(key)
+        if value is None:
+            value = (arena.arena_subgrammar(grammar, nt)
+                     if arena.enabled()
+                     else normalize(Grammar(grammar.rules, nt)))
+            cache.put(key, value)
+        return value
+    if grammar.interned and arena.enabled():
+        return arena.arena_subgrammar(grammar, nt)
     return normalize(Grammar(grammar.rules, nt))
 
 
@@ -646,3 +690,8 @@ def member(term: Term, grammar: Grammar, nt: Optional[int] = None) -> bool:
 def pf_of(grammar: Grammar) -> FrozenSet[Tuple[str, str, int]]:
     """Principal-functor set of the root."""
     return grammar.pf()
+
+
+# Imported last: arena.py imports the names above, and the functions
+# here only touch the module at call time, so the cycle is harmless.
+from . import arena  # noqa: E402

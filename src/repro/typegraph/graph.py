@@ -27,7 +27,8 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 from .grammar import (ANY, INT, INT_FKEY, Alt, FuncAlt, Grammar,
                       GrammarBuilder, _alt_sort_key)
 
-__all__ = ["Vertex", "TypeGraph", "treeify", "to_grammar"]
+__all__ = ["Vertex", "TypeGraph", "treeify", "to_grammar",
+           "vertex_rules"]
 
 _TREEIFY_VERTEX_LIMIT = 250000
 
@@ -37,7 +38,8 @@ class Vertex:
     or ``int`` (the latter two are the Any leaf of §6.1 and the Integer
     extension)."""
 
-    __slots__ = ("kind", "name", "is_int", "successors", "parent", "depth")
+    __slots__ = ("kind", "name", "is_int", "successors", "parent",
+                 "depth", "_pf")
 
     def __init__(self, kind: str, name: str = "",
                  is_int: bool = False,
@@ -48,6 +50,11 @@ class Vertex:
         self.successors: List["Vertex"] = []
         self.parent = parent
         self.depth = -1
+        #: lazily cached pf-set; invalidated by :meth:`clear_pf` when a
+        #: transformation edits ``successors`` (the widening re-unfolds
+        #: the graph after every transformation, so in practice caches
+        #: live for exactly one clash-detection/ancestor-scan phase).
+        self._pf = None
 
     @property
     def fkey(self) -> Tuple[str, str, int]:
@@ -60,13 +67,23 @@ class Vertex:
 
     def pf(self) -> FrozenSet[Tuple[str, str, int]]:
         """Principal-functor set (§6.3): functors of the successors for
-        or-vertices; empty for any-vertices."""
-        if self.kind == "or":
-            return frozenset(s.fkey for s in self.successors
-                             if s.kind in ("functor", "int"))
-        if self.kind in ("functor", "int"):
-            return frozenset([self.fkey])
-        return frozenset()
+        or-vertices; empty for any-vertices.  Cached per vertex (the
+        widening's clash detection and ancestor scans re-query the same
+        vertices many times per step)."""
+        pf = self._pf
+        if pf is None:
+            if self.kind == "or":
+                pf = frozenset(s.fkey for s in self.successors
+                               if s.kind in ("functor", "int"))
+            elif self.kind in ("functor", "int"):
+                pf = frozenset([self.fkey])
+            else:
+                pf = frozenset()
+            self._pf = pf
+        return pf
+
+    def clear_pf(self) -> None:
+        self._pf = None
 
     def __repr__(self) -> str:
         if self.kind == "functor":
@@ -78,9 +95,10 @@ class Vertex:
 class TypeGraph:
     """A rooted type graph.  Build with :func:`treeify`."""
 
-    def __init__(self, root: Vertex) -> None:
+    def __init__(self, root: Vertex, refresh: bool = True) -> None:
         self.root = root
-        self.refresh()
+        if refresh:
+            self.refresh()
 
     def refresh(self) -> None:
         """Recompute depths (tree depth = shortest-path depth, thanks to
@@ -133,50 +151,112 @@ class TypeGraph:
 def treeify(grammar: Grammar) -> TypeGraph:
     """Unfold a grammar into a type graph satisfying the cosmetic
     restrictions.  Shared nonterminals are duplicated; a back edge is
-    created only when a nonterminal recurs on the current path."""
-    count = [0]
+    created only when a nonterminal recurs on the current path.
 
-    def build(nt: int, parent: Optional[Vertex],
-              path: Dict[int, Vertex]) -> Vertex:
-        if nt in path:
-            return path[nt]  # back edge to an ancestor or-vertex
-        count[0] += 1
-        if count[0] > _TREEIFY_VERTEX_LIMIT:
+    Iterative DFS with an explicit task stack: ``path`` holds exactly
+    the or-nonterminals between the root and the task being executed
+    (their "exit" markers are still on the stack), so back-edge
+    resolution matches the recursive formulation — without Python's
+    recursion limit capping the unfold depth.
+    """
+    from . import arena as _arena
+    use_arena = grammar.interned and _arena.enabled()
+    if use_arena:
+        # Arena rows are pre-sorted in canonical alternative order, so
+        # the unfold skips both the per-nonterminal sort and the
+        # FuncAlt object walk.
+        ar = _arena.arena_of(grammar)
+        fkeys = _arena.SYMBOLS.fkeys
+        root_nt = ar.index_of(grammar.root)
+    else:
+        root_nt = grammar.root
+    count = 0
+    path: Dict[int, Vertex] = {}
+    root_holder: List[Vertex] = []
+    # task: ("or", nt, parent_vertex, destination_list) | ("exit", nt)
+    stack: List[tuple] = [("or", root_nt, None, root_holder)]
+    while stack:
+        task = stack.pop()
+        if task[0] == "exit":
+            del path[task[1]]
+            continue
+        _, nt, parent, dest = task
+        existing = path.get(nt)
+        if existing is not None:
+            dest.append(existing)  # back edge to an ancestor or-vertex
+            continue
+        count += 1
+        if count > _TREEIFY_VERTEX_LIMIT:
             raise RecursionError("type graph too large to unfold")
         vertex = Vertex("or", parent=parent)
+        # Tree depth is shortest-path depth under No-Sharing (back
+        # edges only ever point *up*), so depths can be assigned at
+        # construction instead of by a second BFS pass.
+        vertex.depth = 0 if parent is None else parent.depth + 1
         path[nt] = vertex
-        for alt in sorted(grammar.rules[nt], key=_alt_sort_key):
-            if alt is ANY:
-                vertex.successors.append(Vertex("any", parent=vertex))
-            elif alt is INT:
-                vertex.successors.append(Vertex("int", parent=vertex))
-            else:
-                assert isinstance(alt, FuncAlt)
-                child = Vertex("functor", alt.name, alt.is_int,
+        dest.append(vertex)
+        stack.append(("exit", nt))
+        # ANY/INT sort before functors, so appending the leaves now and
+        # the functor vertices in alternative order keeps the canonical
+        # successor ordering; only the argument subtrees are deferred.
+        pending: List[Vertex] = []
+        pending_args: List[Tuple[int, ...]] = []
+        if use_arena:
+            if (ar.any_mask >> nt) & 1:
+                leaf = Vertex("any", parent=vertex)
+                leaf.depth = vertex.depth + 1
+                vertex.successors.append(leaf)
+            if (ar.int_mask >> nt) & 1:
+                leaf = Vertex("int", parent=vertex)
+                leaf.depth = vertex.depth + 1
+                vertex.successors.append(leaf)
+            for sym, args in zip(ar.syms[nt], ar.args[nt]):
+                kind, name, _ = fkeys[sym]
+                child = Vertex("functor", name, kind == "i",
                                parent=vertex)
-                child.successors = [build(a, child, path)
-                                    for a in alt.args]
+                child.depth = vertex.depth + 1
                 vertex.successors.append(child)
-        del path[nt]
-        return vertex
+                pending.append(child)
+                pending_args.append(args)
+        else:
+            for alt in sorted(grammar.rules[nt], key=_alt_sort_key):
+                if alt is ANY:
+                    leaf = Vertex("any", parent=vertex)
+                    leaf.depth = vertex.depth + 1
+                    vertex.successors.append(leaf)
+                elif alt is INT:
+                    leaf = Vertex("int", parent=vertex)
+                    leaf.depth = vertex.depth + 1
+                    vertex.successors.append(leaf)
+                else:
+                    assert isinstance(alt, FuncAlt)
+                    child = Vertex("functor", alt.name, alt.is_int,
+                                   parent=vertex)
+                    child.depth = vertex.depth + 1
+                    vertex.successors.append(child)
+                    pending.append(child)
+                    pending_args.append(alt.args)
+        for child, args in zip(reversed(pending), reversed(pending_args)):
+            for arg in reversed(args):
+                stack.append(("or", arg, child, child.successors))
+    return TypeGraph(root_holder[0], refresh=False)
 
-    return TypeGraph(build(grammar.root, None, {}))
 
-
-def to_grammar(graph: TypeGraph,
-               max_or_width: Optional[int] = None) -> Grammar:
-    """Convert back to a (normalized) grammar.  Vertices no longer
-    reachable from the root are dropped — this is the paper's
-    ``removeUnconnected``."""
-    builder = GrammarBuilder()
-    nts: Dict[int, int] = {}
-
-    def or_nt(vertex: Vertex) -> int:
-        key = id(vertex)
-        if key in nts:
-            return nts[key]
-        nt = builder.fresh()
-        nts[key] = nt
+def vertex_rules(root: Vertex, builder: GrammarBuilder,
+                 nts: Dict[int, int]) -> int:
+    """Record the rules of the or-vertices reachable from ``root``
+    into ``builder`` (iterative BFS; ``nts`` maps ``id(or_vertex)`` ->
+    nonterminal).  Returns the root's nonterminal.  The numbering is
+    discovery order — callers either normalize the result (which
+    renumbers canonically) or only use nonterminals through ``nts``.
+    """
+    queue: List[Vertex] = [root]
+    nts[id(root)] = builder.fresh()
+    position = 0
+    while position < len(queue):
+        vertex = queue[position]
+        position += 1
+        nt = nts[id(vertex)]
         for successor in vertex.successors:
             if successor.kind == "any":
                 builder.add(nt, ANY)
@@ -184,9 +264,27 @@ def to_grammar(graph: TypeGraph,
                 builder.add(nt, INT)
             else:
                 assert successor.kind == "functor"
-                children = tuple(or_nt(c) for c in successor.successors)
-                builder.add(nt, FuncAlt(successor.name, children,
+                children = []
+                for child in successor.successors:
+                    child_nt = nts.get(id(child))
+                    if child_nt is None:
+                        child_nt = builder.fresh()
+                        nts[id(child)] = child_nt
+                        queue.append(child)
+                    children.append(child_nt)
+                builder.add(nt, FuncAlt(successor.name, tuple(children),
                                         successor.is_int))
-        return nt
+    return nts[id(root)]
 
-    return builder.finish(or_nt(graph.root), max_or_width)
+
+def to_grammar(graph: TypeGraph,
+               max_or_width: Optional[int] = None) -> Grammar:
+    """Convert back to a (normalized) grammar.  Vertices no longer
+    reachable from the root are dropped — this is the paper's
+    ``removeUnconnected``."""
+    from . import arena as _arena
+    if _arena.enabled():
+        return _arena.graph_to_grammar(graph.root, max_or_width)
+    builder = GrammarBuilder()
+    return builder.finish(vertex_rules(graph.root, builder, {}),
+                          max_or_width)

@@ -17,12 +17,18 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Optional, Tuple
 
-from . import opcache
+from . import arena, opcache
 from .grammar import (ANY, INT, Alt, FuncAlt, Grammar, GrammarBuilder,
                       g_any, g_bottom, normalize)
 
 __all__ = ["g_le", "g_equiv", "g_union", "g_intersect", "g_split",
            "g_list_of", "g_is_list"]
+
+#: Open-coded memo tables for the two hottest operations (the generic
+#: :func:`repro.typegraph.opcache.cached` helper allocates a closure
+#: per call, which shows up at these call rates).
+_LE_CACHE = opcache.cache_for("g_le")
+_UNION_CACHE = opcache.cache_for("g_union")
 
 
 # -- inclusion --------------------------------------------------------------
@@ -35,13 +41,28 @@ def g_le(g1: Grammar, g2: Grammar) -> bool:
     """
     if g1 is g2:
         return True
-    if g1.interned and g2.interned:
-        return opcache.cached("g_le", (g1, g2),
-                              lambda: _g_le_impl(g1, g2))
+    if g1.interned and g2.interned and opcache.enabled():
+        cache = _LE_CACHE
+        key = (g1.gid, g2.gid)
+        value = cache.get(key)
+        if value is None:
+            value = _g_le_impl(g1, g2)
+            cache.put(key, value)
+        return value
     return _g_le_impl(g1, g2)
 
 
 def _g_le_impl(g1: Grammar, g2: Grammar) -> bool:
+    if arena.enabled() and g1.interned and g2.interned:
+        if g1.is_bottom():
+            return True
+        if g2.is_bottom():
+            return False
+        return arena.arena_le(g1, g2)
+    return _g_le_reference(g1, g2)
+
+
+def _g_le_reference(g1: Grammar, g2: Grammar) -> bool:
     memo: Dict[Tuple[int, int], bool] = {}
 
     def le(n1: int, n2: int) -> bool:
@@ -102,14 +123,35 @@ def g_union(g1: Grammar, g2: Grammar,
         return normalize(g1, max_or_width)
     if g1 is g2:
         return normalize(g1, max_or_width)
-    if g1.interned and g2.interned:
-        return opcache.cached("g_union", (g1, g2, max_or_width),
-                              lambda: _g_union_impl(g1, g2, max_or_width))
+    if g1.interned and g2.interned and opcache.enabled():
+        cache = _UNION_CACHE
+        key = (g1.gid, g2.gid, max_or_width)
+        value = cache.get(key)
+        if value is None:
+            value = _g_union_impl(g1, g2, max_or_width)
+            cache.put(key, value)
+        return value
     return _g_union_impl(g1, g2, max_or_width)
 
 
 def _g_union_impl(g1: Grammar, g2: Grammar,
                   max_or_width: Optional[int]) -> Grammar:
+    if arena.enabled() and g1.interned and g2.interned:
+        # Comparable operands: the pointwise merge of a <= b is b —
+        # every reachable product pair mirrors an inclusion pair, so
+        # the construction rebuilds b node for node and normalization
+        # folds the copies back onto b.  An iterative pair walk is far
+        # cheaper than product construction + normalization.
+        if g_le(g1, g2):
+            return normalize(g2, max_or_width)
+        if g_le(g2, g1):
+            return normalize(g1, max_or_width)
+        return arena.arena_union(g1, g2, max_or_width)
+    return _g_union_reference(g1, g2, max_or_width)
+
+
+def _g_union_reference(g1: Grammar, g2: Grammar,
+                       max_or_width: Optional[int]) -> Grammar:
     builder = GrammarBuilder()
     # keys: ('L', nt) from g1, ('R', nt) from g2, ('B', n1, n2) merged
     memo: Dict[tuple, int] = {}
@@ -185,13 +227,27 @@ def g_intersect(g1: Grammar, g2: Grammar,
         return normalize(g1, max_or_width)
     if g1.interned and g2.interned:
         return opcache.cached(
-            "g_intersect", (g1, g2, max_or_width),
+            "g_intersect", (g1.gid, g2.gid, max_or_width),
             lambda: _g_intersect_impl(g1, g2, max_or_width))
     return _g_intersect_impl(g1, g2, max_or_width)
 
 
 def _g_intersect_impl(g1: Grammar, g2: Grammar,
                       max_or_width: Optional[int]) -> Grammar:
+    if arena.enabled() and g1.interned and g2.interned:
+        # Comparable operands: a <= b makes the product rebuild a
+        # (see the union shortcut; exact intersection of comparable
+        # languages is the smaller one, node for node).
+        if g_le(g1, g2):
+            return normalize(g1, max_or_width)
+        if g_le(g2, g1):
+            return normalize(g2, max_or_width)
+        return arena.arena_intersect(g1, g2, max_or_width)
+    return _g_intersect_reference(g1, g2, max_or_width)
+
+
+def _g_intersect_reference(g1: Grammar, g2: Grammar,
+                           max_or_width: Optional[int]) -> Grammar:
     builder = GrammarBuilder()
     memo: Dict[tuple, int] = {}
 

@@ -38,10 +38,11 @@ overgrown list region).  See :func:`g_widen`'s ``type_database``.
 from __future__ import annotations
 
 import warnings
+import weakref
 from collections import deque
 from typing import Dict, List, Optional, Tuple
 
-from . import opcache
+from . import arena, opcache
 from .grammar import Grammar, normalize
 from .graph import TypeGraph, Vertex, to_grammar, treeify
 from .ops import g_le, g_union
@@ -50,47 +51,81 @@ __all__ = ["g_widen", "widening_clashes"]
 
 _MAX_WIDEN_STEPS = 400
 
+#: Read-only unfoldings of *old* iterates: ``g_widen`` re-treeifies the
+#: same interned g_old across steps and across calls, and the old-side
+#: graph is only ever read (clash detection), never transformed.
+#: Bounded: unfoldings can be much larger than their grammars, and the
+#: weak keys only die when the intern table lets them — an unbounded
+#: map could pin a long-lived service process's memory.
+_TREEIFY_OLD: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_TREEIFY_OLD_MAX = 256
+
+
+def _treeify_readonly(grammar: Grammar) -> TypeGraph:
+    if not grammar.interned:
+        return treeify(grammar)
+    graph = _TREEIFY_OLD.get(grammar)
+    if graph is None:
+        graph = treeify(grammar)
+        if len(_TREEIFY_OLD) >= _TREEIFY_OLD_MAX:
+            _TREEIFY_OLD.clear()
+        _TREEIFY_OLD[grammar] = graph
+    return graph
+
 
 def _vertex_grammars(graph: TypeGraph) -> Tuple[Grammar, Dict[int, int]]:
     """The grammar of ``graph`` plus the or-vertex -> nonterminal map,
     *without* normalization (so the map stays valid)."""
-    from .grammar import GrammarBuilder, ANY, INT, FuncAlt
+    from .grammar import GrammarBuilder
+    from .graph import vertex_rules
 
     builder = GrammarBuilder()
     nts: Dict[int, int] = {}
-
-    def or_nt(vertex: Vertex) -> int:
-        key = id(vertex)
-        if key in nts:
-            return nts[key]
-        nt = builder.fresh()
-        nts[key] = nt
-        for successor in vertex.successors:
-            if successor.kind == "any":
-                builder.add(nt, ANY)
-            elif successor.kind == "int":
-                builder.add(nt, INT)
-            else:
-                children = tuple(or_nt(c) for c in successor.successors)
-                builder.add(nt, FuncAlt(successor.name, children,
-                                        successor.is_int))
-        return nt
-
-    root = or_nt(graph.root)
+    root = vertex_rules(graph.root, builder, nts)
     rules = {nt: frozenset(alts) for nt, alts in builder._rules.items()}
     return Grammar(rules, root), nts
 
 
+def _raw_from_vertices(vertices, nts: Dict[int, int]) -> Grammar:
+    """Raw (unnormalized) grammar of the or-vertices in ``vertices``,
+    numbered by ``nts`` — the lazy counterpart of
+    :func:`_vertex_grammars` for the arena path, built only when a
+    replacement rule actually needs grammar surgery."""
+    from .grammar import ANY, INT, FuncAlt
+
+    rules: Dict[int, frozenset] = {}
+    for vertex in vertices:
+        alts = []
+        for successor in vertex.successors:
+            if successor.kind == "any":
+                alts.append(ANY)
+            elif successor.kind == "int":
+                alts.append(INT)
+            else:
+                alts.append(FuncAlt(
+                    successor.name,
+                    tuple(nts[id(child)]
+                          for child in successor.successors),
+                    successor.is_int))
+        rules[nts[id(vertex)]] = frozenset(alts)
+    return Grammar(rules, nts[id(vertices[0])])
+
+
 def _vertex_le(raw: Grammar, nts: Dict[int, int],
                v1: Vertex, v2: Vertex,
-               memo: Optional[Dict[Tuple[int, int], bool]] = None) -> bool:
+               memo: Optional[Dict[Tuple[int, int], bool]] = None,
+               index: Optional["arena.RulesIndex"] = None) -> bool:
     """Denotation inclusion between two or-vertices of the same graph.
 
-    ``memo`` (nonterminal-pair -> bool) is shared across every
-    inclusion query of one widening step — the ancestor scans of both
-    transformation rules probe many overlapping vertex pairs, so one
-    step-wide memo replaces a fresh traversal per query.
+    With the arena kernels enabled, ``index`` is the step's raw rules
+    compiled once to flat ints (:class:`repro.typegraph.arena
+    .RulesIndex`), which memoizes pair queries internally — the
+    ancestor scans of both transformation rules probe many overlapping
+    vertex pairs.  ``memo`` (nonterminal-pair -> bool) is the
+    reference path's equivalent shared cache.
     """
+    if index is not None:
+        return index.le(nts[id(v1)], nts[id(v2)])
     key = (nts[id(v1)], nts[id(v2)])
     if memo is not None:
         cached = memo.get(key)
@@ -108,6 +143,17 @@ def widening_clashes(g_old: TypeGraph,
     order of the correspondence set (Definition 7.1)."""
     clashes: List[Tuple[Vertex, Vertex]] = []
     seen = set()
+    sorted_successors: Dict[int, list] = {}  # a vertex can pair many ways
+
+    def aligned(vertex: Vertex) -> list:
+        cached = sorted_successors.get(id(vertex))
+        if cached is None:
+            cached = sorted(vertex.successors,
+                            key=lambda v: (v.kind, v.name,
+                                           len(v.successors)))
+            sorted_successors[id(vertex)] = cached
+        return cached
+
     queue: deque = deque([(g_old.root, g_new.root)])
     while queue:
         vo, vn = queue.popleft()
@@ -120,11 +166,7 @@ def widening_clashes(g_old: TypeGraph,
             same_pf = vo.pf() == vn.pf()
             if same_depth and same_pf:
                 # align successors by functor key (sorted identically)
-                so = sorted(vo.successors, key=lambda v: (v.kind, v.name,
-                                                          len(v.successors)))
-                sn = sorted(vn.successors, key=lambda v: (v.kind, v.name,
-                                                          len(v.successors)))
-                queue.extend(zip(so, sn))
+                queue.extend(zip(aligned(vo), aligned(vn)))
             else:
                 # topological clash; keep it if it is a widening clash
                 pf_o, pf_n = vo.pf(), vn.pf()
@@ -141,7 +183,8 @@ def _try_cycle_introduction(graph_new: TypeGraph, raw: Grammar,
                             nts: Dict[int, int],
                             clashes: List[Tuple[Vertex, Vertex]],
                             strict: bool,
-                            le_memo: Optional[Dict] = None
+                            le_memo: Optional[Dict] = None,
+                            le_index: Optional["arena.RulesIndex"] = None
                             ) -> Optional[Grammar]:
     """Apply TRi (Definition 7.4) to the first eligible clash; the
     ancestor search is nearest-first.
@@ -166,23 +209,25 @@ def _try_cycle_introduction(graph_new: TypeGraph, raw: Grammar,
                     continue  # quick filter implied by va >= vn
             elif vn.pf() != va.pf():
                 continue
-            if not _vertex_le(raw, nts, vn, va, le_memo):
+            if not _vertex_le(raw, nts, vn, va, le_memo, le_index):
                 continue
             parent = vn.parent
             parent.successors = [va if s is vn else s
                                  for s in parent.successors]
+            parent.clear_pf()
             return to_grammar(graph_new)
     return None
 
 
-def _try_replacement(graph_new: TypeGraph, raw: Grammar,
+def _try_replacement(graph_new: TypeGraph, raw_of,
                      nts: Dict[int, int],
                      clashes: List[Tuple[Vertex, Vertex]],
                      current: Grammar,
                      max_or_width: Optional[int],
                      strict: bool,
                      type_database: Optional[List[Grammar]] = None,
-                     le_memo: Optional[Dict] = None
+                     le_memo: Optional[Dict] = None,
+                     le_index: Optional["arena.RulesIndex"] = None
                      ) -> Optional[Grammar]:
     """Apply TRr (Definition 7.5) to the first eligible clash.
 
@@ -196,14 +241,20 @@ def _try_replacement(graph_new: TypeGraph, raw: Grammar,
     from .grammar import ANY
 
     current_size = current.size()
+    # With an arena pair index the raw grammar view is only needed
+    # once a clash actually reaches grammar surgery; the reference
+    # path's _vertex_le needs it up front.
+    raw = None if le_index is not None else raw_of()
     for vo, vn in clashes:
         for va in TypeGraph.or_ancestors(vn):
             if va.depth > vo.depth:
                 continue  # need depth(vo) >= depth(va)
             if not (vn.pf() <= va.pf() or vo.depth < vn.depth):
                 continue
-            if _vertex_le(raw, nts, vn, va, le_memo):
+            if _vertex_le(raw, nts, vn, va, le_memo, le_index):
                 continue  # CI territory, not CR
+            if raw is None:
+                raw = raw_of()  # grammar surgery ahead: build the view
             nt_va, nt_vn = nts[id(va)], nts[id(vn)]
             # Precise attempt: upper bound of va and vn grafted at va.
             upper = g_union(Grammar(raw.rules, nt_va),
@@ -277,9 +328,10 @@ def g_widen(g_old: Grammar, g_new: Grammar,
         return g_old
     if g_old.interned and g_new.interned:
         db_key = (None if type_database is None
-                  else tuple(type_database))
+                  else tuple(g.gid if g.interned else g
+                             for g in type_database))
         return opcache.cached(
-            "g_widen", (g_old, g_new, max_or_width, strict, db_key),
+            "g_widen", (g_old.gid, g_new.gid, max_or_width, strict, db_key),
             lambda: _g_widen_impl(g_old, g_new, max_or_width, strict,
                                   type_database))
     return _g_widen_impl(g_old, g_new, max_or_width, strict,
@@ -294,22 +346,55 @@ def _g_widen_impl(g_old: Grammar, g_new: Grammar,
     if g_old.is_bottom():
         return gn
 
-    graph_old = treeify(g_old)
+    try:
+        graph_old = _treeify_readonly(g_old)
+    except RecursionError:
+        # The tree+back-edge view duplicates shared subgraphs, which
+        # can explode exponentially on adversarial sharing.  Same
+        # safety net as the step budget: collapse to the or-width-1
+        # finite subdomain (a sound upper bound), keeping the
+        # enclosing fixpoint terminating instead of crashing.
+        warnings.warn("type graph too large to unfold for widening; "
+                      "collapsing to the or-width-1 subdomain",
+                      RuntimeWarning)
+        return normalize(gn, 1)
     for _ in range(_MAX_WIDEN_STEPS):
-        graph_new = treeify(gn)
-        raw, nts = _vertex_grammars(graph_new)
+        try:
+            graph_new = treeify(gn)
+        except RecursionError:
+            warnings.warn("type graph too large to unfold for "
+                          "widening; collapsing to the or-width-1 "
+                          "subdomain", RuntimeWarning)
+            return normalize(gn, 1)
         clashes = widening_clashes(graph_old, graph_new)
         if not clashes:
             return gn
-        # One inclusion memo per step: raw/nts are fixed until the
-        # graph is transformed, so every ancestor scan below shares it.
+        # One inclusion memo per step: the vertex numbering is fixed
+        # until the graph is transformed, so every ancestor scan below
+        # shares it.  With arena kernels on, the step compiles once
+        # into a flat-int pair index (straight from the graph) and the
+        # raw grammar view is built lazily, only if a replacement rule
+        # reaches grammar surgery.
+        if arena.enabled():
+            le_index, nts, vertices = \
+                arena.RulesIndex.from_graph(graph_new.root)
+            raw = None
+
+            def raw_of(vertices=vertices, nts=nts):
+                return _raw_from_vertices(vertices, nts)
+        else:
+            le_index = None
+            raw, nts = _vertex_grammars(graph_new)
+
+            def raw_of(raw=raw):
+                return raw
         le_memo: Dict = {}
         result = _try_cycle_introduction(graph_new, raw, nts, clashes,
-                                         strict, le_memo)
+                                         strict, le_memo, le_index)
         if result is None:
-            result = _try_replacement(graph_new, raw, nts, clashes, gn,
-                                      max_or_width, strict, type_database,
-                                      le_memo)
+            result = _try_replacement(graph_new, raw_of, nts, clashes,
+                                      gn, max_or_width, strict,
+                                      type_database, le_memo, le_index)
         if result is None:
             return gn
         gn = normalize(result, max_or_width)
