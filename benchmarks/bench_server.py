@@ -1,0 +1,289 @@
+#!/usr/bin/env python
+"""Load generator for the ``repro serve`` daemon — PR 5's acceptance
+harness.
+
+Measures, on the Table-3 suite:
+
+* **one-shot CLI baseline** — one ``python -m repro --benchmark NAME
+  --json`` subprocess per request, the process-per-request regime the
+  server exists to replace; records per-program wall time and the
+  result fingerprint of each payload;
+* **cold server** — the first pass over the suite against a freshly
+  spawned daemon (pays each analysis once, through the same
+  ``_execute_spec`` path as batch);
+* **warm server** — N concurrent clients (default 32) hammering the
+  suite round-robin; every response's fingerprint must equal the
+  one-shot CLI's, and throughput must clear ``--min-speedup`` (default
+  5x) over the one-shot regime;
+* **coalescing** — N clients firing the *same cold key*
+  simultaneously must produce exactly one underlying analysis.
+
+Typical uses::
+
+    PYTHONPATH=src python benchmarks/bench_server.py
+    PYTHONPATH=src python benchmarks/bench_server.py \
+        --clients 32 --rounds 4 --write-bench BENCH_pr5.json --label PR5
+
+Exit status is non-zero on any fingerprint mismatch, a coalescing
+failure, or a missed throughput bar — this is the same
+result-integrity stance as ``scripts/bench_report.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.benchprogs import benchmark_names  # noqa: E402
+from repro.service.client import ServeClient, spawn_server  # noqa: E402
+from repro.service.serialize import payload_fingerprint  # noqa: E402
+
+SCHEMA = 1
+
+
+def run_oneshot_cli(programs) -> dict:
+    """Process-per-request baseline through the real CLI."""
+    per_program = {}
+    total = 0.0
+    for name in programs:
+        start = time.perf_counter()
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "--benchmark", name,
+             "--json"],
+            capture_output=True, text=True, check=True,
+            cwd=str(REPO_ROOT), env=env)
+        seconds = time.perf_counter() - start
+        payload = json.loads(completed.stdout)["result"]
+        per_program[name] = {
+            "seconds": round(seconds, 4),
+            "fingerprint": payload_fingerprint(payload),
+        }
+        total += seconds
+        print("  one-shot %-4s %6.3fs" % (name, seconds),
+              file=sys.stderr)
+    return {
+        "per_program": per_program,
+        "requests": len(programs),
+        "total_seconds": round(total, 4),
+        "requests_per_second": round(len(programs) / total, 4),
+    }
+
+
+def run_server_phases(programs, clients, rounds, oneshot) -> dict:
+    process, host, port = spawn_server("--timeout", "300",
+                                       "--max-pending", "128")
+    try:
+        return _server_phases(programs, clients, rounds, oneshot,
+                              host, port)
+    finally:
+        try:
+            with ServeClient(host, port, timeout=30) as client:
+                client.shutdown()
+            process.wait(timeout=60)
+        except Exception:
+            process.terminate()
+            process.wait(timeout=30)
+
+
+def _server_phases(programs, clients, rounds, oneshot, host,
+                   port) -> dict:
+    report: dict = {}
+
+    # -- cold pass: each analysis once, via the server ------------------
+    cold = {}
+    mismatches = []
+    with ServeClient(host, port, timeout=600) as client:
+        for name in programs:
+            result = client.analyze(benchmark=name, payload=False)
+            cold[name] = round(result["seconds"], 4)
+            if result["fingerprint"] != \
+                    oneshot["per_program"][name]["fingerprint"]:
+                mismatches.append(name)
+            print("  cold-server %-4s %6.3fs" % (name, cold[name]),
+                  file=sys.stderr)
+    report["server_cold"] = {"per_program_seconds": cold,
+                             "total_seconds": round(sum(cold.values()),
+                                                    4)}
+
+    # -- warm load: `clients` concurrent clients, round-robin -----------
+    with ServeClient(host, port) as client:
+        stats_before = client.stats()
+    lock = threading.Lock()
+    failures: list = []
+    observed: dict = {name: set() for name in programs}
+
+    def drive(worker: int) -> None:
+        try:
+            with ServeClient(host, port, timeout=300) as session:
+                for i in range(rounds * len(programs)):
+                    name = programs[(worker + i) % len(programs)]
+                    result = session.analyze(benchmark=name,
+                                             payload=False)
+                    with lock:
+                        observed[name].add(result["fingerprint"])
+        except BaseException as error:
+            with lock:
+                failures.append("client %d: %r" % (worker, error))
+
+    threads = [threading.Thread(target=drive, args=(w,))
+               for w in range(clients)]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    with ServeClient(host, port) as client:
+        stats_after = client.stats()
+
+    for name in programs:
+        expected = {oneshot["per_program"][name]["fingerprint"]}
+        if observed[name] != expected:
+            mismatches.append(name)
+    requests = clients * rounds * len(programs)
+    report["server_warm"] = {
+        "clients": clients,
+        "rounds": rounds,
+        "requests": requests,
+        "total_seconds": round(wall, 4),
+        "requests_per_second": round(requests / wall, 2),
+        "latency": stats_after["latency"],
+        "analyses_executed_during_load":
+            stats_after["analyses_executed"]
+            - stats_before["analyses_executed"],
+        "cache_hit_rate": stats_after["cache"]["hit_rate"],
+        "failures": failures,
+        "fingerprints_identical": not mismatches,
+    }
+    report["fingerprint_mismatches"] = sorted(set(mismatches))
+
+    # -- coalescing: same cold key from every client at once ------------
+    source = "coalesce_probe([]).\ncoalesce_probe([X|Xs]) :- " \
+             "coalesce_probe(Xs).\n"
+    with ServeClient(host, port) as client:
+        before = client.stats()
+    barrier = threading.Barrier(clients)
+    coalesce_failures: list = []
+
+    def dup(worker: int) -> None:
+        try:
+            with ServeClient(host, port, timeout=300) as session:
+                barrier.wait(timeout=60)
+                session.analyze(source=source,
+                                query=("coalesce_probe", 1),
+                                payload=False)
+        except BaseException as error:
+            coalesce_failures.append("client %d: %r" % (worker, error))
+
+    threads = [threading.Thread(target=dup, args=(w,))
+               for w in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    with ServeClient(host, port) as client:
+        after = client.stats()
+    report["coalescing"] = {
+        "clients": clients,
+        "analyses_executed": after["analyses_executed"]
+        - before["analyses_executed"],
+        "coalesced": after["coalesced"] - before["coalesced"],
+        "failures": coalesce_failures,
+    }
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark repro serve against the one-shot CLI.")
+    parser.add_argument("--clients", type=int, default=32,
+                        help="concurrent clients in the warm/coalescing "
+                             "phases (default 32)")
+    parser.add_argument("--rounds", type=int, default=4,
+                        help="suite passes per client in the warm "
+                             "phase (default 4)")
+    parser.add_argument("--min-speedup", type=float, default=5.0,
+                        help="required warm-server throughput multiple "
+                             "over the one-shot CLI (default 5)")
+    parser.add_argument("--label", default=None)
+    parser.add_argument("--write-bench", metavar="FILE",
+                        help="write the report as JSON (BENCH_pr5.json)")
+    args = parser.parse_args(argv)
+
+    programs = benchmark_names(include_variants=False)
+    print("one-shot CLI baseline (%d programs)..." % len(programs),
+          file=sys.stderr)
+    oneshot = run_oneshot_cli(programs)
+    print("server phases (%d clients x %d rounds)..."
+          % (args.clients, args.rounds), file=sys.stderr)
+    server_report = run_server_phases(programs, args.clients,
+                                      args.rounds, oneshot)
+
+    warm = server_report["server_warm"]
+    speedup = round(warm["requests_per_second"]
+                    / oneshot["requests_per_second"], 2)
+    report = {
+        "schema": SCHEMA,
+        "label": args.label,
+        "python": platform.python_version(),
+        "suite": list(programs),
+        "oneshot_cli": oneshot,
+        "warm_speedup_vs_oneshot": speedup,
+        **server_report,
+    }
+
+    print("\none-shot CLI : %7.2f req/s (%d requests, %.2fs)"
+          % (oneshot["requests_per_second"], oneshot["requests"],
+             oneshot["total_seconds"]))
+    print("warm server  : %7.2f req/s (%d clients, %d requests, "
+          "%.2fs, p50=%ss p95=%ss)"
+          % (warm["requests_per_second"], warm["clients"],
+             warm["requests"], warm["total_seconds"],
+             warm["latency"]["p50"], warm["latency"]["p95"]))
+    print("speedup      : %7.2fx (bar: %.1fx)"
+          % (speedup, args.min_speedup))
+    coal = report["coalescing"]
+    print("coalescing   : %d clients -> %d execution(s), %d riders"
+          % (coal["clients"], coal["analyses_executed"],
+             coal["coalesced"]))
+
+    if args.write_bench:
+        path = Path(args.write_bench)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n")
+        print("wrote %s" % path, file=sys.stderr)
+
+    problems = []
+    if report["fingerprint_mismatches"]:
+        problems.append("fingerprint mismatches: %s"
+                        % report["fingerprint_mismatches"])
+    if warm["failures"]:
+        problems.append("client failures: %s" % warm["failures"][:3])
+    if coal["failures"]:
+        problems.append("coalescing client failures: %s"
+                        % coal["failures"][:3])
+    if coal["analyses_executed"] != 1:
+        problems.append("coalescing ran %d analyses (expected 1)"
+                        % coal["analyses_executed"])
+    if speedup < args.min_speedup:
+        problems.append("warm speedup %.2fx under the %.1fx bar"
+                        % (speedup, args.min_speedup))
+    for problem in problems:
+        print("ERROR: %s" % problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

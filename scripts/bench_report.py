@@ -189,6 +189,41 @@ def print_comparison(run: dict, reference: dict, ref_name: str) -> bool:
     return fingerprints_ok
 
 
+def render_server_bench(path: Path) -> bool:
+    """Pretty-print a BENCH_pr5.json server-throughput report; returns
+    False (a failure) on fingerprint mismatches recorded in it."""
+    bench = json.loads(path.read_text())
+    oneshot = bench["oneshot_cli"]
+    warm = bench["server_warm"]
+    latency = warm["latency"]
+    coalescing = bench["coalescing"]
+    print("\n== server throughput (%s) ==" % path)
+    print("%-14s %10s %10s %10s"
+          % ("regime", "req/s", "requests", "wall(s)"))
+    print("%-14s %10.2f %10d %10.2f"
+          % ("one-shot CLI", oneshot["requests_per_second"],
+             oneshot["requests"], oneshot["total_seconds"]))
+    print("%-14s %10.2f %10d %10.2f   (%d clients, p50=%ss, "
+          "p95=%ss, cache hit rate %s)"
+          % ("warm server", warm["requests_per_second"],
+             warm["requests"], warm["total_seconds"],
+             warm["clients"], latency["p50"], latency["p95"],
+             warm["cache_hit_rate"]))
+    print("warm speedup vs one-shot: %.2fx"
+          % bench["warm_speedup_vs_oneshot"])
+    print("coalescing: %d concurrent duplicates -> %d execution(s), "
+          "%d riders"
+          % (coalescing["clients"], coalescing["analyses_executed"],
+             coalescing["coalesced"]))
+    ok = (warm["fingerprints_identical"]
+          and not bench.get("fingerprint_mismatches")
+          and coalescing["analyses_executed"] == 1)
+    if not ok:
+        print("ERROR: %s records fingerprint/coalescing failures"
+              % path, file=sys.stderr)
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the Table-3 benchmark suite and report "
@@ -212,7 +247,16 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="accepted for compatibility; fingerprint "
                              "divergence always exits non-zero now")
+    parser.add_argument("--server", metavar="FILE",
+                        help="render a BENCH_pr5.json server "
+                             "throughput/latency report (produced by "
+                             "benchmarks/bench_server.py); given "
+                             "alone, skips running the suite")
     args = parser.parse_args(argv)
+
+    if args.server and not (args.baseline or args.write_bench
+                            or args.out or args.programs):
+        return 0 if render_server_bench(Path(args.server)) else 1
 
     programs = args.programs or benchmark_names(include_variants=False)
     print("running %d benchmark programs..." % len(programs),
@@ -261,6 +305,9 @@ def main(argv=None) -> int:
                 baseline["total_wall_time"] / current["total_wall_time"], 2)
         path.write_text(json.dumps(bench, indent=2, sort_keys=True) + "\n")
         print("wrote %s" % path, file=sys.stderr)
+
+    if args.server:
+        fingerprints_ok &= render_server_bench(Path(args.server))
 
     if not fingerprints_ok:
         print("ERROR: analysis tables diverge from the baseline",

@@ -11,6 +11,7 @@ Examples::
     repro cache info --cache-dir .repro-cache
     repro cache promote old.pl new.pl --cache-dir .repro-cache
     repro profile --benchmark RE --top 20
+    repro serve --port 7871 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -27,9 +28,25 @@ from .domains.pattern import PAT_BOTTOM
 
 def _parse_query(text: str):
     name, _, arity = text.rpartition("/")
-    if not name:
+    if not name or not arity:
         raise SystemExit("query must look like name/arity, got %r" % text)
-    return (name, int(arity))
+    try:
+        arity_value = int(arity)
+    except ValueError:
+        raise SystemExit("query arity must be an integer, got %r in %r"
+                         % (arity, text)) from None
+    if arity_value < 0:
+        raise SystemExit("query arity must be >= 0, got %d" % arity_value)
+    return (name, arity_value)
+
+
+def _check_input_arity(input_types, query) -> None:
+    """A clean exit when ``--input`` does not match the query arity."""
+    if input_types is not None and len(input_types) != query[1]:
+        raise SystemExit(
+            "error: --input lists %d type(s) but %s/%d takes %d "
+            "argument(s)" % (len(input_types), query[0], query[1],
+                             query[1]))
 
 
 def main(argv=None) -> int:
@@ -41,13 +58,18 @@ def main(argv=None) -> int:
         return cache_main(argv[1:])
     if argv and argv[0] == "profile":
         return profile_main(argv[1:])
+    if argv and argv[0] == "serve":
+        from .service.server import serve_main
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Type analysis of Prolog using type graphs "
                     "(Van Hentenryck, Cortesi, Le Charlier, PLDI'94).  "
                     "Subcommands: 'repro batch' analyzes many programs "
                     "through the result cache; 'repro cache' inspects "
-                    "and maintains it.")
+                    "and maintains it; 'repro serve' runs the "
+                    "long-lived analysis server; 'repro profile' "
+                    "reports per-operation statistics.")
     parser.add_argument("file", nargs="?",
                         help="Prolog source file to analyze")
     parser.add_argument("query", nargs="?",
@@ -85,6 +107,7 @@ def main(argv=None) -> int:
         input_types = None
     if args.input:
         input_types = [t.strip() for t in args.input.split(",")]
+    _check_input_arity(input_types, query)
 
     config = AnalysisConfig(max_or_width=args.or_width)
     try:
@@ -136,6 +159,9 @@ def main(argv=None) -> int:
         print("warning: unknown predicates treated as identity: %s"
               % ", ".join("%s/%d" % p
                           for p in analysis.result.unknown_predicates))
+    if analysis.stats.disjunction_fallbacks:
+        print("warning: %d oversized disjunction(s) compiled to "
+              "auxiliary predicates" % analysis.stats.disjunction_fallbacks)
     return 0
 
 
@@ -189,6 +215,7 @@ def profile_main(argv) -> int:
         input_types = None
     if args.input:
         input_types = [t.strip() for t in args.input.split(",")]
+    _check_input_arity(input_types, query)
 
     # Fresh counters so the report attributes traffic to this run only
     # (cached *results* are kept — a warm service process profiles as

@@ -27,6 +27,7 @@ and replaced by an equivalent type graph.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -99,25 +100,30 @@ def _unpickle_subst(nvars, sv, nodes, was_interned):
 #: the pattern-level operations memoizable by id pair.
 _SUBST_INTERN: "weakref.WeakValueDictionary[tuple, AbstractSubst]" = \
     weakref.WeakValueDictionary()
+#: Guards probe-then-insert and the sid counter — same identity
+#: invariant (and the same reasoning) as
+#: ``repro.typegraph.grammar._INTERN_LOCK``.
+_SUBST_INTERN_LOCK = threading.Lock()
 _NEXT_SID = 0
 
 
 def intern_subst(subst: "AbstractSubst") -> "AbstractSubst":
     """Canonical shared instance of a frozen substitution (structural
     hash-consing; semantically-equal-but-structurally-different
-    substitutions stay distinct, exactly like `==`)."""
+    substitutions stay distinct, exactly like `==`).  Thread-safe."""
     global _NEXT_SID
     if subst.interned:
         return subst
     key = (subst.nvars, subst.sv, subst.nodes)
-    canonical = _SUBST_INTERN.get(key)
-    if canonical is None:
-        subst.interned = True
-        subst.sid = _NEXT_SID
-        _NEXT_SID += 1
-        hash(subst)  # precompute
-        _SUBST_INTERN[key] = subst
-        return subst
+    with _SUBST_INTERN_LOCK:
+        canonical = _SUBST_INTERN.get(key)
+        if canonical is None:
+            subst.interned = True
+            subst.sid = _NEXT_SID
+            _NEXT_SID += 1
+            hash(subst)  # precompute
+            _SUBST_INTERN[key] = subst
+            return subst
     return canonical
 
 

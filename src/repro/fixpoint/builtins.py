@@ -97,6 +97,17 @@ BUILTINS: Dict[PredId, BuiltinSpec] = {
     ("atom_codes", 2): _t("any", "codes"),
     ("number_codes", 2): _t("int", "codes"),
     ("atom_chars", 2): _t("any", "list"),
+    # chars are one-character atoms, so "list" (of any) is the tightest
+    # finitely presentable tag, mirroring atom_chars/2.
+    ("number_chars", 2): _t("int", "list"),
+    ("atom_length", 2): _t("any", "int"),
+    ("char_code", 2): _t("any", "int"),
+    ("succ", 2): _t("int", "int"),
+    # sort/2 and friends succeed only on proper lists, with a list out.
+    ("sort", 2): _t("list", "list"),
+    ("msort", 2): _t("list", "list"),
+    # keysort's pairs K-V are not finitely presentable beyond "list".
+    ("keysort", 2): _t("list", "list"),
     ("length", 2): _t("list", "int"),
     ("between", 3): _t("int", "int", "int"),
     ("succ_or_zero", 1): _t("int"),

@@ -140,6 +140,12 @@ class AnalysisStats:
     #: :func:`repro.typegraph.arena.snapshot`); 0 with ``REPRO_ARENA``
     #: off.
     arena_compiles: int = 0
+    #: oversized disjunctions the normalizer compiled to auxiliary
+    #: predicates instead of cartesian expansion
+    #: (:attr:`repro.prolog.normalize.NormProgram.disjunction_fallbacks`)
+    #: — a warning-worthy signal that the source had pathological
+    #: disjunctive nesting, not a soundness concern.
+    disjunction_fallbacks: int = 0
 
 
 @dataclass
@@ -303,7 +309,10 @@ class Engine:
         self._callsite_deps: Dict[int, Set[Tuple[int, int, int]]] = {}
         #: (pred, clause idx) -> body positions of defined-pred calls.
         self._call_positions: Dict[Tuple[PredId, int], List[int]] = {}
-        self.stats = AnalysisStats(scheduler=self.scheduler)
+        self.stats = AnalysisStats(
+            scheduler=self.scheduler,
+            disjunction_fallbacks=getattr(program,
+                                          "disjunction_fallbacks", 0))
         self.unknown_predicates: Set[PredId] = set()
 
     # -- public API -----------------------------------------------------------

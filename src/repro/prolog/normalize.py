@@ -13,6 +13,20 @@ Variables are integers ``0 .. nvars-1``; the head arguments are exactly
 into alternative bodies *before* normalization (a sound
 over-approximation of if-then-else that ignores the commit), so one
 source clause may yield several normalized clauses.
+
+Deeply disjunctive clauses whose cartesian expansion would exceed
+:data:`_MAX_BODIES_PER_CLAUSE` bodies degrade *soundly* instead of
+aborting the analysis: the offending disjunction is hidden behind a
+fresh auxiliary predicate with one clause per disjunct (the standard
+disjunction compilation), keeping the expansion linear.  The concrete
+semantics is unchanged; abstractly the branch outputs now join at the
+auxiliary call's return rather than at the clause exit, which is a
+sound over-approximation that may be *less precise* than inline
+expansion once widening or or-width caps apply downstream of the join
+(never less sound, and strictly better than the previous hard
+``ValueError``).  Each extraction is counted in
+:attr:`NormProgram.disjunction_fallbacks`, which the engine surfaces
+as ``AnalysisStats.disjunction_fallbacks``.
 """
 
 from __future__ import annotations
@@ -21,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from .program import Clause, PredId, Program
-from .terms import Atom, Int, Struct, Term, Var
+from .terms import Atom, Int, Struct, Term, Var, term_variables
 
 __all__ = [
     "NUnify", "NBuild", "NCall", "NGoal",
@@ -105,6 +119,11 @@ class NormProcedure:
 class NormProgram:
     procedures: Dict[PredId, NormProcedure] = field(default_factory=dict)
     order: List[PredId] = field(default_factory=list)
+    #: oversized disjunctions compiled to auxiliary predicates instead
+    #: of cartesian expansion (sound; branch outputs join earlier than
+    #: under inline expansion, so precision may drop — see module doc;
+    #: nonzero values are worth a warning in reports).
+    disjunction_fallbacks: int = 0
 
     def procedure(self, pred: PredId) -> Optional[NormProcedure]:
         return self.procedures.get(pred)
@@ -128,39 +147,70 @@ class NormProgram:
 _MAX_BODIES_PER_CLAUSE = 64
 
 
-def _expand_goal(goal: Term) -> List[List[Term]]:
+class _AuxSink:
+    """Collects auxiliary predicates extracted from oversized
+    disjunctions.  ``seed`` keeps the generated names deterministic and
+    unique within one program (predicate name, arity, clause index)."""
+
+    def __init__(self, seed: str) -> None:
+        self.seed = seed
+        self.count = 0
+        #: (PredId, head Term, [body goal lists]) per extraction.
+        self.procedures: List[Tuple[PredId, Term, List[List[Term]]]] = []
+
+    def extract(self, goal: Term,
+                alternatives: List[List[Term]]) -> Term:
+        """Register one auxiliary predicate whose clauses are
+        ``alternatives`` and return the goal that calls it."""
+        variables = term_variables(goal)
+        name = "$or_%s_%d" % (self.seed, self.count)
+        self.count += 1
+        pred = (name, len(variables))
+        if variables:
+            head: Term = Struct(name, tuple(variables))
+        else:
+            head = Atom(name)
+        self.procedures.append((pred, head, alternatives))
+        return head
+
+
+def _expand_goal(goal: Term, sink: _AuxSink) -> List[List[Term]]:
     """Alternative flattened goal sequences for one source goal."""
     if isinstance(goal, Struct) and goal.name == "," and goal.arity == 2:
-        return _expand_body(
-            [goal.args[0], goal.args[1]])
+        return _expand_body([goal.args[0], goal.args[1]], sink)
     if isinstance(goal, Struct) and goal.name == ";" and goal.arity == 2:
         left, right = goal.args
         branches: List[List[Term]] = []
         if isinstance(left, Struct) and left.name == "->" and left.arity == 2:
-            branches.extend(_expand_body([left.args[0], left.args[1]]))
+            branches.extend(_expand_body([left.args[0], left.args[1]], sink))
         else:
-            branches.extend(_expand_body([left]))
-        branches.extend(_expand_body([right]))
+            branches.extend(_expand_body([left], sink))
+        branches.extend(_expand_body([right], sink))
         return branches
     if isinstance(goal, Struct) and goal.name == "->" and goal.arity == 2:
-        return _expand_body([goal.args[0], goal.args[1]])
+        return _expand_body([goal.args[0], goal.args[1]], sink)
     if isinstance(goal, Atom) and goal.name == "true":
         return [[]]
     return [[goal]]
 
 
-def _expand_body(goals: List[Term]) -> List[List[Term]]:
-    """Cartesian expansion of disjunctive bodies, capped defensively."""
+def _expand_body(goals: List[Term], sink: _AuxSink) -> List[List[Term]]:
+    """Cartesian expansion of disjunctive bodies.
+
+    The result never exceeds :data:`_MAX_BODIES_PER_CLAUSE` bodies: a
+    goal whose alternatives would blow the product is replaced by a
+    call to a fresh auxiliary predicate with one clause per
+    alternative — the standard compilation of disjunction, sound
+    though potentially less precise than inline expansion (see the
+    module docstring)."""
     bodies: List[List[Term]] = [[]]
     for goal in goals:
-        alternatives = _expand_goal(goal)
-        new_bodies = []
-        for prefix in bodies:
-            for alt in alternatives:
-                new_bodies.append(prefix + alt)
-                if len(new_bodies) > _MAX_BODIES_PER_CLAUSE:
-                    raise ValueError("disjunction expansion too large")
-        bodies = new_bodies
+        alternatives = _expand_goal(goal, sink)
+        if (len(alternatives) > 1
+                and len(bodies) * len(alternatives)
+                > _MAX_BODIES_PER_CLAUSE):
+            alternatives = [[sink.extract(goal, alternatives)]]
+        bodies = [prefix + alt for prefix in bodies for alt in alternatives]
     return bodies
 
 
@@ -278,13 +328,41 @@ def _normalize_goal(builder: _ClauseBuilder, goal: Term) -> None:
     builder.goals.append(NCall((goal.name, goal.arity), args))
 
 
-def normalize_clause(clause: Clause) -> List[NormClause]:
-    """Normalize one source clause (possibly several results, one per
-    disjunctive branch)."""
+def _normalize_clause_ex(clause: Clause, aux_seed: str
+                         ) -> Tuple[List[NormClause],
+                                    List[Tuple[PredId, List[NormClause]]],
+                                    int]:
+    """Normalize one source clause.  Returns the clauses for the
+    clause's own predicate, the normalized procedures of any auxiliary
+    predicates extracted from oversized disjunctions, and the number of
+    such extractions."""
     pred = clause.pred
+    sink = _AuxSink(aux_seed)
     results = []
-    for body in _expand_body(list(clause.body)):
+    for body in _expand_body(list(clause.body), sink):
         results.append(_normalize_one(pred, clause.head, body, clause))
+    aux: List[Tuple[PredId, List[NormClause]]] = []
+    # Extractions may themselves register further extractions while
+    # their bodies are expanded; the list grows monotonically, and every
+    # alternative stored in it is already fully expanded.
+    for aux_pred, head, alternatives in sink.procedures:
+        aux.append((aux_pred,
+                    [_normalize_one(aux_pred, head, body, clause)
+                     for body in alternatives]))
+    return results, aux, sink.count
+
+
+def normalize_clause(clause: Clause,
+                     aux_seed: Optional[str] = None) -> List[NormClause]:
+    """Normalize one source clause (possibly several results, one per
+    disjunctive branch).  Clauses of auxiliary predicates extracted
+    from oversized disjunctions are appended after the clause's own
+    (recognizable by their ``pred``)."""
+    if aux_seed is None:
+        aux_seed = "%s_%d" % clause.pred
+    results, aux, _ = _normalize_clause_ex(clause, aux_seed)
+    for _, aux_clauses in aux:
+        results.extend(aux_clauses)
     return results
 
 
@@ -293,8 +371,15 @@ def normalize_program(program: Program) -> NormProgram:
     norm = NormProgram()
     for pred in program.order:
         procedure = NormProcedure(pred)
-        for clause in program.procedures[pred].clauses:
-            procedure.clauses.extend(normalize_clause(clause))
+        for index, clause in enumerate(program.procedures[pred].clauses):
+            clauses, aux, fallbacks = _normalize_clause_ex(
+                clause, "%s_%d_%d" % (pred[0], pred[1], index))
+            procedure.clauses.extend(clauses)
+            norm.disjunction_fallbacks += fallbacks
+            for aux_pred, aux_clauses in aux:
+                norm.procedures[aux_pred] = NormProcedure(aux_pred,
+                                                          aux_clauses)
+                norm.order.append(aux_pred)
         norm.procedures[pred] = procedure
         norm.order.append(pred)
     return norm

@@ -9,7 +9,10 @@ Four pieces turn the one-shot analyzer into a serving substrate:
 * :mod:`repro.service.batch` — a cache-first batch driver with an
   optional process pool;
 * :mod:`repro.service.incremental` — SCC-scoped cache invalidation,
-  promotion across program edits, and table-seeded re-analysis.
+  promotion across program edits, and table-seeded re-analysis;
+* :mod:`repro.service.server` / :mod:`repro.service.client` — the
+  long-lived ``repro serve`` daemon (warm caches, request coalescing,
+  backpressure) and its blocking client.
 
 Quickstart::
 
@@ -19,8 +22,8 @@ Quickstart::
     report.results[0].result().output
 """
 
-from .batch import (BatchReport, Job, JobResult, jobs_from_benchmarks,
-                    run_batch)
+from .batch import (BatchReport, Job, JobResult, WorkerPool,
+                    jobs_from_benchmarks, run_batch)
 from .cache import CacheKey, CacheStats, ResultCache, make_key
 from .incremental import (PromotionReport, ReanalysisInfo,
                           dirty_predicates, promote, reanalyze)
@@ -28,8 +31,8 @@ from .serialize import (FORMAT_VERSION, canonical_json, config_hash,
                         content_hash, decode_config, decode_grammar,
                         decode_result, decode_subst, encode_config,
                         encode_grammar, encode_result, encode_subst,
-                        predicate_hashes, program_hash,
-                        result_fingerprint)
+                        payload_fingerprint, predicate_hashes,
+                        program_hash, result_fingerprint)
 
 __all__ = [
     "FORMAT_VERSION",
@@ -38,10 +41,30 @@ __all__ = [
     "encode_subst", "decode_subst",
     "encode_config", "decode_config", "config_hash",
     "encode_result", "decode_result", "result_fingerprint",
-    "predicate_hashes", "program_hash",
+    "payload_fingerprint", "predicate_hashes", "program_hash",
     "CacheKey", "CacheStats", "ResultCache", "make_key",
-    "Job", "JobResult", "BatchReport", "run_batch",
+    "Job", "JobResult", "BatchReport", "WorkerPool", "run_batch",
     "jobs_from_benchmarks",
+    "AnalysisServer", "serve_main",
+    "ServeClient", "ServeError", "spawn_server", "wait_for_server",
     "dirty_predicates", "promote", "PromotionReport",
     "reanalyze", "ReanalysisInfo",
 ]
+
+#: server/client re-exports resolved lazily: every one-shot CLI, batch
+#: worker, and pool child imports this package, and none of them needs
+#: the asyncio/socket/subprocess stack the daemon drags in.
+_LAZY = {
+    "AnalysisServer": "server", "serve_main": "server",
+    "ServeClient": "client", "ServeError": "client",
+    "spawn_server": "client", "wait_for_server": "client",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError("module %r has no attribute %r"
+                             % (__name__, name))
+    from importlib import import_module
+    return getattr(import_module("." + module_name, __name__), name)

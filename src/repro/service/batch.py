@@ -24,7 +24,7 @@ from .cache import CacheKey, ResultCache, make_key
 from .serialize import (decode_config, decode_input_types, decode_result,
                         encode_config, encode_input_types, encode_result)
 
-__all__ = ["Job", "JobResult", "BatchReport", "run_batch",
+__all__ = ["Job", "JobResult", "BatchReport", "WorkerPool", "run_batch",
            "jobs_from_benchmarks"]
 
 
@@ -85,7 +85,9 @@ def _job_spec(job: Job) -> dict:
 
 def _execute_spec(spec: dict) -> Tuple[str, dict, float]:
     """Worker entry point: run one analysis, return the serialized
-    result.  Top-level so the process pool can pickle it."""
+    result.  Top-level so the process pool can pickle it; also the
+    unit of work the :mod:`repro.service.server` daemon dispatches, so
+    server and batch exercise the identical execution path."""
     config = (None if spec["config"] is None
               else decode_config(spec["config"]))
     start = time.perf_counter()
@@ -96,6 +98,89 @@ def _execute_spec(spec: dict) -> Tuple[str, dict, float]:
                        baseline=spec["baseline"])
     seconds = time.perf_counter() - start
     return spec["name"], encode_result(analysis.result), seconds
+
+
+def _warm_worker() -> None:
+    """Pool initializer: pay the import/intern cold-start once per
+    worker process instead of once per dispatched analysis.  Touching
+    the common leaf grammars seeds the intern table and the arena
+    symbol table, so the first real request runs warm."""
+    from ..typegraph.grammar import g_any, g_atom, g_int
+    from ..typegraph.ops import g_list_of
+    from ..typegraph import arena  # noqa: F401  (compiles lazily)
+    g_list_of(g_any())
+    g_list_of(g_int())
+    g_atom("[]")
+
+
+def _worker_ready() -> None:
+    """No-op task used by :meth:`WorkerPool.prefork` to force worker
+    start-up (the initializer does the actual warming)."""
+
+
+class WorkerPool:
+    """A persistent, pre-warmed process pool executing analysis specs.
+
+    Extracted from :func:`run_batch` so a long-lived server can keep
+    the *same* pool — and therefore each worker's intern tables,
+    opcache, and arenas — warm across many requests, where the batch
+    driver used to build and tear one down per call.  Workers are
+    single-threaded processes, which is what makes the unlocked memo
+    tables safe (see :mod:`repro.typegraph.opcache`).
+
+    Fork discipline: on POSIX the workers are forked, and a fork taken
+    while another thread holds one of the intern/cache locks would
+    hand the child that lock forever-held (``_warm_worker`` interns
+    grammars and would deadlock).  Create the executor — or call
+    :meth:`prefork` — while the process is still effectively
+    single-threaded; the server does this in ``start()``, and
+    ``run_batch`` runs on the CLI's only thread.
+    """
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._executor = None
+
+    @property
+    def executor(self):
+        """The underlying ``ProcessPoolExecutor``, created (and its
+        workers warmed) on first use."""
+        if self._executor is None:
+            from concurrent.futures import ProcessPoolExecutor
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, initializer=_warm_worker)
+        return self._executor
+
+    def prefork(self) -> None:
+        """Spawn (and warm) every worker process *now* instead of on
+        first submit: one no-op task per worker forces the pool to
+        full size while the caller still controls the threading
+        picture."""
+        from concurrent.futures import wait
+        wait([self.executor.submit(_worker_ready)
+              for _ in range(self.workers)])
+
+    def submit_spec(self, spec: dict):
+        """Dispatch one spec; returns a ``concurrent.futures.Future``
+        resolving to ``(name, payload, seconds)``."""
+        return self.executor.submit(_execute_spec, spec)
+
+    def map_specs(self, specs: Sequence[dict]):
+        """Execute ``specs`` across the pool, results in order."""
+        return list(self.executor.map(_execute_spec, specs))
+
+    def shutdown(self, wait: bool = True) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=wait)
+            self._executor = None
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
 
 
 def run_batch(jobs: Sequence[Job],
@@ -125,9 +210,8 @@ def run_batch(jobs: Sequence[Job],
     if pending:
         specs = [_job_spec(job) for _, job, _ in pending]
         if workers is not None and workers >= 2 and len(pending) > 1:
-            from concurrent.futures import ProcessPoolExecutor
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                outcomes = list(pool.map(_execute_spec, specs))
+            with WorkerPool(workers) as pool:
+                outcomes = pool.map_specs(specs)
         else:
             outcomes = [_execute_spec(spec) for spec in specs]
         for (index, job, key), (name, payload, seconds) in \

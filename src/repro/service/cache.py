@@ -16,6 +16,20 @@ Two layers:
 Payloads are the JSON-ready objects of :mod:`repro.service.serialize`;
 the cache never decodes them — it is a plain content-addressed blob
 store with an index by program hash.
+
+Concurrency model (PR 5's server hangs many readers and writers off
+one instance and many *processes* off one ``cache_dir``):
+
+* **Within a process** the memory layer and the stats counters are
+  guarded by an internal lock, so any number of threads may ``get`` /
+  ``put`` / ``invalidate`` concurrently.
+* **Across processes** safety rests on the filesystem: writes land via
+  tempfile + atomic ``os.replace`` (a reader sees the old record or
+  the new one, never a torn one), unreadable/partial records count as
+  misses, and every directory listing / unlink tolerates entries
+  vanishing underneath it.  A ``put`` whose program directory is
+  concurrently removed (``invalidate_program`` / ``clear`` in another
+  process) recreates the directory and retries once.
 """
 
 from __future__ import annotations
@@ -24,6 +38,7 @@ import functools
 import json
 import os
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
@@ -134,6 +149,9 @@ class ResultCache:
         self._memory: "OrderedDict[str, Tuple[CacheKey, dict]]" = \
             OrderedDict()
         self.stats = CacheStats()
+        #: guards the memory layer and the stats counters; disk I/O
+        #: happens outside it (atomic-rename protocol, see module doc).
+        self._lock = threading.RLock()
 
     # -- paths ---------------------------------------------------------------
 
@@ -154,11 +172,13 @@ class ResultCache:
         """The stored payload, or None.  Disk hits are promoted into
         the memory layer."""
         digest = key.digest
-        if digest in self._memory:
-            self._memory.move_to_end(digest)
-            self.stats.hits += 1
-            self.stats.memory_hits += 1
-            return self._memory[digest][1]
+        with self._lock:
+            entry = self._memory.get(digest)
+            if entry is not None:
+                self._memory.move_to_end(digest)
+                self.stats.hits += 1
+                self.stats.memory_hits += 1
+                return entry[1]
         if self.cache_dir is not None:
             path = self._entry_path(key)
             try:
@@ -168,35 +188,59 @@ class ResultCache:
             except (OSError, ValueError, KeyError, TypeError):
                 payload = None  # unreadable/truncated record: a miss
             if payload is not None:
-                self._remember(key, payload)
-                self.stats.hits += 1
-                self.stats.disk_hits += 1
+                with self._lock:
+                    self._remember(key, payload)
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
                 return payload
-        self.stats.misses += 1
+        with self._lock:
+            self.stats.misses += 1
         return None
 
     def put(self, key: CacheKey, payload: dict) -> None:
         """Store a payload under ``key`` in both layers.  Disk writes
         are atomic (tempfile + rename), so a crashed writer never
-        leaves a half-written object behind."""
-        self._remember(key, payload)
-        self.stats.puts += 1
+        leaves a half-written object behind and a concurrent reader
+        never observes a torn record."""
+        with self._lock:
+            self._remember(key, payload)
+            self.stats.puts += 1
         if self.cache_dir is None:
             return
-        directory = self._program_dir(key.program_hash)
-        os.makedirs(directory, exist_ok=True)
+        self._write_disk(key, payload)
+
+    def _write_disk(self, key: CacheKey, payload: dict) -> None:
         record = {"key": key.to_obj(), "payload": payload}
-        fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(record, handle)
-            os.replace(tmp_path, self._entry_path(key))
-        except BaseException:
+        text = json.dumps(record)
+        directory = self._program_dir(key.program_hash)
+        # Two rounds: a concurrent invalidate_program/clear may remove
+        # the program directory between makedirs and the rename.
+        for attempt in (0, 1):
+            os.makedirs(directory, exist_ok=True)
+            tmp_path = None
             try:
-                os.unlink(tmp_path)
-            except OSError:
-                pass
-            raise
+                fd, tmp_path = tempfile.mkstemp(dir=directory,
+                                                suffix=".tmp")
+                with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                    handle.write(text)
+                os.replace(tmp_path, self._entry_path(key))
+                return
+            except FileNotFoundError:
+                # directory vanished underneath us; retry once
+                if tmp_path is not None:
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+                if attempt:
+                    raise
+            except BaseException:
+                if tmp_path is not None:
+                    try:
+                        os.unlink(tmp_path)
+                    except OSError:
+                        pass
+                raise
 
     def _remember(self, key: CacheKey, payload: dict) -> None:
         digest = key.digest
@@ -211,7 +255,9 @@ class ResultCache:
     def keys_for_program(self, prog_hash: str) -> List[CacheKey]:
         """All stored keys for one program version (both layers)."""
         keys: Dict[str, CacheKey] = {}
-        for digest, (key, _) in self._memory.items():
+        with self._lock:
+            memory_items = list(self._memory.items())
+        for digest, (key, _) in memory_items:
             if key.program_hash == prog_hash:
                 keys[digest] = key
         for key, _ in self._iter_disk(prog_hash):
@@ -241,7 +287,9 @@ class ResultCache:
                             prog_hash: str) -> List[Tuple[CacheKey, dict]]:
         """(key, payload) pairs stored for one program version."""
         seen: Dict[str, Tuple[CacheKey, dict]] = {}
-        for digest, (key, payload) in self._memory.items():
+        with self._lock:
+            memory_items = list(self._memory.items())
+        for digest, (key, payload) in memory_items:
             if key.program_hash == prog_hash:
                 seen[digest] = (key, payload)
         for key, payload in self._iter_disk(prog_hash):
@@ -252,7 +300,8 @@ class ResultCache:
 
     def invalidate(self, key: CacheKey) -> bool:
         """Drop one entry from both layers; True if anything existed."""
-        existed = self._memory.pop(key.digest, None) is not None
+        with self._lock:
+            existed = self._memory.pop(key.digest, None) is not None
         if self.cache_dir is not None:
             try:
                 os.unlink(self._entry_path(key))
@@ -260,7 +309,8 @@ class ResultCache:
             except OSError:
                 pass
         if existed:
-            self.stats.invalidations += 1
+            with self._lock:
+                self.stats.invalidations += 1
         return existed
 
     def invalidate_program(self, prog_hash: str) -> int:
@@ -271,8 +321,26 @@ class ResultCache:
                 dropped += 1
         return dropped
 
+    def flush(self) -> int:
+        """Write every in-memory entry through to disk (idempotent;
+        entries already on disk are skipped).  This is what a draining
+        server calls on shutdown so results computed while the store
+        was busy — or before a ``cache_dir`` existed — survive the
+        process; returns the number of records written."""
+        if self.cache_dir is None:
+            return 0
+        with self._lock:
+            entries = list(self._memory.values())
+        written = 0
+        for key, payload in entries:
+            if not os.path.exists(self._entry_path(key)):
+                self._write_disk(key, payload)
+                written += 1
+        return written
+
     def clear(self) -> None:
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if self.cache_dir is None:
             return
         try:
@@ -293,7 +361,8 @@ class ResultCache:
 
     def __len__(self) -> int:
         """Number of distinct stored entries across both layers."""
-        digests = set(self._memory)
+        with self._lock:
+            digests = set(self._memory)
         if self.cache_dir is not None:
             try:
                 program_dirs = os.listdir(self._objects_dir())

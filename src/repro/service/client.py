@@ -1,0 +1,241 @@
+"""Blocking client for the ``repro serve`` daemon.
+
+One :class:`ServeClient` owns one TCP connection and issues one
+request at a time (the protocol is strictly request/response per
+connection).  It is deliberately *not* thread-safe: concurrency is
+expressed by giving each thread its own client, which is exactly how
+the load generator and the coalescing tests drive the server.
+
+Helpers:
+
+* :func:`spawn_server` — launch ``repro serve`` as a subprocess on an
+  ephemeral port and parse the ready line (tests, benchmarks).
+* :func:`wait_for_server` — poll until the daemon answers ``ping``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import subprocess
+import sys
+import time
+from typing import Optional, Sequence, Tuple, Union
+
+from ..fixpoint.engine import AnalysisConfig
+from ..prolog.program import PredId
+from ..typegraph.grammar import Grammar
+from .serialize import encode_config, encode_input_types
+from .server import DEFAULT_PORT
+
+__all__ = ["ServeClient", "ServeError", "spawn_server",
+           "wait_for_server"]
+
+
+class ServeError(RuntimeError):
+    """An error response from the server; ``code`` mirrors the
+    protocol (``overloaded``, ``timeout``, ``bad-request``, ...)."""
+
+    def __init__(self, message: str, code: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServeClient:
+    """Blocking newline-delimited-JSON client (context manager)."""
+
+    def __init__(self, host: str = "127.0.0.1",
+                 port: int = DEFAULT_PORT,
+                 timeout: Optional[float] = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+        self._next_id = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _ensure_connected(self) -> None:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout)
+            self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServeClient":
+        self._ensure_connected()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(self, op: str, **fields) -> dict:
+        """One round trip; returns the ``result`` object or raises
+        :class:`ServeError`."""
+        self._ensure_connected()
+        self._next_id += 1
+        request = {"id": self._next_id, "op": op}
+        request.update((k, v) for k, v in fields.items()
+                       if v is not None)
+        line = json.dumps(request).encode("utf-8") + b"\n"
+        try:
+            self._file.write(line)
+            self._file.flush()
+            raw = self._file.readline()
+        except OSError as error:
+            self.close()
+            raise ServeError("connection to %s:%d failed: %s"
+                             % (self.host, self.port, error),
+                             "connection") from None
+        if not raw:
+            self.close()
+            raise ServeError("server closed the connection",
+                             "connection")
+        response = json.loads(raw)
+        if not response.get("ok"):
+            raise ServeError(response.get("error", "unknown error"),
+                             response.get("code"))
+        return response["result"]
+
+    # -- operations ----------------------------------------------------------
+
+    def analyze(self, source: Optional[str] = None,
+                query: Optional[PredId] = None,
+                benchmark: Optional[str] = None,
+                input_types: Optional[Sequence[Union[str, Grammar]]]
+                = None,
+                config: Optional[AnalysisConfig] = None,
+                or_width: Optional[int] = None,
+                baseline: bool = False,
+                payload: bool = True,
+                timeout: Optional[float] = None) -> dict:
+        """Analyze a source+query or a built-in benchmark.  Returns
+        the server's result dict (``fingerprint``, ``cached``,
+        ``coalesced``, ``seconds``, and ``payload`` unless
+        ``payload=False``)."""
+        return self.request(
+            "analyze",
+            source=source,
+            query=None if query is None else list(query),
+            benchmark=benchmark,
+            input_types=encode_input_types(input_types),
+            config=None if config is None else encode_config(config),
+            or_width=or_width,
+            baseline=baseline or None,
+            payload=payload if not payload else None,
+            timeout=timeout)
+
+    def batch(self, benchmarks: Optional[Sequence[str]] = None,
+              jobs: Optional[Sequence[dict]] = None,
+              payload: bool = False,
+              timeout: Optional[float] = None) -> dict:
+        return self.request("batch",
+                            benchmarks=(None if benchmarks is None
+                                        else list(benchmarks)),
+                            jobs=None if jobs is None else list(jobs),
+                            payload=payload or None,
+                            timeout=timeout)
+
+    def stats(self) -> dict:
+        return self.request("stats")
+
+    def cache_info(self) -> dict:
+        return self.request("cache-info")
+
+    def invalidate(self, source: Optional[str] = None,
+                   program_hash: Optional[str] = None) -> dict:
+        return self.request("invalidate", source=source,
+                            program_hash=program_hash)
+
+    def ping(self) -> dict:
+        return self.request("ping")
+
+    def shutdown(self) -> dict:
+        return self.request("shutdown")
+
+
+# -- process helpers ---------------------------------------------------------
+
+def wait_for_server(host: str, port: int, timeout: float = 30.0,
+                    interval: float = 0.05) -> None:
+    """Block until ``ping`` answers (or raise ``TimeoutError``)."""
+    deadline = time.monotonic() + timeout
+    last_error: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        try:
+            with ServeClient(host, port, timeout=interval * 10) as client:
+                client.ping()
+            return
+        except (OSError, ServeError, ValueError) as error:
+            last_error = error
+            time.sleep(interval)
+    raise TimeoutError("no repro serve at %s:%d after %.1fs (%s)"
+                       % (host, port, timeout, last_error))
+
+
+def spawn_server(*extra_args: str,
+                 ready_timeout: float = 60.0
+                 ) -> Tuple[subprocess.Popen, str, int]:
+    """Launch ``repro serve --port 0 [extra_args]`` as a subprocess
+    and return ``(process, host, port)`` parsed from the ready line.
+    The caller owns the process (send ``shutdown`` or terminate it)."""
+    import os
+    # The child must import the same repro this process runs
+    # (uninstalled checkouts rely on PYTHONPATH=src).
+    package_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [package_root] + ([env["PYTHONPATH"]]
+                          if env.get("PYTHONPATH") else []))
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"]
+        + list(extra_args),
+        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
+        env=env)
+    # Read the pipe on a thread so ready_timeout holds even against a
+    # child that is alive but silent (readline alone would block
+    # unboundedly and the deadline would never be checked).
+    import queue
+    import threading
+    lines: "queue.Queue[str]" = queue.Queue()
+
+    def pump() -> None:
+        for text in process.stdout:
+            lines.put(text)
+        lines.put("")  # EOF marker
+
+    threading.Thread(target=pump, daemon=True).start()
+    deadline = time.monotonic() + ready_timeout
+    line = ""
+    while True:
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            break
+        try:
+            line = lines.get(timeout=min(remaining, 0.5))
+        except queue.Empty:
+            continue
+        if "listening on" in line:
+            address = line.split("listening on", 1)[1].split()[0]
+            host, _, port_text = address.rpartition(":")
+            return process, host, int(port_text)
+        if not line:  # EOF: the child exited or closed stdout
+            break
+    process.terminate()
+    raise RuntimeError("repro serve did not come up (last line: %r)"
+                       % line)

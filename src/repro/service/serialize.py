@@ -37,6 +37,7 @@ __all__ = [
     "encode_subst", "decode_subst",
     "encode_entry", "decode_entry",
     "encode_result", "decode_result", "result_fingerprint",
+    "payload_fingerprint",
     "encode_config", "decode_config", "config_hash",
     "encode_input_types", "decode_input_types",
     "predicate_hashes", "program_hash",
@@ -49,7 +50,9 @@ __all__ = [
 #: (clause_iterations_skipped, callsite_resumptions) and scheduler
 #: provenance; AnalysisConfig gained ``differential``/``scheduler``.
 #: v4: AnalysisStats gained ``arena_compiles`` (PR 4's arena kernel).
-FORMAT_VERSION = 4
+#: v5: AnalysisStats gained ``disjunction_fallbacks`` (oversized
+#: disjunctions compiled to auxiliary predicates).
+FORMAT_VERSION = 5
 
 
 # -- canonical JSON and hashing ----------------------------------------------
@@ -179,6 +182,7 @@ def _encode_stats(stats: AnalysisStats) -> dict:
         "callsite_resumptions": stats.callsite_resumptions,
         "scheduler": stats.scheduler,
         "arena_compiles": stats.arena_compiles,
+        "disjunction_fallbacks": stats.disjunction_fallbacks,
     }
 
 
@@ -188,7 +192,7 @@ def _decode_stats(data: dict) -> AnalysisStats:
                  "entries_created", "entries_seeded", "input_widenings",
                  "cpu_time", "opcache_hits", "opcache_misses",
                  "clause_iterations_skipped", "callsite_resumptions",
-                 "scheduler", "arena_compiles"):
+                 "scheduler", "arena_compiles", "disjunction_fallbacks"):
         if name in data:
             setattr(stats, name, data[name])
     return stats
@@ -237,6 +241,34 @@ def result_fingerprint(result: AnalysisResult) -> str:
                           key=canonical_json),
         "unknown_predicates": [list(p)
                                for p in result.unknown_predicates],
+    })
+
+
+def payload_fingerprint(payload: dict) -> str:
+    """:func:`result_fingerprint` computed directly from an
+    :func:`encode_result` payload, without decoding it back into an
+    ``AnalysisResult``.  The entry encodings already *are* the
+    canonical forms the fingerprint hashes, so the two functions agree
+    by construction (asserted in ``tests/test_serialize.py``) — this is
+    what lets the server, the client, and the load generator compare
+    fingerprints of cached/remote payloads against a one-shot run."""
+    by_id = {int(entry["id"]): entry for entry in payload["entries"]}
+    root = by_id[int(payload["root"])]
+
+    def tuple_of(entry: dict) -> dict:
+        return {
+            "pred": entry["pred"],
+            "beta_in": entry["beta_in"],
+            "beta_out": entry["beta_out"],
+            "seeded": entry["seeded"],
+        }
+
+    return content_hash({
+        "domain": payload["domain"],
+        "root": tuple_of(root),
+        "entries": sorted((tuple_of(e) for e in payload["entries"]),
+                          key=canonical_json),
+        "unknown_predicates": payload["unknown_predicates"],
     })
 
 

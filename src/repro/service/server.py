@@ -1,0 +1,671 @@
+"""Long-lived analysis daemon: ``repro serve``.
+
+Every one-shot entry point (CLI, ``repro batch``) pays the same cold
+start on each invocation — imports, parsing, arena compilation,
+opcache warm-up — and then throws the warmed state away.  The server
+keeps it: one resident process owns the process-wide intern tables,
+the operation caches, the arena symbol table, and a
+:class:`~repro.service.cache.ResultCache`, and serves analyses over a
+newline-delimited JSON protocol.
+
+Protocol (one JSON object per line, over TCP)::
+
+    -> {"id": 1, "op": "analyze", "benchmark": "QU"}
+    <- {"id": 1, "ok": true, "result": {"fingerprint": "...",
+        "cached": false, "coalesced": false, "seconds": 0.004,
+        "payload": {...encode_result...}}}
+
+    -> {"op": "analyze", "source": "app([],L,L).\\n...",
+        "query": ["app", 3], "input_types": ["list", "any", "any"]}
+    -> {"op": "batch", "benchmarks": ["QU", "PL"]}
+    -> {"op": "stats"}        # cache hit rate, opcache/arena counters,
+                              # queue depth, p50/p95 latency
+    -> {"op": "cache-info"}
+    -> {"op": "invalidate", "source": "..."}   # or "program_hash"
+    -> {"op": "ping"}
+    -> {"op": "shutdown"}     # graceful: drain, flush cache, exit
+
+Errors come back as ``{"id": ..., "ok": false, "error": "...",
+"code": "bad-request" | "overloaded" | "timeout" | "shutting-down" |
+"analysis-error"}`` — the connection stays usable.
+
+Service guarantees:
+
+* **Coalescing** — concurrent requests for the same
+  :class:`~repro.service.cache.CacheKey` share one underlying
+  computation; every requester gets the same payload and only one
+  analysis runs (``stats.coalesced`` counts the riders).
+* **Backpressure** — at most ``max_pending`` analyses may be in
+  flight; a request that would start one more is rejected immediately
+  with ``code="overloaded"`` instead of queueing without bound.  Cache
+  hits and coalesced riders are always served.
+* **Timeouts** — a responder waits at most ``request_timeout`` seconds
+  (``code="timeout"``); the underlying computation is left to finish
+  and populate the cache, so a retry is a hit.
+* **Graceful shutdown** — ``shutdown`` (or SIGINT/SIGTERM) stops
+  accepting computations, drains the in-flight ones, flushes the
+  result cache to disk, and only then exits.
+
+Execution model: analyses run either on one dedicated worker thread in
+the server process (``workers=0``, the default — warmest, since the
+request path and the analysis share every intern table) or on a
+persistent :class:`~repro.service.batch.WorkerPool` of single-threaded
+worker processes (``workers>=1``).  Both satisfy the
+single-analysis-thread-per-process model the unlocked memo tables
+require (see :mod:`repro.typegraph.opcache`); the asyncio event loop
+itself never executes an analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import sys
+import time
+from collections import OrderedDict, deque
+from typing import Dict, Optional, Tuple
+
+from ..fixpoint.engine import AnalysisConfig
+from .batch import WorkerPool, _execute_spec
+from .cache import CacheKey, ResultCache, make_key
+from .serialize import (decode_config, decode_input_types, encode_config,
+                        encode_input_types, payload_fingerprint,
+                        program_hash)
+
+__all__ = ["AnalysisServer", "ServerStats", "RequestError",
+           "DEFAULT_PORT", "serve_main"]
+
+DEFAULT_PORT = 7871
+
+#: Maximum request line length (sources travel inline).
+_LINE_LIMIT = 1 << 24
+
+#: Ring size of the latency sample buffer behind the p50/p95 figures.
+_LATENCY_SAMPLES = 4096
+
+
+class RequestError(Exception):
+    """A request the server refuses; ``code`` travels to the client."""
+
+    def __init__(self, message: str, code: str = "bad-request") -> None:
+        super().__init__(message)
+        self.code = code
+
+
+class ServerStats:
+    """Counters and a latency ring for the ``stats`` op."""
+
+    __slots__ = ("started", "requests", "analyses_executed", "coalesced",
+                 "rejected", "timeouts", "errors", "latencies")
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self.requests = 0
+        self.analyses_executed = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.timeouts = 0
+        self.errors = 0
+        self.latencies: "deque[float]" = deque(maxlen=_LATENCY_SAMPLES)
+
+    def latency_summary(self) -> dict:
+        samples = sorted(self.latencies)
+        if not samples:
+            return {"count": 0, "mean": None, "p50": None, "p95": None,
+                    "max": None}
+        count = len(samples)
+
+        def pct(q: float) -> float:
+            return samples[min(count - 1, int(q * count))]
+
+        return {
+            "count": count,
+            "mean": round(sum(samples) / count, 6),
+            "p50": round(pct(0.50), 6),
+            "p95": round(pct(0.95), 6),
+            "max": round(samples[-1], 6),
+        }
+
+
+class AnalysisServer:
+    """The resident analyzer behind ``repro serve``.
+
+    Usable embedded (tests build one inside an event loop) or through
+    :func:`serve_main`.  All public coroutines must run on the loop
+    that called :meth:`start`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 cache: Optional[ResultCache] = None,
+                 workers: int = 0, max_pending: int = 64,
+                 request_timeout: Optional[float] = 300.0) -> None:
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        self.host = host
+        self.port = port
+        self.cache = cache if cache is not None else ResultCache()
+        self.workers = workers
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
+        self.stats = ServerStats()
+        self._pool: Optional[WorkerPool] = None
+        self._executor = None
+        #: CacheKey digest -> future of the one in-flight computation.
+        self._inflight: Dict[str, "asyncio.Future"] = {}
+        self._pending = 0
+        self._draining = False
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        #: open client transports, so drain can close them — from
+        #: 3.12.1 ``Server.wait_closed`` waits for every connection
+        #: handler, and a handler parked in ``readline`` on an idle
+        #: client would otherwise block shutdown forever.
+        self._connections: set = set()
+        #: digest -> fingerprint memo (payload hashing is not free).
+        self._fingerprints: "OrderedDict[str, str]" = OrderedDict()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting; ``self.port`` holds the actual
+        port afterwards (pass ``port=0`` for an ephemeral one)."""
+        if self.workers >= 1:
+            self._pool = WorkerPool(self.workers)
+            # Fork the workers *now*, while this is effectively a
+            # single-threaded process: once requests flow, executor
+            # threads may hold the cache/intern locks, and a fork
+            # taken then could hand a child a forever-held lock.
+            self._pool.prefork()
+        else:
+            from concurrent.futures import ThreadPoolExecutor
+            # Exactly one analysis thread: the enforcement half of the
+            # single-analysis-thread-per-process model.
+            self._executor = ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-analysis")
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=_LINE_LIMIT)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def serve_until_shutdown(self) -> None:
+        """Run until a ``shutdown`` request (or :meth:`trigger_shutdown`),
+        then drain and close."""
+        assert self._shutdown_event is not None
+        await self._shutdown_event.wait()
+        await self.drain_and_close()
+
+    def trigger_shutdown(self) -> None:
+        """Request a graceful shutdown (signal handlers call this)."""
+        self._draining = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def drain_and_close(self) -> int:
+        """Stop accepting, wait for in-flight analyses, flush the
+        result cache to disk, and release the workers.  Returns the
+        number of cache records flushed."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        pending = [fut for fut in self._inflight.values()
+                   if not fut.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=self.request_timeout)
+        flushed = self.cache.flush()
+        # Hang up on remaining clients *before* wait_closed: their
+        # handlers unblock on EOF, which is what wait_closed waits for
+        # on Python >= 3.12.1.
+        for writer in list(self._connections):
+            writer.close()
+        if self._server is not None:
+            await self._server.wait_closed()
+        if self._pool is not None:
+            self._pool.shutdown()
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+        return flushed
+
+    # -- connection handling -------------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line beyond the stream limit: readline wraps
+                    # LimitOverrunError in ValueError, and the buffer
+                    # can no longer be re-framed — answer once, close.
+                    writer.write(json.dumps({
+                        "id": None, "ok": False,
+                        "error": "request line exceeds %d bytes"
+                                 % _LINE_LIMIT,
+                        "code": "bad-request",
+                    }).encode("utf-8") + b"\n")
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                response = await self._dispatch(line)
+                writer.write(json.dumps(response).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _dispatch(self, line: bytes) -> dict:
+        request_id = None
+        try:
+            try:
+                request = json.loads(line)
+            except ValueError:
+                raise RequestError("request is not valid JSON")
+            if not isinstance(request, dict):
+                raise RequestError("request must be a JSON object")
+            request_id = request.get("id")
+            op = request.get("op")
+            handler = self._OPS.get(op)
+            if handler is None:
+                raise RequestError("unknown op %r (expected one of %s)"
+                                   % (op, ", ".join(sorted(self._OPS))))
+            result = await handler(self, request)
+            return {"id": request_id, "ok": True, "result": result}
+        except RequestError as error:
+            if error.code not in ("overloaded", "timeout"):
+                self.stats.errors += 1
+            return {"id": request_id, "ok": False, "error": str(error),
+                    "code": error.code}
+        except Exception as error:  # analysis/internal failure
+            self.stats.errors += 1
+            return {"id": request_id, "ok": False,
+                    "error": "%s: %s" % (type(error).__name__, error),
+                    "code": "analysis-error"}
+
+    # -- the analyze path ----------------------------------------------------
+
+    def _spec_of(self, request: dict) -> Tuple[dict, CacheKey]:
+        """Validate an analyze request into the ``_execute_spec`` form
+        plus its cache key."""
+        if request.get("benchmark") is not None:
+            from ..benchprogs import benchmark
+            try:
+                bp = benchmark(str(request["benchmark"]))
+            except KeyError:
+                raise RequestError("unknown benchmark %r"
+                                   % request["benchmark"])
+            name, source, query = bp.name, bp.source, bp.query
+            input_types = bp.input_types
+        else:
+            source = request.get("source")
+            if not isinstance(source, str):
+                raise RequestError("request needs 'source' (a string) "
+                                   "or 'benchmark'")
+            raw_query = request.get("query")
+            if (not isinstance(raw_query, (list, tuple))
+                    or len(raw_query) != 2):
+                raise RequestError("'query' must be [name, arity]")
+            try:
+                query = (str(raw_query[0]), int(raw_query[1]))
+            except (TypeError, ValueError):
+                raise RequestError("query arity must be an integer, "
+                                   "got %r" % (raw_query[1],))
+            name = request.get("name") or "%s/%d" % query
+            try:
+                input_types = decode_input_types(
+                    request.get("input_types"))
+            except (TypeError, ValueError, KeyError, IndexError):
+                raise RequestError("malformed 'input_types'")
+            if (input_types is not None
+                    and len(input_types) != query[1]):
+                raise RequestError(
+                    "input_types lists %d type(s) but %s/%d takes %d "
+                    "argument(s)" % (len(input_types), query[0],
+                                     query[1], query[1]))
+        if request.get("config") is not None:
+            try:
+                config: Optional[AnalysisConfig] = \
+                    decode_config(request["config"])
+            except (TypeError, ValueError, KeyError):
+                raise RequestError("malformed 'config'")
+        elif request.get("or_width") is not None:
+            config = AnalysisConfig(max_or_width=int(request["or_width"]))
+        else:
+            config = None
+        baseline = bool(request.get("baseline", False))
+        spec = {
+            "name": name,
+            "source": source,
+            "query": list(query),
+            "input_types": encode_input_types(input_types),
+            "config": None if config is None else encode_config(config),
+            "baseline": baseline,
+        }
+        key = make_key(source, query, input_types, config, baseline)
+        return spec, key
+
+    def _fingerprint(self, digest: str, payload: dict) -> str:
+        memo = self._fingerprints
+        fingerprint = memo.get(digest)
+        if fingerprint is None:
+            fingerprint = payload_fingerprint(payload)
+            memo[digest] = fingerprint
+            if len(memo) > 4096:
+                memo.popitem(last=False)
+        return fingerprint
+
+    async def _analyze(self, spec: dict, key: CacheKey,
+                       want_payload: bool,
+                       timeout: Optional[float]) -> dict:
+        start = time.perf_counter()
+        self.stats.requests += 1
+        digest = key.digest
+        cached = True
+        coalesced = False
+        # Cache probes may touch disk; keep that off the event loop.
+        # The inflight check below runs synchronously after the await,
+        # so duplicates still coalesce; the only race left (a probe
+        # going stale while its computation both finishes and leaves
+        # the inflight map) costs one redundant — and identical —
+        # analysis, never a wrong answer.
+        loop = asyncio.get_running_loop()
+        payload = await loop.run_in_executor(None, self.cache.get, key)
+        if payload is None:
+            cached = False
+            future = self._inflight.get(digest)
+            if future is not None:
+                coalesced = True
+                self.stats.coalesced += 1
+            else:
+                if self._draining:
+                    raise RequestError("server is draining",
+                                       "shutting-down")
+                if self._pending >= self.max_pending:
+                    self.stats.rejected += 1
+                    raise RequestError(
+                        "queue full: %d analyses in flight "
+                        "(max_pending=%d)" % (self._pending,
+                                              self.max_pending),
+                        "overloaded")
+                future = loop.create_future()
+                # A timed-out responder abandons the future; make sure
+                # an eventual error on it is considered retrieved.
+                future.add_done_callback(
+                    lambda f: f.exception() if not f.cancelled()
+                    else None)
+                self._inflight[digest] = future
+                self._pending += 1
+                asyncio.ensure_future(self._run_spec(spec, key, future))
+            try:
+                payload = await asyncio.wait_for(asyncio.shield(future),
+                                                 timeout)
+            except asyncio.TimeoutError:
+                # The computation is left running: it will finish,
+                # populate the cache, and resolve any later riders.
+                self.stats.timeouts += 1
+                raise RequestError(
+                    "analysis timed out after %.1fs (it continues in "
+                    "the background; retry to pick up the cached "
+                    "result)" % timeout, "timeout")
+        seconds = time.perf_counter() - start
+        self.stats.latencies.append(seconds)
+        result = {
+            "fingerprint": self._fingerprint(digest, payload),
+            "key": digest,
+            "cached": cached,
+            "coalesced": coalesced,
+            "seconds": round(seconds, 6),
+        }
+        if want_payload:
+            result["payload"] = payload
+        return result
+
+    async def _run_spec(self, spec: dict, key: CacheKey,
+                        future: "asyncio.Future") -> None:
+        loop = asyncio.get_running_loop()
+        try:
+            executor = (self._pool.executor if self._pool is not None
+                        else self._executor)
+            _, payload, _ = await loop.run_in_executor(
+                executor, _execute_spec, spec)
+            # disk write off the event loop (ResultCache is locked)
+            await loop.run_in_executor(None, self.cache.put, key,
+                                       payload)
+            self.stats.analyses_executed += 1
+        except BaseException as error:
+            if not future.done():
+                future.set_exception(error)
+            return
+        finally:
+            self._pending -= 1
+            if self._inflight.get(key.digest) is future:
+                del self._inflight[key.digest]
+        if not future.done():
+            future.set_result(payload)
+
+    def _timeout_of(self, request: dict) -> Optional[float]:
+        """Effective timeout: the server cap, lowered per request."""
+        requested = request.get("timeout")
+        if requested is None:
+            return self.request_timeout
+        requested = float(requested)
+        if self.request_timeout is None:
+            return requested
+        return min(requested, self.request_timeout)
+
+    # -- ops -----------------------------------------------------------------
+
+    async def _op_analyze(self, request: dict) -> dict:
+        spec, key = self._spec_of(request)
+        return await self._analyze(spec, key,
+                                   bool(request.get("payload", True)),
+                                   self._timeout_of(request))
+
+    async def _op_batch(self, request: dict) -> dict:
+        """Many analyze requests in one round trip, answered when all
+        are done; duplicates coalesce exactly like separate clients."""
+        raw_jobs = request.get("jobs")
+        if raw_jobs is None and request.get("benchmarks") is not None:
+            raw_jobs = [{"benchmark": name}
+                        for name in request["benchmarks"]]
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            raise RequestError("'batch' needs a non-empty 'jobs' or "
+                               "'benchmarks' list")
+        want_payload = bool(request.get("payload", False))
+        timeout = self._timeout_of(request)
+        prepared = [self._spec_of(job) for job in raw_jobs]
+
+        async def one(spec: dict, key: CacheKey) -> dict:
+            try:
+                result = await self._analyze(spec, key, want_payload,
+                                             timeout)
+            except RequestError as error:
+                return {"name": spec["name"], "ok": False,
+                        "error": str(error), "code": error.code}
+            result["name"] = spec["name"]
+            result["ok"] = True
+            return result
+
+        jobs = await asyncio.gather(*(one(spec, key)
+                                      for spec, key in prepared))
+        return {"jobs": list(jobs)}
+
+    async def _op_stats(self, request: dict) -> dict:
+        from ..typegraph import arena, opcache
+        cache_stats = self.cache.stats
+        hits = cache_stats.hits
+        lookups = hits + cache_stats.misses
+        opcache_hits, opcache_misses = opcache.snapshot()
+        loop = asyncio.get_running_loop()
+        entries = await loop.run_in_executor(None, len, self.cache)
+        return {
+            "pid": os.getpid(),
+            "uptime": round(time.time() - self.stats.started, 3),
+            "draining": self._draining,
+            "workers": self.workers,
+            "queue_depth": self._pending,
+            "max_pending": self.max_pending,
+            "requests": self.stats.requests,
+            "analyses_executed": self.stats.analyses_executed,
+            "coalesced": self.stats.coalesced,
+            "rejected": self.stats.rejected,
+            "timeouts": self.stats.timeouts,
+            "errors": self.stats.errors,
+            "cache": {
+                "entries": entries,
+                "dir": self.cache.cache_dir,
+                "hits": hits,
+                "memory_hits": cache_stats.memory_hits,
+                "disk_hits": cache_stats.disk_hits,
+                "misses": cache_stats.misses,
+                "puts": cache_stats.puts,
+                "evictions": cache_stats.evictions,
+                "invalidations": cache_stats.invalidations,
+                "hit_rate": (round(hits / lookups, 4) if lookups
+                             else None),
+            },
+            "opcache": {"enabled": opcache.enabled(),
+                        "hits": opcache_hits,
+                        "misses": opcache_misses},
+            "arena": arena.stats(),
+            "latency": self.stats.latency_summary(),
+        }
+
+    async def _op_cache_info(self, request: dict) -> dict:
+        stats = await self._op_stats(request)
+        return stats["cache"]
+
+    async def _op_invalidate(self, request: dict) -> dict:
+        if request.get("program_hash") is not None:
+            prog_hash = str(request["program_hash"])
+        elif request.get("source") is not None:
+            prog_hash = program_hash(str(request["source"]))
+        else:
+            raise RequestError("'invalidate' needs 'source' or "
+                               "'program_hash'")
+        loop = asyncio.get_running_loop()
+        invalidated = await loop.run_in_executor(
+            None, self.cache.invalidate_program, prog_hash)
+        return {"program_hash": prog_hash, "invalidated": invalidated}
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "pid": os.getpid(),
+                "draining": self._draining}
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        draining = self._pending
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        # Let the response flush before the listener goes away.
+        loop.call_soon(self.trigger_shutdown)
+        return {"draining": draining}
+
+    _OPS = {
+        "analyze": _op_analyze,
+        "batch": _op_batch,
+        "stats": _op_stats,
+        "cache-info": _op_cache_info,
+        "invalidate": _op_invalidate,
+        "ping": _op_ping,
+        "shutdown": _op_shutdown,
+    }
+
+
+# -- warm-up -----------------------------------------------------------------
+
+async def _warm(server: AnalysisServer, names) -> None:
+    """Pre-analyze benchmarks so the first real request runs warm."""
+    from ..benchprogs import benchmark_names
+    if [name.lower() for name in names] == ["all"]:
+        names = benchmark_names()
+    for name in names:
+        spec, key = server._spec_of({"benchmark": name})
+        await server._analyze(spec, key, want_payload=False,
+                              timeout=server.request_timeout)
+        print("warmed %s" % name, file=sys.stderr)
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def serve_main(argv) -> int:
+    """``repro serve``: run the daemon until shutdown."""
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Long-lived analysis server speaking "
+                    "newline-delimited JSON; keeps intern tables, "
+                    "arenas, the opcache, and the result cache warm "
+                    "across requests.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_PORT,
+                        help="TCP port (0 picks an ephemeral one; the "
+                             "chosen port is printed on the ready "
+                             "line; default %d)" % DEFAULT_PORT)
+    parser.add_argument("--cache-dir", default=None,
+                        help="on-disk result cache directory "
+                             "(default: in-memory only)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="analysis worker processes; 0 (default) "
+                             "runs analyses on one dedicated thread "
+                             "in this process")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="in-flight analysis bound before "
+                             "'overloaded' rejections (default 64)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-request analysis timeout in seconds "
+                             "(default 300; 0 disables)")
+    parser.add_argument("--max-memory-entries", type=int, default=256,
+                        help="in-memory result cache size (default 256)")
+    parser.add_argument("--warm", metavar="NAMES", default=None,
+                        help="comma-separated benchmarks (or 'all') to "
+                             "pre-analyze before accepting traffic")
+    args = parser.parse_args(argv)
+
+    cache = ResultCache(args.cache_dir,
+                        max_memory_entries=args.max_memory_entries)
+    server = AnalysisServer(
+        host=args.host, port=args.port, cache=cache,
+        workers=args.workers, max_pending=args.max_pending,
+        request_timeout=(None if not args.timeout else args.timeout))
+
+    async def run() -> None:
+        await server.start()
+        if args.warm:
+            await _warm(server, [n.strip().upper()
+                                 for n in args.warm.split(",")])
+        # The ready line is a stable interface: tests and the load
+        # generator parse host/port out of it.
+        print("repro serve listening on %s:%d (pid %d, workers=%d)"
+              % (server.host, server.port, os.getpid(), args.workers),
+              flush=True)
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, server.trigger_shutdown)
+        except (ImportError, NotImplementedError):  # non-POSIX loops
+            pass
+        await server.serve_until_shutdown()
+        print("repro serve: drained and stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(serve_main(sys.argv[1:]))

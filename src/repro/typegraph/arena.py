@@ -40,6 +40,7 @@ paths for A/B runs.
 from __future__ import annotations
 
 import os
+import threading
 import weakref
 from typing import Dict, List, Optional, Tuple
 
@@ -97,25 +98,34 @@ class SymbolTable:
     dense int.  Ids are per-process (never pickled); a grammar sent to
     a ``run_batch`` worker re-interns its symbols on arrival, and the
     arena kernels only ever compare ids from one process's table, so
-    results do not depend on the numbering."""
+    results do not depend on the numbering.
 
-    __slots__ = ("_ids", "fkeys", "is_literal", "arities")
+    Allocation is thread-safe: lookups stay a lock-free dict probe
+    (ids are published to ``_ids`` only after the parallel arrays hold
+    their row), and the probe-then-allocate of a *new* symbol runs
+    under a lock so two threads can never mint two ids for one key."""
+
+    __slots__ = ("_ids", "fkeys", "is_literal", "arities", "_lock")
 
     def __init__(self) -> None:
         self._ids: Dict[Tuple[str, str, int], int] = {}
         self.fkeys: List[Tuple[str, str, int]] = []
         self.is_literal: List[bool] = []  # integer-literal symbols
         self.arities: List[int] = []
+        self._lock = threading.Lock()
 
     def sym(self, kind: str, name: str, arity: int) -> int:
         key = (kind, name, arity)
         sym = self._ids.get(key)
         if sym is None:
-            sym = len(self.fkeys)
-            self._ids[key] = sym
-            self.fkeys.append(key)
-            self.is_literal.append(kind == "i")
-            self.arities.append(arity)
+            with self._lock:
+                sym = self._ids.get(key)
+                if sym is None:
+                    sym = len(self.fkeys)
+                    self.fkeys.append(key)
+                    self.is_literal.append(kind == "i")
+                    self.arities.append(arity)
+                    self._ids[key] = sym  # publish last
         return sym
 
     def sym_of_alt(self, alt: FuncAlt) -> int:
@@ -133,6 +143,11 @@ SYMBOLS = SymbolTable()
 #: result before constructing any FuncAlt/frozenset objects, so repeat
 #: normalizations return the canonical instance object-free.  Keys use
 #: process-local symbol ids, which is fine for a process-local index.
+#: Unlocked by design: it is a pure accelerator in front of
+#: ``intern_grammar`` (which *is* locked), so the worst a
+#: check-then-insert race can do is recompute a normalization — both
+#: threads still receive the one canonical instance, and the last
+#: (identical) insert wins.
 _INTKEY_INTERN: "weakref.WeakValueDictionary[tuple, Grammar]" = \
     weakref.WeakValueDictionary()
 

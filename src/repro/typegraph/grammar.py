@@ -27,6 +27,7 @@ view in :mod:`repro.typegraph.graph`.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import deque
 from dataclasses import dataclass
@@ -317,6 +318,18 @@ def _unpickle_grammar(rules: Dict[int, FrozenSet[Alt]], root: int,
 _INTERN: "weakref.WeakValueDictionary[tuple, Grammar]" = \
     weakref.WeakValueDictionary()
 
+#: Guards the probe-then-insert of :func:`intern_grammar` and the gid
+#: counter.  Canonicality is an *identity* invariant: an unguarded
+#: check-then-insert race would let two threads intern two distinct
+#: instances for one structural key, silently breaking ``==`` between
+#: values produced on different threads.  The analysis hot loops run
+#: single-threaded per process (see :mod:`repro.typegraph.opcache`),
+#: but interning is also reached from service control paths (cache
+#: decode, request keying), so it takes the lock unconditionally — one
+#: uncontended acquire per *newly seen* grammar is noise next to the
+#: normalization that precedes it.
+_INTERN_LOCK = threading.Lock()
+
 #: Next arena id handed to a newly interned grammar (monotonic, never
 #: reused — see :attr:`Grammar.gid`).
 _NEXT_GID = 0
@@ -329,20 +342,21 @@ def intern_grammar(grammar: Grammar) -> Grammar:
     canonical instance (with its hash precomputed); later structurally
     equal grammars resolve to it.  Interned grammars compare with a
     pure identity check, which is what makes the operation caches in
-    :mod:`repro.typegraph.opcache` cheap to key.
+    :mod:`repro.typegraph.opcache` cheap to key.  Thread-safe.
     """
     global _NEXT_GID
     if grammar.interned:
         return grammar
     key = grammar._key()
-    canonical = _INTERN.get(key)
-    if canonical is None:
-        grammar.interned = True
-        grammar.gid = _NEXT_GID
-        _NEXT_GID += 1
-        hash(grammar)  # precompute
-        _INTERN[key] = grammar
-        return grammar
+    with _INTERN_LOCK:
+        canonical = _INTERN.get(key)
+        if canonical is None:
+            grammar.interned = True
+            grammar.gid = _NEXT_GID
+            _NEXT_GID += 1
+            hash(grammar)  # precompute
+            _INTERN[key] = grammar
+            return grammar
     return canonical
 
 

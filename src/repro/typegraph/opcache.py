@@ -29,16 +29,30 @@ Knobs: ``configure(enabled=..., maxsize=...)`` at runtime, or the
 ``REPRO_OPCACHE`` environment variable (``0``/``off``/``false``
 disables caching before the process starts — used by the benchmark
 comparison and the equivalence tests).
+
+Threading model — **single analysis thread per process**.  The memo
+tables (and the open-coded probes into them on the hottest sites) are
+deliberately unlocked: unlike the intern tables, a lost race here
+cannot corrupt results (values are canonical interned objects, so a
+double compute returns the identical instance), but per-probe locking
+would tax the single hottest path in the system.  The service layer
+enforces the model rather than paying for it: ``repro serve`` runs
+every analysis on one dedicated executor thread (or in single-threaded
+pool workers), and ``run_batch`` workers are single-threaded
+processes.  Embedders who want the invariant *checked* can set
+``REPRO_THREADGUARD=1`` (or call :func:`guard`): every table mutation
+then asserts it happens on one consistent thread.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from collections import OrderedDict
 from typing import Callable, Dict, Iterator, Optional, Tuple
 
 __all__ = ["OpCache", "cached", "configure", "enabled", "clear",
-           "stats", "snapshot", "caches", "DEFAULT_MAXSIZE"]
+           "stats", "snapshot", "caches", "guard", "DEFAULT_MAXSIZE"]
 
 DEFAULT_MAXSIZE = 65536
 
@@ -50,10 +64,31 @@ def _env_enabled() -> bool:
     return value not in ("0", "off", "false", "no")
 
 
+def _env_guard() -> bool:
+    value = os.environ.get("REPRO_THREADGUARD", "0").strip().lower()
+    return value not in ("0", "off", "false", "no", "")
+
+
+#: When true, every OpCache mutation asserts the single-writer-thread
+#: invariant documented in the module docstring.
+_GUARD = _env_guard()
+
+
+def guard(enabled: bool) -> None:
+    """Toggle the single-writer-thread assertion on table mutations
+    (equivalent to starting the process with ``REPRO_THREADGUARD=1``).
+    A debugging aid, off by default — it costs a branch per ``put``."""
+    global _GUARD
+    _GUARD = bool(enabled)
+    if not enabled:
+        for cache in _CACHES.values():
+            cache.owner = None
+
+
 class OpCache:
     """One bounded LRU memo table with hit/miss counters."""
 
-    __slots__ = ("name", "maxsize", "hits", "misses", "_table")
+    __slots__ = ("name", "maxsize", "hits", "misses", "_table", "owner")
 
     def __init__(self, name: str, maxsize: int = DEFAULT_MAXSIZE) -> None:
         self.name = name
@@ -61,6 +96,9 @@ class OpCache:
         self.hits = 0
         self.misses = 0
         self._table: "OrderedDict" = OrderedDict()
+        #: thread id of the first mutator, tracked only under the
+        #: REPRO_THREADGUARD debugging aid.
+        self.owner: Optional[int] = None
 
     def __len__(self) -> int:
         return len(self._table)
@@ -77,6 +115,16 @@ class OpCache:
         return value
 
     def put(self, key, value) -> None:
+        if _GUARD:
+            ident = threading.get_ident()
+            if self.owner is None:
+                self.owner = ident
+            elif self.owner != ident:
+                raise RuntimeError(
+                    "opcache %r mutated from thread %d after thread %d "
+                    "— the single-analysis-thread-per-process model is "
+                    "violated (see repro.typegraph.opcache docstring)"
+                    % (self.name, ident, self.owner))
         table = self._table
         if key in table:
             table.move_to_end(key)

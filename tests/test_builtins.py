@@ -96,3 +96,59 @@ class TestAbstractSemantics:
     def test_functor_third_argument_int(self):
         g = self.out_type("p(N) :- functor(f(a,b), _, N).", ("p", 1), 0)
         assert g_le(g, g_int())
+
+
+class TestIsoAdditions:
+    """PR 5: common ISO predicates real programs use must not fall
+    into the unknown-predicate identity bucket."""
+
+    NEW = [("sort", 2), ("msort", 2), ("keysort", 2),
+           ("atom_length", 2), ("number_chars", 2), ("char_code", 2),
+           ("succ", 2)]
+
+    def test_present(self):
+        for pred in self.NEW:
+            assert is_builtin(pred), pred
+
+    def test_no_unknown_predicate_reported(self):
+        source = """
+        p(L, S, N, Cs, C, M) :-
+            msort(L, L1), sort(L1, S), keysort([a-1], _),
+            atom_length(foo, N), number_chars(N, Cs),
+            char_code(a, C), succ(N, M).
+        """
+        analysis = analyze(source, ("p", 6))
+        assert analysis.result.unknown_predicates == []
+
+    def test_sort_produces_lists(self):
+        analysis = analyze("p(L, S) :- sort(L, S).", ("p", 2))
+        out = analysis.output
+        for arg in (0, 1):
+            g = value_of(out, out.sv[arg], analysis.domain, {})
+            assert g_le(g, g_list_of(g_any()))
+
+    def test_succ_produces_integers(self):
+        analysis = analyze("p(X, Y) :- succ(X, Y).", ("p", 2))
+        out = analysis.output
+        for arg in (0, 1):
+            g = value_of(out, out.sv[arg], analysis.domain, {})
+            assert g_le(g, g_int())
+
+    def test_atom_length_second_int(self):
+        analysis = analyze("p(N) :- atom_length(abc, N).", ("p", 1))
+        out = analysis.output
+        g = value_of(out, out.sv[0], analysis.domain, {})
+        assert g_le(g, g_int())
+
+    def test_defined_predicate_still_wins(self):
+        # gen/succ-style programs *define* succ/2; the abstract table
+        # must not shadow user definitions.
+        source = """
+        succ([], []).
+        succ([X|Xs], [s(X)|R]) :- succ(Xs, R).
+        p(X, Y) :- succ(X, Y).
+        """
+        analysis = analyze(source, ("p", 2))
+        out = analysis.output
+        g = value_of(out, out.sv[0], analysis.domain, {})
+        assert g_le(g, g_list_of(g_any()))

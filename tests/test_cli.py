@@ -71,3 +71,48 @@ def test_bad_query_format(tmp_path):
 def test_missing_arguments():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_non_integer_arity_is_clean_error(tmp_path):
+    # regression: this used to escape as a raw ValueError traceback
+    source = tmp_path / "prog.pl"
+    source.write_text("p(a).")
+    with pytest.raises(SystemExit) as exc_info:
+        main([str(source), "foo/bar"])
+    assert "arity must be an integer" in str(exc_info.value)
+
+
+def test_negative_arity_is_clean_error(tmp_path):
+    source = tmp_path / "prog.pl"
+    source.write_text("p(a).")
+    with pytest.raises(SystemExit) as exc_info:
+        main([str(source), "foo/-1"])
+    assert "arity" in str(exc_info.value)
+
+
+def test_input_length_mismatch_is_clean_error(tmp_path):
+    source = tmp_path / "prog.pl"
+    source.write_text("p(a).")
+    with pytest.raises(SystemExit) as exc_info:
+        main([str(source), "p/1", "--input", "list,any"])
+    message = str(exc_info.value)
+    assert "2 type(s)" in message and "p/1" in message
+
+
+def test_profile_input_length_mismatch_is_clean_error(tmp_path):
+    from repro.__main__ import profile_main
+    source = tmp_path / "prog.pl"
+    source.write_text("p(a).")
+    with pytest.raises(SystemExit) as exc_info:
+        profile_main([str(source), "p/1", "--input", "list,any"])
+    assert "2 type(s)" in str(exc_info.value)
+
+
+def test_disjunction_fallback_warning(tmp_path, capsys):
+    source = tmp_path / "prog.pl"
+    disj = " , ".join("(X%d = a ; X%d = b)" % (i, i) for i in range(8))
+    head = ", ".join("X%d" % i for i in range(8))
+    source.write_text("p(%s) :- %s.\n" % (head, disj))
+    assert main([str(source), "p/8"]) == 0
+    out = capsys.readouterr().out
+    assert "oversized disjunction" in out

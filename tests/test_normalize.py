@@ -122,3 +122,59 @@ class TestProgramLevel:
         calls = [g for g in clause.body if isinstance(g, NCall)]
         assert len(calls) == 1
         assert all(isinstance(a, int) for a in calls[0].args)
+
+
+class TestOversizedDisjunction:
+    """PR 5: cartesian expansion past the cap degrades to auxiliary
+    predicates instead of aborting the analysis."""
+
+    @staticmethod
+    def _wide_source(n):
+        disj = " , ".join("(X%d = a ; X%d = b)" % (i, i)
+                          for i in range(n))
+        head_args = ", ".join("X%d" % i for i in range(n))
+        return "p(%s) :- %s.\n" % (head_args, disj)
+
+    def test_under_cap_unchanged(self):
+        # 2^6 = 64 bodies is exactly the cap: still plain expansion.
+        norm = normalize_program(parse_program(self._wide_source(6)))
+        assert norm.disjunction_fallbacks == 0
+        assert len(norm.procedures[("p", 6)].clauses) == 64
+        assert list(norm.procedures) == [("p", 6)]
+
+    def test_over_cap_extracts_aux_predicates(self):
+        norm = normalize_program(parse_program(self._wide_source(8)))
+        assert norm.disjunction_fallbacks > 0
+        aux = [pred for pred in norm.procedures
+               if pred[0].startswith("$or_")]
+        assert aux
+        for pred in aux:
+            # one clause per disjunct
+            assert len(norm.procedures[pred].clauses) == 2
+
+    def test_over_cap_analysis_is_sound_and_precise(self):
+        from repro import analyze
+        source = self._wide_source(8)
+        analysis = analyze(source, ("p", 8))
+        assert analysis.stats.disjunction_fallbacks > 0
+        assert analysis.result.unknown_predicates == []
+        # every argument still gets the exact a|b type
+        text = analysis.grammar_text()
+        assert text.count("a | b") == 8
+
+    def test_aux_names_unique_across_clauses(self):
+        source = (self._wide_source(8)
+                  + self._wide_source(8).replace("p(", "p2(", 1))
+        norm = normalize_program(parse_program(source))
+        aux = [pred for pred in norm.procedures
+               if pred[0].startswith("$or_")]
+        assert len(aux) == len(set(aux)) == 4
+
+    def test_normalize_clause_appends_aux_clauses(self):
+        clause = clause_from_term(parse_term(
+            self._wide_source(8).strip().rstrip(".")))
+        results = normalize_clause(clause)
+        own = [c for c in results if c.pred == ("p", 8)]
+        aux = [c for c in results if c.pred != ("p", 8)]
+        assert own and aux
+        assert all(c.pred[0].startswith("$or_") for c in aux)

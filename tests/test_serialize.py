@@ -190,3 +190,23 @@ def test_predicate_hashes_are_per_predicate(nreverse_source):
 
 def test_content_hash_stable_across_key_order():
     assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+
+def test_payload_fingerprint_matches_result_fingerprint(nreverse_source):
+    from repro.service.serialize import (payload_fingerprint,
+                                         result_fingerprint)
+    for baseline in (False, True):
+        result = analyze(nreverse_source, ("nreverse", 2),
+                         baseline=baseline).result
+        payload = json_rt(encode_result(result))
+        assert payload_fingerprint(payload) == result_fingerprint(result)
+
+
+def test_stats_roundtrip_disjunction_fallbacks():
+    disj = " , ".join("(X%d = a ; X%d = b)" % (i, i) for i in range(8))
+    head = ", ".join("X%d" % i for i in range(8))
+    result = analyze("p(%s) :- %s.\n" % (head, disj), ("p", 8)).result
+    assert result.stats.disjunction_fallbacks > 0
+    decoded = decode_result(json_rt(encode_result(result)))
+    assert (decoded.stats.disjunction_fallbacks
+            == result.stats.disjunction_fallbacks)

@@ -145,3 +145,165 @@ def test_corrupt_disk_entry_is_a_miss(tmp_path, append_source, payload):
 def test_rejects_zero_capacity():
     with pytest.raises(ValueError):
         ResultCache(max_memory_entries=0)
+
+
+# -- concurrency (PR 5) ------------------------------------------------------
+#
+# The server hangs many threads off one ResultCache instance and many
+# *processes* off one cache_dir; these tests hammer both axes and
+# assert no torn records, no crashes, and only complete payloads.
+
+import json
+import multiprocessing
+import os
+import threading
+
+from repro.service.cache import CacheKey
+
+
+def _mp_context():
+    # fork keeps the workers cheap and lets them share the test's
+    # helpers without pickling; all CI platforms here are POSIX.
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def _keys_for(source, n):
+    return [make_key(source + "\nextra%d(a)." % i, ("append", 3))
+            for i in range(n)]
+
+
+def _hammer_process(cache_dir, source, payload, worker, iterations,
+                    failures):
+    """Writer+reader+invalidator loop; reports failures via a queue."""
+    try:
+        cache = ResultCache(cache_dir, max_memory_entries=4)
+        keys = _keys_for(source, 6)
+        for i in range(iterations):
+            key = keys[(i + worker) % len(keys)]
+            cache.put(key, payload)
+            observed = cache.get(keys[i % len(keys)])
+            if observed is not None and observed != payload:
+                failures.put("torn payload at worker %d iter %d"
+                             % (worker, i))
+                return
+            if i % 7 == worker % 7:
+                cache.invalidate_program(key.program_hash)
+            if i % 11 == worker % 11:
+                len(cache)  # concurrent directory scans
+    except BaseException as error:  # pragma: no cover - failure path
+        failures.put("worker %d crashed: %r" % (worker, error))
+
+
+def test_multiprocess_writers_readers_invalidators(tmp_path,
+                                                   append_source,
+                                                   payload):
+    context = _mp_context()
+    failures = context.Queue()
+    workers = [
+        context.Process(target=_hammer_process,
+                        args=(str(tmp_path), append_source, payload,
+                              worker, 120, failures))
+        for worker in range(4)
+    ]
+    for process in workers:
+        process.start()
+    for process in workers:
+        process.join(timeout=120)
+        assert process.exitcode == 0
+    assert failures.empty(), failures.get()
+    # the store is still fully readable afterwards
+    cache = ResultCache(tmp_path)
+    for key in _keys_for(append_source, 6):
+        observed = cache.get(key)
+        assert observed is None or observed == payload
+
+
+def test_thread_safety_of_one_instance(tmp_path, append_source,
+                                       payload):
+    cache = ResultCache(tmp_path, max_memory_entries=3)
+    keys = _keys_for(append_source, 5)
+    errors = []
+
+    def hammer(worker):
+        try:
+            for i in range(150):
+                key = keys[(i + worker) % len(keys)]
+                cache.put(key, payload)
+                observed = cache.get(keys[i % len(keys)])
+                assert observed is None or observed == payload
+                if i % 13 == worker:
+                    cache.invalidate(key)
+                if i % 17 == worker:
+                    cache.keys_for_program(key.program_hash)
+        except BaseException as error:  # pragma: no cover
+            errors.append(error)
+
+    threads = [threading.Thread(target=hammer, args=(w,))
+               for w in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    stats = cache.stats
+    assert stats.puts == 8 * 150
+
+
+def test_put_survives_concurrent_program_invalidation(tmp_path,
+                                                      append_source,
+                                                      payload):
+    """A put whose program directory is removed mid-write recreates it
+    (the retry path) instead of crashing."""
+    cache = ResultCache(tmp_path)
+    key = make_key(append_source, ("append", 3))
+    cache.put(key, payload)
+    # simulate the other process: drop the whole program directory
+    import shutil
+    shutil.rmtree(cache._program_dir(key.program_hash))
+    cache.put(key, payload)
+    assert ResultCache(tmp_path).get(key) == payload
+
+
+def test_flush_writes_memory_entries_to_disk(tmp_path, append_source,
+                                             payload):
+    cache = ResultCache(tmp_path)
+    key = make_key(append_source, ("append", 3))
+    cache.put(key, payload)
+    os.unlink(cache._entry_path(key))  # disk copy lost
+    assert cache.flush() == 1
+    assert ResultCache(tmp_path).get(key) == payload
+    assert cache.flush() == 0  # idempotent
+
+
+def test_reader_never_sees_partial_record(tmp_path, append_source,
+                                          payload):
+    """Atomic-rename writes: a reader polling during rewrites sees the
+    old complete record or the new complete record, never a prefix."""
+    cache = ResultCache(tmp_path)
+    key = make_key(append_source, ("append", 3))
+    cache.put(key, payload)
+    path = cache._entry_path(key)
+    stop = threading.Event()
+    errors = []
+
+    def rewrite():
+        try:
+            while not stop.is_set():
+                cache._write_disk(key, payload)
+        except BaseException as error:  # pragma: no cover
+            errors.append(error)
+
+    writer = threading.Thread(target=rewrite)
+    writer.start()
+    try:
+        for _ in range(300):
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.loads(handle.read())
+            assert record["payload"] == payload
+    finally:
+        stop.set()
+        writer.join()
+    assert not errors
