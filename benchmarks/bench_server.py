@@ -1,8 +1,8 @@
 #!/usr/bin/env python
-"""Load generator for the ``repro serve`` daemon — PR 5's acceptance
-harness.
+"""Load generator for the ``repro serve`` daemon and the ``repro
+router`` cluster — the PR 5 and PR 6 acceptance harnesses.
 
-Measures, on the Table-3 suite:
+``--mode server`` (default, PR 5) measures, on the Table-3 suite:
 
 * **one-shot CLI baseline** — one ``python -m repro --benchmark NAME
   --json`` subprocess per request, the process-per-request regime the
@@ -18,14 +18,33 @@ Measures, on the Table-3 suite:
 * **coalescing** — N clients firing the *same cold key*
   simultaneously must produce exactly one underlying analysis.
 
+``--mode router`` (PR 6) drives a ``repro router`` front door:
+
+* **Table-3 through the router** — every fingerprint must equal the
+  one-shot CLI's;
+* **scaling sweep** — 1/2/4 spawned shards under 32 clients (several
+  *load worker subprocesses* so the generator is not GIL-bound)
+  replaying a Zipf-distributed hot set of distinct programs that is
+  deliberately larger than one shard's ``--max-memory-entries``:
+  consistent hashing partitions the working set, so each added shard
+  raises the fleet-wide warm-cache hit rate — that is where the req/s
+  scaling comes from on this single-CPU container, and it is the same
+  mechanism that scales a multi-core fleet;
+* **failover** — SIGKILL one of two shards mid-run (shared
+  ``--cache-dir`` as the L2): every accepted request must still
+  succeed, with fingerprints intact, via replica failover + disk
+  promotion.
+
 Typical uses::
 
     PYTHONPATH=src python benchmarks/bench_server.py
     PYTHONPATH=src python benchmarks/bench_server.py \
         --clients 32 --rounds 4 --write-bench BENCH_pr5.json --label PR5
+    PYTHONPATH=src python benchmarks/bench_server.py --mode router \
+        --write-bench BENCH_pr6.json --label PR6
 
-Exit status is non-zero on any fingerprint mismatch, a coalescing
-failure, or a missed throughput bar — this is the same
+Exit status is non-zero on any fingerprint mismatch, a coalescing or
+failover failure, or a missed throughput bar — the same
 result-integrity stance as ``scripts/bench_report.py``.
 """
 
@@ -35,8 +54,11 @@ import argparse
 import json
 import os
 import platform
+import random
+import signal
 import subprocess
 import sys
+import tempfile
 import threading
 import time
 from pathlib import Path
@@ -44,8 +66,9 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.benchprogs import benchmark_names  # noqa: E402
-from repro.service.client import ServeClient, spawn_server  # noqa: E402
+from repro.benchprogs import benchmark, benchmark_names  # noqa: E402
+from repro.service.client import (ServeClient, spawn_router,  # noqa: E402
+                                  spawn_server)
 from repro.service.serialize import payload_fingerprint  # noqa: E402
 
 SCHEMA = 1
@@ -205,12 +228,406 @@ def _server_phases(programs, clients, rounds, oneshot, host,
     return report
 
 
+# -- router mode (PR 6) ------------------------------------------------------
+
+def make_hotset(width, base="QU"):
+    """``width`` distinct programs of identical analysis cost: the
+    base benchmark plus one inert pad fact per variant.  Every variant
+    has its own ``program_hash`` (its own cache key and ring position)
+    but the pad predicate is outside the query cone, so every variant's
+    result fingerprint equals the base benchmark's — which ties the
+    whole synthetic hot set back to the one-shot CLI's fingerprint."""
+    bp = benchmark(base)
+    return [{
+        "name": "%s~%02d" % (base, index),
+        "base": base,
+        "source": bp.source + "\nhotset_pad_%02d(x).\n" % index,
+        "query": list(bp.query),
+        "input_types": bp.input_types,
+    } for index in range(width)]
+
+
+def zipf_weights(count, s):
+    return [1.0 / (rank ** s) for rank in range(1, count + 1)]
+
+
+def load_worker_main() -> int:
+    """Hidden subprocess mode: replay a Zipf-weighted workload spec
+    (JSON on stdin) with N threads against one endpoint, report JSON
+    on stdout.  Run as a separate *process* so 32 blocking clients are
+    not serialized behind one generator GIL."""
+    spec = json.load(sys.stdin)
+    jobs = spec["jobs"]
+    weights = spec["weights"]
+    indices = list(range(len(jobs)))
+    lock = threading.Lock()
+    counts = [0] * len(jobs)
+    fingerprints = [set() for _ in jobs]
+    latencies: list = []
+    errors: list = []
+
+    def drive(thread_index: int) -> None:
+        rng = random.Random(spec["seed"] * 1000 + thread_index)
+        local_counts = [0] * len(jobs)
+        local_fp = [set() for _ in jobs]
+        local_lat = []
+        try:
+            with ServeClient(spec["host"], spec["port"],
+                             timeout=120) as session:
+                now = time.time()
+                if spec["start_at"] > now:
+                    time.sleep(spec["start_at"] - now)
+                deadline = spec["start_at"] + spec["seconds"]
+                while time.time() < deadline:
+                    index = rng.choices(indices, weights=weights)[0]
+                    job = jobs[index]
+                    begin = time.perf_counter()
+                    result = session.analyze(
+                        source=job["source"],
+                        query=tuple(job["query"]),
+                        input_types=job.get("input_types"),
+                        payload=False)
+                    local_lat.append(time.perf_counter() - begin)
+                    local_counts[index] += 1
+                    local_fp[index].add(result["fingerprint"])
+        except BaseException as error:
+            with lock:
+                errors.append(repr(error))
+        with lock:
+            for index in indices:
+                counts[index] += local_counts[index]
+                fingerprints[index] |= local_fp[index]
+            latencies.extend(local_lat)
+
+    threads = [threading.Thread(target=drive, args=(t,))
+               for t in range(spec["threads"])]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    json.dump({
+        "requests": sum(counts),
+        "errors": errors[:5],
+        "counts": counts,
+        "fingerprints": [sorted(fp) for fp in fingerprints],
+        "latencies": [round(value, 5) for value in latencies],
+    }, sys.stdout)
+    return 0
+
+
+def run_load_workers(host, port, jobs, weights, processes, threads,
+                     seconds, mid_run=None):
+    """Drive ``processes x threads`` clients for ``seconds`` with a
+    synchronized start; optionally call ``mid_run()`` halfway through
+    (the failover phase kills a shard there).  Returns the merged
+    worker reports."""
+    start_at = time.time() + 1.5
+    spec = {"host": host, "port": port, "jobs": jobs,
+            "weights": weights, "threads": threads,
+            "seconds": seconds, "start_at": start_at}
+    workers = []
+    for index in range(processes):
+        process = subprocess.Popen(
+            [sys.executable, __file__, "--load-worker"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+            cwd=str(REPO_ROOT))
+        process.stdin.write(json.dumps(dict(spec, seed=index)))
+        process.stdin.close()
+        workers.append(process)
+    if mid_run is not None:
+        time.sleep(max(0.0, start_at - time.time()) + seconds / 2.0)
+        mid_run()
+    reports = []
+    for process in workers:
+        output = process.stdout.read()
+        process.wait(timeout=600)
+        reports.append(json.loads(output))
+    merged = {
+        "requests": sum(r["requests"] for r in reports),
+        "errors": [e for r in reports for e in r["errors"]],
+        "counts": [sum(r["counts"][i] for r in reports)
+                   for i in range(len(jobs))],
+        "fingerprints": [sorted(set().union(*(set(r["fingerprints"][i])
+                                              for r in reports)))
+                         for i in range(len(jobs))],
+    }
+    latencies = sorted(value for r in reports for value in r["latencies"])
+    if latencies:
+        merged["latency"] = {
+            "count": len(latencies),
+            "p50": round(latencies[len(latencies) // 2], 5),
+            "p95": round(latencies[min(len(latencies) - 1,
+                                       int(0.95 * len(latencies)))], 5),
+        }
+    else:
+        merged["latency"] = {"count": 0, "p50": None, "p95": None}
+    return merged
+
+
+def _check_hotset_fingerprints(jobs, merged, expected, mismatches):
+    for index, job in enumerate(jobs):
+        observed = set(merged["fingerprints"][index])
+        if observed and observed != {expected[job["base"]]}:
+            mismatches.append(job["name"])
+
+
+def run_router_scaling(shard_counts, hotset, expected, clients,
+                       processes, seconds, max_memory) -> dict:
+    """The scaling sweep: same workload, same total client count, only
+    the shard count changes."""
+    threads = max(1, clients // processes)
+    weights = zipf_weights(len(hotset), 1.1)
+    sweep: dict = {}
+    mismatches: list = []
+    for count in shard_counts:
+        print("scaling: %d shard(s), %d clients, %.0fs..."
+              % (count, processes * threads, seconds), file=sys.stderr)
+        process, host, port = spawn_router(
+            "--spawn", str(count),
+            "--max-memory-entries", str(max_memory),
+            "--pool-size", "4", "--health-interval", "0.5")
+        try:
+            with ServeClient(host, port, timeout=600) as client:
+                for job in hotset:  # warm pass: each program once
+                    result = client.analyze(
+                        source=job["source"], query=tuple(job["query"]),
+                        input_types=job.get("input_types"),
+                        payload=False)
+                    if result["fingerprint"] != expected[job["base"]]:
+                        mismatches.append(job["name"] + ":warm")
+            merged = run_load_workers(host, port, hotset, weights,
+                                      processes, threads, seconds)
+            _check_hotset_fingerprints(hotset, merged, expected,
+                                       mismatches)
+            with ServeClient(host, port, timeout=60) as client:
+                stats = client.stats()
+                client.shutdown()
+            process.wait(timeout=60)
+        except BaseException:
+            process.terminate()
+            raise
+        sweep[str(count)] = {
+            "shards": count,
+            "requests": merged["requests"],
+            "seconds": seconds,
+            "requests_per_second": round(merged["requests"] / seconds,
+                                         2),
+            "errors": merged["errors"],
+            "latency": merged["latency"],
+            "cache_hit_rate": stats["merged"]["cache"]["hit_rate"],
+            "analyses_executed": stats["merged"]["analyses_executed"],
+            "failovers": stats["router"]["failovers"],
+        }
+        print("  %d shard(s): %7.1f req/s, hit rate %s, p50=%ss"
+              % (count, sweep[str(count)]["requests_per_second"],
+                 sweep[str(count)]["cache_hit_rate"],
+                 merged["latency"]["p50"]), file=sys.stderr)
+    return {"sweep": sweep, "mismatches": mismatches}
+
+
+def run_router_failover(hotset, expected, processes, threads,
+                        seconds) -> dict:
+    """Two shards over a shared disk L2; SIGKILL one mid-run.  Every
+    accepted request must succeed (replica failover + cross-shard
+    promotion), every fingerprint must stay identical."""
+    mismatches: list = []
+    with tempfile.TemporaryDirectory(prefix="repro-l2-") as cache_dir:
+        process, host, port = spawn_router(
+            "--spawn", "2", "--cache-dir", cache_dir,
+            "--max-memory-entries", "64", "--pool-size", "4",
+            "--health-interval", "0.3", "--backoff", "0.02",
+            "--down-after", "2")
+        try:
+            with ServeClient(host, port, timeout=600) as client:
+                for job in hotset:
+                    result = client.analyze(
+                        source=job["source"], query=tuple(job["query"]),
+                        input_types=job.get("input_types"),
+                        payload=False)
+                    if result["fingerprint"] != expected[job["base"]]:
+                        mismatches.append(job["name"] + ":warm")
+                stats = client.stats()
+            shard_pids = {shard_id: shard["pid"]
+                          for shard_id, shard in stats["shards"].items()}
+            victim = sorted(shard_pids)[0]
+
+            def kill_victim():
+                print("  SIGKILL shard %s (pid %d) mid-run"
+                      % (victim, shard_pids[victim]), file=sys.stderr)
+                os.kill(shard_pids[victim], signal.SIGKILL)
+
+            weights = zipf_weights(len(hotset), 1.1)
+            merged = run_load_workers(host, port, hotset, weights,
+                                      processes, threads, seconds,
+                                      mid_run=kill_victim)
+            _check_hotset_fingerprints(hotset, merged, expected,
+                                       mismatches)
+            with ServeClient(host, port, timeout=60) as client:
+                info = client.router_info()
+                client.shutdown()
+            process.wait(timeout=60)
+        except BaseException:
+            process.terminate()
+            raise
+    return {
+        "killed_shard": victim,
+        "requests": merged["requests"],
+        "requests_per_second": round(merged["requests"] / seconds, 2),
+        "errors": merged["errors"],
+        "failovers": info["failovers"],
+        "shard_status_after": {shard_id: shard["status"]
+                               for shard_id, shard
+                               in info["shards"].items()},
+        "mismatches": mismatches,
+    }
+
+
+def run_table3_through_router(programs, oneshot) -> dict:
+    """The whole Table-3 suite through the front door; fingerprints
+    must equal the one-shot CLI's."""
+    process, host, port = spawn_router("--spawn", "2", "--pool-size",
+                                       "4")
+    mismatches = []
+    per_program = {}
+    try:
+        with ServeClient(host, port, timeout=600) as client:
+            for name in programs:
+                result = client.analyze(benchmark=name, payload=False)
+                per_program[name] = {
+                    "seconds": round(result["seconds"], 4),
+                    "fingerprint": result["fingerprint"],
+                }
+                if result["fingerprint"] != \
+                        oneshot["per_program"][name]["fingerprint"]:
+                    mismatches.append(name)
+                print("  router %-4s %6.3fs" % (name,
+                                                result["seconds"]),
+                      file=sys.stderr)
+            report = client.batch(benchmarks=list(programs))
+            for job in report["jobs"]:
+                if (not job.get("ok")
+                        or job["fingerprint"] !=
+                        oneshot["per_program"][job["name"]]
+                        ["fingerprint"]):
+                    mismatches.append(job["name"] + ":batch")
+            client.shutdown()
+        process.wait(timeout=60)
+    except BaseException:
+        process.terminate()
+        raise
+    return {"per_program": per_program,
+            "batch_jobs": len(report["jobs"]),
+            "mismatches": mismatches}
+
+
+def router_bench_main(args) -> int:
+    programs = benchmark_names(include_variants=False)
+    print("one-shot CLI baseline (%d programs)..." % len(programs),
+          file=sys.stderr)
+    oneshot = run_oneshot_cli(programs)
+
+    print("Table-3 through the router...", file=sys.stderr)
+    table3 = run_table3_through_router(programs, oneshot)
+
+    hotset = make_hotset(args.hotset_width, base=args.hotset_base)
+    expected = {args.hotset_base:
+                oneshot["per_program"][args.hotset_base]["fingerprint"]}
+    shard_counts = [int(c) for c in args.shard_counts.split(",")]
+    scaling = run_router_scaling(shard_counts, hotset, expected,
+                                 args.clients, args.processes,
+                                 args.seconds, args.max_memory_entries)
+
+    print("failover: 2 shards, shared L2, SIGKILL mid-run...",
+          file=sys.stderr)
+    failover = run_router_failover(hotset[:16], expected,
+                                   processes=2, threads=4,
+                                   seconds=max(6.0, args.seconds))
+
+    sweep = scaling["sweep"]
+    base_rate = sweep[str(shard_counts[0])]["requests_per_second"]
+    speedups = {str(count): round(sweep[str(count)]
+                                  ["requests_per_second"] / base_rate,
+                                  2)
+                for count in shard_counts}
+    report = {
+        "schema": SCHEMA,
+        "mode": "router",
+        "label": args.label,
+        "python": platform.python_version(),
+        "suite": list(programs),
+        "oneshot_cli": oneshot,
+        "router_table3": table3,
+        "hotset": {
+            "base": args.hotset_base,
+            "programs": len(hotset),
+            "zipf_s": 1.1,
+            "max_memory_entries_per_shard": args.max_memory_entries,
+            "clients": args.clients,
+            "load_processes": args.processes,
+            "seconds_per_point": args.seconds,
+        },
+        "scaling": {"shards": sweep, "speedup_vs_1": speedups},
+        "failover": failover,
+        "fingerprint_mismatches": sorted(set(
+            table3["mismatches"] + scaling["mismatches"]
+            + failover["mismatches"])),
+    }
+
+    print("\nscaling (hot set of %d programs, %d-entry shard caches):"
+          % (len(hotset), args.max_memory_entries))
+    for count in shard_counts:
+        point = sweep[str(count)]
+        print("  %d shard(s): %8.1f req/s  (x%.2f, hit rate %s, "
+              "p50=%ss p95=%ss)"
+              % (count, point["requests_per_second"],
+                 speedups[str(count)], point["cache_hit_rate"],
+                 point["latency"]["p50"], point["latency"]["p95"]))
+    print("failover    : %d requests, %d errors, %d failovers, "
+          "killed %s" % (failover["requests"], len(failover["errors"]),
+                         failover["failovers"],
+                         failover["killed_shard"]))
+
+    if args.write_bench:
+        path = Path(args.write_bench)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n")
+        print("wrote %s" % path, file=sys.stderr)
+
+    problems = []
+    if report["fingerprint_mismatches"]:
+        problems.append("fingerprint mismatches: %s"
+                        % report["fingerprint_mismatches"][:6])
+    for count, errors in ((c, sweep[str(c)]["errors"])
+                          for c in shard_counts):
+        if errors:
+            problems.append("scaling@%d client failures: %s"
+                            % (count, errors[:3]))
+    if failover["errors"]:
+        problems.append("failover lost requests: %s"
+                        % failover["errors"][:3])
+    if failover["failovers"] < 1:
+        problems.append("failover phase never failed over")
+    bars = {2: args.min_speedup_2, 4: args.min_speedup_4}
+    for count, bar in bars.items():
+        if str(count) in speedups and speedups[str(count)] < bar:
+            problems.append("%d-shard speedup %.2fx under the %.1fx "
+                            "bar" % (count, speedups[str(count)], bar))
+    for problem in problems:
+        print("ERROR: %s" % problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
-        description="Benchmark repro serve against the one-shot CLI.")
+        description="Benchmark repro serve (and the repro router "
+                    "cluster) against the one-shot CLI.")
+    parser.add_argument("--mode", choices=("server", "router"),
+                        default="server",
+                        help="'server': the PR 5 single-daemon phases; "
+                             "'router': the PR 6 cluster phases")
     parser.add_argument("--clients", type=int, default=32,
                         help="concurrent clients in the warm/coalescing "
-                             "phases (default 32)")
+                             "and scaling phases (default 32)")
     parser.add_argument("--rounds", type=int, default=4,
                         help="suite passes per client in the warm "
                              "phase (default 4)")
@@ -219,8 +636,40 @@ def main(argv=None) -> int:
                              "over the one-shot CLI (default 5)")
     parser.add_argument("--label", default=None)
     parser.add_argument("--write-bench", metavar="FILE",
-                        help="write the report as JSON (BENCH_pr5.json)")
+                        help="write the report as JSON "
+                             "(BENCH_pr5.json / BENCH_pr6.json)")
+    # router-mode knobs
+    parser.add_argument("--shard-counts", default="1,2,4",
+                        help="comma-separated shard counts for the "
+                             "scaling sweep (default 1,2,4)")
+    parser.add_argument("--processes", type=int, default=4,
+                        help="load-generator worker processes "
+                             "(default 4; threads = clients/processes)")
+    parser.add_argument("--seconds", type=float, default=8.0,
+                        help="measured seconds per scaling point "
+                             "(default 8)")
+    parser.add_argument("--hotset-width", type=int, default=48,
+                        help="distinct programs in the hot set "
+                             "(default 48)")
+    parser.add_argument("--hotset-base", default="QU",
+                        help="benchmark the hot set derives from "
+                             "(default QU)")
+    parser.add_argument("--max-memory-entries", type=int, default=16,
+                        help="per-shard in-memory cache entries in the "
+                             "scaling sweep (default 16; the working "
+                             "set must not fit in one shard)")
+    parser.add_argument("--min-speedup-2", type=float, default=1.7,
+                        help="required 2-shard speedup (default 1.7)")
+    parser.add_argument("--min-speedup-4", type=float, default=3.0,
+                        help="required 4-shard speedup (default 3.0)")
+    parser.add_argument("--load-worker", action="store_true",
+                        help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
+
+    if args.load_worker:
+        return load_worker_main()
+    if args.mode == "router":
+        return router_bench_main(args)
 
     programs = benchmark_names(include_variants=False)
     print("one-shot CLI baseline (%d programs)..." % len(programs),

@@ -224,6 +224,47 @@ def render_server_bench(path: Path) -> bool:
     return ok
 
 
+def render_router_bench(path: Path) -> bool:
+    """Pretty-print a BENCH_pr6.json router-scaling report; returns
+    False (a failure) on fingerprint mismatches or load errors
+    recorded in it."""
+    bench = json.loads(path.read_text())
+    hotset = bench["hotset"]
+    sweep = bench["scaling"]["shards"]
+    speedups = bench["scaling"]["speedup_vs_1"]
+    failover = bench["failover"]
+    print("\n== cluster scaling (%s) ==" % path)
+    print("hot set: %d programs over %s (zipf s=%s), %d clients, "
+          "%d-entry shard caches, %ss/point"
+          % (hotset["programs"], hotset["base"], hotset["zipf_s"],
+             hotset["clients"], hotset["max_memory_entries_per_shard"],
+             hotset["seconds_per_point"]))
+    print("%-10s %10s %9s %10s %10s %10s %9s"
+          % ("shards", "req/s", "speedup", "hit-rate", "p50(s)",
+             "p95(s)", "analyses"))
+    for count in sorted(sweep, key=int):
+        point = sweep[count]
+        print("%-10s %10.1f %8.2fx %10s %10s %10s %9d"
+              % (count, point["requests_per_second"],
+                 speedups[count], point["cache_hit_rate"],
+                 point["latency"]["p50"], point["latency"]["p95"],
+                 point["analyses_executed"]))
+    print("failover: SIGKILL %s mid-run -> %d requests, %d errors, "
+          "%d failovers, status after: %s"
+          % (failover["killed_shard"], failover["requests"],
+             len(failover["errors"]), failover["failovers"],
+             failover["shard_status_after"]))
+    load_errors = [err for count in sweep
+                   for err in sweep[count]["errors"]]
+    ok = (not bench.get("fingerprint_mismatches")
+          and not load_errors and not failover["errors"]
+          and failover["failovers"] >= 1)
+    if not ok:
+        print("ERROR: %s records fingerprint/failover/load failures"
+              % path, file=sys.stderr)
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the Table-3 benchmark suite and report "
@@ -252,11 +293,23 @@ def main(argv=None) -> int:
                              "throughput/latency report (produced by "
                              "benchmarks/bench_server.py); given "
                              "alone, skips running the suite")
+    parser.add_argument("--router", metavar="FILE",
+                        help="render a BENCH_pr6.json cluster scaling "
+                             "/ failover report (produced by "
+                             "benchmarks/bench_server.py --mode "
+                             "router); given alone, skips running "
+                             "the suite")
     args = parser.parse_args(argv)
 
-    if args.server and not (args.baseline or args.write_bench
-                            or args.out or args.programs):
-        return 0 if render_server_bench(Path(args.server)) else 1
+    if (args.server or args.router) and not (
+            args.baseline or args.write_bench or args.out
+            or args.programs):
+        ok = True
+        if args.server:
+            ok &= render_server_bench(Path(args.server))
+        if args.router:
+            ok &= render_router_bench(Path(args.router))
+        return 0 if ok else 1
 
     programs = args.programs or benchmark_names(include_variants=False)
     print("running %d benchmark programs..." % len(programs),
@@ -308,6 +361,8 @@ def main(argv=None) -> int:
 
     if args.server:
         fingerprints_ok &= render_server_bench(Path(args.server))
+    if args.router:
+        fingerprints_ok &= render_router_bench(Path(args.router))
 
     if not fingerprints_ok:
         print("ERROR: analysis tables diverge from the baseline",

@@ -12,6 +12,7 @@ Examples::
     repro cache promote old.pl new.pl --cache-dir .repro-cache
     repro profile --benchmark RE --top 20
     repro serve --port 7871 --cache-dir .repro-cache
+    repro router --spawn 4 --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -61,6 +62,9 @@ def main(argv=None) -> int:
     if argv and argv[0] == "serve":
         from .service.server import serve_main
         return serve_main(argv[1:])
+    if argv and argv[0] == "router":
+        from .service.cluster import router_main
+        return router_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Type analysis of Prolog using type graphs "

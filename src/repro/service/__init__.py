@@ -10,9 +10,14 @@ Four pieces turn the one-shot analyzer into a serving substrate:
   optional process pool;
 * :mod:`repro.service.incremental` — SCC-scoped cache invalidation,
   promotion across program edits, and table-seeded re-analysis;
+* :mod:`repro.service.transport` — the shared newline-delimited JSON
+  wire protocol (framing, envelopes, connection lifecycle);
 * :mod:`repro.service.server` / :mod:`repro.service.client` — the
   long-lived ``repro serve`` daemon (warm caches, request coalescing,
-  backpressure) and its blocking client.
+  backpressure) and its blocking client;
+* :mod:`repro.service.cluster` — the ``repro router`` front door:
+  consistent-hash sharding over N serve daemons with health checks,
+  failover, and a shared on-disk L2 cache.
 
 Quickstart::
 
@@ -46,7 +51,9 @@ __all__ = [
     "Job", "JobResult", "BatchReport", "WorkerPool", "run_batch",
     "jobs_from_benchmarks",
     "AnalysisServer", "serve_main",
-    "ServeClient", "ServeError", "spawn_server", "wait_for_server",
+    "ServeClient", "ServeError", "spawn_server", "spawn_router",
+    "wait_for_server",
+    "ClusterRouter", "HashRing", "router_main",
     "dirty_predicates", "promote", "PromotionReport",
     "reanalyze", "ReanalysisInfo",
 ]
@@ -57,7 +64,10 @@ __all__ = [
 _LAZY = {
     "AnalysisServer": "server", "serve_main": "server",
     "ServeClient": "client", "ServeError": "client",
-    "spawn_server": "client", "wait_for_server": "client",
+    "spawn_server": "client", "spawn_router": "client",
+    "wait_for_server": "client",
+    "ClusterRouter": "cluster", "HashRing": "cluster",
+    "router_main": "cluster",
 }
 
 

@@ -168,6 +168,22 @@ class ResultCache:
 
     # -- core get/put --------------------------------------------------------
 
+    def get_memory(self, key: CacheKey) -> Optional[dict]:
+        """Probe the in-memory layer only — a cheap, non-blocking
+        lookup the server's event loop can afford to run inline.  A
+        hit counts toward the stats; a miss counts nothing (the caller
+        is expected to fall through to :meth:`get`, which does the
+        full accounting)."""
+        digest = key.digest
+        with self._lock:
+            entry = self._memory.get(digest)
+            if entry is None:
+                return None
+            self._memory.move_to_end(digest)
+            self.stats.hits += 1
+            self.stats.memory_hits += 1
+            return entry[1]
+
     def get(self, key: CacheKey) -> Optional[dict]:
         """The stored payload, or None.  Disk hits are promoted into
         the memory layer."""

@@ -1,4 +1,4 @@
-"""Blocking client for the ``repro serve`` daemon.
+"""Blocking client for the ``repro serve`` daemon and ``repro router``.
 
 One :class:`ServeClient` owns one TCP connection and issues one
 request at a time (the protocol is strictly request/response per
@@ -6,17 +6,24 @@ connection).  It is deliberately *not* thread-safe: concurrency is
 expressed by giving each thread its own client, which is exactly how
 the load generator and the coalescing tests drive the server.
 
-Helpers:
+The wire protocol lives in :mod:`repro.service.transport`; this module
+adds the operation surface (``analyze``/``batch``/``stats``/...) and
+process helpers:
 
 * :func:`spawn_server` — launch ``repro serve`` as a subprocess on an
   ephemeral port and parse the ready line (tests, benchmarks).
 * :func:`wait_for_server` — poll until the daemon answers ``ping``.
+
+Connecting retries with backoff by default (``connect_retries``), so a
+client racing a just-spawned server rides out the window where the
+socket is not up yet instead of dying on a bare
+``ConnectionRefusedError``; when the server really is absent the
+failure is a :class:`ServeError` (``code="connection"``) whose message
+says what to check.
 """
 
 from __future__ import annotations
 
-import json
-import socket
 import subprocess
 import sys
 import time
@@ -26,10 +33,12 @@ from ..fixpoint.engine import AnalysisConfig
 from ..prolog.program import PredId
 from ..typegraph.grammar import Grammar
 from .serialize import encode_config, encode_input_types
-from .server import DEFAULT_PORT
+from .transport import BlockingLineConnection, ConnectError, ProtocolError
+
+DEFAULT_PORT = 7871  # mirrors server.DEFAULT_PORT without the import
 
 __all__ = ["ServeClient", "ServeError", "spawn_server",
-           "wait_for_server"]
+           "spawn_router", "wait_for_server"]
 
 
 class ServeError(RuntimeError):
@@ -46,39 +55,40 @@ class ServeClient:
 
     def __init__(self, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT,
-                 timeout: Optional[float] = 120.0) -> None:
+                 timeout: Optional[float] = 120.0,
+                 connect_retries: int = 3,
+                 connect_backoff: float = 0.05) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
-        self._sock: Optional[socket.socket] = None
-        self._file = None
+        self.connect_retries = connect_retries
+        self.connect_backoff = connect_backoff
+        self._conn = BlockingLineConnection(host, port, timeout)
         self._next_id = 0
 
     # -- plumbing ------------------------------------------------------------
 
-    def _ensure_connected(self) -> None:
-        if self._sock is None:
-            self._sock = socket.create_connection(
-                (self.host, self.port), timeout=self.timeout)
-            self._file = self._sock.makefile("rwb")
+    def connect(self, retries: Optional[int] = None,
+                backoff: Optional[float] = None) -> "ServeClient":
+        """Establish the connection now (idempotent), retrying with
+        exponential backoff while the server socket comes up.  Raises
+        :class:`ServeError` (``code="connection"``) with a clear
+        message when it never does."""
+        try:
+            self._conn.connect(
+                retries=(self.connect_retries if retries is None
+                         else retries),
+                backoff=(self.connect_backoff if backoff is None
+                         else backoff))
+        except ConnectError as error:
+            raise ServeError(str(error), "connection") from None
+        return self
 
     def close(self) -> None:
-        if self._file is not None:
-            try:
-                self._file.close()
-            except OSError:
-                pass
-            self._file = None
-        if self._sock is not None:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
-            self._sock = None
+        self._conn.close()
 
     def __enter__(self) -> "ServeClient":
-        self._ensure_connected()
-        return self
+        return self.connect()
 
     def __exit__(self, *exc_info) -> None:
         self.close()
@@ -86,26 +96,19 @@ class ServeClient:
     def request(self, op: str, **fields) -> dict:
         """One round trip; returns the ``result`` object or raises
         :class:`ServeError`."""
-        self._ensure_connected()
+        if not self._conn.connected:
+            self.connect()
         self._next_id += 1
         request = {"id": self._next_id, "op": op}
         request.update((k, v) for k, v in fields.items()
                        if v is not None)
-        line = json.dumps(request).encode("utf-8") + b"\n"
         try:
-            self._file.write(line)
-            self._file.flush()
-            raw = self._file.readline()
-        except OSError as error:
-            self.close()
-            raise ServeError("connection to %s:%d failed: %s"
-                             % (self.host, self.port, error),
-                             "connection") from None
-        if not raw:
-            self.close()
-            raise ServeError("server closed the connection",
-                             "connection")
-        response = json.loads(raw)
+            response = self._conn.round_trip(request)
+        except ConnectError as error:
+            raise ServeError(str(error), "connection") from None
+        except ProtocolError as error:
+            raise ServeError("garbage response: %s" % error,
+                             "protocol") from None
         if not response.get("ok"):
             raise ServeError(response.get("error", "unknown error"),
                              response.get("code"))
@@ -167,6 +170,18 @@ class ServeClient:
     def shutdown(self) -> dict:
         return self.request("shutdown")
 
+    # -- router operations ---------------------------------------------------
+
+    def router_info(self) -> dict:
+        """Topology/health of a ``repro router`` front door."""
+        return self.request("router-info")
+
+    def drain_shard(self, shard: str) -> dict:
+        return self.request("drain-shard", shard=shard)
+
+    def undrain_shard(self, shard: str) -> dict:
+        return self.request("undrain-shard", shard=shard)
+
 
 # -- process helpers ---------------------------------------------------------
 
@@ -177,7 +192,8 @@ def wait_for_server(host: str, port: int, timeout: float = 30.0,
     last_error: Optional[Exception] = None
     while time.monotonic() < deadline:
         try:
-            with ServeClient(host, port, timeout=interval * 10) as client:
+            with ServeClient(host, port, timeout=interval * 10,
+                             connect_retries=0) as client:
                 client.ping()
             return
         except (OSError, ServeError, ValueError) as error:
@@ -187,26 +203,28 @@ def wait_for_server(host: str, port: int, timeout: float = 30.0,
                        % (host, port, timeout, last_error))
 
 
-def spawn_server(*extra_args: str,
-                 ready_timeout: float = 60.0
-                 ) -> Tuple[subprocess.Popen, str, int]:
-    """Launch ``repro serve --port 0 [extra_args]`` as a subprocess
-    and return ``(process, host, port)`` parsed from the ready line.
-    The caller owns the process (send ``shutdown`` or terminate it)."""
+def _repro_env() -> dict:
+    """Environment for a spawned repro subprocess: the child must
+    import the same repro this process runs (uninstalled checkouts
+    rely on PYTHONPATH=src)."""
     import os
-    # The child must import the same repro this process runs
-    # (uninstalled checkouts rely on PYTHONPATH=src).
     package_root = os.path.dirname(os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))))
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         [package_root] + ([env["PYTHONPATH"]]
                           if env.get("PYTHONPATH") else []))
+    return env
+
+
+def _spawn_ready(argv: Sequence[str], ready_timeout: float,
+                 what: str) -> Tuple[subprocess.Popen, str, int]:
+    """Launch a repro daemon subprocess and parse its ready line
+    (``... listening on HOST:PORT ...``)."""
     process = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve", "--port", "0"]
-        + list(extra_args),
+        [sys.executable, "-m", "repro"] + list(argv),
         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
-        env=env)
+        env=_repro_env())
     # Read the pipe on a thread so ready_timeout holds even against a
     # child that is alive but silent (readline alone would block
     # unboundedly and the deadline would never be checked).
@@ -237,5 +255,25 @@ def spawn_server(*extra_args: str,
         if not line:  # EOF: the child exited or closed stdout
             break
     process.terminate()
-    raise RuntimeError("repro serve did not come up (last line: %r)"
-                       % line)
+    raise RuntimeError("%s did not come up (last line: %r)"
+                       % (what, line))
+
+
+def spawn_server(*extra_args: str,
+                 ready_timeout: float = 60.0
+                 ) -> Tuple[subprocess.Popen, str, int]:
+    """Launch ``repro serve --port 0 [extra_args]`` as a subprocess
+    and return ``(process, host, port)`` parsed from the ready line.
+    The caller owns the process (send ``shutdown`` or terminate it)."""
+    return _spawn_ready(["serve", "--port", "0"] + list(extra_args),
+                        ready_timeout, "repro serve")
+
+
+def spawn_router(*extra_args: str,
+                 ready_timeout: float = 120.0
+                 ) -> Tuple[subprocess.Popen, str, int]:
+    """Launch ``repro router --port 0 [extra_args]`` (for example with
+    ``--spawn N`` for local shards) and return ``(process, host,
+    port)`` parsed from its ready line."""
+    return _spawn_ready(["router", "--port", "0"] + list(extra_args),
+                        ready_timeout, "repro router")

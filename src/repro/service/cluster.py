@@ -1,0 +1,1019 @@
+"""Sharded analysis cluster: ``repro router``, the fleet front door.
+
+PR 5's ``repro serve`` keeps intern tables, arenas, and the opcache
+warm — inside exactly one process.  The router scales that *warm
+state* horizontally: it consistent-hashes every workload's
+``CacheKey.program_hash`` across N backend ``repro serve`` shards, so
+each shard stays hot for *its* slice of the program space (memory
+result cache, intern tables, arena symbols, opcache), while a shared
+content-addressed disk :class:`~repro.service.cache.ResultCache`
+(every shard started with the same ``--cache-dir``) acts as the L2
+that makes any result computed on one shard a disk hit on every
+other — cross-shard promotion falls out of the cache's atomic-rename
+object store rather than a bespoke replication protocol.
+
+Topology::
+
+    clients ──nd-JSON──▶ router ──nd-JSON──▶ shard 1 (repro serve)
+                           │     (pooled)  ▶ shard 2      │
+                           │               ▶ shard N      ▼
+                           └── stats fan-out     shared --cache-dir (L2)
+
+The router speaks the same :mod:`repro.service.transport` protocol on
+both sides, so ``ServeClient`` works unchanged against it and shard
+responses are forwarded as raw bytes (no re-serialization on the hot
+path).  Service guarantees on top of routing:
+
+* **connection pools** — at most ``pool_size`` in-flight requests per
+  shard over persistent connections; excess requests queue fairly in
+  the router;
+* **health checks** — a background prober marks shards down after
+  ``down_after`` consecutive failures and back up on recovery; mark
+  up/down never mutates the hash ring, so rehash on membership change
+  is deterministic: keys of an unavailable shard spill to the next
+  replica on the ring and return home when it does;
+* **failover** — idempotent ops (``analyze``/``batch``/reads) retry
+  on the next replica with exponential backoff, bounded by
+  ``retries`` extra passes; non-idempotent ops never retry;
+* **graceful drain** — ``drain-shard`` takes a shard out of rotation
+  while its in-flight requests complete; ``shutdown`` drains the
+  router itself (and any shards it spawned with ``--spawn``);
+* **fleet observability** — ``stats`` fans out to every live shard
+  and merges hit rates, queue depths, and latency summaries next to
+  the router's own end-to-end percentiles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import os
+import sys
+import time
+from bisect import bisect_right
+from collections import OrderedDict, deque
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .cache import ResultCache
+from .serialize import program_hash
+from .server import RequestError, ServerStats
+from .transport import (LINE_LIMIT, AsyncLineConnection, ConnectError,
+                        LineServer, ProtocolError, decode_message,
+                        encode_message, error_envelope, ok_envelope)
+
+__all__ = ["HashRing", "ShardState", "ClusterRouter",
+           "DEFAULT_ROUTER_PORT", "router_main"]
+
+DEFAULT_ROUTER_PORT = 7870
+
+#: Ops safe to replay on another shard after a transport failure (a
+#: pure function of the cache key, or read-only).
+_IDEMPOTENT_OPS = frozenset({"analyze", "batch", "ping", "stats",
+                             "cache-info"})
+
+#: Transport failures that trigger failover (a shard that *answered*
+#: — even with an error envelope — does not).
+_FORWARD_ERRORS = (ConnectionError, ConnectError, OSError,
+                   asyncio.IncompleteReadError)
+
+
+# -- consistent hashing ------------------------------------------------------
+
+def _ring_hash(text: str) -> int:
+    """Stable 64-bit ring coordinate (never Python's salted hash)."""
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hash ring with virtual nodes.
+
+    Each node contributes ``vnodes`` points; a key is owned by the
+    first point clockwise of its own hash.  Membership changes move
+    only the keys of the node that joined or left (~1/N of the space),
+    which is the property that keeps the other shards' warm caches
+    warm through a membership change — the tests pin it.
+    """
+
+    def __init__(self, nodes: Iterable[str] = (),
+                 vnodes: int = 64) -> None:
+        if vnodes < 1:
+            raise ValueError("vnodes must be >= 1")
+        self.vnodes = vnodes
+        self._nodes: List[str] = []
+        self._points: List[int] = []
+        self._owners: List[str] = []
+        self._preference_memo: "OrderedDict[str, Tuple[str, ...]]" = \
+            OrderedDict()
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        return tuple(self._nodes)
+
+    def _rebuild(self) -> None:
+        points = []
+        for node in self._nodes:
+            for i in range(self.vnodes):
+                points.append((_ring_hash("%s#%d" % (node, i)), node))
+        points.sort()
+        self._points = [p for p, _ in points]
+        self._owners = [n for _, n in points]
+        self._preference_memo.clear()
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            raise ValueError("node %r already on the ring" % node)
+        self._nodes.append(node)
+        self._rebuild()
+
+    def remove(self, node: str) -> None:
+        self._nodes.remove(node)
+        self._rebuild()
+
+    def preference(self, key: str) -> Tuple[str, ...]:
+        """Every node, in deterministic failover order for ``key``:
+        the owner first, then each distinct node walking clockwise."""
+        memo = self._preference_memo
+        hit = memo.get(key)
+        if hit is not None:
+            memo.move_to_end(key)
+            return hit
+        if not self._nodes:
+            return ()
+        start = bisect_right(self._points, _ring_hash(key))
+        order: List[str] = []
+        seen = set()
+        total = len(self._points)
+        for step in range(total):
+            node = self._owners[(start + step) % total]
+            if node not in seen:
+                seen.add(node)
+                order.append(node)
+                if len(order) == len(self._nodes):
+                    break
+        result = tuple(order)
+        memo[key] = result
+        if len(memo) > 8192:
+            memo.popitem(last=False)
+        return result
+
+    def node_for(self, key: str) -> str:
+        return self.preference(key)[0]
+
+
+# -- shard handle ------------------------------------------------------------
+
+class ShardState:
+    """One backend shard: address, health, and a bounded pool of
+    persistent connections."""
+
+    def __init__(self, shard_id: str, host: str, port: int,
+                 pool_size: int = 4,
+                 connect_timeout: float = 5.0) -> None:
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.id = shard_id
+        self.host = host
+        self.port = port
+        self.pool_size = pool_size
+        self.connect_timeout = connect_timeout
+        self.status = "up"          # "up" | "down" | "draining"
+        self.inflight = 0
+        self.forwarded = 0
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.process = None         # Popen when the router spawned it
+        self._idle: "deque[AsyncLineConnection]" = deque()
+        self._slots: Optional[asyncio.Semaphore] = None
+
+    @property
+    def available(self) -> bool:
+        return self.status == "up"
+
+    def _semaphore(self) -> asyncio.Semaphore:
+        if self._slots is None:
+            self._slots = asyncio.Semaphore(self.pool_size)
+        return self._slots
+
+    async def request_raw(self, line: bytes,
+                          timeout: Optional[float] = None) -> bytes:
+        """One pooled round trip of pre-framed bytes.  Transport
+        failures close the connection and propagate; the caller does
+        failover accounting."""
+        async with self._semaphore():
+            self.inflight += 1
+            conn = None
+            try:
+                conn = self._idle.pop() if self._idle else None
+                if conn is None:
+                    conn = await asyncio.wait_for(
+                        AsyncLineConnection.open(self.host, self.port,
+                                                 limit=LINE_LIMIT),
+                        self.connect_timeout)
+                response = await asyncio.wait_for(
+                    conn.request_raw(line), timeout)
+                self._idle.append(conn)
+                self.forwarded += 1
+                return response
+            except BaseException:
+                if conn is not None:
+                    conn.close()
+                raise
+            finally:
+                self.inflight -= 1
+
+    async def request(self, message: dict,
+                      timeout: Optional[float] = None) -> dict:
+        return decode_message(await self.request_raw(
+            encode_message(message), timeout))
+
+    def note_failure(self, down_after: int) -> bool:
+        """Record a transport failure; returns True when this crossed
+        the mark-down threshold."""
+        self.failures += 1
+        self.consecutive_failures += 1
+        if (self.status == "up"
+                and self.consecutive_failures >= down_after):
+            self.mark_down()
+            return True
+        return False
+
+    def note_success(self) -> None:
+        self.consecutive_failures = 0
+
+    def mark_down(self) -> None:
+        if self.status != "draining":
+            self.status = "down"
+        self.close_idle()
+
+    def mark_up(self) -> None:
+        if self.status == "down":
+            self.status = "up"
+        self.consecutive_failures = 0
+
+    def close_idle(self) -> None:
+        while self._idle:
+            self._idle.pop().close()
+
+    def info(self) -> dict:
+        return {
+            "status": self.status,
+            "inflight": self.inflight,
+            "forwarded": self.forwarded,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "idle_connections": len(self._idle),
+            "pool_size": self.pool_size,
+            "spawned": self.process is not None,
+        }
+
+
+# -- the router --------------------------------------------------------------
+
+class RouterStats:
+    """Router-level counters and an end-to-end latency ring."""
+
+    __slots__ = ("started", "requests", "routed", "local", "retries",
+                 "failovers", "errors", "latencies")
+
+    def __init__(self) -> None:
+        self.started = time.time()
+        self.requests = 0
+        self.routed = 0
+        self.local = 0
+        self.retries = 0
+        self.failovers = 0
+        self.errors = 0
+        self.latencies: "deque[float]" = deque(maxlen=4096)
+
+    def latency_summary(self) -> dict:
+        return ServerStats.latency_summary(self)  # same ring shape
+
+
+def _parse_shard_address(text: str) -> Tuple[str, int]:
+    host, _, port_text = text.rpartition(":")
+    if not host or not port_text.isdigit():
+        raise ValueError("shard address must be HOST:PORT, got %r"
+                         % text)
+    return host, int(port_text)
+
+
+class ClusterRouter:
+    """The consistent-hash front door over N ``repro serve`` shards.
+
+    Usable embedded (tests run shards and router in one event loop) or
+    through :func:`router_main`.  All public coroutines must run on
+    the loop that called :meth:`start`.
+    """
+
+    def __init__(self, shards: Sequence[Union[str, Tuple[str, int]]],
+                 host: str = "127.0.0.1", port: int = 0,
+                 cache_dir: Optional[str] = None,
+                 vnodes: int = 64, pool_size: int = 4,
+                 retries: int = 2, backoff: float = 0.05,
+                 health_interval: float = 1.0, down_after: int = 2,
+                 request_timeout: Optional[float] = 300.0) -> None:
+        if not shards:
+            raise ValueError("a router needs at least one shard")
+        self.host = host
+        self.port = port
+        self.cache_dir = cache_dir
+        self.retries = retries
+        self.backoff = backoff
+        self.health_interval = health_interval
+        self.down_after = down_after
+        self.request_timeout = request_timeout
+        self.stats = RouterStats()
+        self.shards: Dict[str, ShardState] = {}
+        for spec in shards:
+            shard_host, shard_port = (
+                _parse_shard_address(spec) if isinstance(spec, str)
+                else (spec[0], int(spec[1])))
+            shard_id = "%s:%d" % (shard_host, shard_port)
+            if shard_id in self.shards:
+                raise ValueError("duplicate shard %s" % shard_id)
+            self.shards[shard_id] = ShardState(shard_id, shard_host,
+                                               shard_port, pool_size)
+        self.ring = HashRing(self.shards, vnodes=vnodes)
+        #: shared L2 handle — observability only; the shards own all
+        #: reads/writes of the store.
+        self.l2 = (ResultCache(cache_dir) if cache_dir is not None
+                   else None)
+        self._server: Optional[LineServer] = None
+        self._health_task: Optional[asyncio.Task] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._draining = False
+        self._inflight_requests = 0
+        #: source text -> program_hash memo (hashing parses the
+        #: program; the router pays that once per distinct program).
+        self._program_hashes: "OrderedDict[str, str]" = OrderedDict()
+        #: benchmark name -> program_hash.
+        self._benchmark_hashes: Dict[str, str] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._shutdown_event = asyncio.Event()
+        self._server = LineServer(self._serve_line, self.host,
+                                  self.port, limit=LINE_LIMIT)
+        await self._server.start()
+        self.port = self._server.port
+        self._health_task = asyncio.ensure_future(self._health_loop())
+
+    async def serve_until_shutdown(self) -> None:
+        assert self._shutdown_event is not None
+        await self._shutdown_event.wait()
+        await self.drain_and_close()
+
+    def trigger_shutdown(self) -> None:
+        self._draining = True
+        if self._shutdown_event is not None:
+            self._shutdown_event.set()
+
+    async def drain_and_close(self, shutdown_spawned: bool = True) -> None:
+        """Stop accepting, let in-flight requests finish, close shard
+        pools (and shut down shards this router spawned)."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        deadline = time.monotonic() + (self.request_timeout or 60.0)
+        while self._inflight_requests > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except asyncio.CancelledError:
+                pass
+        if shutdown_spawned:
+            await self._shutdown_spawned_shards()
+        for shard in self.shards.values():
+            shard.close_idle()
+        if self._server is not None:
+            self._server.hang_up()
+            await self._server.wait_closed()
+
+    async def _shutdown_spawned_shards(self) -> None:
+        loop = asyncio.get_running_loop()
+        for shard in self.shards.values():
+            if shard.process is None:
+                continue
+            try:
+                await shard.request({"id": None, "op": "shutdown"},
+                                    timeout=10.0)
+            except Exception:
+                pass
+            try:
+                await asyncio.wait_for(
+                    loop.run_in_executor(None, shard.process.wait), 30.0)
+            except Exception:
+                shard.process.terminate()
+
+    # -- health --------------------------------------------------------------
+
+    async def _health_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.health_interval)
+            await asyncio.gather(*(self._check_shard(shard)
+                                   for shard in self.shards.values()),
+                                 return_exceptions=True)
+
+    async def _check_shard(self, shard: ShardState) -> None:
+        """One probe over a dedicated connection — never through the
+        pool, so a shard busy with long analyses still answers."""
+        if shard.status == "draining":
+            return
+        probe_timeout = max(1.0, min(5.0, self.health_interval * 2))
+        conn = None
+        try:
+            conn = await asyncio.wait_for(
+                AsyncLineConnection.open(shard.host, shard.port),
+                probe_timeout)
+            response = await asyncio.wait_for(
+                conn.request({"id": None, "op": "ping"}), probe_timeout)
+            healthy = bool(response.get("ok"))
+        except (asyncio.TimeoutError, ProtocolError) + _FORWARD_ERRORS:
+            healthy = False
+        finally:
+            if conn is not None:
+                conn.close()
+        if healthy:
+            if shard.status == "down":
+                shard.mark_up()
+                print("repro router: shard %s back up" % shard.id,
+                      file=sys.stderr)
+            else:
+                shard.note_success()
+        else:
+            if shard.note_failure(self.down_after):
+                print("repro router: shard %s marked down" % shard.id,
+                      file=sys.stderr)
+
+    # -- dispatch ------------------------------------------------------------
+
+    async def _serve_line(self, line: bytes):
+        start = time.perf_counter()
+        self.stats.requests += 1
+        self._inflight_requests += 1
+        request_id = None
+        try:
+            try:
+                request = decode_message(line)
+            except ProtocolError as error:
+                raise RequestError(str(error))
+            request_id = request.get("id")
+            op = request.get("op")
+            local = self._LOCAL_OPS.get(op)
+            if local is not None:
+                self.stats.local += 1
+                result = await local(self, request)
+                response = ok_envelope(request_id, result)
+            elif op in ("analyze",):
+                response = await self._forward_line(line, request)
+            elif op == "batch":
+                self.stats.routed += 1
+                response = ok_envelope(
+                    request_id, await self._op_batch(request))
+            elif op == "invalidate":
+                self.stats.routed += 1
+                response = ok_envelope(
+                    request_id, await self._broadcast_invalidate(request))
+            else:
+                raise RequestError(
+                    "unknown op %r (router ops: %s)"
+                    % (op, ", ".join(sorted(
+                        set(self._LOCAL_OPS)
+                        | {"analyze", "batch", "invalidate"}))))
+            return response
+        except RequestError as error:
+            if error.code not in ("overloaded", "timeout"):
+                self.stats.errors += 1
+            return error_envelope(request_id, str(error), error.code)
+        except Exception as error:
+            self.stats.errors += 1
+            return error_envelope(request_id,
+                                  "%s: %s" % (type(error).__name__, error),
+                                  "router-error")
+        finally:
+            self._inflight_requests -= 1
+            self.stats.latencies.append(time.perf_counter() - start)
+
+    # -- routing -------------------------------------------------------------
+
+    def _routing_hash(self, request: dict) -> str:
+        """``CacheKey.program_hash`` of the request's program — the
+        ring key that keeps one program's workloads on one shard."""
+        benchmark = request.get("benchmark")
+        if benchmark is not None:
+            name = str(benchmark)
+            hit = self._benchmark_hashes.get(name)
+            if hit is None:
+                from ..benchprogs import benchmark as load_benchmark
+                try:
+                    bp = load_benchmark(name)
+                except KeyError:
+                    raise RequestError("unknown benchmark %r" % benchmark)
+                hit = self._source_hash(bp.source)
+                self._benchmark_hashes[name] = hit
+            return hit
+        source = request.get("source")
+        if not isinstance(source, str):
+            raise RequestError("request needs 'source' (a string) "
+                               "or 'benchmark'")
+        return self._source_hash(source)
+
+    def _source_hash(self, source: str) -> str:
+        memo = self._program_hashes
+        hit = memo.get(source)
+        if hit is None:
+            hit = program_hash(source)
+            memo[source] = hit
+            if len(memo) > 4096:
+                memo.popitem(last=False)
+        else:
+            memo.move_to_end(source)
+        return hit
+
+    def _forward_timeout(self, request: dict) -> Optional[float]:
+        """The shard enforces the request timeout; the router waits a
+        little longer so the shard's own ``timeout`` error envelope
+        gets through instead of being clipped mid-flight."""
+        requested = request.get("timeout")
+        try:
+            requested = None if requested is None else float(requested)
+        except (TypeError, ValueError):
+            requested = None
+        effective = self.request_timeout
+        if requested is not None:
+            effective = (requested if effective is None
+                         else min(requested, effective))
+        if effective is None:
+            return None
+        return effective * 1.1 + 5.0
+
+    async def _forward_line(self, line: bytes, request: dict,
+                            preference: Optional[Tuple[str, ...]] = None
+                            ) -> bytes:
+        """Route one pre-framed request to its shard, failing over to
+        the next replica on transport errors (idempotent ops only).
+        The shard's response bytes pass through verbatim.  ``_op_batch``
+        passes the group's ``preference`` explicitly (its sub-requests
+        carry no top-level program to hash)."""
+        self.stats.routed += 1
+        if self._draining:
+            raise RequestError("router is draining", "shutting-down")
+        if preference is None:
+            preference = self.ring.preference(self._routing_hash(request))
+        idempotent = request.get("op") in _IDEMPOTENT_OPS
+        passes = (self.retries + 1) if idempotent else 1
+        timeout = self._forward_timeout(request)
+        delay = self.backoff
+        last_error: Optional[Exception] = None
+        attempts = 0
+        for attempt in range(passes):
+            if attempt:
+                self.stats.retries += 1
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 1.0)
+            for node in preference:
+                shard = self.shards[node]
+                if not shard.available:
+                    continue
+                attempts += 1
+                try:
+                    response = await shard.request_raw(line, timeout)
+                except asyncio.TimeoutError:
+                    # The shard is still computing; replaying a
+                    # possibly-heavy analysis elsewhere would double
+                    # the work — surface the timeout instead.
+                    raise RequestError(
+                        "shard %s did not answer within %.1fs"
+                        % (node, timeout), "timeout")
+                except _FORWARD_ERRORS as error:
+                    last_error = error
+                    shard.note_failure(self.down_after)
+                    if not idempotent:
+                        raise RequestError(
+                            "shard %s failed mid-request (%s); op %r "
+                            "is not retried" % (node, error,
+                                                request.get("op")),
+                            "shard-unavailable")
+                    continue
+                shard.note_success()
+                if node != preference[0]:
+                    self.stats.failovers += 1
+                return response
+        if attempts == 0:
+            raise RequestError(
+                "no shard available for this key (%d configured, all "
+                "down or draining)" % len(self.shards), "no-shards")
+        raise RequestError(
+            "all replicas failed after %d attempt(s): %s"
+            % (attempts, last_error), "shard-unavailable")
+
+    # -- fan-out ops ---------------------------------------------------------
+
+    async def _op_batch(self, request: dict) -> dict:
+        """Split a batch by owning shard, fan out the sub-batches
+        concurrently, and reassemble results in job order."""
+        raw_jobs = request.get("jobs")
+        if raw_jobs is None and request.get("benchmarks") is not None:
+            raw_jobs = [{"benchmark": name}
+                        for name in request["benchmarks"]]
+        if not isinstance(raw_jobs, list) or not raw_jobs:
+            raise RequestError("'batch' needs a non-empty 'jobs' or "
+                               "'benchmarks' list")
+        groups: "OrderedDict[str, List[Tuple[int, dict]]]" = OrderedDict()
+        preferences: Dict[str, Tuple[str, ...]] = {}
+        for index, job in enumerate(raw_jobs):
+            if not isinstance(job, dict):
+                raise RequestError("batch jobs must be objects")
+            preference = self.ring.preference(self._routing_hash(job))
+            node = preference[0]
+            groups.setdefault(node, []).append((index, job))
+            # Failover order for the whole group: the preference list
+            # of its first job (all members share the primary).
+            preferences.setdefault(node, preference)
+        common = {field: request[field]
+                  for field in ("payload", "timeout")
+                  if request.get(field) is not None}
+
+        async def one_group(node: str,
+                            members: List[Tuple[int, dict]]) -> list:
+            sub_request = dict(common, id=None, op="batch",
+                               jobs=[job for _, job in members])
+            try:
+                raw = await self._forward_line(
+                    encode_message(sub_request), sub_request,
+                    preference=preferences[node])
+                response = decode_message(raw)
+            except RequestError as error:
+                return [(index, {
+                    "name": str(job.get("benchmark") or job.get("name")
+                                or "job %d" % index),
+                    "ok": False, "error": str(error),
+                    "code": error.code,
+                }) for index, job in members]
+            if not response.get("ok"):
+                return [(index, {
+                    "name": str(job.get("benchmark") or job.get("name")
+                                or "job %d" % index),
+                    "ok": False,
+                    "error": response.get("error", "unknown error"),
+                    "code": response.get("code"),
+                }) for index, job in members]
+            jobs = response["result"]["jobs"]
+            return [(index, jobs[slot])
+                    for slot, (index, _) in enumerate(members)]
+
+        outcomes = await asyncio.gather(
+            *(one_group(node, members)
+              for node, members in groups.items()))
+        slots: List[Optional[dict]] = [None] * len(raw_jobs)
+        for group in outcomes:
+            for index, job_result in group:
+                slots[index] = job_result
+        return {"jobs": slots, "shards": len(groups)}
+
+    async def _fanout(self, message: dict,
+                      timeout: Optional[float] = 30.0) -> Dict[str, dict]:
+        """Send ``message`` to every non-down shard; map shard id to
+        the decoded response envelope (or an error pseudo-envelope)."""
+
+        async def one(shard: ShardState) -> Tuple[str, dict]:
+            try:
+                return shard.id, await shard.request(
+                    dict(message, id=None), timeout)
+            except (asyncio.TimeoutError, ProtocolError,
+                    *_FORWARD_ERRORS) as error:
+                shard.note_failure(self.down_after)
+                return shard.id, {"ok": False, "error": str(error),
+                                  "code": "shard-unavailable"}
+
+        shards = [shard for shard in self.shards.values()
+                  if shard.status != "down"]
+        return dict(await asyncio.gather(*(one(s) for s in shards)))
+
+    async def _broadcast_invalidate(self, request: dict) -> dict:
+        message = {"op": "invalidate"}
+        for field in ("source", "program_hash"):
+            if request.get(field) is not None:
+                message[field] = request[field]
+        if len(message) == 1:
+            raise RequestError("'invalidate' needs 'source' or "
+                               "'program_hash'")
+        responses = await self._fanout(message)
+        total = 0
+        prog_hash = None
+        per_shard = {}
+        for shard_id, response in responses.items():
+            if response.get("ok"):
+                result = response["result"]
+                per_shard[shard_id] = result["invalidated"]
+                total += result["invalidated"]
+                prog_hash = result["program_hash"]
+            else:
+                per_shard[shard_id] = response.get("error")
+        return {"program_hash": prog_hash, "invalidated": total,
+                "shards": per_shard}
+
+    # -- local ops -----------------------------------------------------------
+
+    async def _op_ping(self, request: dict) -> dict:
+        return {"pong": True, "router": True, "pid": os.getpid(),
+                "draining": self._draining}
+
+    async def _op_route(self, request: dict) -> dict:
+        """Debug/testing: where would this workload go?"""
+        key = self._routing_hash(request)
+        preference = self.ring.preference(key)
+        target = next((node for node in preference
+                       if self.shards[node].available), None)
+        return {"program_hash": key, "preference": list(preference),
+                "target": target}
+
+    async def _op_router_info(self, request: dict) -> dict:
+        info = {
+            "pid": os.getpid(),
+            "uptime": round(time.time() - self.stats.started, 3),
+            "draining": self._draining,
+            "cache_dir": self.cache_dir,
+            "vnodes": self.ring.vnodes,
+            "retries": self.retries,
+            "backoff": self.backoff,
+            "health_interval": self.health_interval,
+            "down_after": self.down_after,
+            "requests": self.stats.requests,
+            "routed": self.stats.routed,
+            "local": self.stats.local,
+            "failovers": self.stats.failovers,
+            "forward_retries": self.stats.retries,
+            "errors": self.stats.errors,
+            "ring": list(self.ring.nodes),
+            "shards": {shard_id: shard.info()
+                       for shard_id, shard in self.shards.items()},
+            "latency": self.stats.latency_summary(),
+        }
+        if self.l2 is not None:
+            loop = asyncio.get_running_loop()
+            info["l2_entries"] = await loop.run_in_executor(
+                None, len, self.l2)
+        return info
+
+    async def _op_stats(self, request: dict) -> dict:
+        """Fleet-wide ``stats``: per-shard snapshots plus merged
+        counters, one endpoint for the whole cluster."""
+        responses = await self._fanout({"op": "stats"})
+        shards: Dict[str, dict] = {}
+        merged = {
+            "shards_up": 0, "shards_down": 0, "shards_draining": 0,
+            "requests": 0, "analyses_executed": 0, "coalesced": 0,
+            "rejected": 0, "timeouts": 0, "errors": 0,
+            "queue_depth": 0,
+            "cache": {"hits": 0, "memory_hits": 0, "disk_hits": 0,
+                      "misses": 0, "puts": 0, "evictions": 0,
+                      "invalidations": 0, "hit_rate": None},
+            "latency": {"count": 0, "mean": None, "p50_max": None,
+                        "p95_max": None},
+        }
+        for shard in self.shards.values():
+            bucket = ("shards_draining" if shard.status == "draining"
+                      else "shards_down" if shard.status == "down"
+                      else "shards_up")
+            merged[bucket] += 1
+        mean_weight = 0.0
+        for shard_id, response in responses.items():
+            if not response.get("ok"):
+                shards[shard_id] = {"error": response.get("error"),
+                                    "code": response.get("code")}
+                continue
+            stats = response["result"]
+            shards[shard_id] = stats
+            for field in ("requests", "analyses_executed", "coalesced",
+                          "rejected", "timeouts", "errors",
+                          "queue_depth"):
+                merged[field] += stats.get(field, 0)
+            for field in merged["cache"]:
+                if field != "hit_rate":
+                    merged["cache"][field] += \
+                        stats.get("cache", {}).get(field, 0) or 0
+            latency = stats.get("latency", {})
+            count = latency.get("count") or 0
+            if count:
+                merged["latency"]["count"] += count
+                if latency.get("mean") is not None:
+                    mean_weight += latency["mean"] * count
+                for src, dst in (("p50", "p50_max"), ("p95", "p95_max")):
+                    value = latency.get(src)
+                    if value is not None:
+                        current = merged["latency"][dst]
+                        merged["latency"][dst] = (
+                            value if current is None
+                            else max(current, value))
+        lookups = merged["cache"]["hits"] + merged["cache"]["misses"]
+        if lookups:
+            merged["cache"]["hit_rate"] = round(
+                merged["cache"]["hits"] / lookups, 4)
+        if merged["latency"]["count"]:
+            merged["latency"]["mean"] = round(
+                mean_weight / merged["latency"]["count"], 6)
+        return {
+            "router": {
+                "pid": os.getpid(),
+                "uptime": round(time.time() - self.stats.started, 3),
+                "draining": self._draining,
+                "requests": self.stats.requests,
+                "routed": self.stats.routed,
+                "local": self.stats.local,
+                "failovers": self.stats.failovers,
+                "forward_retries": self.stats.retries,
+                "errors": self.stats.errors,
+                "latency": self.stats.latency_summary(),
+            },
+            "merged": merged,
+            "shards": shards,
+        }
+
+    async def _op_cache_info(self, request: dict) -> dict:
+        responses = await self._fanout({"op": "cache-info"})
+        shards = {shard_id: (response["result"] if response.get("ok")
+                             else {"error": response.get("error")})
+                  for shard_id, response in responses.items()}
+        # The shards share one disk store, so per-shard entry counts
+        # overlap; the fleet-wide figure is the max, not the sum.
+        entries = [info.get("entries", 0) for info in shards.values()
+                   if "error" not in info]
+        return {"shards": shards,
+                "entries": max(entries) if entries else 0,
+                "shared_cache_dir": self.cache_dir}
+
+    async def _op_drain_shard(self, request: dict) -> dict:
+        shard = self._shard_of(request)
+        shard.status = "draining"
+        if bool(request.get("shutdown", False)):
+            deadline = time.monotonic() + 30.0
+            while shard.inflight > 0 and time.monotonic() < deadline:
+                await asyncio.sleep(0.02)
+            try:
+                await shard.request({"id": None, "op": "shutdown"},
+                                    timeout=10.0)
+            except (asyncio.TimeoutError, ProtocolError,
+                    *_FORWARD_ERRORS):
+                pass
+        return {"shard": shard.id, "status": shard.status,
+                "inflight": shard.inflight}
+
+    async def _op_undrain_shard(self, request: dict) -> dict:
+        shard = self._shard_of(request)
+        if shard.status == "draining":
+            shard.status = "up"
+            shard.consecutive_failures = 0
+        return {"shard": shard.id, "status": shard.status}
+
+    def _shard_of(self, request: dict) -> ShardState:
+        shard_id = request.get("shard")
+        shard = self.shards.get(str(shard_id))
+        if shard is None:
+            raise RequestError("unknown shard %r (configured: %s)"
+                               % (shard_id,
+                                  ", ".join(sorted(self.shards))))
+        return shard
+
+    async def _op_shutdown(self, request: dict) -> dict:
+        inflight = self._inflight_requests - 1  # minus this request
+        self._draining = True
+        loop = asyncio.get_running_loop()
+        loop.call_soon(self.trigger_shutdown)
+        return {"draining": inflight}
+
+    _LOCAL_OPS = {
+        "ping": _op_ping,
+        "route": _op_route,
+        "router-info": _op_router_info,
+        "stats": _op_stats,
+        "cache-info": _op_cache_info,
+        "drain-shard": _op_drain_shard,
+        "undrain-shard": _op_undrain_shard,
+        "shutdown": _op_shutdown,
+    }
+
+
+# -- CLI ---------------------------------------------------------------------
+
+def router_main(argv) -> int:
+    """``repro router``: run the cluster front door until shutdown."""
+    parser = argparse.ArgumentParser(
+        prog="repro router",
+        description="Consistent-hash router over repro serve shards: "
+                    "each program's workloads stick to one shard (warm "
+                    "caches), a shared --cache-dir is the cross-shard "
+                    "L2, and failed shards fail over to the next "
+                    "replica on the ring.")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=DEFAULT_ROUTER_PORT,
+                        help="router TCP port (0 picks an ephemeral "
+                             "one; default %d)" % DEFAULT_ROUTER_PORT)
+    parser.add_argument("--shard", action="append", default=[],
+                        metavar="HOST:PORT",
+                        help="backend repro serve address (repeatable)")
+    parser.add_argument("--spawn", type=int, default=0, metavar="N",
+                        help="spawn N local repro serve shards on "
+                             "ephemeral ports (owned by the router: "
+                             "drained and stopped with it)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="shared on-disk result cache directory — "
+                             "the cross-shard L2 (forwarded to spawned "
+                             "shards)")
+    parser.add_argument("--vnodes", type=int, default=64,
+                        help="virtual nodes per shard on the hash ring "
+                             "(default 64)")
+    parser.add_argument("--pool-size", type=int, default=4,
+                        help="pooled connections (max in-flight "
+                             "requests) per shard (default 4)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="extra failover passes over the replica "
+                             "preference list for idempotent ops "
+                             "(default 2)")
+    parser.add_argument("--backoff", type=float, default=0.05,
+                        help="initial backoff between failover passes, "
+                             "doubling up to 1s (default 0.05)")
+    parser.add_argument("--health-interval", type=float, default=1.0,
+                        help="seconds between shard health probes "
+                             "(default 1.0)")
+    parser.add_argument("--down-after", type=int, default=2,
+                        help="consecutive failures before a shard is "
+                             "marked down (default 2)")
+    parser.add_argument("--timeout", type=float, default=300.0,
+                        help="per-request timeout cap in seconds "
+                             "(default 300; 0 disables)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="--workers forwarded to spawned shards")
+    parser.add_argument("--max-memory-entries", type=int, default=256,
+                        help="--max-memory-entries forwarded to "
+                             "spawned shards")
+    args = parser.parse_args(argv)
+
+    shard_addresses: List[str] = list(args.shard)
+    spawned = []
+    if args.spawn:
+        from .client import spawn_server
+        shard_args = ["--timeout", str(args.timeout or 0),
+                      "--workers", str(args.workers),
+                      "--max-memory-entries",
+                      str(args.max_memory_entries)]
+        if args.cache_dir:
+            shard_args += ["--cache-dir", args.cache_dir]
+        for index in range(args.spawn):
+            process, shard_host, shard_port = spawn_server(*shard_args)
+            spawned.append((process, shard_host, shard_port))
+            shard_addresses.append("%s:%d" % (shard_host, shard_port))
+            print("repro router: spawned shard %d at %s:%d (pid %d)"
+                  % (index, shard_host, shard_port, process.pid),
+                  file=sys.stderr)
+    if not shard_addresses:
+        parser.error("give at least one --shard HOST:PORT or --spawn N")
+
+    router = ClusterRouter(
+        shard_addresses, host=args.host, port=args.port,
+        cache_dir=args.cache_dir, vnodes=args.vnodes,
+        pool_size=args.pool_size, retries=args.retries,
+        backoff=args.backoff, health_interval=args.health_interval,
+        down_after=args.down_after,
+        request_timeout=(None if not args.timeout else args.timeout))
+    for process, shard_host, shard_port in spawned:
+        router.shards["%s:%d" % (shard_host, shard_port)].process = \
+            process
+
+    async def run() -> None:
+        await router.start()
+        # The ready line is a stable interface: tests and the load
+        # generator parse host/port out of it.
+        print("repro router listening on %s:%d (pid %d, shards=%d)"
+              % (router.host, router.port, os.getpid(),
+                 len(router.shards)), flush=True)
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, router.trigger_shutdown)
+        except (ImportError, NotImplementedError):
+            pass
+        await router.serve_until_shutdown()
+        print("repro router: drained and stopped", file=sys.stderr)
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        pass
+    finally:
+        for process, _, _ in spawned:
+            if process.poll() is None:
+                process.terminate()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(router_main(sys.argv[1:]))

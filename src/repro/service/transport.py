@@ -1,0 +1,318 @@
+"""Reusable newline-delimited JSON transport for the service tier.
+
+Every process in the serving stack — the ``repro serve`` shard daemon,
+the ``repro router`` front door, the blocking :class:`ServeClient`,
+and the load generator — speaks the same wire protocol: one JSON
+object per ``\\n``-terminated line over TCP, strictly request/response
+per connection.  This module owns that protocol once, extracted from
+``service/server.py``/``client.py`` so the router did not have to grow
+a third copy:
+
+* **framing** — :func:`encode_message` / :func:`decode_message` and
+  the shared :data:`LINE_LIMIT`;
+* **envelopes** — :func:`ok_envelope` / :func:`error_envelope`, the
+  ``{"id", "ok", "result" | "error"+"code"}`` response shape;
+* **connection lifecycle** — :class:`LineServer` (asyncio accept loop,
+  per-connection read/dispatch/write cycle, oversized-line recovery,
+  connection tracking for graceful drain), :class:`AsyncLineConnection`
+  (one pooled upstream connection of the router), and
+  :class:`BlockingLineConnection` (the synchronous client substrate,
+  with retry-with-backoff connection establishment).
+
+Latency note: asyncio enables ``TCP_NODELAY`` on every TCP transport
+it creates; :class:`BlockingLineConnection` sets it explicitly so the
+blocking side never trades request/response latency against Nagle.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+from typing import Any, Awaitable, Callable, Optional, Union
+
+__all__ = ["LINE_LIMIT", "ProtocolError", "ConnectError",
+           "encode_message", "decode_message",
+           "ok_envelope", "error_envelope",
+           "LineServer", "AsyncLineConnection", "BlockingLineConnection"]
+
+#: Maximum request/response line length (program sources travel
+#: inline, so this is deliberately generous: 16 MiB).
+LINE_LIMIT = 1 << 24
+
+
+class ProtocolError(Exception):
+    """A line that is not a valid protocol message."""
+
+
+class ConnectError(ConnectionError):
+    """Connection establishment failed (after any configured retries).
+
+    Carries a message that says *what to do about it* — the bare
+    ``ConnectionRefusedError`` it replaces told callers racing a
+    still-booting server nothing.
+    """
+
+
+# -- framing -----------------------------------------------------------------
+
+def encode_message(obj: Any) -> bytes:
+    """One protocol message as a ``\\n``-terminated JSON line."""
+    return json.dumps(obj).encode("utf-8") + b"\n"
+
+
+def decode_message(line: Union[bytes, str]) -> dict:
+    """Parse one line into a message object.
+
+    Raises :class:`ProtocolError` on malformed JSON or a non-object
+    payload — the two failure shapes every endpoint must answer the
+    same way (``code="bad-request"``, connection stays usable).
+    """
+    try:
+        message = json.loads(line)
+    except ValueError:
+        raise ProtocolError("request is not valid JSON")
+    if not isinstance(message, dict):
+        raise ProtocolError("request must be a JSON object")
+    return message
+
+
+# -- response envelopes ------------------------------------------------------
+
+def ok_envelope(request_id: Any, result: Any) -> dict:
+    return {"id": request_id, "ok": True, "result": result}
+
+
+def error_envelope(request_id: Any, message: str,
+                   code: str = "bad-request") -> dict:
+    return {"id": request_id, "ok": False, "error": message,
+            "code": code}
+
+
+# -- asyncio server side -----------------------------------------------------
+
+#: A request handler: raw line in, response out.  Returning ``bytes``
+#: means "already framed, write verbatim" — the router's passthrough
+#: path forwards shard responses without re-serializing them.
+LineHandler = Callable[[bytes], Awaitable[Union[dict, bytes, None]]]
+
+
+class LineServer:
+    """An asyncio TCP server running ``handler`` once per request line.
+
+    Owns the accept loop, the per-connection read/dispatch/write
+    cycle, blank-line tolerance, oversized-line recovery (answer once,
+    close — the stream can no longer be re-framed), and the set of
+    open client transports a draining process must hang up on
+    (``Server.wait_closed`` waits for every connection handler from
+    Python 3.12.1, and a handler parked in ``readline`` on an idle
+    client would otherwise block shutdown forever).
+    """
+
+    def __init__(self, handler: LineHandler, host: str = "127.0.0.1",
+                 port: int = 0, limit: int = LINE_LIMIT) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self.limit = limit
+        self.connections: set = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> None:
+        """Bind and accept; ``self.port`` holds the actual port
+        afterwards (pass ``port=0`` for an ephemeral one)."""
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=self.limit)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        self.connections.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line beyond the stream limit: readline wraps
+                    # LimitOverrunError in ValueError.
+                    writer.write(encode_message(error_envelope(
+                        None, "request line exceeds %d bytes"
+                        % self.limit)))
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                response = await self.handler(line)
+                if response is None:
+                    continue
+                if not isinstance(response, bytes):
+                    response = encode_message(response)
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop accepting new connections (established ones live on)."""
+        if self._server is not None:
+            self._server.close()
+
+    def hang_up(self) -> None:
+        """Close every open client transport, unblocking handlers
+        parked in ``readline`` so :meth:`wait_closed` can finish."""
+        for writer in list(self.connections):
+            writer.close()
+
+    async def wait_closed(self) -> None:
+        if self._server is not None:
+            await self._server.wait_closed()
+
+
+# -- asyncio client side (router -> shard) -----------------------------------
+
+class AsyncLineConnection:
+    """One upstream protocol connection inside an event loop.
+
+    Strictly one request in flight at a time — callers that need
+    concurrency hold several (the router's per-shard pool does).
+    """
+
+    def __init__(self, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter) -> None:
+        self.reader = reader
+        self.writer = writer
+
+    @classmethod
+    async def open(cls, host: str, port: int,
+                   limit: int = LINE_LIMIT) -> "AsyncLineConnection":
+        reader, writer = await asyncio.open_connection(host, port,
+                                                       limit=limit)
+        return cls(reader, writer)
+
+    async def request_raw(self, line: bytes) -> bytes:
+        """One round trip of pre-framed bytes; the response line comes
+        back verbatim (framing included).  Raises ``ConnectionError``
+        when the peer hangs up mid-cycle."""
+        self.writer.write(line)
+        await self.writer.drain()
+        response = await self.reader.readline()
+        if not response:
+            raise ConnectError("peer closed the connection")
+        if not response.endswith(b"\n"):  # truncated: peer died mid-write
+            raise ConnectError("peer hung up mid-response")
+        return response
+
+    async def request(self, message: dict) -> dict:
+        return decode_message(await self.request_raw(
+            encode_message(message)))
+
+    def close(self) -> None:
+        self.writer.close()
+
+    async def wait_closed(self) -> None:
+        try:
+            await self.writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, OSError):
+            pass
+
+
+# -- blocking client side ----------------------------------------------------
+
+class BlockingLineConnection:
+    """Synchronous protocol connection: the :class:`ServeClient`
+    substrate and the load generator's inner loop.
+
+    ``connect`` retries with exponential backoff — callers that spawn
+    a server and race its socket (``spawn_server`` followed by a first
+    request) get a grace window instead of a bare
+    ``ConnectionRefusedError``, and a clear :class:`ConnectError`
+    when the server really is not there.
+    """
+
+    def __init__(self, host: str, port: int,
+                 timeout: Optional[float] = 120.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._sock: Optional[socket.socket] = None
+        self._file = None
+
+    @property
+    def connected(self) -> bool:
+        return self._sock is not None
+
+    def connect(self, retries: int = 0, backoff: float = 0.05,
+                max_backoff: float = 1.0) -> None:
+        """Establish the connection, retrying ``retries`` times with
+        exponential backoff (``backoff``, doubling, capped at
+        ``max_backoff`` seconds) on refusal/unreachability."""
+        if self._sock is not None:
+            return
+        delay = backoff
+        last_error: Optional[Exception] = None
+        for attempt in range(retries + 1):
+            try:
+                sock = socket.create_connection((self.host, self.port),
+                                                timeout=self.timeout)
+            except OSError as error:
+                last_error = error
+                if attempt < retries:
+                    time.sleep(delay)
+                    delay = min(delay * 2, max_backoff)
+                continue
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._file = sock.makefile("rwb")
+            return
+        raise ConnectError(
+            "no server listening at %s:%d after %d attempt(s): %s — "
+            "is it still starting?  (spawn_server parses the ready "
+            "line; wait_for_server polls ping)"
+            % (self.host, self.port, retries + 1, last_error))
+
+    def round_trip(self, message: dict) -> dict:
+        """One request/response cycle.  Raises ``ConnectionError`` on
+        transport failure (the connection is closed and may be
+        re-``connect``-ed), :class:`ProtocolError` on garbage."""
+        if self._sock is None:
+            self.connect()
+        try:
+            self._file.write(encode_message(message))
+            self._file.flush()
+            raw = self._file.readline()
+        except OSError as error:
+            self.close()
+            raise ConnectError("connection to %s:%d failed: %s"
+                               % (self.host, self.port, error)) from None
+        if not raw:
+            self.close()
+            raise ConnectError("server at %s:%d closed the connection"
+                               % (self.host, self.port))
+        return decode_message(raw)
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None

@@ -1,0 +1,375 @@
+"""Tests for the sharded analysis cluster (``repro router``).
+
+Two layers, mirroring ``test_server.py``:
+
+* **ring algebra** — :class:`HashRing` properties that make the
+  cluster operable: deterministic preference lists, and minimal key
+  movement under membership change (the property that keeps warm
+  shards warm when the fleet grows or shrinks).
+* **embedded cluster** — real :class:`AnalysisServer` shards and a
+  :class:`ClusterRouter` inside one event loop: routing determinism,
+  fingerprints identical to direct analysis, shard-down failover,
+  cross-shard L2 promotion through a shared cache dir, graceful
+  drain, stats aggregation, and batch splitting.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro import analyze
+from repro.benchprogs import benchmark
+from repro.service import server as server_module
+from repro.service.cluster import ClusterRouter, HashRing
+from repro.service.serialize import result_fingerprint
+from repro.service.server import AnalysisServer
+
+
+# -- hash ring ---------------------------------------------------------------
+
+KEYS = ["key-%04d" % i for i in range(400)]
+
+
+def test_ring_preference_is_deterministic_and_complete():
+    ring_a = HashRing(["s1", "s2", "s3"], vnodes=32)
+    ring_b = HashRing(["s3", "s1", "s2"], vnodes=32)  # order-independent
+    for key in KEYS[:50]:
+        preference = ring_a.preference(key)
+        assert sorted(preference) == ["s1", "s2", "s3"]
+        assert preference == ring_b.preference(key)
+        assert ring_a.node_for(key) == preference[0]
+
+
+def test_ring_spreads_keys_over_all_nodes():
+    ring = HashRing(["s1", "s2", "s3", "s4"], vnodes=64)
+    counts = {}
+    for key in KEYS:
+        counts[ring.node_for(key)] = counts.get(ring.node_for(key), 0) + 1
+    assert set(counts) == {"s1", "s2", "s3", "s4"}
+    # vnodes keep the split coarse-grained fair (no shard starved)
+    assert min(counts.values()) >= len(KEYS) * 0.10
+
+
+def test_ring_add_node_moves_only_keys_to_the_new_node():
+    ring = HashRing(["s1", "s2", "s3", "s4"], vnodes=64)
+    before = {key: ring.node_for(key) for key in KEYS}
+    ring.add("s5")
+    moved = 0
+    for key in KEYS:
+        owner = ring.node_for(key)
+        if owner != before[key]:
+            moved += 1
+            assert owner == "s5"  # every moved key moved TO the joiner
+    # ~1/5 of the space moves; anything near full reshuffle is a bug
+    assert 0 < moved <= len(KEYS) * 0.45
+
+
+def test_ring_remove_node_strands_only_its_keys():
+    ring = HashRing(["s1", "s2", "s3", "s4"], vnodes=64)
+    before = {key: ring.node_for(key) for key in KEYS}
+    ring.remove("s2")
+    for key in KEYS:
+        if before[key] != "s2":
+            assert ring.node_for(key) == before[key]
+        else:
+            assert ring.node_for(key) != "s2"
+
+
+def test_ring_preference_order_is_the_failover_order():
+    """Marking the owner down and rehashing must equal 'skip to the
+    next entry of the preference list' — the router relies on it."""
+    ring = HashRing(["s1", "s2", "s3"], vnodes=64)
+    for key in KEYS[:100]:
+        preference = ring.preference(key)
+        survivor_ring = HashRing([node for node in ("s1", "s2", "s3")
+                                  if node != preference[0]], vnodes=64)
+        assert survivor_ring.node_for(key) == preference[1]
+
+
+# -- embedded cluster --------------------------------------------------------
+
+def run_cluster(scenario, shards=2, server_kwargs=None,
+                router_kwargs=None):
+    """N embedded shards + a router in one event loop; always drains
+    router first, then the shards."""
+
+    async def main():
+        servers = [AnalysisServer(port=0,
+                                  **(server_kwargs(index)
+                                     if callable(server_kwargs)
+                                     else dict(server_kwargs or {})))
+                   for index in range(shards)]
+        for server in servers:
+            await server.start()
+        kwargs = dict(health_interval=0.2, backoff=0.01,
+                      down_after=2, request_timeout=60.0)
+        kwargs.update(router_kwargs or {})
+        router = ClusterRouter([("127.0.0.1", server.port)
+                                for server in servers], port=0,
+                               **kwargs)
+        await router.start()
+        try:
+            return await scenario(router, servers)
+        finally:
+            await router.drain_and_close(shutdown_spawned=False)
+            for server in servers:
+                await server.drain_and_close()
+
+    return asyncio.run(main())
+
+
+async def send(port, request):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        return json.loads(await reader.readline())
+    finally:
+        writer.close()
+
+
+def direct_fingerprint(name):
+    bp = benchmark(name)
+    analysis = analyze(bp.source, bp.query, input_types=bp.input_types)
+    return result_fingerprint(analysis.result)
+
+
+def shard_owning(router, benchmark_name):
+    """(shard_id, index into router's shard order) the ring assigns."""
+    key = router._routing_hash({"benchmark": benchmark_name})
+    node = router.ring.preference(key)[0]
+    return node, list(router.shards).index(node)
+
+
+def test_router_analyze_matches_direct_and_sticks_to_one_shard():
+    async def scenario(router, servers):
+        first = await send(router.port, {
+            "id": 1, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        second = await send(router.port, {
+            "id": 2, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        route = await send(router.port, {"id": 3, "op": "route",
+                                         "benchmark": "QU"})
+        return first, second, route
+
+    first, second, route = run_cluster(scenario)
+    assert first["ok"] and second["ok"]
+    assert first["id"] == 1 and second["id"] == 2  # ids pass through
+    assert first["result"]["fingerprint"] == direct_fingerprint("QU")
+    assert second["result"]["fingerprint"] == \
+        first["result"]["fingerprint"]
+    # the repeat was a warm hit on the owning shard, not a re-analysis
+    assert second["result"]["cached"]
+    assert route["result"]["target"] == route["result"]["preference"][0]
+
+
+def test_router_distributes_distinct_programs():
+    """With enough distinct programs both shards end up owning some."""
+    sources = ["p%d(a). p%d(b)." % (i, i) for i in range(12)]
+
+    async def scenario(router, servers):
+        for index, source in enumerate(sources):
+            response = await send(router.port, {
+                "id": index, "op": "analyze", "source": source,
+                "query": ["p%d" % index, 1], "payload": False})
+            assert response["ok"]
+        return [shard.forwarded for shard in router.shards.values()]
+
+    forwarded = run_cluster(scenario)
+    assert sum(forwarded) == len(sources)
+    assert all(count > 0 for count in forwarded)
+
+
+def test_shard_down_failover_keeps_fingerprints_identical():
+    async def scenario(router, servers):
+        fingerprint = direct_fingerprint("QU")
+        first = await send(router.port, {
+            "id": 1, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        assert first["result"]["fingerprint"] == fingerprint
+        # kill the owning shard abruptly (no drain): next request must
+        # fail over to the replica and still match the direct result
+        owner, owner_index = shard_owning(router, "QU")
+        victim = servers[owner_index]
+        victim._server.close()
+        victim._server.hang_up()
+        await victim._server.wait_closed()
+        second = await send(router.port, {
+            "id": 2, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        return fingerprint, second, router.stats.failovers, owner
+
+    fingerprint, second, failovers, owner = run_cluster(scenario)
+    assert second["ok"], second
+    assert second["result"]["fingerprint"] == fingerprint
+    assert failovers >= 1
+
+
+def test_l2_promotion_hits_on_second_shard(tmp_path):
+    """A result computed on one shard is a disk hit on another: the
+    shared --cache-dir is the cross-shard L2."""
+    cache_dir = str(tmp_path / "l2")
+
+    async def scenario(router, servers):
+        owner, owner_index = shard_owning(router, "RE")
+        first = await send(router.port, {
+            "id": 1, "op": "analyze", "benchmark": "RE",
+            "payload": False})
+        assert first["ok"] and not first["result"]["cached"]
+        # take the owner out; the replica must serve from shared disk
+        router.shards[owner].mark_down()
+        second = await send(router.port, {
+            "id": 2, "op": "analyze", "benchmark": "RE",
+            "payload": False})
+        replica_index = 1 - owner_index
+        disk_hits = servers[replica_index].cache.stats.disk_hits
+        return first, second, disk_hits
+
+    # each shard gets its own ResultCache over the SAME directory —
+    # separate memory LRUs, one shared disk store (the deployment shape)
+    from repro.service.cache import ResultCache
+    first, second, disk_hits = run_cluster(
+        scenario, server_kwargs=lambda i: {"cache": ResultCache(cache_dir)})
+    assert second["ok"], second
+    assert second["result"]["cached"]  # no recomputation
+    assert second["result"]["fingerprint"] == \
+        first["result"]["fingerprint"]
+    assert disk_hits >= 1
+
+
+def test_drain_completes_inflight_and_reroutes(monkeypatch):
+    real = server_module._execute_spec
+
+    def slow_execute(spec):
+        time.sleep(0.4)
+        return real(spec)
+
+    monkeypatch.setattr(server_module, "_execute_spec", slow_execute)
+    source = "drainme(a). drainme(b)."
+
+    async def scenario(router, servers):
+        owner = router.ring.preference(
+            router._routing_hash({"source": source}))[0]
+        inflight = asyncio.ensure_future(send(router.port, {
+            "id": 1, "op": "analyze", "source": source,
+            "query": ["drainme", 1], "payload": False}))
+        await asyncio.sleep(0.1)  # the slow analysis is now on-shard
+        drain = await send(router.port, {"id": 2, "op": "drain-shard",
+                                         "shard": owner})
+        assert drain["ok"]
+        assert drain["result"]["status"] == "draining"
+        completed = await inflight  # in-flight request still finishes
+        route = await send(router.port, {"id": 3, "op": "route",
+                                         "source": source})
+        undrain = await send(router.port, {
+            "id": 4, "op": "undrain-shard", "shard": owner})
+        route_back = await send(router.port, {"id": 5, "op": "route",
+                                              "source": source})
+        return owner, completed, route, undrain, route_back
+
+    owner, completed, route, undrain, route_back = run_cluster(scenario)
+    assert completed["ok"], completed
+    # while draining, new work for its keys flows to the replica...
+    assert route["result"]["target"] != owner
+    # ...and undrain deterministically brings the keys home
+    assert undrain["result"]["status"] == "up"
+    assert route_back["result"]["target"] == owner
+
+
+def test_stats_aggregation_merges_the_fleet():
+    async def scenario(router, servers):
+        for name in ("QU", "RE"):
+            response = await send(router.port, {
+                "id": 1, "op": "analyze", "benchmark": name,
+                "payload": False})
+            assert response["ok"]
+        return await send(router.port, {"id": 2, "op": "stats"})
+
+    stats = run_cluster(scenario)["result"]
+    assert set(stats) == {"router", "merged", "shards"}
+    assert stats["router"]["routed"] == 2
+    assert stats["merged"]["shards_up"] == 2
+    assert stats["merged"]["requests"] == 2
+    assert stats["merged"]["analyses_executed"] == 2
+    assert len(stats["shards"]) == 2
+    assert stats["merged"]["latency"]["count"] == 2
+    assert stats["router"]["latency"]["count"] >= 2
+
+
+def test_batch_splits_by_shard_and_preserves_order():
+    names = ["QU", "RE", "PG", "CS", "DS"]
+
+    async def scenario(router, servers):
+        return await send(router.port, {
+            "id": 1, "op": "batch", "benchmarks": names})
+
+    response = run_cluster(scenario)
+    assert response["ok"], response
+    jobs = response["result"]["jobs"]
+    assert [job["name"] for job in jobs] == names
+    for job in jobs:
+        assert job["ok"]
+        assert job["fingerprint"] == direct_fingerprint(job["name"])
+    assert 1 <= response["result"]["shards"] <= 2
+
+
+def test_invalidate_broadcasts_to_every_shard():
+    source = "inval(a). inval(b)."
+
+    async def scenario(router, servers):
+        first = await send(router.port, {
+            "id": 1, "op": "analyze", "source": source,
+            "query": ["inval", 1], "payload": False})
+        assert first["ok"]
+        report = await send(router.port, {
+            "id": 2, "op": "invalidate", "source": source})
+        again = await send(router.port, {
+            "id": 3, "op": "analyze", "source": source,
+            "query": ["inval", 1], "payload": False})
+        return report, again
+
+    report, again = run_cluster(scenario)
+    assert report["ok"]
+    assert report["result"]["invalidated"] >= 1
+    assert len(report["result"]["shards"]) == 2
+    assert again["ok"] and not again["result"]["cached"]
+
+
+def test_all_shards_down_is_a_clear_error():
+    async def scenario(router, servers):
+        for shard in router.shards.values():
+            shard.mark_down()
+        return await send(router.port, {
+            "id": 1, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+
+    response = run_cluster(scenario)
+    assert not response["ok"]
+    assert response["code"] == "no-shards"
+    assert "down" in response["error"]
+
+
+def test_router_rejects_unknown_ops_and_benchmarks():
+    async def scenario(router, servers):
+        unknown_op = await send(router.port, {"id": 1, "op": "nope"})
+        unknown_benchmark = await send(router.port, {
+            "id": 2, "op": "analyze", "benchmark": "NO-SUCH"})
+        unroutable = await send(router.port, {"id": 3, "op": "analyze"})
+        ping = await send(router.port, {"id": 4, "op": "ping"})
+        info = await send(router.port, {"id": 5, "op": "router-info"})
+        return unknown_op, unknown_benchmark, unroutable, ping, info
+
+    unknown_op, unknown_benchmark, unroutable, ping, info = \
+        run_cluster(scenario)
+    assert not unknown_op["ok"] and unknown_op["code"] == "bad-request"
+    assert "router ops" in unknown_op["error"]
+    assert not unknown_benchmark["ok"]
+    assert "NO-SUCH" in unknown_benchmark["error"]
+    assert not unroutable["ok"]
+    assert ping["ok"] and ping["result"]["router"]
+    assert info["ok"]
+    assert len(info["result"]["shards"]) == 2
+    assert set(info["result"]["ring"]) == set(info["result"]["shards"])

@@ -1,0 +1,225 @@
+"""Tests for the shared nd-JSON transport layer.
+
+The protocol pieces — framing, envelopes, :class:`LineServer`,
+:class:`AsyncLineConnection`, :class:`BlockingLineConnection` — are
+exercised directly, without an analysis server behind them: an echo
+handler is enough to pin framing, oversized-line recovery, the raw
+passthrough path, and connect retry-with-backoff.
+"""
+
+import asyncio
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.service.transport import (
+    AsyncLineConnection, BlockingLineConnection, ConnectError,
+    LineServer, ProtocolError, decode_message, encode_message,
+    error_envelope, ok_envelope)
+
+
+# -- framing and envelopes ---------------------------------------------------
+
+def test_encode_decode_roundtrip():
+    message = {"op": "analyze", "benchmark": "QU", "id": 7,
+               "nested": {"a": [1, 2, None]}}
+    line = encode_message(message)
+    assert line.endswith(b"\n")
+    assert b"\n" not in line[:-1]
+    assert decode_message(line) == message
+
+
+def test_decode_rejects_garbage_and_non_objects():
+    with pytest.raises(ProtocolError):
+        decode_message(b"this is not json\n")
+    with pytest.raises(ProtocolError):
+        decode_message(b"[1, 2, 3]\n")
+    with pytest.raises(ProtocolError):
+        decode_message(b'"just a string"\n')
+
+
+def test_envelope_shapes():
+    assert ok_envelope(3, {"x": 1}) == {"id": 3, "ok": True,
+                                        "result": {"x": 1}}
+    error = error_envelope(None, "boom", "timeout")
+    assert error == {"id": None, "ok": False, "error": "boom",
+                     "code": "timeout"}
+    assert error_envelope(1, "bad")["code"] == "bad-request"
+
+
+# -- LineServer --------------------------------------------------------------
+
+def run_with_server(handler, scenario, **kwargs):
+    async def main():
+        server = LineServer(handler, port=0, **kwargs)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            server.close()
+            server.hang_up()
+            await server.wait_closed()
+
+    return asyncio.run(main())
+
+
+def test_line_server_echo_and_blank_lines():
+    async def echo(line):
+        return {"echo": decode_message(line)}
+
+    async def scenario(server):
+        conn = await AsyncLineConnection.open("127.0.0.1", server.port)
+        try:
+            first = await conn.request({"n": 1})
+            # blank lines between requests are tolerated, not answered
+            conn.writer.write(b"\n   \n")
+            second = await conn.request({"n": 2})
+            return first, second
+        finally:
+            conn.close()
+            await conn.wait_closed()
+
+    first, second = run_with_server(echo, scenario)
+    assert first == {"echo": {"n": 1}}
+    assert second == {"echo": {"n": 2}}
+
+
+def test_line_server_bytes_passthrough():
+    """A handler returning bytes writes them verbatim — the router's
+    no-reserialize forwarding path."""
+    canned = b'{"ok": true, "result": {"raw": true}}\n'
+
+    async def handler(line):
+        return canned
+
+    async def scenario(server):
+        conn = await AsyncLineConnection.open("127.0.0.1", server.port)
+        try:
+            return await conn.request_raw(encode_message({"any": 1}))
+        finally:
+            conn.close()
+
+    assert run_with_server(handler, scenario) == canned
+
+
+def test_line_server_oversized_line_answers_then_closes():
+    async def handler(line):  # pragma: no cover - never reached
+        raise AssertionError("oversized line must not reach the handler")
+
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection(
+            "127.0.0.1", server.port)
+        try:
+            writer.write(b"x" * 4096 + b"\n")
+            await writer.drain()
+            response = json.loads(await reader.readline())
+            rest = await reader.read()  # server closes after answering
+            return response, rest
+        finally:
+            writer.close()
+
+    response, rest = run_with_server(handler, scenario, limit=1024)
+    assert not response["ok"]
+    assert response["code"] == "bad-request"
+    assert "exceeds" in response["error"]
+    assert rest == b""
+
+
+# -- AsyncLineConnection -----------------------------------------------------
+
+def test_async_connection_peer_close_raises_connect_error():
+    async def handler(line):
+        return None  # answer nothing; the test closes via hang_up
+
+    async def scenario(server):
+        conn = await AsyncLineConnection.open("127.0.0.1", server.port)
+        request = conn.request_raw(encode_message({"op": "ping"}))
+        task = asyncio.ensure_future(request)
+        await asyncio.sleep(0.05)
+        server.hang_up()
+        with pytest.raises(ConnectError):
+            await task
+
+    run_with_server(handler, scenario)
+
+
+# -- BlockingLineConnection --------------------------------------------------
+
+def _bound_socket():
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    sock.bind(("127.0.0.1", 0))
+    return sock, sock.getsockname()[1]
+
+
+def test_blocking_connect_error_is_actionable():
+    """No listener: the failure names the address, the attempt count,
+    and what to check — not a bare ConnectionRefusedError."""
+    sock, port = _bound_socket()  # bound but never listening
+    try:
+        conn = BlockingLineConnection("127.0.0.1", port, timeout=1.0)
+        with pytest.raises(ConnectError) as exc_info:
+            conn.connect(retries=1, backoff=0.01)
+        message = str(exc_info.value)
+        assert "no server listening at 127.0.0.1:%d" % port in message
+        assert "2 attempt(s)" in message
+        assert "wait_for_server" in message
+    finally:
+        sock.close()
+
+
+def test_blocking_connect_retries_until_listener_appears():
+    """The retry window covers a server that starts listening late —
+    the spawn-then-connect race ServeClient.connect must survive."""
+    sock, port = _bound_socket()
+    served = []
+
+    def listen_late():
+        time.sleep(0.25)
+        sock.listen(1)
+        client, _ = sock.accept()
+        handle = client.makefile("rwb")
+        line = handle.readline()
+        served.append(line)
+        handle.write(encode_message(ok_envelope(None, {"pong": True})))
+        handle.flush()
+        client.close()
+
+    thread = threading.Thread(target=listen_late)
+    thread.start()
+    try:
+        conn = BlockingLineConnection("127.0.0.1", port, timeout=5.0)
+        conn.connect(retries=8, backoff=0.05, max_backoff=0.2)
+        response = conn.round_trip({"op": "ping"})
+        conn.close()
+        assert response["ok"]
+        assert served and json.loads(served[0]) == {"op": "ping"}
+    finally:
+        thread.join()
+        sock.close()
+
+
+def test_blocking_round_trip_peer_close_raises_connect_error():
+    sock, port = _bound_socket()
+    sock.listen(1)
+
+    def accept_and_close():
+        client, _ = sock.accept()
+        client.recv(1024)
+        client.close()
+
+    thread = threading.Thread(target=accept_and_close)
+    thread.start()
+    try:
+        conn = BlockingLineConnection("127.0.0.1", port, timeout=5.0)
+        conn.connect()
+        with pytest.raises(ConnectError) as exc_info:
+            conn.round_trip({"op": "ping"})
+        assert "closed the connection" in str(exc_info.value)
+        assert not conn.connected  # closed, may be re-connect()-ed
+    finally:
+        thread.join()
+        sock.close()
