@@ -520,6 +520,316 @@ def run_table3_through_router(programs, oneshot) -> dict:
             "mismatches": mismatches}
 
 
+# -- chaos mode (PR 7) -------------------------------------------------------
+
+#: Seeded fault plan for the chaos run's shards: small, frequent
+#: transport failures the router must absorb invisibly.  Crashes are
+#: injected from outside (SIGKILL) so the run controls *when*.
+CHAOS_FAULTS = json.dumps({"seed": 7, "faults": [
+    {"kind": "delay-read", "p": 0.03, "delay": 0.005},
+    {"kind": "drop-connection", "p": 0.01},
+]})
+
+
+def run_chaos_churn(hotset, expected, processes, threads,
+                    seconds) -> dict:
+    """Zipf load over a supervised 2-shard cluster with seeded faults,
+    while the run SIGKILLs a shard (auto-restart must bring it back)
+    and churns membership (add-shard, then remove-shard).  Zero
+    client-visible errors allowed."""
+    mismatches: list = []
+    events: list = []
+    # ignore_cleanup_errors: a shard terminated a moment ago may still
+    # be flushing a cache write while rmtree walks the directory.
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-",
+                                     ignore_cleanup_errors=True) \
+            as cache_dir:
+        process, host, port = spawn_router(
+            "--spawn", "2", "--cache-dir", cache_dir,
+            "--max-memory-entries", "64", "--pool-size", "4",
+            "--health-interval", "0.25", "--backoff", "0.02",
+            "--down-after", "2", "--replicate", "2",
+            "--restart-backoff", "0.2", "--breaker-deaths", "8",
+            "--shard-faults", CHAOS_FAULTS)
+        extra_process = None
+        try:
+            with ServeClient(host, port, timeout=600) as client:
+                for job in hotset:
+                    result = client.analyze(
+                        source=job["source"], query=tuple(job["query"]),
+                        input_types=job.get("input_types"),
+                        payload=False)
+                    if result["fingerprint"] != expected[job["base"]]:
+                        mismatches.append(job["name"] + ":warm")
+                stats = client.stats()
+            shard_pids = {shard_id: shard["pid"]
+                          for shard_id, shard in stats["shards"].items()
+                          if isinstance(shard, dict) and "pid" in shard}
+            victim = sorted(shard_pids)[0]
+            # A third, standalone shard for the membership churn.
+            extra_process, extra_host, extra_port = spawn_server(
+                "--cache-dir", cache_dir, "--max-memory-entries", "64")
+            extra_id = "%s:%d" % (extra_host, extra_port)
+
+            def churn() -> None:
+                print("  SIGKILL shard %s (pid %d) mid-run"
+                      % (victim, shard_pids[victim]), file=sys.stderr)
+                os.kill(shard_pids[victim], signal.SIGKILL)
+                events.append({"event": "sigkill", "shard": victim})
+                with ServeClient(host, port, timeout=60) as client:
+                    deadline = time.time() + max(10.0, seconds / 2)
+                    while time.time() < deadline:
+                        info = client.router_info()
+                        if (info["restarts"] >= 1 and
+                                info["shards"][victim]["status"] == "up"):
+                            break
+                        time.sleep(0.2)
+                    events.append({"event": "restart-observed",
+                                   "restarts": info["restarts"]})
+                    print("  shard %s auto-restarted (restarts=%d)"
+                          % (victim, info["restarts"]), file=sys.stderr)
+                    client.add_shard(extra_host, extra_port)
+                    events.append({"event": "add-shard",
+                                   "shard": extra_id})
+                    print("  add-shard %s joined mid-run" % extra_id,
+                          file=sys.stderr)
+                    time.sleep(1.0)
+                    client.remove_shard(extra_id)
+                    events.append({"event": "remove-shard",
+                                   "shard": extra_id})
+                    print("  remove-shard %s drained out mid-run"
+                          % extra_id, file=sys.stderr)
+
+            weights = zipf_weights(len(hotset), 1.1)
+            merged = run_load_workers(host, port, hotset, weights,
+                                      processes, threads, seconds,
+                                      mid_run=churn)
+            _check_hotset_fingerprints(hotset, merged, expected,
+                                       mismatches)
+            with ServeClient(host, port, timeout=60) as client:
+                info = client.router_info()
+                stats = client.stats()
+                client.shutdown()
+            process.wait(timeout=60)
+        except BaseException:
+            process.terminate()
+            raise
+        finally:
+            if extra_process is not None and extra_process.poll() is None:
+                extra_process.terminate()
+                try:
+                    extra_process.wait(timeout=10)
+                except subprocess.TimeoutExpired:
+                    extra_process.kill()
+    faults_injected: dict = {}
+    for shard_stats in stats["shards"].values():
+        for kind, count in ((shard_stats.get("faults") or {})
+                            .get("injected", {})).items():
+            faults_injected[kind] = faults_injected.get(kind, 0) + count
+    return {
+        "shard_faults": json.loads(CHAOS_FAULTS),
+        "requests": merged["requests"],
+        "requests_per_second": round(merged["requests"] / seconds, 2),
+        "errors": merged["errors"],
+        "latency": merged["latency"],
+        "killed_shard": victim,
+        "restarts": info["restarts"],
+        "restart_failures": info["restart_failures"],
+        "breaker_trips": info["breaker_trips"],
+        "shards_added": info["shards_added"],
+        "shards_removed": info["shards_removed"],
+        "failovers": info["failovers"],
+        "replications": info["replications"],
+        "faults_injected_by_shards": faults_injected,
+        "membership_log": info["membership_log"],
+        "events": events,
+        "mismatches": mismatches,
+    }
+
+
+def run_failover_ab(hotset, expected) -> dict:
+    """Failover p95 with and without replication: warm a 2-shard
+    cluster, SIGKILL the busier shard (restarts pushed out of the
+    measurement window), wait for the router to mark it down, then
+    time the *first touch* of every victim-owned key on the surviving
+    replica.  --replicate 2 must beat --replicate 1: seeded memory
+    beats disk-L2 promotion."""
+    out: dict = {"mismatches": []}
+    for replicate in (1, 2):
+        with tempfile.TemporaryDirectory(prefix="repro-ab-",
+                                         ignore_cleanup_errors=True) \
+                as cache_dir:
+            process, host, port = spawn_router(
+                "--spawn", "2", "--cache-dir", cache_dir,
+                "--max-memory-entries", "128", "--pool-size", "4",
+                "--health-interval", "0.2", "--backoff", "0.02",
+                "--down-after", "2", "--replicate", str(replicate),
+                "--restart-backoff", "120")  # victim stays dead
+            try:
+                with ServeClient(host, port, timeout=600) as client:
+                    homes: dict = {}
+                    for job in hotset:
+                        result = client.analyze(
+                            source=job["source"],
+                            query=tuple(job["query"]),
+                            input_types=job.get("input_types"),
+                            payload=False)
+                        if result["fingerprint"] != \
+                                expected[job["base"]]:
+                            out["mismatches"].append(
+                                job["name"] + ":ab-warm")
+                        homes[job["name"]] = client.request(
+                            "route", source=job["source"])["target"]
+                    if replicate > 1:
+                        deadline = time.time() + 20.0
+                        while time.time() < deadline:
+                            info = client.router_info()
+                            if info["replications"] >= len(hotset):
+                                break
+                            time.sleep(0.1)
+                    stats = client.stats()
+                    shard_pids = {
+                        shard_id: shard["pid"]
+                        for shard_id, shard in stats["shards"].items()}
+                    by_owner: dict = {}
+                    for name, owner in homes.items():
+                        by_owner[owner] = by_owner.get(owner, 0) + 1
+                    victim = max(by_owner, key=by_owner.get)
+                    victim_jobs = [job for job in hotset
+                                   if homes[job["name"]] == victim]
+                    os.kill(shard_pids[victim], signal.SIGKILL)
+                    deadline = time.time() + 15.0
+                    while time.time() < deadline:
+                        info = client.router_info()
+                        if info["shards"][victim]["status"] == "down":
+                            break
+                        time.sleep(0.05)
+                    latencies = []
+                    for job in victim_jobs:
+                        begin = time.perf_counter()
+                        result = client.analyze(
+                            source=job["source"],
+                            query=tuple(job["query"]),
+                            input_types=job.get("input_types"),
+                            payload=False)
+                        latencies.append(time.perf_counter() - begin)
+                        if result["fingerprint"] != \
+                                expected[job["base"]]:
+                            out["mismatches"].append(
+                                job["name"] + ":ab-failover")
+                        if not result["cached"]:
+                            out["mismatches"].append(
+                                job["name"] + ":ab-recomputed")
+                    client.shutdown()
+                process.wait(timeout=60)
+            except BaseException:
+                process.terminate()
+                raise
+        latencies.sort()
+        p95 = latencies[min(len(latencies) - 1,
+                            int(0.95 * len(latencies)))]
+        out["replicate_%d" % replicate] = {
+            "victim": victim,
+            "victim_keys": len(victim_jobs),
+            "first_touch_p50": round(
+                latencies[len(latencies) // 2], 5),
+            "first_touch_p95": round(p95, 5),
+            "first_touch_mean": round(
+                sum(latencies) / len(latencies), 5),
+        }
+        print("  replicate=%d: failover first-touch p95 %.2fms over "
+              "%d keys" % (replicate, p95 * 1000.0, len(victim_jobs)),
+              file=sys.stderr)
+    with_r = out["replicate_2"]["first_touch_p95"]
+    without_r = out["replicate_1"]["first_touch_p95"]
+    out["p95_improvement"] = round(without_r / with_r, 2) if with_r \
+        else None
+    return out
+
+
+def chaos_bench_main(args) -> int:
+    base = args.hotset_base
+    print("one-shot CLI baseline (%s)..." % base, file=sys.stderr)
+    oneshot = run_oneshot_cli([base])
+    expected = {base: oneshot["per_program"][base]["fingerprint"]}
+    hotset = make_hotset(min(args.hotset_width, 32), base=base)
+    seconds = max(14.0, args.seconds)
+    processes = min(args.processes, 2)
+    threads = max(1, args.clients // processes)
+
+    print("chaos churn: %d clients, %.0fs, seeded shard faults, "
+          "SIGKILL + membership churn mid-run..."
+          % (processes * threads, seconds), file=sys.stderr)
+    chaos = run_chaos_churn(hotset, expected, processes, threads,
+                            seconds)
+
+    print("failover A/B: --replicate 1 vs --replicate 2...",
+          file=sys.stderr)
+    ab = run_failover_ab(hotset, expected)
+
+    report = {
+        "schema": SCHEMA,
+        "mode": "chaos",
+        "label": args.label,
+        "python": platform.python_version(),
+        "oneshot_cli": oneshot,
+        "hotset": {"base": base, "programs": len(hotset),
+                   "zipf_s": 1.1,
+                   "clients": processes * threads,
+                   "seconds": seconds},
+        "chaos": chaos,
+        "failover_ab": ab,
+        "fingerprint_mismatches": sorted(set(
+            chaos["mismatches"] + ab["mismatches"])),
+    }
+
+    print("\nchaos run    : %d requests, %d errors, %7.1f req/s "
+          "(p50=%ss p95=%ss)"
+          % (chaos["requests"], len(chaos["errors"]),
+             chaos["requests_per_second"],
+             chaos["latency"]["p50"], chaos["latency"]["p95"]))
+    print("self-healing : %d restart(s), %d add(s), %d remove(s), "
+          "%d failover(s), %d replication(s)"
+          % (chaos["restarts"], chaos["shards_added"],
+             chaos["shards_removed"], chaos["failovers"],
+             chaos["replications"]))
+    print("shard faults : %s" % (chaos["faults_injected_by_shards"]
+                                 or "none recorded"))
+    print("failover p95 : %.2fms without replication, %.2fms with "
+          "(x%.2f better)"
+          % (ab["replicate_1"]["first_touch_p95"] * 1000.0,
+             ab["replicate_2"]["first_touch_p95"] * 1000.0,
+             ab["p95_improvement"]))
+
+    if args.write_bench:
+        path = Path(args.write_bench)
+        path.write_text(json.dumps(report, indent=2, sort_keys=True)
+                        + "\n")
+        print("wrote %s" % path, file=sys.stderr)
+
+    problems = []
+    if report["fingerprint_mismatches"]:
+        problems.append("fingerprint mismatches: %s"
+                        % report["fingerprint_mismatches"][:6])
+    if chaos["errors"]:
+        problems.append("chaos run had client-visible errors: %s"
+                        % chaos["errors"][:3])
+    if chaos["restarts"] < 1:
+        problems.append("no successful auto-restart")
+    if chaos["shards_added"] < 1 or chaos["shards_removed"] < 1:
+        problems.append("membership churn did not complete")
+    if ab["replicate_2"]["first_touch_p95"] >= \
+            ab["replicate_1"]["first_touch_p95"]:
+        problems.append(
+            "replication did not improve failover p95 (%.2fms with "
+            "vs %.2fms without)"
+            % (ab["replicate_2"]["first_touch_p95"] * 1000.0,
+               ab["replicate_1"]["first_touch_p95"] * 1000.0))
+    for problem in problems:
+        print("ERROR: %s" % problem, file=sys.stderr)
+    return 1 if problems else 0
+
+
 def router_bench_main(args) -> int:
     programs = benchmark_names(include_variants=False)
     print("one-shot CLI baseline (%d programs)..." % len(programs),
@@ -621,10 +931,13 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Benchmark repro serve (and the repro router "
                     "cluster) against the one-shot CLI.")
-    parser.add_argument("--mode", choices=("server", "router"),
+    parser.add_argument("--mode", choices=("server", "router", "chaos"),
                         default="server",
                         help="'server': the PR 5 single-daemon phases; "
-                             "'router': the PR 6 cluster phases")
+                             "'router': the PR 6 cluster phases; "
+                             "'chaos': the PR 7 self-healing phases "
+                             "(seeded faults, kill/restart, membership "
+                             "churn, replication failover A/B)")
     parser.add_argument("--clients", type=int, default=32,
                         help="concurrent clients in the warm/coalescing "
                              "and scaling phases (default 32)")
@@ -670,6 +983,8 @@ def main(argv=None) -> int:
         return load_worker_main()
     if args.mode == "router":
         return router_bench_main(args)
+    if args.mode == "chaos":
+        return chaos_bench_main(args)
 
     programs = benchmark_names(include_variants=False)
     print("one-shot CLI baseline (%d programs)..." % len(programs),

@@ -265,6 +265,58 @@ def render_router_bench(path: Path) -> bool:
     return ok
 
 
+def render_chaos_bench(path: Path) -> bool:
+    """Pretty-print a BENCH_pr7.json self-healing/chaos report; returns
+    False (a failure) on recorded errors, mismatches, missing
+    restarts/membership churn, or a failover p95 that replication did
+    not improve."""
+    bench = json.loads(path.read_text())
+    hotset = bench["hotset"]
+    chaos = bench["chaos"]
+    ab = bench["failover_ab"]
+    print("\n== self-healing chaos (%s) ==" % path)
+    print("hot set: %d programs over %s (zipf s=%s), %d clients, "
+          "%ss run, seeded shard faults: %s"
+          % (hotset["programs"], hotset["base"], hotset["zipf_s"],
+             hotset["clients"], hotset["seconds"],
+             chaos["shard_faults"]["faults"]))
+    print("load     : %d requests, %d errors, %.1f req/s "
+          "(p50=%ss p95=%ss)"
+          % (chaos["requests"], len(chaos["errors"]),
+             chaos["requests_per_second"], chaos["latency"]["p50"],
+             chaos["latency"]["p95"]))
+    print("healing  : SIGKILL %s -> %d restart(s) (%d failed, "
+          "%d breaker trips); %d add(s), %d remove(s); %d failover(s)"
+          % (chaos["killed_shard"], chaos["restarts"],
+             chaos["restart_failures"], chaos["breaker_trips"],
+             chaos["shards_added"], chaos["shards_removed"],
+             chaos["failovers"]))
+    print("faults   : injected by shards: %s"
+          % (chaos["faults_injected_by_shards"] or "none"))
+    for event in chaos["membership_log"]:
+        print("  membership: %s" % event)
+    for replicate in (1, 2):
+        point = ab["replicate_%d" % replicate]
+        print("failover first-touch (replicate=%d): p50=%ss p95=%ss "
+              "over %d keys of dead shard %s"
+              % (replicate, point["first_touch_p50"],
+                 point["first_touch_p95"], point["victim_keys"],
+                 point["victim"]))
+    print("replication improves failover p95 by x%s"
+          % ab["p95_improvement"])
+    ok = (not bench.get("fingerprint_mismatches")
+          and not chaos["errors"]
+          and chaos["restarts"] >= 1
+          and chaos["shards_added"] >= 1
+          and chaos["shards_removed"] >= 1
+          and ab["replicate_2"]["first_touch_p95"]
+          < ab["replicate_1"]["first_touch_p95"])
+    if not ok:
+        print("ERROR: %s records chaos-phase failures" % path,
+              file=sys.stderr)
+    return ok
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Run the Table-3 benchmark suite and report "
@@ -299,9 +351,15 @@ def main(argv=None) -> int:
                              "benchmarks/bench_server.py --mode "
                              "router); given alone, skips running "
                              "the suite")
+    parser.add_argument("--chaos", metavar="FILE",
+                        help="render a BENCH_pr7.json self-healing / "
+                             "chaos report (produced by "
+                             "benchmarks/bench_server.py --mode "
+                             "chaos); given alone, skips running "
+                             "the suite")
     args = parser.parse_args(argv)
 
-    if (args.server or args.router) and not (
+    if (args.server or args.router or args.chaos) and not (
             args.baseline or args.write_bench or args.out
             or args.programs):
         ok = True
@@ -309,6 +367,8 @@ def main(argv=None) -> int:
             ok &= render_server_bench(Path(args.server))
         if args.router:
             ok &= render_router_bench(Path(args.router))
+        if args.chaos:
+            ok &= render_chaos_bench(Path(args.chaos))
         return 0 if ok else 1
 
     programs = args.programs or benchmark_names(include_variants=False)
@@ -363,6 +423,8 @@ def main(argv=None) -> int:
         fingerprints_ok &= render_server_bench(Path(args.server))
     if args.router:
         fingerprints_ok &= render_router_bench(Path(args.router))
+    if args.chaos:
+        fingerprints_ok &= render_chaos_bench(Path(args.chaos))
 
     if not fingerprints_ok:
         print("ERROR: analysis tables diverge from the baseline",

@@ -133,19 +133,32 @@ class CacheStats:
     disk_hits: int = 0
     misses: int = 0
     puts: int = 0
+    seeds: int = 0
     evictions: int = 0
     invalidations: int = 0
 
 
 class ResultCache:
-    """LRU-over-disk store for serialized analysis results."""
+    """LRU-over-disk store for serialized analysis results.
+
+    ``fsync=True`` (or ``REPRO_CACHE_FSYNC=1``) additionally fsyncs
+    each record file before the atomic rename and the program
+    directory after it, so a committed record survives a machine
+    crash, not just a process crash.  Off by default: the atomic
+    rename already guarantees readers never see a torn record, and
+    the cache is a cache — a lost record is a recomputation, not
+    corruption.
+    """
 
     def __init__(self, cache_dir: Optional[Union[str, os.PathLike]] = None,
-                 max_memory_entries: int = 256) -> None:
+                 max_memory_entries: int = 256,
+                 fsync: Optional[bool] = None) -> None:
         if max_memory_entries < 1:
             raise ValueError("max_memory_entries must be >= 1")
         self.cache_dir = None if cache_dir is None else str(cache_dir)
         self.max_memory_entries = max_memory_entries
+        self.fsync = (os.environ.get("REPRO_CACHE_FSYNC") == "1"
+                      if fsync is None else bool(fsync))
         self._memory: "OrderedDict[str, Tuple[CacheKey, dict]]" = \
             OrderedDict()
         self.stats = CacheStats()
@@ -225,6 +238,16 @@ class ResultCache:
             return
         self._write_disk(key, payload)
 
+    def seed(self, key: CacheKey, payload: dict) -> None:
+        """Store a payload in the *memory* layer only — the replication
+        primitive.  A replica seeded with another shard's result serves
+        it as a memory hit after failover; the disk layer is left to
+        the home shard (the store is shared, a second write would be
+        redundant I/O for the same bytes)."""
+        with self._lock:
+            self._remember(key, payload)
+            self.stats.seeds += 1
+
     def _write_disk(self, key: CacheKey, payload: dict) -> None:
         record = {"key": key.to_obj(), "payload": payload}
         text = json.dumps(record)
@@ -239,7 +262,12 @@ class ResultCache:
                                                 suffix=".tmp")
                 with os.fdopen(fd, "w", encoding="utf-8") as handle:
                     handle.write(text)
+                    if self.fsync:
+                        handle.flush()
+                        os.fsync(handle.fileno())
                 os.replace(tmp_path, self._entry_path(key))
+                if self.fsync:
+                    self._fsync_dir(directory)
                 return
             except FileNotFoundError:
                 # directory vanished underneath us; retry once
@@ -257,6 +285,21 @@ class ResultCache:
                     except OSError:
                         pass
                 raise
+
+    @staticmethod
+    def _fsync_dir(directory: str) -> None:
+        """Durably commit a rename by fsyncing its directory (best
+        effort — not every platform allows opening a directory)."""
+        try:
+            fd = os.open(directory, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
 
     def _remember(self, key: CacheKey, payload: dict) -> None:
         digest = key.digest

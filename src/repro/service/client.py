@@ -182,6 +182,17 @@ class ServeClient:
     def undrain_shard(self, shard: str) -> dict:
         return self.request("undrain-shard", shard=shard)
 
+    def add_shard(self, host: str, port: int,
+                  shard: Optional[str] = None) -> dict:
+        """Join a running shard to the router's ring (after a health
+        probe passes); only its consistent-hash slice moves."""
+        return self.request("add-shard", host=host, port=port,
+                            shard=shard)
+
+    def remove_shard(self, shard: str) -> dict:
+        """Drain a shard, then delete it from the ring."""
+        return self.request("remove-shard", shard=shard)
+
 
 # -- process helpers ---------------------------------------------------------
 
@@ -218,13 +229,27 @@ def _repro_env() -> dict:
 
 
 def _spawn_ready(argv: Sequence[str], ready_timeout: float,
-                 what: str) -> Tuple[subprocess.Popen, str, int]:
+                 what: str, stderr_path: Optional[str] = None
+                 ) -> Tuple[subprocess.Popen, str, int]:
     """Launch a repro daemon subprocess and parse its ready line
-    (``... listening on HOST:PORT ...``)."""
-    process = subprocess.Popen(
-        [sys.executable, "-m", "repro"] + list(argv),
-        stdout=subprocess.PIPE, stderr=subprocess.DEVNULL, text=True,
-        env=_repro_env())
+    (``... listening on HOST:PORT ...``).
+
+    ``stderr_path`` captures the child's stderr to a log file (append
+    mode, so restarts of the same shard accumulate in one place) —
+    without it crash evidence vanishes into ``DEVNULL``.
+    """
+    if stderr_path is None:
+        stderr = subprocess.DEVNULL
+    else:
+        stderr = open(stderr_path, "ab", buffering=0)
+    try:
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro"] + list(argv),
+            stdout=subprocess.PIPE, stderr=stderr, text=True,
+            env=_repro_env())
+    finally:
+        if stderr_path is not None:
+            stderr.close()  # the child holds its own descriptor now
     # Read the pipe on a thread so ready_timeout holds even against a
     # child that is alive but silent (readline alone would block
     # unboundedly and the deadline would never be checked).
@@ -260,13 +285,16 @@ def _spawn_ready(argv: Sequence[str], ready_timeout: float,
 
 
 def spawn_server(*extra_args: str,
-                 ready_timeout: float = 60.0
+                 ready_timeout: float = 60.0,
+                 stderr_path: Optional[str] = None
                  ) -> Tuple[subprocess.Popen, str, int]:
     """Launch ``repro serve --port 0 [extra_args]`` as a subprocess
     and return ``(process, host, port)`` parsed from the ready line.
-    The caller owns the process (send ``shutdown`` or terminate it)."""
+    The caller owns the process (send ``shutdown`` or terminate it).
+    ``stderr_path`` appends the child's stderr to a log file."""
     return _spawn_ready(["serve", "--port", "0"] + list(extra_args),
-                        ready_timeout, "repro serve")
+                        ready_timeout, "repro serve",
+                        stderr_path=stderr_path)
 
 
 def spawn_router(*extra_args: str,

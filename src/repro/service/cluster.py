@@ -38,6 +38,19 @@ path).  Service guarantees on top of routing:
 * **graceful drain** — ``drain-shard`` takes a shard out of rotation
   while its in-flight requests complete; ``shutdown`` drains the
   router itself (and any shards it spawned with ``--spawn``);
+* **supervision** — the health loop detects spawned-shard deaths
+  (``Popen.poll``), prints the tail of the shard's stderr log, and
+  respawns the original argv on the same port with exponential
+  backoff; a crash-loop breaker stops restarting after K deaths
+  inside a sliding window.  Un-spawned shards keep the skip-in-ring
+  behavior — the router cannot resurrect a process it does not own;
+* **live membership** — ``add-shard`` joins a running shard to the
+  ring after a health probe passes (only its consistent-hash slice
+  moves), ``remove-shard`` drains then deletes; both are journaled;
+* **replicated writes** — a fresh analyze result computed on its home
+  shard is asynchronously ``seed``-ed into the next ``replicate - 1``
+  replicas' *memory* tiers, so failover lands on warm memory instead
+  of disk-L2 (the shared store already covers durability);
 * **fleet observability** — ``stats`` fans out to every live shard
   and merges hit rates, queue depths, and latency summaries next to
   the router's own end-to-end percentiles.
@@ -49,6 +62,7 @@ import argparse
 import asyncio
 import hashlib
 import os
+import random
 import sys
 import time
 from bisect import bisect_right
@@ -186,6 +200,16 @@ class ShardState:
         self.failures = 0
         self.consecutive_failures = 0
         self.process = None         # Popen when the router spawned it
+        # -- supervision (spawned shards only) --
+        self.spawn_argv: Optional[List[str]] = None  # respawn recipe
+        self.log_path: Optional[str] = None          # stderr capture
+        self.restarts = 0
+        self.restart_failures = 0
+        self.recent_deaths: "deque[float]" = deque(maxlen=32)
+        self.next_restart_at: Optional[float] = None  # monotonic
+        self.death_handled = False   # this death already noted?
+        self.breaker_tripped = False
+        self.last_probe_at: Optional[float] = None    # wall clock
         self._idle: "deque[AsyncLineConnection]" = deque()
         self._slots: Optional[asyncio.Semaphore] = None
 
@@ -268,6 +292,14 @@ class ShardState:
             "idle_connections": len(self._idle),
             "pool_size": self.pool_size,
             "spawned": self.process is not None,
+            "supervised": self.spawn_argv is not None,
+            "restarts": self.restarts,
+            "restart_failures": self.restart_failures,
+            "recent_deaths": len(self.recent_deaths),
+            "breaker_tripped": self.breaker_tripped,
+            "restart_pending": self.next_restart_at is not None,
+            "last_probe_at": self.last_probe_at,
+            "log_path": self.log_path,
         }
 
 
@@ -277,7 +309,10 @@ class RouterStats:
     """Router-level counters and an end-to-end latency ring."""
 
     __slots__ = ("started", "requests", "routed", "local", "retries",
-                 "failovers", "errors", "latencies")
+                 "failovers", "errors", "latencies", "restarts",
+                 "restart_failures", "breaker_trips", "shards_added",
+                 "shards_removed", "replications",
+                 "replication_failures")
 
     def __init__(self) -> None:
         self.started = time.time()
@@ -288,6 +323,13 @@ class RouterStats:
         self.failovers = 0
         self.errors = 0
         self.latencies: "deque[float]" = deque(maxlen=4096)
+        self.restarts = 0
+        self.restart_failures = 0
+        self.breaker_trips = 0
+        self.shards_added = 0
+        self.shards_removed = 0
+        self.replications = 0
+        self.replication_failures = 0
 
     def latency_summary(self) -> dict:
         return ServerStats.latency_summary(self)  # same ring shape
@@ -315,9 +357,17 @@ class ClusterRouter:
                  vnodes: int = 64, pool_size: int = 4,
                  retries: int = 2, backoff: float = 0.05,
                  health_interval: float = 1.0, down_after: int = 2,
-                 request_timeout: Optional[float] = 300.0) -> None:
+                 request_timeout: Optional[float] = 300.0,
+                 replicate: int = 1,
+                 restart_backoff: float = 0.5,
+                 restart_backoff_max: float = 30.0,
+                 breaker_deaths: int = 5,
+                 breaker_window: float = 30.0,
+                 faults=None) -> None:
         if not shards:
             raise ValueError("a router needs at least one shard")
+        if replicate < 1:
+            raise ValueError("replicate must be >= 1")
         self.host = host
         self.port = port
         self.cache_dir = cache_dir
@@ -326,6 +376,12 @@ class ClusterRouter:
         self.health_interval = health_interval
         self.down_after = down_after
         self.request_timeout = request_timeout
+        self.replicate = replicate
+        self.restart_backoff = restart_backoff
+        self.restart_backoff_max = restart_backoff_max
+        self.breaker_deaths = breaker_deaths
+        self.breaker_window = breaker_window
+        self.faults = faults
         self.stats = RouterStats()
         self.shards: Dict[str, ShardState] = {}
         for spec in shards:
@@ -347,6 +403,17 @@ class ClusterRouter:
         self._shutdown_event: Optional[asyncio.Event] = None
         self._draining = False
         self._inflight_requests = 0
+        #: membership/supervision journal: the last 64 events, newest
+        #: last, surfaced by ``router-info``.
+        self.membership_log: "deque[dict]" = deque(maxlen=64)
+        #: jitter source for the health loop — process-local on
+        #: purpose, so N routers probing one fleet desynchronize.
+        self._jitter = random.Random(os.getpid() ^ int(time.time()))
+        #: replication bookkeeping: result digests already seeded (an
+        #: LRU — reseeding is harmless, just wasted bytes) and the
+        #: in-flight background pushes a drain must wait out.
+        self._seeded: "OrderedDict[str, bool]" = OrderedDict()
+        self._replication_tasks: set = set()
         #: source text -> program_hash memo (hashing parses the
         #: program; the router pays that once per distinct program).
         self._program_hashes: "OrderedDict[str, str]" = OrderedDict()
@@ -358,10 +425,16 @@ class ClusterRouter:
     async def start(self) -> None:
         self._shutdown_event = asyncio.Event()
         self._server = LineServer(self._serve_line, self.host,
-                                  self.port, limit=LINE_LIMIT)
+                                  self.port, limit=LINE_LIMIT,
+                                  faults=self.faults)
         await self._server.start()
         self.port = self._server.port
         self._health_task = asyncio.ensure_future(self._health_loop())
+
+    def _journal(self, event: str, shard_id: str, **detail) -> None:
+        entry = dict(detail, event=event, shard=shard_id,
+                     at=round(time.time(), 3))
+        self.membership_log.append(entry)
 
     async def serve_until_shutdown(self) -> None:
         assert self._shutdown_event is not None
@@ -380,7 +453,9 @@ class ClusterRouter:
         if self._server is not None:
             self._server.close()
         deadline = time.monotonic() + (self.request_timeout or 60.0)
-        while self._inflight_requests > 0 and time.monotonic() < deadline:
+        while ((self._inflight_requests > 0
+                or self._replication_tasks)
+               and time.monotonic() < deadline):
             await asyncio.sleep(0.02)
         if self._health_task is not None:
             self._health_task.cancel()
@@ -398,7 +473,7 @@ class ClusterRouter:
 
     async def _shutdown_spawned_shards(self) -> None:
         loop = asyncio.get_running_loop()
-        for shard in self.shards.values():
+        for shard in list(self.shards.values()):
             if shard.process is None:
                 continue
             try:
@@ -412,19 +487,34 @@ class ClusterRouter:
             except Exception:
                 shard.process.terminate()
 
-    # -- health --------------------------------------------------------------
+    # -- health & supervision ------------------------------------------------
 
     async def _health_loop(self) -> None:
         while True:
-            await asyncio.sleep(self.health_interval)
+            # Jittered cadence (±50%): N routers probing one fleet —
+            # or one router restarted in lockstep with its shards —
+            # must not synchronize their probe bursts.
+            await asyncio.sleep(self.health_interval
+                                * self._jitter.uniform(0.5, 1.5))
             await asyncio.gather(*(self._check_shard(shard)
-                                   for shard in self.shards.values()),
+                                   for shard in list(self.shards.values())),
                                  return_exceptions=True)
 
     async def _check_shard(self, shard: ShardState) -> None:
         """One probe over a dedicated connection — never through the
-        pool, so a shard busy with long analyses still answers."""
+        pool, so a shard busy with long analyses still answers.
+        Spawned shards get supervision on top: a dead process is
+        detected here, logged, and queued for restart."""
         if shard.status == "draining":
+            return
+        shard.last_probe_at = time.time()
+        if shard.process is not None and shard.process.poll() is not None:
+            if not shard.death_handled:
+                self._note_shard_death(
+                    shard, "exited with code %s" % shard.process.poll())
+            if (shard.next_restart_at is not None
+                    and time.monotonic() >= shard.next_restart_at):
+                await self._restart_shard(shard)
             return
         probe_timeout = max(1.0, min(5.0, self.health_interval * 2))
         conn = None
@@ -451,6 +541,101 @@ class ClusterRouter:
             if shard.note_failure(self.down_after):
                 print("repro router: shard %s marked down" % shard.id,
                       file=sys.stderr)
+
+    def _deaths_in_window(self, shard: ShardState) -> int:
+        cutoff = time.monotonic() - self.breaker_window
+        return sum(1 for at in shard.recent_deaths if at >= cutoff)
+
+    def _note_shard_death(self, shard: ShardState, what: str) -> None:
+        """Record one death of a supervised shard: mark it down, dump
+        crash evidence, and either schedule a backed-off restart or
+        trip the crash-loop breaker."""
+        shard.recent_deaths.append(time.monotonic())
+        shard.death_handled = True
+        shard.mark_down()
+        print("repro router: shard %s died (%s)" % (shard.id, what),
+              file=sys.stderr)
+        self._print_shard_log_tail(shard)
+        deaths = self._deaths_in_window(shard)
+        if deaths >= self.breaker_deaths:
+            shard.breaker_tripped = True
+            shard.next_restart_at = None
+            self.stats.breaker_trips += 1
+            self._journal("breaker-tripped", shard.id, deaths=deaths,
+                          window=self.breaker_window)
+            print("repro router: shard %s crash-looping (%d deaths in "
+                  "%.0fs) — breaker tripped, no further restarts "
+                  "(remove-shard + add-shard to reset)"
+                  % (shard.id, deaths, self.breaker_window),
+                  file=sys.stderr)
+            return
+        if shard.spawn_argv is None:
+            # Not ours to restart: keep today's skip-in-ring behavior.
+            self._journal("shard-death", shard.id, supervised=False)
+            return
+        delay = min(self.restart_backoff_max,
+                    self.restart_backoff * (2 ** max(0, deaths - 1)))
+        shard.next_restart_at = time.monotonic() + delay
+        self._journal("shard-death", shard.id, supervised=True,
+                      restart_in=round(delay, 3), deaths_in_window=deaths)
+        print("repro router: restarting shard %s in %.2fs (death %d "
+              "in window)" % (shard.id, delay, deaths), file=sys.stderr)
+
+    def _print_shard_log_tail(self, shard: ShardState,
+                              lines: int = 20) -> None:
+        if not shard.log_path:
+            return
+        try:
+            with open(shard.log_path, "rb") as handle:
+                tail = handle.readlines()[-lines:]
+        except OSError:
+            return
+        if not tail:
+            return
+        print("repro router: last %d line(s) of %s:"
+              % (len(tail), shard.log_path), file=sys.stderr)
+        for raw in tail:
+            print("  | %s" % raw.decode("utf-8", "replace").rstrip(),
+                  file=sys.stderr)
+
+    def _spawn_shard_process(self, shard: ShardState):
+        """Respawn a supervised shard's original argv (same port).
+        Blocking — runs in an executor; split out so tests can
+        monkeypatch the spawn itself."""
+        from .client import _spawn_ready
+        process, _, port = _spawn_ready(
+            list(shard.spawn_argv), ready_timeout=60.0,
+            what="repro serve (restart of %s)" % shard.id,
+            stderr_path=shard.log_path)
+        if port != shard.port:
+            process.terminate()
+            raise RuntimeError(
+                "restarted shard came up on port %d, expected %d"
+                % (port, shard.port))
+        return process
+
+    async def _restart_shard(self, shard: ShardState) -> None:
+        shard.next_restart_at = None  # claimed: no concurrent attempt
+        loop = asyncio.get_running_loop()
+        try:
+            process = await loop.run_in_executor(
+                None, self._spawn_shard_process, shard)
+        except Exception as error:
+            shard.restart_failures += 1
+            self.stats.restart_failures += 1
+            # A failed restart counts as a death: it feeds the breaker
+            # and pushes the next attempt further out.
+            self._note_shard_death(shard, "restart failed: %s" % error)
+            return
+        shard.process = process
+        shard.restarts += 1
+        self.stats.restarts += 1
+        shard.death_handled = False
+        shard.mark_up()
+        self._journal("shard-restarted", shard.id, pid=process.pid,
+                      restarts=shard.restarts)
+        print("repro router: shard %s restarted (pid %d, restart #%d)"
+              % (shard.id, process.pid, shard.restarts), file=sys.stderr)
 
     # -- dispatch ------------------------------------------------------------
 
@@ -579,8 +764,10 @@ class ClusterRouter:
                 await asyncio.sleep(delay)
                 delay = min(delay * 2, 1.0)
             for node in preference:
-                shard = self.shards[node]
-                if not shard.available:
+                # .get(): remove-shard may delete a node while this
+                # request walks a preference list computed before it.
+                shard = self.shards.get(node)
+                if shard is None or not shard.available:
                     continue
                 attempts += 1
                 try:
@@ -605,6 +792,10 @@ class ClusterRouter:
                 shard.note_success()
                 if node != preference[0]:
                     self.stats.failovers += 1
+                if (self.replicate > 1 and len(preference) > 1
+                        and request.get("op") == "analyze"):
+                    self._maybe_replicate(node, preference, request,
+                                          response)
                 return response
         if attempts == 0:
             raise RequestError(
@@ -613,6 +804,86 @@ class ClusterRouter:
         raise RequestError(
             "all replicas failed after %d attempt(s): %s"
             % (attempts, last_error), "shard-unavailable")
+
+    # -- replicated writes ---------------------------------------------------
+
+    #: Analyze-request fields that identify the workload — the seed
+    #: request must carry them verbatim so the replica derives the
+    #: same CacheKey as the home shard.
+    _SPEC_FIELDS = ("source", "benchmark", "query", "input_types",
+                    "config", "or_width", "baseline")
+
+    def _maybe_replicate(self, home: str, preference: Tuple[str, ...],
+                         request: dict, response: bytes) -> None:
+        """After a successful analyze on ``home``: push the result into
+        the next ``replicate - 1`` replicas' memory tiers, in the
+        background.  Only *fresh* computations replicate — cache hits
+        and coalesced riders were already seeded when first computed."""
+        try:
+            envelope = decode_message(response)
+        except ProtocolError:
+            return
+        if not envelope.get("ok"):
+            return
+        result = envelope.get("result") or {}
+        if result.get("cached") or result.get("coalesced"):
+            return
+        digest = result.get("key")
+        if not digest or digest in self._seeded:
+            return
+        self._seeded[digest] = True
+        if len(self._seeded) > 4096:
+            self._seeded.popitem(last=False)
+        task = asyncio.ensure_future(
+            self._replicate(home, preference, request, result))
+        self._replication_tasks.add(task)
+        task.add_done_callback(self._replication_tasks.discard)
+
+    async def _replicate(self, home: str, preference: Tuple[str, ...],
+                         request: dict, result: dict) -> None:
+        spec = {field: request[field] for field in self._SPEC_FIELDS
+                if request.get(field) is not None}
+        payload = result.get("payload")
+        if payload is None:
+            # Most clients ask payload=False, so the forwarded bytes
+            # carry no tables; re-fetch from the home shard — a memory
+            # hit there, it just computed the result.
+            home_shard = self.shards.get(home)
+            if home_shard is None:
+                return
+            try:
+                envelope = await home_shard.request(
+                    dict(spec, id=None, op="analyze", payload=True),
+                    timeout=30.0)
+            except (asyncio.TimeoutError, ProtocolError,
+                    *_FORWARD_ERRORS):
+                self.stats.replication_failures += 1
+                return
+            if not envelope.get("ok"):
+                self.stats.replication_failures += 1
+                return
+            payload = envelope["result"].get("payload")
+            if payload is None:
+                self.stats.replication_failures += 1
+                return
+        seed_line = encode_message(
+            dict(spec, id=None, op="seed", payload=payload))
+        replicas = [node for node in preference if node != home]
+        for node in replicas[:self.replicate - 1]:
+            shard = self.shards.get(node)
+            if shard is None or shard.status != "up":
+                continue
+            try:
+                envelope = decode_message(
+                    await shard.request_raw(seed_line, 30.0))
+            except (asyncio.TimeoutError, ProtocolError,
+                    *_FORWARD_ERRORS):
+                self.stats.replication_failures += 1
+                continue
+            if envelope.get("ok"):
+                self.stats.replications += 1
+            else:
+                self.stats.replication_failures += 1
 
     # -- fan-out ops ---------------------------------------------------------
 
@@ -746,12 +1017,26 @@ class ClusterRouter:
             "backoff": self.backoff,
             "health_interval": self.health_interval,
             "down_after": self.down_after,
+            "replicate": self.replicate,
+            "restart_backoff": self.restart_backoff,
+            "breaker_deaths": self.breaker_deaths,
+            "breaker_window": self.breaker_window,
             "requests": self.stats.requests,
             "routed": self.stats.routed,
             "local": self.stats.local,
             "failovers": self.stats.failovers,
             "forward_retries": self.stats.retries,
             "errors": self.stats.errors,
+            "restarts": self.stats.restarts,
+            "restart_failures": self.stats.restart_failures,
+            "breaker_trips": self.stats.breaker_trips,
+            "shards_added": self.stats.shards_added,
+            "shards_removed": self.stats.shards_removed,
+            "replications": self.stats.replications,
+            "replication_failures": self.stats.replication_failures,
+            "membership_log": list(self.membership_log),
+            "faults": (None if self.faults is None
+                       else self.faults.describe()),
             "ring": list(self.ring.nodes),
             "shards": {shard_id: shard.info()
                        for shard_id, shard in self.shards.items()},
@@ -831,6 +1116,13 @@ class ClusterRouter:
                 "failovers": self.stats.failovers,
                 "forward_retries": self.stats.retries,
                 "errors": self.stats.errors,
+                "restarts": self.stats.restarts,
+                "restart_failures": self.stats.restart_failures,
+                "breaker_trips": self.stats.breaker_trips,
+                "shards_added": self.stats.shards_added,
+                "shards_removed": self.stats.shards_removed,
+                "replications": self.stats.replications,
+                "replication_failures": self.stats.replication_failures,
                 "latency": self.stats.latency_summary(),
             },
             "merged": merged,
@@ -873,6 +1165,79 @@ class ClusterRouter:
             shard.consecutive_failures = 0
         return {"shard": shard.id, "status": shard.status}
 
+    async def _op_add_shard(self, request: dict) -> dict:
+        """Join a running ``repro serve`` to the ring — after a health
+        probe passes, so a typo'd address never lands in rotation.
+        Consistent hashing moves only the joining shard's slice."""
+        host = request.get("host")
+        port = request.get("port")
+        if not isinstance(host, str) or not isinstance(port, int):
+            raise RequestError("'add-shard' needs 'host' (string) and "
+                               "'port' (integer)")
+        shard_id = str(request.get("shard") or "%s:%d" % (host, port))
+        if shard_id in self.shards:
+            raise RequestError("shard %s already in the ring" % shard_id)
+        pool_size = next(iter(self.shards.values())).pool_size \
+            if self.shards else 4
+        shard = ShardState(shard_id, host, port, pool_size)
+        try:
+            response = await shard.request({"id": None, "op": "ping"},
+                                           timeout=10.0)
+        except (asyncio.TimeoutError, ProtocolError,
+                *_FORWARD_ERRORS) as error:
+            raise RequestError(
+                "health probe of %s:%d failed (%s) — shard not added"
+                % (host, port, error), "shard-unavailable")
+        if not response.get("ok"):
+            raise RequestError(
+                "health probe of %s:%d answered an error — shard not "
+                "added" % (host, port), "shard-unavailable")
+        self.shards[shard_id] = shard
+        self.ring.add(shard_id)
+        self.stats.shards_added += 1
+        self._journal("add-shard", shard_id)
+        print("repro router: shard %s joined the ring (%d shards)"
+              % (shard_id, len(self.shards)), file=sys.stderr)
+        return {"shard": shard_id, "shards": len(self.shards),
+                "ring": list(self.ring.nodes)}
+
+    async def _op_remove_shard(self, request: dict) -> dict:
+        """Drain a shard, then delete it from the ring.  With
+        ``shutdown: true`` the shard process is also asked to exit
+        (the default for shards this router spawned)."""
+        shard = self._shard_of(request)
+        live = [s for s in self.shards.values() if s.id != shard.id]
+        if not live:
+            raise RequestError("cannot remove the last shard")
+        # Drain first: new requests route around a draining shard
+        # (``available`` is False) while in-flight ones finish.
+        shard.status = "draining"
+        deadline = time.monotonic() + 30.0
+        while shard.inflight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        drained = shard.inflight == 0
+        shutdown = request.get("shutdown")
+        if shutdown is None:
+            shutdown = shard.process is not None
+        if shutdown:
+            try:
+                await shard.request({"id": None, "op": "shutdown"},
+                                    timeout=10.0)
+            except (asyncio.TimeoutError, ProtocolError,
+                    *_FORWARD_ERRORS):
+                pass
+        shard.close_idle()
+        self.ring.remove(shard.id)
+        del self.shards[shard.id]
+        self.stats.shards_removed += 1
+        self._journal("remove-shard", shard.id, drained=drained,
+                      shutdown=bool(shutdown))
+        print("repro router: shard %s left the ring (%d shards)"
+              % (shard.id, len(self.shards)), file=sys.stderr)
+        return {"shard": shard.id, "drained": drained,
+                "shards": len(self.shards),
+                "ring": list(self.ring.nodes)}
+
     def _shard_of(self, request: dict) -> ShardState:
         shard_id = request.get("shard")
         shard = self.shards.get(str(shard_id))
@@ -897,6 +1262,8 @@ class ClusterRouter:
         "cache-info": _op_cache_info,
         "drain-shard": _op_drain_shard,
         "undrain-shard": _op_undrain_shard,
+        "add-shard": _op_add_shard,
+        "remove-shard": _op_remove_shard,
         "shutdown": _op_shutdown,
     }
 
@@ -954,24 +1321,77 @@ def router_main(argv) -> int:
     parser.add_argument("--max-memory-entries", type=int, default=256,
                         help="--max-memory-entries forwarded to "
                              "spawned shards")
+    parser.add_argument("--replicate", type=int, default=1,
+                        help="memory-tier copies of each fresh analyze "
+                             "result (1 = home shard only; R > 1 seeds "
+                             "the next R-1 ring replicas; default 1)")
+    parser.add_argument("--restart-backoff", type=float, default=0.5,
+                        help="initial delay before restarting a dead "
+                             "spawned shard, doubling per death "
+                             "(default 0.5)")
+    parser.add_argument("--restart-backoff-max", type=float,
+                        default=30.0,
+                        help="backoff ceiling for shard restarts "
+                             "(default 30)")
+    parser.add_argument("--breaker-deaths", type=int, default=5,
+                        help="deaths within --breaker-window that trip "
+                             "the crash-loop breaker (default 5)")
+    parser.add_argument("--breaker-window", type=float, default=30.0,
+                        help="sliding window in seconds for the "
+                             "crash-loop breaker (default 30)")
+    parser.add_argument("--shard-log-dir", default=None, metavar="DIR",
+                        help="directory for spawned-shard stderr logs "
+                             "(default: <cache-dir>/shard-logs when "
+                             "--cache-dir is set, else discarded)")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault plan for the "
+                             "*router's* listener: inline JSON or "
+                             "@file (see repro.service.faults)")
+    parser.add_argument("--shard-faults", metavar="SPEC", default=None,
+                        help="fault plan forwarded to spawned shards "
+                             "via their --faults flag")
     args = parser.parse_args(argv)
+
+    from .faults import FaultSpecError, parse_fault_spec
+    faults = None
+    if args.faults:
+        try:
+            faults = parse_fault_spec(args.faults)
+        except FaultSpecError as error:
+            parser.error("--faults: %s" % error)
+    if args.shard_faults:
+        try:
+            parse_fault_spec(args.shard_faults)  # fail fast, here
+        except FaultSpecError as error:
+            parser.error("--shard-faults: %s" % error)
 
     shard_addresses: List[str] = list(args.shard)
     spawned = []
     if args.spawn:
         from .client import spawn_server
+        log_dir = args.shard_log_dir
+        if log_dir is None and args.cache_dir:
+            log_dir = os.path.join(args.cache_dir, "shard-logs")
+        if log_dir:
+            os.makedirs(log_dir, exist_ok=True)
         shard_args = ["--timeout", str(args.timeout or 0),
                       "--workers", str(args.workers),
                       "--max-memory-entries",
                       str(args.max_memory_entries)]
         if args.cache_dir:
             shard_args += ["--cache-dir", args.cache_dir]
+        if args.shard_faults:
+            shard_args += ["--faults", args.shard_faults]
         for index in range(args.spawn):
-            process, shard_host, shard_port = spawn_server(*shard_args)
-            spawned.append((process, shard_host, shard_port))
+            log_path = (os.path.join(log_dir, "shard-%d.log" % index)
+                        if log_dir else None)
+            process, shard_host, shard_port = spawn_server(
+                *shard_args, stderr_path=log_path)
+            spawned.append((process, shard_host, shard_port, log_path))
             shard_addresses.append("%s:%d" % (shard_host, shard_port))
-            print("repro router: spawned shard %d at %s:%d (pid %d)"
-                  % (index, shard_host, shard_port, process.pid),
+            print("repro router: spawned shard %d at %s:%d (pid %d%s)"
+                  % (index, shard_host, shard_port, process.pid,
+                     ", log %s" % log_path if log_path else ""),
                   file=sys.stderr)
     if not shard_addresses:
         parser.error("give at least one --shard HOST:PORT or --spawn N")
@@ -982,10 +1402,22 @@ def router_main(argv) -> int:
         pool_size=args.pool_size, retries=args.retries,
         backoff=args.backoff, health_interval=args.health_interval,
         down_after=args.down_after,
-        request_timeout=(None if not args.timeout else args.timeout))
-    for process, shard_host, shard_port in spawned:
-        router.shards["%s:%d" % (shard_host, shard_port)].process = \
-            process
+        request_timeout=(None if not args.timeout else args.timeout),
+        replicate=args.replicate,
+        restart_backoff=args.restart_backoff,
+        restart_backoff_max=args.restart_backoff_max,
+        breaker_deaths=args.breaker_deaths,
+        breaker_window=args.breaker_window,
+        faults=faults)
+    for process, shard_host, shard_port, log_path in spawned:
+        shard = router.shards["%s:%d" % (shard_host, shard_port)]
+        shard.process = process
+        shard.log_path = log_path
+        # The respawn recipe: the original argv with the ephemeral
+        # port pinned, so a restarted shard comes back *on the same
+        # address* and the ring never changes under supervision.
+        shard.spawn_argv = (["serve", "--port", str(shard_port)]
+                            + shard_args)
 
     async def run() -> None:
         await router.start()
@@ -1009,9 +1441,14 @@ def router_main(argv) -> int:
     except KeyboardInterrupt:
         pass
     finally:
-        for process, _, _ in spawned:
+        for process, _, _, _ in spawned:
             if process.poll() is None:
                 process.terminate()
+        # Restarted shards are not in ``spawned``; sweep the live
+        # shard table too so nothing outlives the router.
+        for shard in router.shards.values():
+            if shard.process is not None and shard.process.poll() is None:
+                shard.process.terminate()
     return 0
 
 

@@ -1,0 +1,308 @@
+"""Deterministic fault injection for the service transport.
+
+The cluster's self-healing claims — auto-restart, failover, replicated
+warm memory — are only claims until the failures they guard against
+can be produced *on demand and reproducibly*.  This module defines a
+seeded :class:`FaultPlan`: a list of fault rules evaluated at fixed
+points of :class:`~repro.service.transport.LineServer`'s connection
+lifecycle, each drawing from its own deterministic RNG stream, so the
+same plan against the same request sequence injects the same faults.
+
+Fault kinds (the injection point in parentheses):
+
+``refuse-accept``
+    Close a just-accepted connection before reading anything (accept).
+``drop-connection``
+    Read a request, then close the connection without answering
+    (request).
+``delay-read``
+    Sleep ``delay`` seconds between reading a request and handling it
+    (request).
+``crash-process``
+    SIGKILL the process when the matching request arrives — the
+    hardest failure a supervisor must survive (request).
+``delay-write``
+    Sleep ``delay`` seconds before writing a response (response).
+``truncate-line``
+    Write only the first half of a response line, then close — the
+    torn-write shape clients must treat as a transport failure, never
+    as data (response).
+
+Spec grammar (JSON, via ``--faults`` on ``repro serve`` / ``repro
+router`` or the ``REPRO_FAULTS`` environment variable; a leading ``@``
+reads the spec from a file)::
+
+    {"seed": 7, "faults": [
+        {"kind": "delay-read", "p": 0.05, "delay": 0.01},
+        {"kind": "drop-connection", "p": 0.01, "after": 20},
+        {"kind": "crash-process", "at": 100}
+    ]}
+
+``p`` (or ``probability``) is the per-event firing probability;
+``after`` suppresses a rule for the first N events of its scope;
+``at`` (or ``at_request``) fires a rule exactly once, on the Nth
+request the process has seen (1-based) — the deterministic form the
+crash tests pin.  Every rule draws from ``Random("seed/index/kind")``,
+so rules are independent streams: adding a rule never shifts another
+rule's decisions.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+from typing import Any, List, Optional, Tuple, Union
+
+__all__ = ["FAULT_KINDS", "FaultRule", "FaultPlan", "FaultSpecError",
+           "parse_fault_spec", "faults_from_env", "FAULTS_ENV"]
+
+#: Environment variable holding a fault spec (JSON text or ``@file``).
+FAULTS_ENV = "REPRO_FAULTS"
+
+#: kind -> injection point ("accept" | "request" | "response").
+FAULT_KINDS = {
+    "refuse-accept": "accept",
+    "drop-connection": "request",
+    "delay-read": "request",
+    "crash-process": "request",
+    "delay-write": "response",
+    "truncate-line": "response",
+}
+
+
+class FaultSpecError(ValueError):
+    """A fault spec that does not parse or validate."""
+
+
+class FaultRule:
+    """One fault: a kind plus when it fires."""
+
+    __slots__ = ("kind", "point", "probability", "delay", "after",
+                 "at_request")
+
+    def __init__(self, kind: str, probability: float = 1.0,
+                 delay: float = 0.01, after: int = 0,
+                 at_request: Optional[int] = None) -> None:
+        if kind not in FAULT_KINDS:
+            raise FaultSpecError(
+                "unknown fault kind %r (known: %s)"
+                % (kind, ", ".join(sorted(FAULT_KINDS))))
+        if not (0.0 <= probability <= 1.0):
+            raise FaultSpecError("probability must be in [0, 1], got %r"
+                                 % (probability,))
+        if delay < 0:
+            raise FaultSpecError("delay must be >= 0, got %r" % (delay,))
+        if at_request is not None and at_request < 1:
+            raise FaultSpecError("'at' is a 1-based request number, "
+                                 "got %r" % (at_request,))
+        self.kind = kind
+        self.point = FAULT_KINDS[kind]
+        self.probability = probability
+        self.delay = delay
+        self.after = after
+        self.at_request = at_request
+
+    @classmethod
+    def from_obj(cls, obj: dict) -> "FaultRule":
+        if not isinstance(obj, dict):
+            raise FaultSpecError("each fault must be an object, got %r"
+                                 % (obj,))
+        known = {"kind", "p", "probability", "delay", "after", "at",
+                 "at_request"}
+        unknown = set(obj) - known
+        if unknown:
+            raise FaultSpecError("unknown fault field(s) %s (known: %s)"
+                                 % (sorted(unknown), sorted(known)))
+        if "kind" not in obj:
+            raise FaultSpecError("a fault needs a 'kind'")
+        probability = obj.get("p", obj.get("probability", 1.0))
+        at_request = obj.get("at", obj.get("at_request"))
+        try:
+            return cls(kind=str(obj["kind"]),
+                       probability=float(probability),
+                       delay=float(obj.get("delay", 0.01)),
+                       after=int(obj.get("after", 0)),
+                       at_request=(None if at_request is None
+                                   else int(at_request)))
+        except (TypeError, ValueError) as error:
+            if isinstance(error, FaultSpecError):
+                raise
+            raise FaultSpecError("malformed fault %r: %s" % (obj, error))
+
+    def to_obj(self) -> dict:
+        obj: dict = {"kind": self.kind}
+        if self.at_request is not None:
+            obj["at"] = self.at_request
+        else:
+            obj["p"] = self.probability
+        if self.point in ("request", "response") and \
+                self.kind.startswith("delay"):
+            obj["delay"] = self.delay
+        if self.after:
+            obj["after"] = self.after
+        return obj
+
+
+class FaultPlan:
+    """A seeded set of :class:`FaultRule`\\ s with per-rule RNG streams.
+
+    Decision methods are called by :class:`LineServer` at the three
+    injection points; each returns the actions to apply.  All state
+    mutation happens on the server's (single) event loop thread, so no
+    locking is needed; determinism holds for any fixed arrival order
+    of events.
+    """
+
+    def __init__(self, rules: List[FaultRule], seed: int = 0) -> None:
+        self.seed = seed
+        self.rules = list(rules)
+        self._rngs = [random.Random("%d/%d/%s" % (seed, index, rule.kind))
+                      for index, rule in enumerate(self.rules)]
+        self.accepts_seen = 0
+        self.requests_seen = 0
+        self.responses_seen = 0
+        self.injected: dict = {}
+
+    # -- spec I/O ------------------------------------------------------------
+
+    @classmethod
+    def from_obj(cls, obj: Union[dict, list]) -> "FaultPlan":
+        if isinstance(obj, list):  # bare rule list: seed defaults to 0
+            obj = {"faults": obj}
+        if not isinstance(obj, dict):
+            raise FaultSpecError("fault spec must be an object or a "
+                                 "list of faults, got %r" % (obj,))
+        unknown = set(obj) - {"seed", "faults"}
+        if unknown:
+            raise FaultSpecError("unknown spec field(s) %s"
+                                 % sorted(unknown))
+        raw_rules = obj.get("faults")
+        if not isinstance(raw_rules, list) or not raw_rules:
+            raise FaultSpecError("fault spec needs a non-empty 'faults' "
+                                 "list")
+        try:
+            seed = int(obj.get("seed", 0))
+        except (TypeError, ValueError):
+            raise FaultSpecError("'seed' must be an integer, got %r"
+                                 % (obj.get("seed"),))
+        return cls([FaultRule.from_obj(rule) for rule in raw_rules],
+                   seed=seed)
+
+    def to_obj(self) -> dict:
+        return {"seed": self.seed,
+                "faults": [rule.to_obj() for rule in self.rules]}
+
+    def describe(self) -> dict:
+        """Config + live counters, for the ``stats`` op."""
+        return {
+            "seed": self.seed,
+            "rules": [rule.to_obj() for rule in self.rules],
+            "accepts_seen": self.accepts_seen,
+            "requests_seen": self.requests_seen,
+            "injected": dict(self.injected),
+        }
+
+    # -- decisions -----------------------------------------------------------
+
+    def _fires(self, index: int, rule: FaultRule, event_number: int) -> bool:
+        """Does ``rule`` fire on its scope's ``event_number`` (1-based)?
+
+        Probabilistic rules draw exactly one sample per event — fired
+        or not — so their stream stays aligned with the event sequence.
+        """
+        if rule.at_request is not None:
+            return event_number == rule.at_request
+        sample = self._rngs[index].random()
+        if event_number <= rule.after:
+            return False
+        return sample < rule.probability
+
+    def _record(self, kind: str) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+
+    def on_accept(self) -> bool:
+        """True when the just-accepted connection must be refused."""
+        self.accepts_seen += 1
+        refuse = False
+        for index, rule in enumerate(self.rules):
+            if rule.point != "accept":
+                continue
+            if self._fires(index, rule, self.accepts_seen):
+                refuse = True
+        if refuse:
+            self._record("refuse-accept")
+        return refuse
+
+    def on_request(self) -> List[Tuple[str, float]]:
+        """Actions for the request just read: ``[(kind, delay), ...]``
+        with ``crash-process`` first, then ``delay-read``, then
+        ``drop-connection`` — the order the server applies them."""
+        self.requests_seen += 1
+        fired = []
+        for index, rule in enumerate(self.rules):
+            if rule.point != "request":
+                continue
+            if self._fires(index, rule, self.requests_seen):
+                fired.append((rule.kind, rule.delay))
+                self._record(rule.kind)
+        order = {"crash-process": 0, "delay-read": 1,
+                 "drop-connection": 2}
+        fired.sort(key=lambda action: order[action[0]])
+        return fired
+
+    def on_response(self) -> Tuple[float, bool]:
+        """(delay_seconds, truncate) for the response about to be
+        written."""
+        self.responses_seen += 1
+        delay = 0.0
+        truncate = False
+        for index, rule in enumerate(self.rules):
+            if rule.point != "response":
+                continue
+            if self._fires(index, rule, self.responses_seen):
+                if rule.kind == "delay-write":
+                    delay += rule.delay
+                    self._record("delay-write")
+                else:
+                    truncate = True
+                    self._record("truncate-line")
+        return delay, truncate
+
+    @staticmethod
+    def crash() -> None:
+        """Die the hard way — SIGKILL, no cleanup, no flushes: exactly
+        the failure shape supervision must recover from."""
+        import signal
+        try:
+            os.kill(os.getpid(), signal.SIGKILL)
+        except (OSError, AttributeError):  # non-POSIX fallback
+            os._exit(137)
+
+
+def parse_fault_spec(text: str) -> FaultPlan:
+    """A :class:`FaultPlan` from inline JSON or ``@path`` to a JSON
+    file (the ``--faults`` / ``REPRO_FAULTS`` surface)."""
+    text = text.strip()
+    if text.startswith("@"):
+        path = text[1:]
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+        except OSError as error:
+            raise FaultSpecError("cannot read fault spec file %r: %s"
+                                 % (path, error))
+    try:
+        obj = json.loads(text)
+    except ValueError as error:
+        raise FaultSpecError("fault spec is not valid JSON: %s" % error)
+    return FaultPlan.from_obj(obj)
+
+
+def faults_from_env(environ: Optional[Any] = None) -> Optional[FaultPlan]:
+    """The plan configured via ``REPRO_FAULTS``, or None."""
+    environ = os.environ if environ is None else environ
+    text = environ.get(FAULTS_ENV)
+    if not text:
+        return None
+    return parse_fault_spec(text)

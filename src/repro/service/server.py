@@ -60,6 +60,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import json
 import os
 import sys
 import time
@@ -97,7 +98,7 @@ class ServerStats:
     """Counters and a latency ring for the ``stats`` op."""
 
     __slots__ = ("started", "requests", "analyses_executed", "coalesced",
-                 "rejected", "timeouts", "errors", "latencies")
+                 "rejected", "timeouts", "errors", "seeds", "latencies")
 
     def __init__(self) -> None:
         self.started = time.time()
@@ -107,6 +108,7 @@ class ServerStats:
         self.rejected = 0
         self.timeouts = 0
         self.errors = 0
+        self.seeds = 0
         self.latencies: "deque[float]" = deque(maxlen=_LATENCY_SAMPLES)
 
     def latency_summary(self) -> dict:
@@ -139,7 +141,8 @@ class AnalysisServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0,
                  cache: Optional[ResultCache] = None,
                  workers: int = 0, max_pending: int = 64,
-                 request_timeout: Optional[float] = 300.0) -> None:
+                 request_timeout: Optional[float] = 300.0,
+                 faults=None) -> None:
         if max_pending < 1:
             raise ValueError("max_pending must be >= 1")
         self.host = host
@@ -148,6 +151,8 @@ class AnalysisServer:
         self.workers = workers
         self.max_pending = max_pending
         self.request_timeout = request_timeout
+        #: optional FaultPlan injected at the transport layer
+        self.faults = faults
         self.stats = ServerStats()
         self._pool: Optional[WorkerPool] = None
         self._executor = None
@@ -186,7 +191,8 @@ class AnalysisServer:
                 max_workers=1, thread_name_prefix="repro-analysis")
         self._shutdown_event = asyncio.Event()
         self._server = LineServer(self._serve_line, self.host,
-                                  self.port, limit=_LINE_LIMIT)
+                                  self.port, limit=_LINE_LIMIT,
+                                  faults=self.faults)
         await self._server.start()
         self.port = self._server.port
 
@@ -519,6 +525,21 @@ class AnalysisServer:
                                       for spec, key in prepared))
         return {"jobs": list(jobs)}
 
+    async def _op_seed(self, request: dict) -> dict:
+        """Replication push: store an already-encoded payload under
+        this workload's key in the *memory* tier.  Cheap by design —
+        no analysis, no disk write — so a home shard's fresh result
+        can be fanned out to its replicas' warm memory (the router
+        does this when started with ``--replicate R``)."""
+        payload = request.get("payload")
+        if not isinstance(payload, dict):
+            raise RequestError("'seed' needs a 'payload' object")
+        spec, key = self._spec_of(request)
+        self.cache.seed(key, payload)
+        self.stats.seeds += 1
+        return {"seeded": True, "key": key.digest,
+                "name": spec["name"]}
+
     async def _op_stats(self, request: dict) -> dict:
         from ..typegraph import arena, opcache
         cache_stats = self.cache.stats
@@ -540,6 +561,9 @@ class AnalysisServer:
             "rejected": self.stats.rejected,
             "timeouts": self.stats.timeouts,
             "errors": self.stats.errors,
+            "seeds": self.stats.seeds,
+            "faults": (None if self.faults is None
+                       else self.faults.describe()),
             "cache": {
                 "entries": entries,
                 "dir": self.cache.cache_dir,
@@ -548,6 +572,7 @@ class AnalysisServer:
                 "disk_hits": cache_stats.disk_hits,
                 "misses": cache_stats.misses,
                 "puts": cache_stats.puts,
+                "seeds": cache_stats.seeds,
                 "evictions": cache_stats.evictions,
                 "invalidations": cache_stats.invalidations,
                 "hit_rate": (round(hits / lookups, 4) if lookups
@@ -592,6 +617,7 @@ class AnalysisServer:
     _OPS = {
         "analyze": _op_analyze,
         "batch": _op_batch,
+        "seed": _op_seed,
         "stats": _op_stats,
         "cache-info": _op_cache_info,
         "invalidate": _op_invalidate,
@@ -647,14 +673,30 @@ def serve_main(argv) -> int:
     parser.add_argument("--warm", metavar="NAMES", default=None,
                         help="comma-separated benchmarks (or 'all') to "
                              "pre-analyze before accepting traffic")
+    parser.add_argument("--faults", metavar="SPEC", default=None,
+                        help="deterministic fault-injection plan: "
+                             "inline JSON or @file (see "
+                             "repro.service.faults; default: the "
+                             "REPRO_FAULTS environment variable)")
     args = parser.parse_args(argv)
+
+    from .faults import FaultSpecError, faults_from_env, parse_fault_spec
+    try:
+        faults = (parse_fault_spec(args.faults) if args.faults
+                  else faults_from_env())
+    except FaultSpecError as error:
+        parser.error("--faults: %s" % error)
+    if faults is not None:
+        print("repro serve: fault injection ACTIVE: %s"
+              % json.dumps(faults.to_obj()), file=sys.stderr)
 
     cache = ResultCache(args.cache_dir,
                         max_memory_entries=args.max_memory_entries)
     server = AnalysisServer(
         host=args.host, port=args.port, cache=cache,
         workers=args.workers, max_pending=args.max_pending,
-        request_timeout=(None if not args.timeout else args.timeout))
+        request_timeout=(None if not args.timeout else args.timeout),
+        faults=faults)
 
     async def run() -> None:
         await server.start()

@@ -108,14 +108,22 @@ class LineServer:
     (``Server.wait_closed`` waits for every connection handler from
     Python 3.12.1, and a handler parked in ``readline`` on an idle
     client would otherwise block shutdown forever).
+
+    An optional ``faults`` plan (:class:`repro.service.faults.FaultPlan`)
+    hooks the three lifecycle points — accept, request-read,
+    response-write — so chaos tests and the ``--faults`` flag can
+    inject deterministic transport failures without touching the
+    handler.
     """
 
     def __init__(self, handler: LineHandler, host: str = "127.0.0.1",
-                 port: int = 0, limit: int = LINE_LIMIT) -> None:
+                 port: int = 0, limit: int = LINE_LIMIT,
+                 faults: Optional[Any] = None) -> None:
         self.handler = handler
         self.host = host
         self.port = port
         self.limit = limit
+        self.faults = faults
         self.connections: set = set()
         self._server: Optional[asyncio.AbstractServer] = None
 
@@ -129,8 +137,11 @@ class LineServer:
 
     async def _handle_connection(self, reader: asyncio.StreamReader,
                                  writer: asyncio.StreamWriter) -> None:
+        faults = self.faults
         self.connections.add(writer)
         try:
+            if faults is not None and faults.on_accept():
+                return
             while True:
                 try:
                     line = await reader.readline()
@@ -146,11 +157,32 @@ class LineServer:
                     break
                 if not line.strip():
                     continue
+                if faults is not None:
+                    dropped = False
+                    for kind, delay in faults.on_request():
+                        if kind == "crash-process":
+                            faults.crash()
+                        elif kind == "delay-read":
+                            await asyncio.sleep(delay)
+                        elif kind == "drop-connection":
+                            dropped = True
+                    if dropped:
+                        break
                 response = await self.handler(line)
                 if response is None:
                     continue
                 if not isinstance(response, bytes):
                     response = encode_message(response)
+                if faults is not None:
+                    delay, truncate = faults.on_response()
+                    if delay:
+                        await asyncio.sleep(delay)
+                    if truncate:
+                        # Half a line, then hang up: the torn write a
+                        # crashing peer leaves behind.
+                        writer.write(response[:max(1, len(response) // 2)])
+                        await writer.drain()
+                        break
                 writer.write(response)
                 await writer.drain()
         except (ConnectionResetError, BrokenPipeError):
@@ -300,6 +332,12 @@ class BlockingLineConnection:
         if not raw:
             self.close()
             raise ConnectError("server at %s:%d closed the connection"
+                               % (self.host, self.port))
+        if not raw.endswith(b"\n"):
+            # A partial line means the peer died mid-write; surface it
+            # as a transport failure, never as (unparseable) data.
+            self.close()
+            raise ConnectError("server at %s:%d hung up mid-response"
                                % (self.host, self.port))
         return decode_message(raw)
 

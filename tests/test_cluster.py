@@ -373,3 +373,298 @@ def test_router_rejects_unknown_ops_and_benchmarks():
     assert info["ok"]
     assert len(info["result"]["shards"]) == 2
     assert set(info["result"]["ring"]) == set(info["result"]["shards"])
+
+
+# -- supervision -------------------------------------------------------------
+
+class FakeProcess:
+    """Just enough Popen for ShardState supervision."""
+
+    def __init__(self, returncode=None, pid=4242):
+        self.returncode = returncode
+        self.pid = pid
+
+    def poll(self):
+        return self.returncode
+
+    def wait(self, timeout=None):
+        return self.returncode
+
+    def terminate(self):
+        if self.returncode is None:
+            self.returncode = -15
+
+
+async def wait_until(predicate, timeout=8.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+def test_supervisor_restarts_dead_shard_with_identical_results(tmp_path):
+    """A supervised shard that dies is respawned on the same port and
+    serves fingerprint-identical results; the death and restart are
+    journaled and the crash log tail is printed."""
+    log_path = tmp_path / "shard.log"
+    log_path.write_bytes(b"boom: synthetic crash evidence\n")
+
+    async def scenario(router, servers):
+        fingerprint_before = (await send(router.port, {
+            "id": 1, "op": "analyze", "benchmark": "QU",
+            "payload": False}))["result"]["fingerprint"]
+        owner, owner_index = shard_owning(router, "QU")
+        victim_server = servers[owner_index]
+        shard = router.shards[owner]
+        # Make the owner a supervised spawned shard, then kill it.
+        shard.process = FakeProcess(returncode=137)
+        shard.spawn_argv = ["serve", "--port", str(shard.port)]
+        shard.log_path = str(log_path)
+        await victim_server.drain_and_close()
+        loop = asyncio.get_running_loop()
+        respawned = []
+
+        def fake_spawn(dead_shard):
+            # Runs on the executor thread, like the real respawn; the
+            # loop is free, so schedule the new server onto it.
+            async def boot():
+                replacement = AnalysisServer(port=dead_shard.port)
+                await replacement.start()
+                return replacement
+
+            replacement = asyncio.run_coroutine_threadsafe(
+                boot(), loop).result(10)
+            respawned.append(replacement)
+            return FakeProcess(pid=4343)
+
+        router._spawn_shard_process = fake_spawn
+        restarted = await wait_until(
+            lambda: shard.restarts == 1 and shard.status == "up")
+        after = await send(router.port, {
+            "id": 2, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        info = await send(router.port, {"id": 3, "op": "router-info"})
+        try:
+            return (fingerprint_before, restarted, after, info,
+                    router.stats.restarts, list(router.membership_log))
+        finally:
+            for replacement in respawned:
+                await replacement.drain_and_close()
+
+    fingerprint, restarted, after, info, restarts, journal = \
+        run_cluster(scenario,
+                    router_kwargs={"health_interval": 0.05,
+                                   "restart_backoff": 0.02})
+    assert restarted, journal
+    assert restarts == 1
+    assert after["ok"], after
+    assert after["result"]["fingerprint"] == fingerprint
+    events = [entry["event"] for entry in journal]
+    assert "shard-death" in events and "shard-restarted" in events
+    shard_infos = info["result"]["shards"]
+    restarted_info = next(i for i in shard_infos.values()
+                          if i["restarts"] == 1)
+    assert restarted_info["supervised"]
+    assert restarted_info["last_probe_at"] is not None
+
+
+def test_crash_loop_breaker_stops_restarting():
+    """K rapid deaths trip the breaker: no more restart attempts, and
+    the shard's keys keep flowing to the surviving replica."""
+
+    async def scenario(router, servers):
+        owner, owner_index = shard_owning(router, "QU")
+        shard = router.shards[owner]
+        await servers[owner_index].drain_and_close()
+        shard.process = FakeProcess(returncode=1)
+        shard.spawn_argv = ["serve", "--port", str(shard.port)]
+
+        def failing_spawn(dead_shard):
+            raise RuntimeError("spawn always fails")
+
+        router._spawn_shard_process = failing_spawn
+        tripped = await wait_until(lambda: shard.breaker_tripped)
+        failures_at_trip = shard.restart_failures
+        # Give the health loop a few more cycles: the breaker must
+        # actually stop the restart attempts, not just set a flag.
+        await asyncio.sleep(0.3)
+        fail_over = await send(router.port, {
+            "id": 1, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        return (tripped, failures_at_trip, shard.restart_failures,
+                router.stats.breaker_trips, fail_over,
+                list(router.membership_log))
+
+    tripped, at_trip, after_wait, trips, fail_over, journal = \
+        run_cluster(scenario,
+                    router_kwargs={"health_interval": 0.03,
+                                   "restart_backoff": 0.01,
+                                   "breaker_deaths": 3,
+                                   "breaker_window": 30.0})
+    assert tripped, journal
+    assert trips == 1
+    assert after_wait == at_trip  # breaker froze the restart loop
+    assert any(entry["event"] == "breaker-tripped" for entry in journal)
+    assert fail_over["ok"], fail_over
+    assert fail_over["result"]["fingerprint"] == direct_fingerprint("QU")
+
+
+# -- live membership ---------------------------------------------------------
+
+def test_add_shard_probes_health_and_moves_only_its_slice():
+    sources = ["mem%d(a). mem%d(b)." % (i, i) for i in range(24)]
+
+    async def scenario(router, servers):
+        before = {}
+        for index, source in enumerate(sources):
+            route = await send(router.port, {
+                "id": index, "op": "route", "source": source})
+            before[source] = route["result"]["target"]
+        # a probe failure must keep the ring unchanged
+        refused = await send(router.port, {
+            "id": 100, "op": "add-shard", "host": "127.0.0.1",
+            "port": 1})
+        ring_after_refusal = list(router.ring.nodes)
+        joiner = AnalysisServer(port=0)
+        await joiner.start()
+        try:
+            added = await send(router.port, {
+                "id": 101, "op": "add-shard", "host": "127.0.0.1",
+                "port": joiner.port})
+            joiner_id = "127.0.0.1:%d" % joiner.port
+            moved_to = []
+            stayed = 0
+            for source in sources:
+                route = await send(router.port, {
+                    "id": 102, "op": "route", "source": source})
+                target = route["result"]["target"]
+                if target != before[source]:
+                    moved_to.append(target)
+                else:
+                    stayed += 1
+            # the joiner actually serves its slice, bit-identically
+            moved_source = next(s for s in sources
+                                if before[s] != joiner_id
+                                and router.ring.node_for(
+                                    router._routing_hash(
+                                        {"source": s})) == joiner_id)
+            response = await send(router.port, {
+                "id": 103, "op": "analyze", "source": moved_source,
+                "query": [moved_source.split("(")[0], 1],
+                "payload": False})
+            return (refused, ring_after_refusal, added, joiner_id,
+                    moved_to, stayed, response,
+                    router.stats.shards_added)
+        finally:
+            await joiner.drain_and_close()
+
+    (refused, ring_after_refusal, added, joiner_id, moved_to, stayed,
+     response, adds) = run_cluster(scenario)
+    assert not refused["ok"]
+    assert refused["code"] == "shard-unavailable"
+    assert len(ring_after_refusal) == 2  # bogus shard never joined
+    assert added["ok"], added
+    assert added["result"]["shards"] == 3
+    assert moved_to and all(target == joiner_id for target in moved_to)
+    assert stayed > 0  # only the joining slice moved
+    assert response["ok"] and adds == 1
+
+
+def test_remove_shard_drains_inflight_then_departs(monkeypatch):
+    real = server_module._execute_spec
+
+    def slow_execute(spec):
+        time.sleep(0.4)
+        return real(spec)
+
+    monkeypatch.setattr(server_module, "_execute_spec", slow_execute)
+    source = "leaving(a). leaving(b)."
+
+    async def scenario(router, servers):
+        owner = router.ring.preference(
+            router._routing_hash({"source": source}))[0]
+        inflight = asyncio.ensure_future(send(router.port, {
+            "id": 1, "op": "analyze", "source": source,
+            "query": ["leaving", 1], "payload": False}))
+        await asyncio.sleep(0.1)  # the slow analysis is now on-shard
+        removed = await send(router.port, {
+            "id": 2, "op": "remove-shard", "shard": owner,
+            "shutdown": False})
+        completed = await inflight
+        after = await send(router.port, {
+            "id": 3, "op": "analyze", "source": source,
+            "query": ["leaving", 1], "payload": False})
+        last = list(router.shards)[0]
+        refused = await send(router.port, {
+            "id": 4, "op": "remove-shard", "shard": last})
+        return (owner, removed, completed, after, refused,
+                list(router.ring.nodes), router.stats.shards_removed)
+
+    owner, removed, completed, after, refused, ring, removes = \
+        run_cluster(scenario)
+    assert removed["ok"], removed
+    assert removed["result"]["drained"]  # in-flight finished first
+    assert owner not in ring and len(ring) == 1
+    assert completed["ok"], completed
+    assert after["ok"] and after["result"]["fingerprint"] == \
+        completed["result"]["fingerprint"]
+    assert not refused["ok"] and "last shard" in refused["error"]
+    assert removes == 1
+
+
+# -- replicated writes -------------------------------------------------------
+
+def test_replication_seeds_replica_memory_for_failover():
+    """With --replicate 2 a fresh result lands in the replica's memory
+    tier; killing the home shard then serves it as a memory hit — no
+    recomputation, no disk."""
+
+    async def scenario(router, servers):
+        first = await send(router.port, {
+            "id": 1, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        assert first["ok"] and not first["result"]["cached"]
+        owner, owner_index = shard_owning(router, "QU")
+        replica = servers[1 - owner_index]
+        seeded = await wait_until(
+            lambda: replica.cache.stats.seeds >= 1, timeout=5.0)
+        router.shards[owner].mark_down()
+        second = await send(router.port, {
+            "id": 2, "op": "analyze", "benchmark": "QU",
+            "payload": False})
+        return (first, seeded, second, replica.cache.stats,
+                replica.stats.analyses_executed,
+                router.stats.replications)
+
+    first, seeded, second, cache_stats, replica_analyses, replications = \
+        run_cluster(scenario, router_kwargs={"replicate": 2})
+    assert seeded, "replication never reached the replica"
+    assert replications >= 1
+    assert second["ok"], second
+    assert second["result"]["cached"]          # served, not recomputed
+    assert second["result"]["fingerprint"] == \
+        first["result"]["fingerprint"]
+    assert replica_analyses == 0               # memory tier, no work
+    assert cache_stats.memory_hits >= 1
+
+
+def test_replication_skips_cached_results():
+    """Only fresh computations replicate — a stream of warm hits must
+    not generate seed traffic."""
+
+    async def scenario(router, servers):
+        for request_id in range(3):
+            response = await send(router.port, {
+                "id": request_id, "op": "analyze", "benchmark": "RE",
+                "payload": False})
+            assert response["ok"]
+        await wait_until(
+            lambda: router.stats.replications >= 1, timeout=2.0)
+        return router.stats.replications, router.stats.replication_failures
+
+    replications, failures = run_cluster(
+        scenario, router_kwargs={"replicate": 2})
+    assert replications == 1  # the first, fresh result — nothing else
+    assert failures == 0

@@ -1,0 +1,275 @@
+"""Tests for deterministic fault injection (``repro.service.faults``).
+
+Three layers:
+
+* **plan algebra** — spec parsing/validation, per-rule RNG stream
+  independence, and bit-identical replay of the same seeded plan;
+* **transport hooks** — an embedded :class:`AnalysisServer` under a
+  :class:`FaultPlan`: refused accepts, dropped connections, truncated
+  response lines (which clients must surface as transport failures,
+  never as data), and injected read delays;
+* **crash-process** — a real ``repro serve --faults`` subprocess
+  SIGKILLed at request N, the failure shape supervision recovers from.
+"""
+
+import asyncio
+import json
+import time
+
+import pytest
+
+from repro.service.faults import (FAULTS_ENV, FaultPlan, FaultRule,
+                                  FaultSpecError, faults_from_env,
+                                  parse_fault_spec)
+from repro.service.server import AnalysisServer
+
+
+# -- plan algebra ------------------------------------------------------------
+
+def drive(plan, requests=50):
+    """The (request, response) firing trace of a plan over a clean
+    request/response sequence."""
+    trace = []
+    for _ in range(requests):
+        trace.append((tuple(plan.on_request()), plan.on_response()))
+    return trace
+
+
+def test_same_seed_same_trace():
+    spec = {"seed": 11, "faults": [
+        {"kind": "drop-connection", "p": 0.2},
+        {"kind": "delay-write", "p": 0.3, "delay": 0.5},
+    ]}
+    first = drive(FaultPlan.from_obj(spec))
+    second = drive(FaultPlan.from_obj(spec))
+    assert first == second
+    assert any(actions for actions, _ in first)  # it does fire
+
+
+def test_different_seeds_differ():
+    rules = [{"kind": "drop-connection", "p": 0.2}]
+    a = drive(FaultPlan.from_obj({"seed": 1, "faults": rules}))
+    b = drive(FaultPlan.from_obj({"seed": 2, "faults": rules}))
+    assert a != b
+
+
+def test_rules_are_independent_streams():
+    """Adding a rule never shifts another rule's decisions — each rule
+    draws from Random(seed/index/kind), not a shared stream."""
+    alone = FaultPlan.from_obj({"seed": 5, "faults": [
+        {"kind": "drop-connection", "p": 0.25}]})
+    paired = FaultPlan.from_obj({"seed": 5, "faults": [
+        {"kind": "drop-connection", "p": 0.25},
+        {"kind": "delay-read", "p": 0.5, "delay": 0.01}]})
+    drops_alone = [("drop-connection", 0.01) in
+                   [(k, 0.01) for k, _ in alone.on_request()]
+                   for _ in range(80)]
+    drops_paired = [any(k == "drop-connection"
+                        for k, _ in paired.on_request())
+                    for _ in range(80)]
+    assert [bool(x) for x in drops_alone] == drops_paired
+
+
+def test_at_request_fires_exactly_once():
+    plan = FaultPlan.from_obj([{"kind": "drop-connection", "at": 3}])
+    fired = [bool(plan.on_request()) for _ in range(6)]
+    assert fired == [False, False, True, False, False, False]
+    assert plan.injected == {"drop-connection": 1}
+
+
+def test_after_suppresses_early_events():
+    plan = FaultPlan.from_obj({"seed": 0, "faults": [
+        {"kind": "drop-connection", "p": 1.0, "after": 4}]})
+    fired = [bool(plan.on_request()) for _ in range(6)]
+    assert fired == [False, False, False, False, True, True]
+
+
+def test_spec_validation_errors():
+    with pytest.raises(FaultSpecError):
+        FaultRule("no-such-kind")
+    with pytest.raises(FaultSpecError):
+        FaultRule("delay-read", probability=1.5)
+    with pytest.raises(FaultSpecError):
+        FaultRule("delay-read", delay=-1)
+    with pytest.raises(FaultSpecError):
+        FaultRule("crash-process", at_request=0)
+    with pytest.raises(FaultSpecError):
+        FaultRule.from_obj({"kind": "delay-read", "bogus": 1})
+    with pytest.raises(FaultSpecError):
+        FaultPlan.from_obj({"faults": []})
+    with pytest.raises(FaultSpecError):
+        parse_fault_spec("{not json")
+    with pytest.raises(FaultSpecError):
+        parse_fault_spec("@/no/such/file.json")
+
+
+def test_spec_roundtrip_and_file_and_env(tmp_path, monkeypatch):
+    spec = {"seed": 9, "faults": [
+        {"kind": "refuse-accept", "p": 0.1},
+        {"kind": "crash-process", "at": 7},
+    ]}
+    plan = parse_fault_spec(json.dumps(spec))
+    assert plan.to_obj() == spec
+    path = tmp_path / "faults.json"
+    path.write_text(json.dumps(spec))
+    assert parse_fault_spec("@%s" % path).to_obj() == spec
+    monkeypatch.delenv(FAULTS_ENV, raising=False)
+    assert faults_from_env() is None
+    monkeypatch.setenv(FAULTS_ENV, json.dumps(spec))
+    assert faults_from_env().to_obj() == spec
+
+
+# -- transport hooks ---------------------------------------------------------
+
+def run_faulty_server(scenario, faults):
+    async def main():
+        server = AnalysisServer(port=0, faults=faults)
+        await server.start()
+        try:
+            return await scenario(server)
+        finally:
+            await server.drain_and_close()
+
+    return asyncio.run(main())
+
+
+async def raw_round_trip(port, request):
+    """One connection, one request; the raw response bytes (possibly
+    empty on hangup, possibly a torn half-line).  A reset counts as a
+    hangup too: refusing before reading leaves the request unread in
+    the socket buffer, which close() turns into RST."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(json.dumps(request).encode() + b"\n")
+        await writer.drain()
+        # readline covers all three shapes: b"" on hangup, a partial
+        # line (no trailing newline) on truncation, a full line else.
+        return await reader.readline()
+    except (ConnectionResetError, BrokenPipeError):
+        return b""
+    finally:
+        writer.close()
+
+
+def test_refuse_accept_closes_before_reading():
+    plan = FaultPlan.from_obj([{"kind": "refuse-accept", "at": 1}])
+
+    async def scenario(server):
+        first = await raw_round_trip(server.port,
+                                     {"id": 1, "op": "ping"})
+        second = await raw_round_trip(server.port,
+                                      {"id": 2, "op": "ping"})
+        return first, second
+
+    first, second = run_faulty_server(scenario, plan)
+    assert first == b""                      # hung up, nothing served
+    assert json.loads(second)["ok"]          # next connection is clean
+    assert plan.injected == {"refuse-accept": 1}
+
+
+def test_drop_connection_answers_nothing():
+    plan = FaultPlan.from_obj([{"kind": "drop-connection", "at": 1}])
+
+    async def scenario(server):
+        dropped = await raw_round_trip(server.port,
+                                       {"id": 1, "op": "ping"})
+        ok = await raw_round_trip(server.port, {"id": 2, "op": "ping"})
+        return dropped, ok
+
+    dropped, ok = run_faulty_server(scenario, plan)
+    assert dropped == b""
+    assert json.loads(ok)["ok"]
+    assert plan.requests_seen == 2
+    assert plan.injected == {"drop-connection": 1}
+
+
+def test_truncate_line_is_a_torn_write_not_data():
+    plan = FaultPlan.from_obj([{"kind": "truncate-line", "at": 1}])
+
+    async def scenario(server):
+        torn = await raw_round_trip(server.port, {"id": 1, "op": "ping"})
+        clean = await raw_round_trip(server.port, {"id": 2, "op": "ping"})
+        return torn, clean
+
+    torn, clean = run_faulty_server(scenario, plan)
+    assert torn and not torn.endswith(b"\n")  # half a line, then EOF
+    assert json.loads(clean)["ok"]
+
+
+def test_blocking_client_rejects_torn_response():
+    """BlockingLineConnection must surface a truncated response as a
+    transport failure (retryable), never hand garbage to json."""
+    from repro.service.client import ServeClient, ServeError
+    plan = FaultPlan.from_obj([{"kind": "truncate-line", "at": 1}])
+
+    async def scenario(server):
+        loop = asyncio.get_running_loop()
+
+        def blocking():
+            client = ServeClient("127.0.0.1", server.port)
+            try:
+                client.ping()
+            except ServeError as error:
+                return error.code, str(error)
+            finally:
+                client.close()
+            return None, None
+
+        return await loop.run_in_executor(None, blocking)
+
+    code, message = run_faulty_server(scenario, plan)
+    assert code == "connection"
+    assert "mid-response" in message
+
+
+def test_delay_read_stalls_the_request():
+    plan = FaultPlan.from_obj([{"kind": "delay-read", "at": 1,
+                                "delay": 0.25}])
+
+    async def scenario(server):
+        start = time.perf_counter()
+        response = await raw_round_trip(server.port,
+                                        {"id": 1, "op": "ping"})
+        return time.perf_counter() - start, response
+
+    elapsed, response = run_faulty_server(scenario, plan)
+    assert elapsed >= 0.25
+    assert json.loads(response)["ok"]
+
+
+def test_server_stats_reports_the_active_plan():
+    plan = FaultPlan.from_obj({"seed": 4, "faults": [
+        {"kind": "delay-write", "p": 0.0}]})
+
+    async def scenario(server):
+        reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                       server.port)
+        writer.write(b'{"id": 1, "op": "stats"}\n')
+        await writer.drain()
+        response = json.loads(await reader.readline())
+        writer.close()
+        return response
+
+    response = run_faulty_server(scenario, plan)
+    faults = response["result"]["faults"]
+    assert faults["seed"] == 4
+    assert faults["rules"] == [{"kind": "delay-write", "p": 0.0,
+                                "delay": 0.01}]
+    assert faults["requests_seen"] >= 1
+
+
+# -- crash-process against a real subprocess ---------------------------------
+
+def test_crash_process_sigkills_at_request_n():
+    from repro.service.client import ServeClient, ServeError, spawn_server
+    process, host, port = spawn_server(
+        "--faults", '{"faults": [{"kind": "crash-process", "at": 2}]}')
+    try:
+        with ServeClient(host, port) as client:
+            assert client.ping()["pong"]          # request 1 survives
+            with pytest.raises(ServeError):
+                client.ping()                     # request 2 dies hard
+        assert process.wait(timeout=10) == -9     # SIGKILL, no cleanup
+    finally:
+        if process.poll() is None:
+            process.kill()

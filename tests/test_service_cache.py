@@ -307,3 +307,74 @@ def test_reader_never_sees_partial_record(tmp_path, append_source,
         stop.set()
         writer.join()
     assert not errors
+
+
+def test_partial_write_is_ignored_on_read(tmp_path, append_source,
+                                          payload):
+    """A torn record — the shape a mid-crash writer without atomic
+    rename would leave — must read as a miss, never raise or serve
+    garbage."""
+    key = make_key(append_source, ("append", 3))
+    writer = ResultCache(tmp_path)
+    writer.put(key, payload)
+    path = writer._entry_path(key)
+    full = open(path, "rb").read()
+    with open(path, "wb") as handle:   # simulate the partial write
+        handle.write(full[:len(full) // 2])
+    reader = ResultCache(tmp_path)
+    assert reader.get(key) is None
+    assert reader.stats.misses == 1
+    # a fresh put repairs the record in place
+    reader.put(key, payload)
+    assert ResultCache(tmp_path).get(key) == payload
+
+
+def test_leftover_tempfile_is_not_a_record(tmp_path, append_source,
+                                           payload):
+    """A crash between mkstemp and rename leaves an orphan ``.tmp``;
+    it must be invisible to reads, listings, and counts."""
+    key = make_key(append_source, ("append", 3))
+    cache = ResultCache(tmp_path)
+    cache.put(key, payload)
+    import os
+    directory = cache._program_dir(key.program_hash)
+    with open(os.path.join(directory, "orphan.tmp"), "w") as handle:
+        handle.write('{"key": "torn mid-')
+    fresh = ResultCache(tmp_path)
+    assert fresh.get(key) == payload
+    assert len(fresh) == 1
+    assert len(fresh.entries_for_program(key.program_hash)) == 1
+
+
+def test_fsync_knob(tmp_path, append_source, payload, monkeypatch):
+    """fsync=True syncs the record file before the rename; the env
+    knob turns it on without touching call sites."""
+    import os
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: (synced.append(fd), real_fsync(fd))[1])
+    key = make_key(append_source, ("append", 3))
+    relaxed = ResultCache(tmp_path / "relaxed")
+    relaxed.put(key, payload)
+    assert not synced and not relaxed.fsync
+    durable = ResultCache(tmp_path / "durable", fsync=True)
+    durable.put(key, payload)
+    assert len(synced) >= 2  # the record file and its directory
+    assert ResultCache(tmp_path / "durable").get(key) == payload
+    monkeypatch.setenv("REPRO_CACHE_FSYNC", "1")
+    assert ResultCache(tmp_path / "env").fsync
+
+
+def test_seed_is_memory_only(tmp_path, append_source, payload):
+    """seed() — the replication primitive — must warm the memory tier
+    without writing the shared disk store."""
+    import os
+    key = make_key(append_source, ("append", 3))
+    cache = ResultCache(tmp_path)
+    cache.seed(key, payload)
+    assert cache.stats.seeds == 1
+    assert not os.path.exists(cache._entry_path(key))   # no disk write
+    assert cache.get(key) == payload
+    assert cache.stats.memory_hits == 1
+    assert ResultCache(tmp_path).get(key) is None       # other procs miss
