@@ -59,7 +59,10 @@ from repro.service.serialize import result_fingerprint
 #: v2: the table fingerprint is the *semantic* fingerprint
 #: (result_fingerprint — β values only); per-program rows gained the
 #: differential-engine counters and scheduler provenance.
-SCHEMA = 2
+#: v3: runs record the execution-tier provenance — the active arena
+#: kernel (python/numpy/native) plus interpreter and numpy versions —
+#: so a trajectory file says *what* produced its numbers.
+SCHEMA = 3
 
 #: A run slower than the reference by more than this factor draws a
 #: WARNING line in the comparison (advisory — CI hardware varies).
@@ -137,8 +140,27 @@ def run_suite(programs) -> dict:
         "opcache_enabled": cache_enabled,
         "arena_enabled": arena_enabled,
         "differential_enabled": differential,
+        "arena_kernel": _active_kernel(),
         "python": platform.python_version(),
+        "python_version": platform.python_version(),
+        "numpy_version": _numpy_version(),
     }
+
+
+def _active_kernel():
+    try:
+        from repro.typegraph import arena
+        return arena.kernel()
+    except ImportError:  # pre-PR8 checkouts measured as baselines
+        return None
+
+
+def _numpy_version():
+    try:
+        import numpy
+        return numpy.__version__
+    except ImportError:
+        return None
 
 
 def print_comparison(run: dict, reference: dict, ref_name: str) -> bool:
@@ -340,6 +362,11 @@ def main(argv=None) -> int:
     parser.add_argument("--strict", action="store_true",
                         help="accepted for compatibility; fingerprint "
                              "divergence always exits non-zero now")
+    parser.add_argument("--expect-kernel", metavar="TIER",
+                        choices=("python", "numpy", "native"),
+                        help="fail unless the active arena kernel tier "
+                             "is TIER (CI guards that a matrix job "
+                             "measured what it claims)")
     parser.add_argument("--server", metavar="FILE",
                         help="render a BENCH_pr5.json server "
                              "throughput/latency report (produced by "
@@ -358,6 +385,14 @@ def main(argv=None) -> int:
                              "chaos); given alone, skips running "
                              "the suite")
     args = parser.parse_args(argv)
+
+    if args.expect_kernel:
+        active = _active_kernel()
+        if active != args.expect_kernel:
+            print("ERROR: expected arena kernel %r but the active tier "
+                  "is %r" % (args.expect_kernel, active),
+                  file=sys.stderr)
+            return 1
 
     if (args.server or args.router or args.chaos) and not (
             args.baseline or args.write_bench or args.out
@@ -389,13 +424,16 @@ def main(argv=None) -> int:
     for baseline_file in args.baseline or ():
         bench = json.loads(Path(baseline_file).read_text())
         print("\n== vs %s ==" % baseline_file)
-        if bench.get("schema") != SCHEMA:
-            # Older schemas fingerprint with a different definition
-            # (v1 hashed the full encode_result payload), so every row
-            # would read DIFFERENT on bit-identical tables.
-            print("NOTE: %s has schema %r, this script expects %d — "
-                  "fingerprints are not comparable; skipping"
-                  % (baseline_file, bench.get("schema"), SCHEMA),
+        ref_schema = bench.get("schema")
+        if not isinstance(ref_schema, int) or ref_schema < 2:
+            # Schema 1 fingerprints with a different definition (it
+            # hashed the full encode_result payload), so every row
+            # would read DIFFERENT on bit-identical tables.  Schemas
+            # >= 2 share the semantic fingerprint and stay comparable
+            # (v3 only added tier/version provenance fields).
+            print("NOTE: %s has schema %r, this script compares "
+                  "schemas >= 2 — fingerprints are not comparable; "
+                  "skipping" % (baseline_file, ref_schema),
                   file=sys.stderr)
             continue
         if "baseline" in bench:

@@ -230,12 +230,15 @@ def profile_main(argv) -> int:
 
     config = AnalysisConfig(max_or_width=args.or_width)
     profiler = cProfile.Profile()
+    arena.reset_kernel_counters()
+    arena.profile_kernels(True)
     profiler.enable()
     try:
         analysis = analyze(source, query, input_types=input_types,
                            config=config, baseline=args.baseline)
     finally:
         profiler.disable()
+        arena.profile_kernels(False)
 
     stats = analysis.stats
     print("wall %.3fs  cpu %.3fs  proc-it %d  clause-it %d "
@@ -266,6 +269,24 @@ def profile_main(argv) -> int:
           % (arena.enabled(), arena_now["compiles"],
              arena_now["compiles"] - arena_before["compiles"],
              arena_now["index_builds"], arena_now["symbols"]))
+
+    status = arena.kernel_status()
+    print("\n== kernel tier ==")
+    line = "active=%s  requested=%s" % (status["active"],
+                                        status["requested"] or "auto")
+    for tier, reason in sorted(status["fallbacks"].items()):
+        line += "  %s-unavailable(%s)" % (tier, reason)
+    print(line)
+    counters = arena.kernel_counters()
+    if counters:
+        kernel_rows = [
+            [op, cell["calls"], "%.3fs" % cell["seconds"]]
+            for op, cell in sorted(counters.items(),
+                                   key=lambda kv: -kv[1]["seconds"])]
+        print(format_table(["kernel-op", "calls", "time"], kernel_rows))
+        print("(native-tier times nest: an op's time includes the "
+              "kernel ops it calls)" if status["active"] == "native"
+              else "")
 
     print("\n== hot functions (repro code, by %s) ==" % args.sort)
     profile_stats = pstats.Stats(profiler, stream=sys.stdout)

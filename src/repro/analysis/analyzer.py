@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..domains.leaf import LeafDomain, TrivialLeafDomain, TypeLeafDomain
 from ..domains.pattern import (AbstractSubst, PAT_BOTTOM, SubstBuilder,
-                               display_subst, value_of)
+                               display_subst, make_builder, value_of)
 from ..fixpoint.engine import AnalysisConfig, AnalysisResult, Engine
 from ..prolog.normalize import NormProgram, normalize_program
 from ..prolog.program import PredId, Program, parse_program
@@ -43,7 +43,7 @@ def make_input_pattern(domain: LeafDomain,
     """An input pattern from per-argument types.  Strings name common
     types (``any``, ``list``, ``int``, ``codes``); grammars are used
     directly (ignored by the baseline domain, which has no leaf info)."""
-    builder = SubstBuilder(domain)
+    builder = make_builder(domain)
     nodes = []
     for spec in arg_types:
         if isinstance(spec, str):

@@ -32,25 +32,63 @@ import weakref
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from ..typegraph import opcache
-from .leaf import LeafDomain
+from ..typegraph import arena, opcache
+from .leaf import LeafDomain, TypeLeafDomain
 
 __all__ = [
     "PatNode", "AbstractSubst", "SubstBuilder", "PAT_BOTTOM", "PatBottom",
     "intern_subst", "subst_top", "subst_join", "subst_widen", "subst_le",
-    "subst_eq", "value_of", "display_subst",
+    "subst_eq", "value_of", "display_subst", "make_builder",
 ]
 
 
-@dataclass(frozen=True)
+def _native_for(domain: LeafDomain):
+    """The native-tier module when it may handle ``domain``, else None.
+
+    Gated on :class:`TypeLeafDomain` (covers DepthBoundLeafDomain,
+    which inherits the meet/split/le primitives the C walks mirror;
+    excludes leaf domains with different primitives)."""
+    native = arena.NATIVE
+    if native is not None and arena.enabled() \
+            and isinstance(domain, TypeLeafDomain):
+        return native
+    return None
+
+
 class PatNode:
     """One subterm.  ``args is None`` means leaf (then ``value`` holds
-    the R-value); otherwise the node has pattern ``name(args...)``."""
+    the R-value); otherwise the node has pattern ``name(args...)``.
 
-    name: Optional[str] = None
-    is_int: bool = False
-    args: Optional[Tuple[int, ...]] = None
-    value: object = None
+    A slotted value class with the hash computed once at construction:
+    nodes are hashed on every substitution intern probe, and leaf
+    values are interned grammars whose hashes are themselves cached,
+    so the tuple hash below is cheap exactly once."""
+
+    __slots__ = ("name", "is_int", "args", "value", "_hashv")
+
+    def __init__(self, name: Optional[str] = None, is_int: bool = False,
+                 args: Optional[Tuple[int, ...]] = None,
+                 value: object = None) -> None:
+        self.name = name
+        self.is_int = is_int
+        self.args = args
+        self.value = value
+        self._hashv = hash((name, is_int, args, value))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, PatNode):
+            return NotImplemented
+        return (self._hashv == other._hashv and self.name == other.name
+                and self.is_int == other.is_int and self.args == other.args
+                and self.value == other.value)
+
+    def __hash__(self) -> int:
+        return self._hashv
+
+    def __reduce__(self):
+        return (PatNode, (self.name, self.is_int, self.args, self.value))
 
     @property
     def is_leaf(self) -> bool:
@@ -116,14 +154,13 @@ def intern_subst(subst: "AbstractSubst") -> "AbstractSubst":
         return subst
     key = (subst.nvars, subst.sv, subst.nodes)
     with _SUBST_INTERN_LOCK:
-        canonical = _SUBST_INTERN.get(key)
-        if canonical is None:
+        # setdefault hashes the key once; the subst's own memoized
+        # hash fills in lazily from the same tuple.
+        canonical = _SUBST_INTERN.setdefault(key, subst)
+        if canonical is subst:
             subst.interned = True
             subst.sid = _NEXT_SID
             _NEXT_SID += 1
-            hash(subst)  # precompute
-            _SUBST_INTERN[key] = subst
-            return subst
     return canonical
 
 
@@ -209,6 +246,28 @@ class _UNode:
     @property
     def is_leaf(self) -> bool:
         return self.args is None
+
+
+def _freeze_build(sv: tuple, descs: list) -> "AbstractSubst":
+    """Intern callback for the native builder's freeze: node
+    descriptors (``(value,)`` leaf / ``(name, is_int, args)`` pattern,
+    already in first-visit order) to the canonical frozen form."""
+    nodes = []
+    append = nodes.append
+    for desc in descs:
+        if len(desc) == 1:
+            append(PatNode(value=desc[0]))
+        else:
+            append(PatNode(desc[0], desc[1], tuple(desc[2])))
+    return intern_subst(AbstractSubst(len(sv), tuple(sv), tuple(nodes)))
+
+
+def _subst_rows(subst: "AbstractSubst") -> tuple:
+    """Flat per-node rows handed to the C tier on first sight of a
+    sid: ``(name, is_int, args_or_None, value)`` per node."""
+    rows = [(node.name, node.is_int, node.args, node.value)
+            for node in subst.nodes]
+    return (subst.sv, rows)
 
 
 class _CyclicPattern(Exception):
@@ -432,6 +491,17 @@ class SubstBuilder:
         return subst.sv[k]
 
 
+def make_builder(domain: LeafDomain):
+    """A substitution builder for ``domain`` on the active kernel tier
+    (the C union-find engine when the native tier is loaded and the
+    leaf domain is grammar-backed, else the reference builder).  Both
+    freeze to identical interned :class:`AbstractSubst` instances."""
+    native = _native_for(domain)
+    if native is not None:
+        return native.make_builder(domain)
+    return SubstBuilder(domain)
+
+
 # -- operations on frozen substitutions ---------------------------------------
 
 def subst_top(nvars: int, domain: LeafDomain) -> AbstractSubst:
@@ -450,6 +520,11 @@ def value_of(subst: AbstractSubst, index: int, domain: LeafDomain,
     substitution collapse each subtree once per process instead of
     once per call.  The ``memo`` parameter is kept for API
     compatibility; the instance cache subsumes it."""
+    if subst.interned:
+        native = _native_for(domain)
+        if native is not None:
+            return native.value_of(subst, index, domain.did,
+                                   domain.max_or_width)
     cache = subst._collapse
     if cache is None:
         cache = {}
@@ -496,6 +571,39 @@ def _merge(s1: AbstractSubst, s2: AbstractSubst, domain: LeafDomain,
     return intern_subst(AbstractSubst(s1.nvars, sv, tuple(out)))
 
 
+def _merge_join(s1: AbstractSubst, s2: AbstractSubst,
+                domain: LeafDomain) -> AbstractSubst:
+    """``_merge`` with the leaf join, through the native walk when the
+    tier can run it.  A domain that inherits ``TypeLeafDomain.join``
+    unmodified gets the pure-C combiner (mode 1); an overriding domain
+    (e.g. depth-``k`` bounding) keeps its Python join as a callback."""
+    if s1.interned and s2.interned:
+        native = _native_for(domain)
+        if native is not None:
+            mode = 1 if type(domain).join is TypeLeafDomain.join else 0
+            return native.subst_merge(s1, s2, domain.did,
+                                      domain.max_or_width, mode, True,
+                                      domain.join)
+    return _merge(s1, s2, domain, domain.join)
+
+
+def _merge_widen(old: AbstractSubst, new: AbstractSubst,
+                 domain: LeafDomain, strict: bool) -> AbstractSubst:
+    """``_merge`` with the leaf widening; pure-C (mode 2) only when the
+    domain keeps ``TypeLeafDomain.widen`` and has no type database —
+    the database extension grafts arbitrary Python grammars."""
+    if old.interned and new.interned:
+        native = _native_for(domain)
+        if native is not None:
+            mode = (2 if type(domain).widen is TypeLeafDomain.widen
+                    and domain.type_database is None else 0)
+            return native.subst_merge(
+                old, new, domain.did, domain.max_or_width, mode, strict,
+                lambda a, b: domain.widen(a, b, strict))
+    return _merge(old, new, domain,
+                  lambda a, b: domain.widen(a, b, strict))
+
+
 def subst_join(s1, s2, domain: LeafDomain):
     """Upper bound (operation UNION of GAIA).
 
@@ -514,10 +622,10 @@ def subst_join(s1, s2, domain: LeafDomain):
         key = (domain.did, s1.sid, s2.sid)
         value = cache.get(key)
         if value is None:
-            value = _merge(s1, s2, domain, domain.join)
+            value = _merge_join(s1, s2, domain)
             cache.put(key, value)
         return value
-    return _merge(s1, s2, domain, domain.join)
+    return _merge_join(s1, s2, domain)
 
 
 def subst_widen(old, new, domain: LeafDomain, strict: bool = True):
@@ -536,12 +644,10 @@ def subst_widen(old, new, domain: LeafDomain, strict: bool = True):
         key = (domain.did, old.sid, new.sid, strict)
         value = cache.get(key)
         if value is None:
-            value = _merge(old, new, domain,
-                           lambda a, b: domain.widen(a, b, strict))
+            value = _merge_widen(old, new, domain, strict)
             cache.put(key, value)
         return value
-    return _merge(old, new, domain,
-                  lambda a, b: domain.widen(a, b, strict))
+    return _merge_widen(old, new, domain, strict)
 
 
 def subst_le(s1, s2, domain: LeafDomain) -> bool:
@@ -571,6 +677,11 @@ def subst_le(s1, s2, domain: LeafDomain) -> bool:
 
 
 def _subst_le_impl(s1, s2, domain: LeafDomain) -> bool:
+    if s1.interned and s2.interned:
+        native = _native_for(domain)
+        if native is not None:
+            return native.subst_le(s1, s2, domain.did,
+                                   domain.max_or_width)
     refcounts2 = s2.refcounts()
     map21: Dict[int, int] = {}
 

@@ -59,8 +59,8 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from ..domains.leaf import LeafDomain, TypeLeafDomain
 from ..domains.pattern import (AbstractSubst, PAT_BOTTOM, SubstBuilder,
-                               subst_eq, subst_join, subst_le, subst_top,
-                               subst_widen)
+                               make_builder, subst_eq, subst_join,
+                               subst_le, subst_top, subst_widen)
 from ..prolog.normalize import NBuild, NCall, NUnify, NormClause, NormProgram
 from ..prolog.program import PredId
 from ..typegraph import arena, opcache
@@ -561,7 +561,7 @@ class Engine:
         available (the prefix re-runs nothing); otherwise — first run,
         head-dirty, or no snapshot — it starts from the clause head.
         """
-        builder = SubstBuilder(self.domain)
+        builder = make_builder(self.domain)
         start_pos = 0
         cs = 0
         resumed_at = -1

@@ -1,0 +1,335 @@
+"""numpy tier of the arena kernels: the dense passes restated as
+fixed-width word-array operations.
+
+The python tier's hot loops probe Python-int bitsets one
+``(mask >> nt) & 1`` at a time and hash one signature tuple per
+nonterminal per refinement round.  This module restates those passes
+over ``uint64`` word arrays and flat CSR alternative tables:
+
+* :func:`reach` — reachability closure as a boolean matrix fixpoint
+  (bulk or instead of a per-bit worklist);
+* :func:`nonempty_bits` — the nonemptiness least fixpoint iterated
+  with ``reduceat``/scatter-or over all alternatives at once;
+* :func:`refine_classes` — partition refinement by global
+  sorted-signature grouping (``lexsort`` + ``unique(axis=0)``) — the
+  coarsest signature-stable partition is unique, so the resulting
+  *partition* matches the python tier's split-based walk exactly (only
+  the transient class labels differ, and the shared renumbering step
+  depends only on the partition);
+* :func:`arena_le` — the synchronized-product inclusion walk with the
+  whole frontier of pairs expanded, matched (one ``searchsorted`` join
+  against per-row sym-sorted alternative keys), and advanced per
+  round.
+
+The product *discovery* of union/intersection is inherently sequential
+hash-consing and stays in python; its dense back half (nonemptiness +
+refinement inside ``_normalize_dense``) runs through the functions
+here.  Results are bit-identical across tiers — this module never
+builds grammars itself, it only computes the same masks and partitions
+the shared renumber-and-intern tail consumes.
+
+Import of this module fails cleanly when numpy is absent; the tier
+resolver in :mod:`repro.typegraph.arena` records the reason and falls
+back to the python tier.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+__all__ = ["np_view", "reach", "nonempty_bits", "refine_classes",
+           "arena_le", "NUMPY_VERSION"]
+
+NUMPY_VERSION = np.__version__
+
+_U64_1 = np.uint64(1)
+_U64_63 = np.uint64(63)
+
+
+def _mask_words(mask: int, n: int) -> np.ndarray:
+    """A Python-int bitset as a little-endian uint64 word array."""
+    nwords = max(1, (n + 63) >> 6)
+    return np.frombuffer(
+        mask.to_bytes(nwords * 8, "little"), dtype="<u8").copy()
+
+
+def _words_to_mask(words: np.ndarray) -> int:
+    return int.from_bytes(words.tobytes(), "little")
+
+
+def _bittest(words: np.ndarray, idx: np.ndarray) -> np.ndarray:
+    """Per-element bit test of word-array ``words`` at positions
+    ``idx`` (returns a bool array)."""
+    return ((words[idx >> 6] >> (idx & 63).astype(np.uint64))
+            & _U64_1).astype(bool)
+
+
+class _ArenaView:
+    """Flat CSR word-array view of one :class:`GrammarArena` (cached
+    on the arena's ``_np`` slot)."""
+
+    __slots__ = ("n", "any_words", "int_words", "row_ptr", "alt_sym",
+                 "alt_row", "arg_ptr", "flat_args", "sorted_alt",
+                 "sorted_row", "sorted_sym")
+
+    def __init__(self, arena) -> None:
+        n = arena.n
+        self.n = n
+        self.any_words = _mask_words(arena.any_mask, n)
+        self.int_words = _mask_words(arena.int_mask, n)
+        counts = np.fromiter((len(row) for row in arena.syms),
+                             np.int64, n) if n else np.zeros(0, np.int64)
+        self.row_ptr = np.concatenate(
+            ([0], np.cumsum(counts))).astype(np.int64)
+        total = int(self.row_ptr[-1]) if n else 0
+        self.alt_sym = np.fromiter(
+            (s for row in arena.syms for s in row), np.int64, total)
+        self.alt_row = np.repeat(np.arange(n, dtype=np.int64), counts) \
+            if n else np.zeros(0, np.int64)
+        arity = np.fromiter(
+            (len(t) for row in arena.args for t in row), np.int64, total)
+        self.arg_ptr = np.concatenate(
+            ([0], np.cumsum(arity))).astype(np.int64)
+        self.flat_args = np.fromiter(
+            (c for row in arena.args for t in row for c in t),
+            np.int64, int(self.arg_ptr[-1]))
+        # per-row sym-sorted alternative order: rows are fkey-sorted
+        # (string order), the joins below need sym-id order
+        order = np.lexsort((self.alt_sym, self.alt_row))
+        self.sorted_alt = order
+        self.sorted_row = self.alt_row[order]
+        self.sorted_sym = self.alt_sym[order]
+
+
+def np_view(arena) -> _ArenaView:
+    view = arena._np
+    if view is None:
+        view = _ArenaView(arena)
+        arena._np = view
+    return view
+
+
+def _literal_array():
+    from . import arena
+    lits = arena.SYMBOLS.is_literal
+    global _LITERALS
+    if _LITERALS is None or len(_LITERALS) < len(lits):
+        _LITERALS = np.asarray(lits, dtype=bool)
+    return _LITERALS
+
+
+_LITERALS = None
+
+
+# -- reachability ------------------------------------------------------------
+
+def reach(arena) -> Tuple[int, ...]:
+    """Transitive-closure fixpoint as boolean matrix squaring; returns
+    the same per-nonterminal Python-int bitsets as the python tier."""
+    n = arena.n
+    adj = np.eye(n, dtype=bool)
+    for i in range(n):
+        for arg_tuple in arena.args[i]:
+            for child in arg_tuple:
+                adj[i, child] = True
+    current = adj
+    while True:
+        step = current.astype(np.uint8)
+        closed = current | ((step @ step) > 0)
+        if (closed == current).all():
+            break
+        current = closed
+    return tuple(
+        int.from_bytes(np.packbits(current[i], bitorder="little")
+                       .tobytes(), "little")
+        for i in range(n))
+
+
+# -- nonemptiness ------------------------------------------------------------
+
+def nonempty_bits(any_f, int_f, funcs, n: int) -> int:
+    """Least fixpoint of "has a finite tree" — all alternatives tested
+    per round with one ``reduceat``, proved rows scattered back with
+    one ``or.at``."""
+    nonempty = np.zeros(n, dtype=bool)
+    rows: List[int] = []
+    arities: List[int] = []
+    flat: List[int] = []
+    for i in range(n):
+        if any_f[i] or int_f[i]:
+            nonempty[i] = True
+            continue
+        for sym, arg_idx in funcs[i]:
+            if not arg_idx:
+                nonempty[i] = True
+            else:
+                rows.append(i)
+                arities.append(len(arg_idx))
+                flat.extend(arg_idx)
+    if rows:
+        row = np.asarray(rows, dtype=np.int64)
+        arity = np.asarray(arities, dtype=np.int64)
+        args = np.asarray(flat, dtype=np.int64)
+        starts = np.concatenate(([0], np.cumsum(arity[:-1])))
+        while True:
+            proved = np.add.reduceat(
+                nonempty[args].astype(np.int64), starts) == arity
+            updated = nonempty.copy()
+            np.logical_or.at(updated, row, proved)
+            if (updated == nonempty).all():
+                break
+            nonempty = updated
+    return int.from_bytes(
+        np.packbits(nonempty, bitorder="little").tobytes(), "little")
+
+
+# -- partition refinement ----------------------------------------------------
+
+def refine_classes(any_f, int_f, funcs, n: int) -> List[int]:
+    """Coarsest signature-stable partition by global rounds: per round,
+    every alternative's key is gathered at once, alternatives are
+    ordered within their node by ``lexsort``, and nodes are grouped by
+    ``unique(axis=0)`` on their padded signature rows.  Exact integer
+    comparisons throughout (no hashing), so the fixpoint is the same
+    unique coarsest partition the split-based python walk reaches."""
+    alt_node: List[int] = []
+    alt_code: List[int] = []
+    alt_args: List[tuple] = []
+    max_arity = 0
+    for i in range(n):
+        if any_f[i]:
+            alt_node.append(i)
+            alt_code.append(0)
+            alt_args.append(())
+        if int_f[i]:
+            alt_node.append(i)
+            alt_code.append(1)
+            alt_args.append(())
+        for sym, arg_idx in funcs[i]:
+            alt_node.append(i)
+            alt_code.append(sym + 2)
+            alt_args.append(arg_idx)
+            if len(arg_idx) > max_arity:
+                max_arity = len(arg_idx)
+    total = len(alt_node)
+    if total == 0:
+        return [0] * n
+    node = np.asarray(alt_node, dtype=np.int64)
+    code = np.asarray(alt_code, dtype=np.int64)
+    argmat = np.zeros((total, max_arity), dtype=np.int64)
+    argmask = np.zeros((total, max_arity), dtype=bool)
+    for k, arg_idx in enumerate(alt_args):
+        if arg_idx:
+            argmat[k, :len(arg_idx)] = arg_idx
+            argmask[k, :len(arg_idx)] = True
+    width = 1 + max_arity
+    counts = np.bincount(node, minlength=n)
+    max_alts = int(counts.max())
+    classes = np.zeros(n, dtype=np.int64)
+    num_classes = 1
+    while num_classes < n:
+        key = np.zeros((total, width), dtype=np.int64)
+        key[:, 0] = code
+        if max_arity:
+            # class(arg)+1 per argument slot, 0 where padded — exactly
+            # the python tier's base-(n+1) digit sequence, compared
+            # positionally instead of packed into one big int
+            key[:, 1:] = np.where(argmask, classes[argmat] + 1, 0)
+        order = np.lexsort(
+            tuple(key[:, c] for c in range(width - 1, -1, -1)) + (node,))
+        sorted_node = node[order]
+        sorted_key = key[order]
+        group_first = np.concatenate(
+            ([True], sorted_node[1:] != sorted_node[:-1]))
+        group_start = np.flatnonzero(group_first)
+        group_len = np.diff(np.concatenate((group_start, [total])))
+        pos_in_group = np.arange(total) - np.repeat(group_start, group_len)
+        signature = np.full((n, 1 + max_alts * width), -1, dtype=np.int64)
+        signature[:, 0] = classes
+        cols = 1 + pos_in_group[:, None] * width + np.arange(width)[None, :]
+        signature[sorted_node[:, None], cols] = sorted_key
+        _, new_classes = np.unique(signature, axis=0, return_inverse=True)
+        new_count = int(new_classes.max()) + 1
+        if new_count == num_classes:
+            break  # refinement only splits: same count => stable
+        classes = new_classes.astype(np.int64)
+        num_classes = new_count
+    return [int(c) for c in classes]
+
+
+# -- inclusion ---------------------------------------------------------------
+
+def _expand(ptr: np.ndarray, rows: np.ndarray
+            ) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenated ranges ``ptr[r]..ptr[r+1]`` for each ``r`` in
+    ``rows`` plus the owning position of every produced index."""
+    counts = ptr[rows + 1] - ptr[rows]
+    total = int(counts.sum())
+    owner = np.repeat(np.arange(len(rows), dtype=np.int64), counts)
+    if total == 0:
+        return np.zeros(0, dtype=np.int64), owner
+    bases = np.repeat(ptr[rows], counts)
+    resets = np.repeat(np.concatenate(
+        ([0], np.cumsum(counts[:-1]))), counts)
+    offsets = np.arange(total, dtype=np.int64) - resets
+    return bases + offsets, owner
+
+
+def arena_le(g1, g2) -> bool:
+    """Frontier-batched synchronized-product inclusion: each round
+    tests the ANY/INT word arrays for the whole frontier, joins every
+    left alternative against the right rows with one ``searchsorted``,
+    and emits the next frontier of argument pairs in bulk."""
+    from . import arena as _arena
+    a1 = _arena.arena_of(g1)
+    a2 = _arena.arena_of(g2)
+    v1 = np_view(a1)
+    v2 = np_view(a2)
+    n2 = a2.n
+    literals = _literal_array()
+    nsyms = np.int64(len(literals) + 1)
+    right_keys = v2.sorted_row * nsyms + v2.sorted_sym
+    r1 = a1.index_of(g1.root)
+    r2 = a2.index_of(g2.root)
+    seen = {r1 * n2 + r2}
+    left = np.asarray([r1], dtype=np.int64)
+    right = np.asarray([r2], dtype=np.int64)
+    while len(left):
+        keep = ~_bittest(v2.any_words, right)  # ANY on the right covers
+        left, right = left[keep], right[keep]
+        if not len(left):
+            break
+        if _bittest(v1.any_words, left).any():
+            return False  # nothing but ANY covers all terms
+        has_int = _bittest(v2.int_words, right)
+        if (_bittest(v1.int_words, left) & ~has_int).any():
+            return False
+        alt_idx, owner = _expand(v1.row_ptr, left)
+        if not len(alt_idx):
+            left = right = left[:0]
+            continue
+        syms = v1.alt_sym[alt_idx]
+        skip = has_int[owner] & literals[syms]
+        alt_idx, owner, syms = alt_idx[~skip], owner[~skip], syms[~skip]
+        targets = right[owner] * nsyms + syms
+        pos = np.searchsorted(right_keys, targets)
+        if (pos >= len(right_keys)).any():
+            return False
+        if not (right_keys[pos] == targets).all():
+            return False
+        matched = v2.sorted_alt[pos]
+        child1_idx, _ = _expand(v1.arg_ptr, alt_idx)
+        child2_idx, _ = _expand(v2.arg_ptr, matched)
+        # same sym => same arity, so the two expansions align
+        keys = v1.flat_args[child1_idx] * n2 + v2.flat_args[child2_idx]
+        fresh = [k for k in np.unique(keys).tolist() if k not in seen]
+        if not fresh:
+            left = right = left[:0]
+            continue
+        seen.update(fresh)
+        fresh_arr = np.asarray(fresh, dtype=np.int64)
+        left = fresh_arr // n2
+        right = fresh_arr - left * n2
+    return True

@@ -35,6 +35,33 @@ benchmark trajectory compares full-engine fingerprints).  The
 ``REPRO_ARENA`` environment variable (``0``/``off``/``false``) or
 :func:`configure` routes every operation back through the reference
 paths for A/B runs.
+
+Execution tiers
+---------------
+
+The arena kernels themselves run in one of three tiers, selected by
+``REPRO_ARENA_KERNEL`` (or ``configure(kernel=...)``):
+
+* ``python`` — the iterative worklist loops below, over Python-int
+  bitsets.  Always available; the portable baseline.
+* ``numpy`` — the same algorithms with the dense passes (reachability
+  closure, nonemptiness, partition refinement, the inclusion pair
+  walk) restated as fixed-width word-array operations in
+  :mod:`repro.typegraph._kernels_numpy` (bulk ``|=``/``&``,
+  ``nonzero``, sorted-signature grouping).  Falls back to ``python``
+  when numpy is not importable.
+* ``native`` — a small C extension (:mod:`repro.typegraph._native`)
+  compiled lazily with the system C compiler, which additionally
+  serves the memoized grammar *operations* (``g_le``/``g_union``/
+  ``g_intersect``/``g_functor``/``subgrammar``) and the Pat(Type)
+  pattern walks from C-side tables.  Falls back to ``numpy`` (then
+  ``python``) when no toolchain is available.
+
+``auto`` (the default) resolves to the fastest available tier.  Every
+tier returns the *identical interned* ``Grammar`` objects — the three
+implementations share the canonical renumbering and the process-wide
+intern tables, so ``gid``s, fingerprints, and serialized forms are
+tier-oblivious (``tests/test_kernel_tiers.py`` sweeps them).
 """
 
 from __future__ import annotations
@@ -51,6 +78,7 @@ __all__ = [
     "arena_le", "arena_union", "arena_intersect", "arena_functor",
     "arena_subgrammar", "arena_normalize", "RulesIndex",
     "enabled", "configure", "stats", "snapshot",
+    "kernel", "available_kernels", "kernel_status",
 ]
 
 
@@ -66,29 +94,202 @@ _ENABLED = _env_enabled()
 _COMPILES = 0
 _INDEX_BUILDS = 0
 
+# -- kernel tier selection ---------------------------------------------------
+
+_KERNEL_TIERS = ("python", "numpy", "native")
+
+
+def _env_kernel() -> str:
+    value = os.environ.get("REPRO_ARENA_KERNEL", "auto").strip().lower()
+    if value in _KERNEL_TIERS or value == "auto":
+        return value
+    return "auto"
+
+
+#: Requested tier ("auto" resolves on first use), the resolved active
+#: tier, and per-tier fallback reasons for :func:`kernel_status`.
+_KERNEL_REQUESTED = _env_kernel()
+_KERNEL_ACTIVE: Optional[str] = None
+_KERNEL_REASONS: Dict[str, str] = {}
+
+#: Loaded helper modules for the non-python tiers (None = inactive).
+#: ``NATIVE`` is read directly by the dispatch sites in ``ops.py`` /
+#: ``grammar.py`` / ``pattern.py`` — a plain module-global read, reset
+#: whenever the tier is re-resolved.
+_NUMPY_MOD = None
+NATIVE = None
+
+
+def _try_numpy():
+    try:
+        from . import _kernels_numpy
+        return _kernels_numpy, None
+    except Exception as exc:  # numpy absent or too old
+        return None, "numpy tier unavailable: %s" % (exc,)
+
+
+def _try_native():
+    try:
+        from . import _native
+        mod, reason = _native.load()
+        if mod is None:
+            return None, "native tier unavailable: %s" % (reason,)
+        return _native, None
+    except Exception as exc:
+        return None, "native tier unavailable: %s" % (exc,)
+
+
+def _resolve_kernel() -> str:
+    """Resolve the requested tier to an available one (recording why
+    any better tier was skipped), load its helper module, and publish
+    the module globals the dispatch sites read."""
+    global _KERNEL_ACTIVE, _NUMPY_MOD, NATIVE
+    if _KERNEL_ACTIVE is not None:
+        return _KERNEL_ACTIVE
+    chain = {
+        "python": ("python",),
+        "numpy": ("numpy", "python"),
+        "native": ("native", "numpy", "python"),
+        "auto": ("native", "numpy", "python"),
+    }[_KERNEL_REQUESTED]
+    _NUMPY_MOD = None
+    NATIVE = None
+    for tier in chain:
+        if tier == "python":
+            _KERNEL_ACTIVE = "python"
+            break
+        mod, reason = _try_native() if tier == "native" else _try_numpy()
+        if mod is None:
+            _KERNEL_REASONS[tier] = reason
+            continue
+        if tier == "native":
+            NATIVE = mod
+        else:
+            _NUMPY_MOD = mod
+        _KERNEL_ACTIVE = tier
+        break
+    return _KERNEL_ACTIVE
+
+
+def kernel() -> str:
+    """The active kernel tier ("python", "numpy", or "native"),
+    resolving the requested tier on first use."""
+    return _KERNEL_ACTIVE or _resolve_kernel()
+
+
+def available_kernels() -> List[str]:
+    """Tiers that can actually run in this process/environment."""
+    tiers = ["python"]
+    if _try_numpy()[0] is not None:
+        tiers.append("numpy")
+    if _KERNEL_ACTIVE == "native" or _try_native()[0] is not None:
+        tiers.append("native")
+    return tiers
+
+
+def kernel_status() -> Dict[str, object]:
+    """Requested vs. active tier plus the recorded fallback reasons —
+    what ``repro profile`` and the bench reports surface."""
+    return {
+        "requested": _KERNEL_REQUESTED,
+        "active": kernel(),
+        "enabled": _ENABLED,
+        "fallbacks": dict(_KERNEL_REASONS),
+    }
+
+
+# -- per-kernel profiling ----------------------------------------------------
+
+#: ``op -> [calls, seconds]`` for the python/numpy tiers; the native
+#: tier keeps equivalent counters in C.  Timing is gated behind
+#: :func:`profile_kernels` so the hot path pays nothing by default.
+_KCOUNTS: Dict[str, list] = {}
+_KPROF = False
+
+
+def profile_kernels(enable: bool = True) -> None:
+    """Turn per-op kernel timing on/off (used by ``repro profile``)."""
+    global _KPROF
+    _KPROF = bool(enable)
+    if NATIVE is not None:
+        NATIVE.set_profile(enable)
+
+
+def kernel_counters() -> Dict[str, Dict[str, float]]:
+    """Per-op ``{calls, seconds}`` for the active tier (native counters
+    are read from the C module)."""
+    merged = {op: {"calls": int(cell[0]), "seconds": cell[1]}
+              for op, cell in _KCOUNTS.items()}
+    if NATIVE is not None:
+        for op, cell in NATIVE.kernel_counters().items():
+            entry = merged.setdefault(op, {"calls": 0, "seconds": 0.0})
+            entry["calls"] += cell["calls"]
+            entry["seconds"] += cell["seconds"]
+    return merged
+
+
+def reset_kernel_counters() -> None:
+    _KCOUNTS.clear()
+    if NATIVE is not None:
+        NATIVE.reset_kernel_counters()
+
+
+def _timed(op: str, impl, *args):
+    from time import perf_counter
+    start = perf_counter()
+    try:
+        return impl(*args)
+    finally:
+        cell = _KCOUNTS.get(op)
+        if cell is None:
+            cell = _KCOUNTS[op] = [0, 0.0]
+        cell[0] += 1
+        cell[1] += perf_counter() - start
+
 
 def enabled() -> bool:
     return _ENABLED
 
 
-def configure(enabled: Optional[bool] = None) -> None:
+def configure(enabled: Optional[bool] = None,
+              kernel: Optional[str] = None) -> None:
     """Toggle the arena kernels at runtime (reference paths remain
-    available and bit-identical, so flipping mid-process is safe)."""
-    global _ENABLED
+    available and bit-identical, so flipping mid-process is safe), and
+    select the execution tier (``python``/``numpy``/``native``/
+    ``auto``) with the same fallback semantics as the
+    ``REPRO_ARENA_KERNEL`` environment variable."""
+    global _ENABLED, _KERNEL_REQUESTED, _KERNEL_ACTIVE
     if enabled is not None:
         _ENABLED = bool(enabled)
+    if kernel is not None:
+        kernel = kernel.strip().lower()
+        if kernel not in _KERNEL_TIERS and kernel != "auto":
+            raise ValueError("unknown arena kernel tier: %r" % (kernel,))
+        _KERNEL_REQUESTED = kernel
+        _KERNEL_ACTIVE = None
+        _KERNEL_REASONS.clear()
+        _resolve_kernel()
 
 
 def stats() -> Dict[str, int]:
     """Process-wide arena counters: grammar compilations, widening
-    step-index builds, and distinct functor symbols interned."""
-    return {"compiles": _COMPILES, "index_builds": _INDEX_BUILDS,
+    step-index builds, and distinct functor symbols interned.  With
+    the native tier active the C-side compilation counters are folded
+    in, so the engine's attribution stays tier-oblivious."""
+    compiles = _COMPILES
+    index_builds = _INDEX_BUILDS
+    if NATIVE is not None:
+        native_stats = NATIVE.stats()
+        compiles += native_stats.get("compiles", 0)
+        index_builds += native_stats.get("index_builds", 0)
+    return {"compiles": compiles, "index_builds": index_builds,
             "symbols": len(SYMBOLS.fkeys)}
 
 
 def snapshot() -> int:
     """Aggregate compilation count (grammar arenas + step indexes)."""
-    return _COMPILES + _INDEX_BUILDS
+    counters = stats()
+    return counters["compiles"] + counters["index_builds"]
 
 
 # -- symbol table ------------------------------------------------------------
@@ -151,6 +352,15 @@ SYMBOLS = SymbolTable()
 _INTKEY_INTERN: "weakref.WeakValueDictionary[tuple, Grammar]" = \
     weakref.WeakValueDictionary()
 
+#: Decoded-alternative cache for :func:`_grammar_from_intkey`: functor
+#: alternatives repeat heavily across grammars (``.``/2, ``[]``/0,
+#: ...), so reusing one FuncAlt per ``(sym, args)`` skips both the
+#: construction and its hash.  FuncAlts are tiny and compare by value,
+#: so sharing is purely an accelerator; the size cap bounds a
+#: long-lived process.
+_ALT_CACHE: Dict[tuple, "FuncAlt"] = {}
+_ALT_CACHE_MAX = 1 << 18
+
 
 # -- the per-grammar arena ---------------------------------------------------
 
@@ -166,7 +376,7 @@ class GrammarArena:
     """
 
     __slots__ = ("n", "any_mask", "int_mask", "syms", "args", "by_sym",
-                 "nt_index", "_reach")
+                 "nt_index", "_reach", "_np")
 
     def __init__(self, n: int, any_mask: int, int_mask: int,
                  syms: tuple, args: tuple, by_sym: tuple,
@@ -181,6 +391,9 @@ class GrammarArena:
         #: (normalized grammars are already dense with root 0).
         self.nt_index = nt_index
         self._reach: Optional[Tuple[int, ...]] = None
+        #: lazily built word-array view (numpy tier), see
+        #: :func:`repro.typegraph._kernels_numpy.np_view`.
+        self._np = None
 
     def index_of(self, nt: int) -> int:
         if self.nt_index is None:
@@ -189,8 +402,12 @@ class GrammarArena:
 
     def reach(self) -> Tuple[int, ...]:
         """``reach()[nt]`` is the bitset of nonterminals reachable from
-        ``nt`` (including itself) — fixpoint of bitset unions."""
+        ``nt`` (including itself) — fixpoint of bitset unions (the
+        numpy tier computes the same closure with word-array ors)."""
         if self._reach is None:
+            if _NUMPY_MOD is not None:
+                self._reach = _NUMPY_MOD.reach(self)
+                return self._reach
             n = self.n
             succ = [0] * n
             for i in range(n):
@@ -324,6 +541,38 @@ def _normalize_core(items: Dict[int, tuple], root: int,
                             max_or_width)
 
 
+def _nonempty_bits(any_f: List[bool], int_f: List[bool],
+                   funcs: List[list], n: int) -> int:
+    """Nonempty bitset (worklist with per-alternative counters;
+    duplicate argument occurrences register the cell once per
+    occurrence and count once per occurrence, so they balance)."""
+    nonempty = 0
+    waiting: Dict[int, list] = {}
+    stack: List[int] = []
+    for i in range(n):
+        if any_f[i] or int_f[i]:
+            nonempty |= 1 << i
+            stack.append(i)
+            continue
+        for sym, arg_idx in funcs[i]:
+            if not arg_idx:
+                if not (nonempty >> i) & 1:
+                    nonempty |= 1 << i
+                    stack.append(i)
+                break
+            cell = [i, len(arg_idx)]
+            for a in arg_idx:
+                waiting.setdefault(a, []).append(cell)
+    while stack:
+        proved = stack.pop()
+        for cell in waiting.get(proved, ()):
+            cell[1] -= 1
+            if cell[1] == 0 and not (nonempty >> cell[0]) & 1:
+                nonempty |= 1 << cell[0]
+                stack.append(cell[0])
+    return nonempty
+
+
 def _normalize_dense(any_f: List[bool], int_f: List[bool],
                      funcs: List[list], root_i: int,
                      max_or_width: Optional[int],
@@ -336,37 +585,19 @@ def _normalize_dense(any_f: List[bool], int_f: List[bool],
     constructions that cannot produce empty nonterminals from
     normalized operands (union merges derive a superset of either
     side; functor embeds copy nonempty grammars)."""
+    if NATIVE is not None:
+        return NATIVE.normalize_dense(any_f, int_f, funcs, root_i,
+                                      max_or_width, prune)
     n = len(any_f)
     is_literal = SYMBOLS.is_literal
 
     if prune:
-        # 1. nonempty bitset (worklist with per-alternative counters;
-        #    duplicate argument occurrences register the cell once per
-        #    occurrence and count once per occurrence, so they balance)
-        nonempty = 0
-        waiting: Dict[int, list] = {}
-        stack: List[int] = []
-        for i in range(n):
-            if any_f[i] or int_f[i]:
-                nonempty |= 1 << i
-                stack.append(i)
-                continue
-            for sym, arg_idx in funcs[i]:
-                if not arg_idx:
-                    if not (nonempty >> i) & 1:
-                        nonempty |= 1 << i
-                        stack.append(i)
-                    break
-                cell = [i, len(arg_idx)]
-                for a in arg_idx:
-                    waiting.setdefault(a, []).append(cell)
-        while stack:
-            proved = stack.pop()
-            for cell in waiting.get(proved, ()):
-                cell[1] -= 1
-                if cell[1] == 0 and not (nonempty >> cell[0]) & 1:
-                    nonempty |= 1 << cell[0]
-                    stack.append(cell[0])
+        # 1. nonempty pass (the numpy tier iterates the same least
+        #    fixpoint with word-array ors instead of a worklist)
+        if _NUMPY_MOD is not None:
+            nonempty = _NUMPY_MOD.nonempty_bits(any_f, int_f, funcs, n)
+        else:
+            nonempty = _nonempty_bits(any_f, int_f, funcs, n)
     all_mask = (1 << n) - 1
 
     # 2+3. prune empty references, absorb, cap or-width
@@ -411,6 +642,23 @@ def _normalize_dense(any_f: List[bool], int_f: List[bool],
     #    the symbol hence the arity, so the pair is injective — and
     #    far cheaper to hash than variable-length nested tuples.
     #    (ANY -> code 0, INT -> 1, functor sym -> s + 2.)
+    #    The numpy tier reaches the same (unique) partition by global
+    #    sorted-signature grouping rounds; only the class *labels* can
+    #    differ, and the representative/renumber steps below depend
+    #    only on the partition itself.
+    if _NUMPY_MOD is not None and n > 1:
+        classes = _NUMPY_MOD.refine_classes(any_f, int_f, funcs, n)
+    else:
+        classes = _refine_classes(any_f, int_f, funcs, n)
+    representative: Dict[int, int] = {}
+    for i in range(n):
+        representative.setdefault(classes[i], i)
+    cmap = [representative[c] for c in classes]
+    return _renumber_and_intern(any_f, int_f, funcs, cmap, root_i)
+
+
+def _refine_classes(any_f: List[bool], int_f: List[bool],
+                    funcs: List[list], n: int) -> List[int]:
     classes = [0] * n
     if n > 1:
         shapes: List[list] = [None] * n
@@ -462,11 +710,15 @@ def _normalize_dense(any_f: List[bool], int_f: List[bool],
                 for i in part:
                     for pred in preds[i]:
                         pending.add(classes[pred])
-    representative: Dict[int, int] = {}
-    for i in range(n):
-        representative.setdefault(classes[i], i)
-    cmap = [representative[c] for c in classes]
+    return classes
 
+
+def _renumber_and_intern(any_f: List[bool], int_f: List[bool],
+                         funcs: List[list], cmap: List[int],
+                         root_i: int) -> Grammar:
+    """Steps 5–6 of :func:`_normalize_dense` — shared across the
+    python and numpy tiers so the canonical numbering, intern probe,
+    and fused arena build are literally the same code."""
     # 5. BFS renumbering from the root's class, alternatives visited in
     #    canonical fkey order (ANY/INT have no children, so only the
     #    functor alternatives drive the numbering)
@@ -530,6 +782,7 @@ def _normalize_dense(any_f: List[bool], int_f: List[bool],
     out_syms: List[tuple] = [()] * out_n
     out_args: List[tuple] = [()] * out_n
     out_by: List[dict] = [None] * out_n
+    key_items: List[tuple] = [None] * out_n
     for new_nt in range(out_n):
         i, rows = renumbered[new_nt]
         alt_objs: List[object] = []
@@ -544,8 +797,14 @@ def _normalize_dense(any_f: List[bool], int_f: List[bool],
         out_syms[new_nt] = tuple(sym for _, sym, _ in rows)
         out_args[new_nt] = tuple(renum for _, _, renum in rows)
         out_by[new_nt] = {sym: renum for _, sym, renum in rows}
+        key_items[new_nt] = (new_nt, tuple(alt_objs))
         final[new_nt] = frozenset(alt_objs)
-    grammar = intern_grammar(Grammar(final, 0))
+    raw = Grammar(final, 0)
+    # alt_objs is already in _alt_sort_key order (ANY, INT, functors in
+    # fkey order) and nts are dense from 0, so the structural key can be
+    # assembled here without re-sorting the frozensets.
+    raw._key_cache = (0, tuple(key_items))
+    grammar = intern_grammar(raw)
     if grammar._arena is None:
         global _COMPILES
         _COMPILES += 1  # fused compile: the arrays are already flat
@@ -556,10 +815,125 @@ def _normalize_dense(any_f: List[bool], int_f: List[bool],
     return grammar
 
 
+# -- native-tier bridge ------------------------------------------------------
+#
+# The C extension keeps only integers; these callbacks are its one
+# door back into the Python object layer.  ``_grammar_from_intkey``
+# funnels every C-side construction through the same flat-int intern
+# probe as :func:`_renumber_and_intern`, so the native tier returns
+# the identical interned instances as the python/numpy tiers.
+
+def _grammar_from_intkey(int_key: tuple) -> Grammar:
+    """Decode a canonical flat int key (``_renumber_and_intern``'s
+    encoding: ``[out_n, per nt: flags, nrows, (sym, args...)...]``,
+    argument counts implied by the symbol table) into the interned
+    Grammar, building objects only on an intern miss."""
+    cached_grammar = _INTKEY_INTERN.get(int_key)
+    if cached_grammar is not None:
+        return cached_grammar
+    fkeys = SYMBOLS.fkeys
+    arities = SYMBOLS.arities
+    alt_cache = _ALT_CACHE
+    out_n = int_key[0]
+    p = 1
+    final: Dict[int, frozenset] = {}
+    out_any = 0
+    out_int = 0
+    out_syms: List[tuple] = [()] * out_n
+    out_args: List[tuple] = [()] * out_n
+    out_by: List[dict] = [None] * out_n
+    key_items: List[tuple] = [None] * out_n
+    for nt in range(out_n):
+        flags = int_key[p]
+        nrows = int_key[p + 1]
+        p += 2
+        alt_objs: List[object] = []
+        if flags & 1:
+            alt_objs.append(ANY)
+            out_any |= 1 << nt
+        if flags & 2:
+            alt_objs.append(INT)
+            out_int |= 1 << nt
+        syms_row: List[int] = []
+        args_row: List[tuple] = []
+        for _ in range(nrows):
+            sym = int_key[p]
+            q = p + 1 + arities[sym]
+            renum = int_key[p + 1:q]  # tuple slice is already a tuple
+            p = q
+            alt = alt_cache.get((sym, renum))
+            if alt is None:
+                kind, name, _ = fkeys[sym]
+                alt = FuncAlt(name, renum, kind == "i")
+                if len(alt_cache) >= _ALT_CACHE_MAX:
+                    alt_cache.clear()
+                alt_cache[(sym, renum)] = alt
+            alt_objs.append(alt)
+            syms_row.append(sym)
+            args_row.append(renum)
+        out_syms[nt] = tuple(syms_row)
+        out_args[nt] = tuple(args_row)
+        out_by[nt] = dict(zip(syms_row, args_row))
+        key_items[nt] = (nt, tuple(alt_objs))
+        final[nt] = frozenset(alt_objs)
+    raw = Grammar(final, 0)
+    # rows arrive in canonical fkey order, so alt_objs is already in
+    # _alt_sort_key order — assemble the structural key without the
+    # per-frozenset sort intern_grammar would otherwise pay for.
+    raw._key_cache = (0, tuple(key_items))
+    grammar = intern_grammar(raw)
+    if grammar._arena is None:
+        global _COMPILES
+        _COMPILES += 1
+        grammar._arena = GrammarArena(
+            out_n, out_any, out_int, tuple(out_syms), tuple(out_args),
+            tuple(out_by))
+    _INTKEY_INTERN[int_key] = grammar
+    return grammar
+
+
+def _arena_flat(grammar: Grammar) -> List[int]:
+    """Flat operand encoding handed to the C tier on first sight of a
+    gid: ``[n, root, per nt: flags, nrows, (sym, nargs, args...)...]``
+    with rows in the arena's canonical fkey order."""
+    a = arena_of(grammar)
+    flat = [a.n, a.index_of(grammar.root)]
+    any_mask = a.any_mask
+    int_mask = a.int_mask
+    for i in range(a.n):
+        flat.append(((any_mask >> i) & 1) | (((int_mask >> i) & 1) << 1))
+        syms = a.syms[i]
+        args = a.args[i]
+        flat.append(len(syms))
+        for sym, arg_tuple in zip(syms, args):
+            flat.append(sym)
+            flat.append(len(arg_tuple))
+            flat.extend(arg_tuple)
+    return flat
+
+
+def _sym_rows(start: int) -> List[Tuple[str, str, int]]:
+    """Symbol-table rows from ``start`` on (the C registry mirrors the
+    table incrementally; ids are dense and append-only)."""
+    return list(SYMBOLS.fkeys[start:])
+
+
+def _sym_f(name: str, arity: int) -> int:
+    return SYMBOLS.sym("f", name, arity)
+
+
 def arena_normalize(grammar: Grammar,
                     max_or_width: Optional[int]) -> Grammar:
     """Normalize an arbitrary raw grammar through the int pipeline
     (bit-identical to the reference :func:`~.grammar.normalize`)."""
+    if _KPROF and NATIVE is None:
+        return _timed("normalize", _arena_normalize_impl, grammar,
+                      max_or_width)
+    return _arena_normalize_impl(grammar, max_or_width)
+
+
+def _arena_normalize_impl(grammar: Grammar,
+                          max_or_width: Optional[int]) -> Grammar:
     sym_of_alt = SYMBOLS.sym_of_alt
     items: Dict[int, tuple] = {}
     for nt, alts in grammar.rules.items():
@@ -583,6 +957,15 @@ def arena_le(g1: Grammar, g2: Grammar) -> bool:
     """Exact inclusion as an iterative worklist over the synchronized
     product: every reachable pair must locally match (determinism makes
     the local condition complete)."""
+    if NATIVE is not None:
+        return NATIVE.arena_le(g1, g2)
+    impl = _arena_le_py if _NUMPY_MOD is None else _NUMPY_MOD.arena_le
+    if _KPROF:
+        return _timed("le", impl, g1, g2)
+    return impl(g1, g2)
+
+
+def _arena_le_py(g1: Grammar, g2: Grammar) -> bool:
     a1 = arena_of(g1)
     a2 = arena_of(g2)
     any1, int1 = a1.any_mask, a1.int_mask
@@ -624,7 +1007,20 @@ def arena_union(g1: Grammar, g2: Grammar,
                 max_or_width: Optional[int]) -> Grammar:
     """Pointwise-merged union (principal functor restriction) as an
     iterative product construction over int keys, emitting the dense
-    arrays normalization consumes directly."""
+    arrays normalization consumes directly.  The product discovery is
+    inherently sequential hash-consing; its dense back half (the
+    nonemptiness and refinement passes inside ``_normalize_dense``)
+    is where the numpy tier applies, and the native tier runs the
+    whole construction in C."""
+    if NATIVE is not None:
+        return NATIVE.arena_union(g1, g2, max_or_width)
+    if _KPROF:
+        return _timed("union", _arena_union_py, g1, g2, max_or_width)
+    return _arena_union_py(g1, g2, max_or_width)
+
+
+def _arena_union_py(g1: Grammar, g2: Grammar,
+                    max_or_width: Optional[int]) -> Grammar:
     a1 = arena_of(g1)
     a2 = arena_of(g2)
     n1, n2 = a1.n, a2.n
@@ -705,6 +1101,16 @@ def arena_intersect(g1: Grammar, g2: Grammar,
                     max_or_width: Optional[int]) -> Grammar:
     """Exact intersection (product of deterministic automata) as an
     iterative construction over int keys."""
+    if NATIVE is not None:
+        return NATIVE.arena_intersect(g1, g2, max_or_width)
+    if _KPROF:
+        return _timed("intersect", _arena_intersect_py, g1, g2,
+                      max_or_width)
+    return _arena_intersect_py(g1, g2, max_or_width)
+
+
+def _arena_intersect_py(g1: Grammar, g2: Grammar,
+                        max_or_width: Optional[int]) -> Grammar:
     a1 = arena_of(g1)
     a2 = arena_of(g2)
     n1, n2 = a1.n, a2.n
@@ -793,6 +1199,16 @@ def arena_functor(name: str, children: Tuple[Grammar, ...],
     """``name(c1, ..., cn)`` built by embedding the children's arenas
     at int offsets (no recursive copy, no GrammarBuilder) — the
     layout is dense by construction."""
+    if NATIVE is not None:
+        return NATIVE.arena_functor(name, children, max_or_width)
+    if _KPROF:
+        return _timed("functor", _arena_functor_py, name, children,
+                      max_or_width)
+    return _arena_functor_py(name, children, max_or_width)
+
+
+def _arena_functor_py(name: str, children: Tuple[Grammar, ...],
+                      max_or_width: Optional[int]) -> Grammar:
     any_f: List[int] = [0]
     int_f: List[int] = [0]
     funcs: List[list] = [()]
@@ -883,6 +1299,14 @@ def arena_subgrammar(grammar: Grammar, nt: int) -> Grammar:
     (distinguishing experiments only use reachable structure, which the
     subgrammar keeps), so only the canonical renumbering remains.
     """
+    if NATIVE is not None:
+        return NATIVE.arena_subgrammar(grammar, nt)
+    if _KPROF:
+        return _timed("subgrammar", _arena_subgrammar_py, grammar, nt)
+    return _arena_subgrammar_py(grammar, nt)
+
+
+def _arena_subgrammar_py(grammar: Grammar, nt: int) -> Grammar:
     arena = arena_of(grammar)
     start = arena.index_of(nt)
     number = {start: 0}
@@ -1084,3 +1508,11 @@ class RulesIndex:
         else:
             memo[root] = False
         return result
+
+
+# Resolve the requested tier eagerly so the dispatch sites (here and in
+# ``ops.py`` / ``grammar.py`` / ``pattern.py``) can read the module
+# globals ``NATIVE`` / ``_NUMPY_MOD`` without a per-call probe.  The
+# helper modules import nothing from this module at import time, so
+# this cannot recurse.
+_resolve_kernel()

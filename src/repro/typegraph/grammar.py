@@ -78,14 +78,37 @@ ANY = _AnyAlt()
 INT = _IntAlt()
 
 
-@dataclass(frozen=True)
 class FuncAlt:
     """Alternative ``name(args...)``; ``is_int`` marks integer literals
-    (then arity is 0 and ``name`` is the decimal text)."""
+    (then arity is 0 and ``name`` is the decimal text).
 
-    name: str
-    args: Tuple[int, ...] = ()
-    is_int: bool = False
+    A slotted value class rather than a frozen dataclass: alternatives
+    are hashed constantly (frozenset rules, structural grammar keys),
+    so the hash is computed once at construction and served from a
+    slot."""
+
+    __slots__ = ("name", "args", "is_int", "_hashv")
+
+    def __init__(self, name: str, args: Tuple[int, ...] = (),
+                 is_int: bool = False) -> None:
+        self.name = name
+        self.args = args
+        self.is_int = is_int
+        self._hashv = hash((name, args, is_int))
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, FuncAlt):
+            return NotImplemented
+        return (self._hashv == other._hashv and self.name == other.name
+                and self.args == other.args and self.is_int == other.is_int)
+
+    def __hash__(self) -> int:
+        return self._hashv
+
+    def __reduce__(self):
+        return (FuncAlt, (self.name, self.args, self.is_int))
 
     @property
     def arity(self) -> int:
@@ -349,14 +372,14 @@ def intern_grammar(grammar: Grammar) -> Grammar:
         return grammar
     key = grammar._key()
     with _INTERN_LOCK:
-        canonical = _INTERN.get(key)
-        if canonical is None:
+        # setdefault hashes the (large, uncached) key tuple once,
+        # where a get-then-insert would hash it twice more; the
+        # grammar's own hash fills in lazily from the cached key.
+        canonical = _INTERN.setdefault(key, grammar)
+        if canonical is grammar:
             grammar.interned = True
             grammar.gid = _NEXT_GID
             _NEXT_GID += 1
-            hash(grammar)  # precompute
-            _INTERN[key] = grammar
-            return grammar
     return canonical
 
 

@@ -187,12 +187,20 @@ def configure(enabled: Optional[bool] = None,
 
 
 def clear(reset_counters: bool = False) -> None:
-    """Drop every cached result (optionally also the counters)."""
+    """Drop every cached result (optionally also the counters).  The
+    native tier's C-side memo tables are cleared in the same stroke so
+    both layers forget together."""
     for cache in _CACHES.values():
         if reset_counters:
             cache.reset()
         else:
             cache.clear()
+    try:
+        from . import arena
+        if arena.NATIVE is not None:
+            arena.NATIVE.clear_memos()
+    except Exception:
+        pass
 
 
 def stats() -> Dict[str, Dict[str, int]]:

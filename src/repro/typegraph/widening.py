@@ -342,6 +342,15 @@ def _g_widen_impl(g_old: Grammar, g_new: Grammar,
                   max_or_width: Optional[int],
                   strict: bool,
                   type_database: Optional[List[Grammar]]) -> Grammar:
+    if (type_database is None and arena.enabled()
+            and arena.NATIVE is not None
+            and g_old.interned and g_new.interned):
+        # The compiled tier runs the whole transformation loop —
+        # unfold, clash scan, TRi/TRr, renormalize — and interns each
+        # iterate through the same tables, so the result is the
+        # identical object this function would build.  The
+        # type-database extension stays on the Python path.
+        return arena.NATIVE.g_widen(g_old, g_new, max_or_width, strict)
     gn = g_union(g_old, g_new, max_or_width)
     if g_old.is_bottom():
         return gn

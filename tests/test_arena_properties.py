@@ -60,17 +60,19 @@ grammars = _grammars(2)
 widths = st.sampled_from([None, 1, 2, 5])
 
 
-@pytest.fixture(autouse=True)
-def _uncached_and_arena_restored():
-    """Disable the op caches (so both paths really compute) and
-    restore the arena knob afterwards."""
+@pytest.fixture(autouse=True, params=arena.available_kernels())
+def _uncached_and_arena_restored(request):
+    """Disable the op caches (so both paths really compute), sweep
+    every available kernel tier (PR 8: each tier must match the pure
+    reference bit-for-bit), and restore the knobs afterwards."""
     was_cache = opcache.enabled()
     was_arena = arena.enabled()
+    was_kernel = arena.kernel_status()["requested"]
     opcache.configure(enabled=False)
-    arena.configure(enabled=True)
+    arena.configure(enabled=True, kernel=request.param)
     yield
     opcache.configure(enabled=was_cache)
-    arena.configure(enabled=was_arena)
+    arena.configure(enabled=was_arena, kernel=was_kernel)
 
 
 def _with_arena(enabled, fn):
