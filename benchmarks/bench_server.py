@@ -266,14 +266,20 @@ def load_worker_main() -> int:
     latencies: list = []
     errors: list = []
 
+    endpoints = spec.get("endpoints")
+    if endpoints is not None:
+        endpoints = [(host, int(port)) for host, port in endpoints]
+
     def drive(thread_index: int) -> None:
         rng = random.Random(spec["seed"] * 1000 + thread_index)
         local_counts = [0] * len(jobs)
         local_fp = [set() for _ in jobs]
         local_lat = []
         try:
-            with ServeClient(spec["host"], spec["port"],
-                             timeout=120) as session:
+            with (ServeClient(endpoints=endpoints, timeout=120)
+                  if endpoints is not None
+                  else ServeClient(spec["host"], spec["port"],
+                                   timeout=120)) as session:
                 now = time.time()
                 if spec["start_at"] > now:
                     time.sleep(spec["start_at"] - now)
@@ -316,15 +322,19 @@ def load_worker_main() -> int:
 
 
 def run_load_workers(host, port, jobs, weights, processes, threads,
-                     seconds, mid_run=None):
+                     seconds, mid_run=None, endpoints=None):
     """Drive ``processes x threads`` clients for ``seconds`` with a
     synchronized start; optionally call ``mid_run()`` halfway through
-    (the failover phase kills a shard there).  Returns the merged
-    worker reports."""
+    (the failover phase kills a shard there).  ``endpoints`` hands
+    every worker a router endpoint *list* instead of one address —
+    the router-kill phase needs clients that can ride out the front
+    door dying.  Returns the merged worker reports."""
     start_at = time.time() + 1.5
     spec = {"host": host, "port": port, "jobs": jobs,
             "weights": weights, "threads": threads,
             "seconds": seconds, "start_at": start_at}
+    if endpoints is not None:
+        spec["endpoints"] = [list(endpoint) for endpoint in endpoints]
     workers = []
     for index in range(processes):
         process = subprocess.Popen(
@@ -520,7 +530,7 @@ def run_table3_through_router(programs, oneshot) -> dict:
             "mismatches": mismatches}
 
 
-# -- chaos mode (PR 7) -------------------------------------------------------
+# -- chaos mode (PR 7 + PR 9) ------------------------------------------------
 
 #: Seeded fault plan for the chaos run's shards: small, frequent
 #: transport failures the router must absorb invisibly.  Crashes are
@@ -747,6 +757,242 @@ def run_failover_ab(hotset, expected) -> dict:
     return out
 
 
+def run_router_kill(hotset, expected, processes, threads,
+                    seconds) -> dict:
+    """PR 9: the front door itself dies.  A primary router (2 spawned
+    shards, replicate 2) plus a standby syncing membership from it;
+    load workers hold *both* endpoints.  Mid-run the primary is
+    SIGKILLed: its shards survive as orphans, the standby promotes
+    itself, and every worker fails over per request.  Zero
+    client-visible errors allowed, every fingerprint intact."""
+    mismatches: list = []
+    shard_pids: dict = {}
+    with tempfile.TemporaryDirectory(prefix="repro-rkill-",
+                                     ignore_cleanup_errors=True) \
+            as cache_dir:
+        primary, host, port = spawn_router(
+            "--spawn", "2", "--cache-dir", cache_dir,
+            "--max-memory-entries", "64", "--pool-size", "4",
+            "--health-interval", "0.25", "--backoff", "0.02",
+            "--down-after", "2", "--replicate", "2",
+            "--anti-entropy-interval", "1.0")
+        standby = None
+        try:
+            standby, standby_host, standby_port = spawn_router(
+                "--cache-dir", cache_dir,
+                "--sync-from", "%s:%d" % (host, port),
+                "--health-interval", "0.25", "--backoff", "0.02",
+                "--down-after", "2", "--replicate", "2",
+                "--anti-entropy-interval", "1.0")
+            with ServeClient(host, port, timeout=600) as client:
+                for job in hotset:
+                    result = client.analyze(
+                        source=job["source"], query=tuple(job["query"]),
+                        input_types=job.get("input_types"),
+                        payload=False)
+                    if result["fingerprint"] != expected[job["base"]]:
+                        mismatches.append(job["name"] + ":warm")
+                stats = client.stats()
+            shard_pids = {shard_id: shard["pid"]
+                          for shard_id, shard in stats["shards"].items()
+                          if isinstance(shard, dict) and "pid" in shard}
+            # The standby must mirror the full ring before the primary
+            # is allowed to die.
+            with ServeClient(standby_host, standby_port,
+                             timeout=60) as client:
+                deadline = time.time() + 20.0
+                while time.time() < deadline:
+                    info = client.router_info()
+                    if (info["sync_pulls"] >= 1
+                            and len(info["shards"]) >= len(shard_pids)):
+                        break
+                    time.sleep(0.1)
+                else:
+                    raise RuntimeError(
+                        "standby never mirrored the primary's ring: %r"
+                        % info["shards"])
+            print("  standby %s:%d mirrors %d shard(s)"
+                  % (standby_host, standby_port, len(info["shards"])),
+                  file=sys.stderr)
+
+            def kill_primary() -> None:
+                print("  SIGKILL primary router (pid %d) mid-run"
+                      % primary.pid, file=sys.stderr)
+                os.kill(primary.pid, signal.SIGKILL)
+
+            weights = zipf_weights(len(hotset), 1.1)
+            merged = run_load_workers(
+                host, port, hotset, weights, processes, threads,
+                seconds, mid_run=kill_primary,
+                endpoints=[(host, port), (standby_host, standby_port)])
+            _check_hotset_fingerprints(hotset, merged, expected,
+                                       mismatches)
+            primary.wait(timeout=30)
+            with ServeClient(standby_host, standby_port,
+                             timeout=60) as client:
+                deadline = time.time() + 15.0
+                while time.time() < deadline:
+                    info = client.router_info()
+                    if info["role"] == "primary":
+                        break
+                    time.sleep(0.1)
+                client.shutdown()
+            standby.wait(timeout=60)
+        except BaseException:
+            for process in (primary, standby):
+                if process is not None and process.poll() is None:
+                    process.terminate()
+            raise
+        finally:
+            # The primary's spawned shards were orphaned by SIGKILL;
+            # the standby never owned their processes.
+            for pid in shard_pids.values():
+                try:
+                    os.kill(pid, signal.SIGTERM)
+                except OSError:
+                    pass
+    return {
+        "requests": merged["requests"],
+        "requests_per_second": round(merged["requests"] / seconds, 2),
+        "errors": merged["errors"],
+        "latency": merged["latency"],
+        "standby_promoted": info["role"] == "primary",
+        "standby_sync_pulls": info["sync_pulls"],
+        "standby_shards": {shard_id: shard["status"]
+                           for shard_id, shard
+                           in info["shards"].items()},
+        "standby_failovers": info["failovers"],
+        "read_repairs": info["read_repairs"],
+        "anti_entropy_passes": info["anti_entropy_passes"],
+        "anti_entropy_repairs": info["anti_entropy_repairs"],
+        "mismatches": mismatches,
+    }
+
+
+def run_anti_entropy_ab(hotset, expected) -> dict:
+    """Repair-latency A/B: SIGKILL a shard, let supervision restart it
+    (empty memory tier), then time the *first touch* of every key it
+    homes.  With ``--anti-entropy-interval`` on, the repair pass
+    re-seeds the restarted shard from its replicas before clients
+    arrive — first touches are memory hits.  With it off, every first
+    touch pays the disk-L2 promotion."""
+    out: dict = {"mismatches": []}
+    for variant, interval in (("off", 0.0), ("on", 0.4)):
+        with tempfile.TemporaryDirectory(prefix="repro-ae-",
+                                         ignore_cleanup_errors=True) \
+                as cache_dir:
+            process, host, port = spawn_router(
+                "--spawn", "2", "--cache-dir", cache_dir,
+                "--max-memory-entries", "128", "--pool-size", "4",
+                "--health-interval", "0.2", "--backoff", "0.02",
+                "--down-after", "2", "--replicate", "2",
+                "--restart-backoff", "0.2",
+                "--anti-entropy-interval", str(interval))
+            try:
+                with ServeClient(host, port, timeout=600) as client:
+                    homes: dict = {}
+                    for job in hotset:
+                        result = client.analyze(
+                            source=job["source"],
+                            query=tuple(job["query"]),
+                            input_types=job.get("input_types"),
+                            payload=False)
+                        if result["fingerprint"] != \
+                                expected[job["base"]]:
+                            out["mismatches"].append(
+                                job["name"] + ":ae-warm")
+                        homes[job["name"]] = client.request(
+                            "route", source=job["source"])["target"]
+                    deadline = time.time() + 20.0
+                    while time.time() < deadline:
+                        info = client.router_info()
+                        if info["replications"] >= len(hotset):
+                            break
+                        time.sleep(0.1)
+                    stats = client.stats()
+                    shard_pids = {
+                        shard_id: shard["pid"]
+                        for shard_id, shard in stats["shards"].items()}
+                    by_owner: dict = {}
+                    for name, owner in homes.items():
+                        by_owner[owner] = by_owner.get(owner, 0) + 1
+                    victim = max(by_owner, key=by_owner.get)
+                    victim_jobs = [job for job in hotset
+                                   if homes[job["name"]] == victim]
+                    killed_at = time.perf_counter()
+                    os.kill(shard_pids[victim], signal.SIGKILL)
+                    deadline = time.time() + 20.0
+                    while time.time() < deadline:
+                        info = client.router_info()
+                        if (info["restarts"] >= 1 and
+                                info["shards"][victim]["status"]
+                                == "up"):
+                            break
+                        time.sleep(0.05)
+                    restart_seconds = time.perf_counter() - killed_at
+                    repair_seconds = None
+                    if interval:
+                        # wait until the repair pass has re-seeded the
+                        # restarted shard's keys
+                        deadline = time.time() + 25.0
+                        while time.time() < deadline:
+                            info = client.router_info()
+                            if (info["anti_entropy_repairs"]
+                                    >= len(victim_jobs)):
+                                break
+                            time.sleep(0.05)
+                        repair_seconds = round(
+                            time.perf_counter() - killed_at, 3)
+                    latencies = []
+                    for job in victim_jobs:
+                        begin = time.perf_counter()
+                        result = client.analyze(
+                            source=job["source"],
+                            query=tuple(job["query"]),
+                            input_types=job.get("input_types"),
+                            payload=False)
+                        latencies.append(time.perf_counter() - begin)
+                        if result["fingerprint"] != \
+                                expected[job["base"]]:
+                            out["mismatches"].append(
+                                job["name"] + ":ae-first-touch")
+                        if not result["cached"]:
+                            out["mismatches"].append(
+                                job["name"] + ":ae-recomputed")
+                    info = client.router_info()
+                    client.shutdown()
+                process.wait(timeout=60)
+            except BaseException:
+                process.terminate()
+                raise
+        latencies.sort()
+        p95 = latencies[min(len(latencies) - 1,
+                            int(0.95 * len(latencies)))]
+        out["anti_entropy_%s" % variant] = {
+            "interval": interval,
+            "victim": victim,
+            "victim_keys": len(victim_jobs),
+            "restart_seconds": round(restart_seconds, 3),
+            "repair_seconds": repair_seconds,
+            "anti_entropy_passes": info["anti_entropy_passes"],
+            "anti_entropy_repairs": info["anti_entropy_repairs"],
+            "first_touch_p50": round(
+                latencies[len(latencies) // 2], 5),
+            "first_touch_p95": round(p95, 5),
+            "first_touch_mean": round(
+                sum(latencies) / len(latencies), 5),
+        }
+        print("  anti-entropy %s: first-touch p95 %.2fms over %d "
+              "restarted keys (%d repair(s))"
+              % (variant, p95 * 1000.0, len(victim_jobs),
+                 info["anti_entropy_repairs"]), file=sys.stderr)
+    with_ae = out["anti_entropy_on"]["first_touch_p95"]
+    without_ae = out["anti_entropy_off"]["first_touch_p95"]
+    out["p95_improvement"] = round(without_ae / with_ae, 2) \
+        if with_ae else None
+    return out
+
+
 def chaos_bench_main(args) -> int:
     base = args.hotset_base
     print("one-shot CLI baseline (%s)..." % base, file=sys.stderr)
@@ -767,6 +1013,15 @@ def chaos_bench_main(args) -> int:
           file=sys.stderr)
     ab = run_failover_ab(hotset, expected)
 
+    print("router kill: primary + standby, SIGKILL the primary "
+          "mid-run...", file=sys.stderr)
+    router_kill = run_router_kill(hotset, expected, processes, threads,
+                                  seconds)
+
+    print("anti-entropy A/B: repair latency with the pass on vs off...",
+          file=sys.stderr)
+    anti_entropy = run_anti_entropy_ab(hotset[:24], expected)
+
     report = {
         "schema": SCHEMA,
         "mode": "chaos",
@@ -779,8 +1034,12 @@ def chaos_bench_main(args) -> int:
                    "seconds": seconds},
         "chaos": chaos,
         "failover_ab": ab,
+        "router_kill": router_kill,
+        "anti_entropy_ab": anti_entropy,
         "fingerprint_mismatches": sorted(set(
-            chaos["mismatches"] + ab["mismatches"])),
+            chaos["mismatches"] + ab["mismatches"]
+            + router_kill["mismatches"]
+            + anti_entropy["mismatches"])),
     }
 
     print("\nchaos run    : %d requests, %d errors, %7.1f req/s "
@@ -800,6 +1059,20 @@ def chaos_bench_main(args) -> int:
           % (ab["replicate_1"]["first_touch_p95"] * 1000.0,
              ab["replicate_2"]["first_touch_p95"] * 1000.0,
              ab["p95_improvement"]))
+    print("router kill  : %d requests, %d errors, standby promoted=%s, "
+          "%d sync pull(s), %d anti-entropy repair(s)"
+          % (router_kill["requests"], len(router_kill["errors"]),
+             router_kill["standby_promoted"],
+             router_kill["standby_sync_pulls"],
+             router_kill["anti_entropy_repairs"]))
+    print("anti-entropy : first-touch p95 %.2fms off, %.2fms on "
+          "(x%.2f better; repair pass %ss after the kill)"
+          % (anti_entropy["anti_entropy_off"]["first_touch_p95"]
+             * 1000.0,
+             anti_entropy["anti_entropy_on"]["first_touch_p95"]
+             * 1000.0,
+             anti_entropy["p95_improvement"],
+             anti_entropy["anti_entropy_on"]["repair_seconds"]))
 
     if args.write_bench:
         path = Path(args.write_bench)
@@ -825,6 +1098,24 @@ def chaos_bench_main(args) -> int:
             "vs %.2fms without)"
             % (ab["replicate_2"]["first_touch_p95"] * 1000.0,
                ab["replicate_1"]["first_touch_p95"] * 1000.0))
+    if router_kill["errors"]:
+        problems.append("router kill leaked client-visible errors: %s"
+                        % router_kill["errors"][:3])
+    if not router_kill["standby_promoted"]:
+        problems.append("standby never promoted itself after the "
+                        "primary died")
+    if anti_entropy["anti_entropy_on"]["anti_entropy_repairs"] < 1:
+        problems.append("anti-entropy pass repaired nothing after the "
+                        "shard restart")
+    if anti_entropy["anti_entropy_on"]["first_touch_p95"] >= \
+            anti_entropy["anti_entropy_off"]["first_touch_p95"]:
+        problems.append(
+            "anti-entropy did not improve restart first-touch p95 "
+            "(%.2fms on vs %.2fms off)"
+            % (anti_entropy["anti_entropy_on"]["first_touch_p95"]
+               * 1000.0,
+               anti_entropy["anti_entropy_off"]["first_touch_p95"]
+               * 1000.0))
     for problem in problems:
         print("ERROR: %s" % problem, file=sys.stderr)
     return 1 if problems else 0
@@ -935,9 +1226,11 @@ def main(argv=None) -> int:
                         default="server",
                         help="'server': the PR 5 single-daemon phases; "
                              "'router': the PR 6 cluster phases; "
-                             "'chaos': the PR 7 self-healing phases "
+                             "'chaos': the PR 7/9 self-healing phases "
                              "(seeded faults, kill/restart, membership "
-                             "churn, replication failover A/B)")
+                             "churn, replication failover A/B, "
+                             "primary-router kill with a standby, "
+                             "anti-entropy repair-latency A/B)")
     parser.add_argument("--clients", type=int, default=32,
                         help="concurrent clients in the warm/coalescing "
                              "and scaling phases (default 32)")

@@ -333,6 +333,35 @@ def render_chaos_bench(path: Path) -> bool:
           and chaos["shards_removed"] >= 1
           and ab["replicate_2"]["first_touch_p95"]
           < ab["replicate_1"]["first_touch_p95"])
+    # PR 9 phases (absent from BENCH_pr7-era reports)
+    router_kill = bench.get("router_kill")
+    if router_kill is not None:
+        print("router kill: %d requests, %d errors, standby "
+              "promoted=%s (%d sync pull(s)), shards after: %s"
+              % (router_kill["requests"], len(router_kill["errors"]),
+                 router_kill["standby_promoted"],
+                 router_kill["standby_sync_pulls"],
+                 router_kill["standby_shards"]))
+        ok = (ok and not router_kill["errors"]
+              and router_kill["standby_promoted"])
+    anti_entropy = bench.get("anti_entropy_ab")
+    if anti_entropy is not None:
+        for variant in ("off", "on"):
+            point = anti_entropy["anti_entropy_%s" % variant]
+            print("anti-entropy %-3s: first-touch p50=%ss p95=%ss "
+                  "over %d restarted keys (%d repair(s), repair "
+                  "pass %ss after kill)"
+                  % (variant, point["first_touch_p50"],
+                     point["first_touch_p95"], point["victim_keys"],
+                     point["anti_entropy_repairs"],
+                     point["repair_seconds"]))
+        print("anti-entropy improves restart first-touch p95 by x%s"
+              % anti_entropy["p95_improvement"])
+        ok = (ok
+              and anti_entropy["anti_entropy_on"]
+              ["anti_entropy_repairs"] >= 1
+              and anti_entropy["anti_entropy_on"]["first_touch_p95"]
+              < anti_entropy["anti_entropy_off"]["first_touch_p95"])
     if not ok:
         print("ERROR: %s records chaos-phase failures" % path,
               file=sys.stderr)

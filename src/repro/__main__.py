@@ -12,7 +12,9 @@ Examples::
     repro cache promote old.pl new.pl --cache-dir .repro-cache
     repro profile --benchmark RE --top 20
     repro serve --port 7871 --cache-dir .repro-cache
-    repro router --spawn 4 --cache-dir .repro-cache
+    repro router --spawn 4 --cache-dir .repro-cache --replicate 2
+    repro router --fleet fleet.json
+    repro router --fleet fleet.json --sync-from 10.0.0.1:7870
 """
 
 from __future__ import annotations

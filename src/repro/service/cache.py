@@ -248,6 +248,24 @@ class ResultCache:
             self._remember(key, payload)
             self.stats.seeds += 1
 
+    def memory_digests(self) -> List[Tuple[str, str]]:
+        """``(digest, program_hash)`` for every memory-tier entry —
+        the cheap inventory behind the server's ``digest`` op, which
+        the router's anti-entropy pass compares across replicas.  A
+        lock and a list copy; never touches disk."""
+        with self._lock:
+            return [(digest, key.program_hash)
+                    for digest, (key, _) in self._memory.items()]
+
+    def get_by_digest(self, digest: str) -> Optional[Tuple[CacheKey, dict]]:
+        """Memory-tier lookup by key digest (no :class:`CacheKey` in
+        hand) — the fetch half of anti-entropy repair.  Does not count
+        as a hit or bump LRU recency: repair reads are bookkeeping,
+        not traffic."""
+        with self._lock:
+            entry = self._memory.get(digest)
+            return None if entry is None else entry
+
     def _write_disk(self, key: CacheKey, payload: dict) -> None:
         record = {"key": key.to_obj(), "payload": payload}
         text = json.dumps(record)

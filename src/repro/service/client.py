@@ -20,14 +20,22 @@ socket is not up yet instead of dying on a bare
 ``ConnectionRefusedError``; when the server really is absent the
 failure is a :class:`ServeError` (``code="connection"``) whose message
 says what to check.
+
+Against a redundant front door (N ``repro router`` processes sharing
+one fleet), construct the client with ``endpoints=[(host, port), ...]``
+instead of a single address: connects walk the list until one router
+answers, and a mid-request transport failure on an idempotent op fails
+over to the next endpoint automatically.  :func:`fleet_endpoints`
+reads that list straight out of a ``fleet.json`` spec.
 """
 
 from __future__ import annotations
 
+import os
 import subprocess
 import sys
 import time
-from typing import Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 from ..fixpoint.engine import AnalysisConfig
 from ..prolog.program import PredId
@@ -38,7 +46,7 @@ from .transport import BlockingLineConnection, ConnectError, ProtocolError
 DEFAULT_PORT = 7871  # mirrors server.DEFAULT_PORT without the import
 
 __all__ = ["ServeClient", "ServeError", "spawn_server",
-           "spawn_router", "wait_for_server"]
+           "spawn_router", "wait_for_server", "fleet_endpoints"]
 
 
 class ServeError(RuntimeError):
@@ -51,20 +59,50 @@ class ServeError(RuntimeError):
 
 
 class ServeClient:
-    """Blocking newline-delimited-JSON client (context manager)."""
+    """Blocking newline-delimited-JSON client (context manager).
+
+    ``ServeClient(host, port)`` targets one server; ``ServeClient(
+    endpoints=[(host, port), ...])`` targets a redundant router fleet
+    — connects latch onto the first endpoint that answers, and
+    idempotent ops that die mid-request fail over to the next one.
+    """
+
+    #: Ops safe to replay against another endpoint after a transport
+    #: failure mid-request (reads, or pure functions of the cache key
+    #: — mirrors the router's own failover set).
+    _FAILOVER_OPS = frozenset({"analyze", "batch", "ping", "stats",
+                               "cache-info", "route", "router-info",
+                               "sync-membership", "digest", "fetch"})
 
     def __init__(self, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT,
                  timeout: Optional[float] = 120.0,
                  connect_retries: int = 3,
-                 connect_backoff: float = 0.05) -> None:
-        self.host = host
-        self.port = port
+                 connect_backoff: float = 0.05,
+                 endpoints: Optional[Sequence[Tuple[str, int]]]
+                 = None) -> None:
         self.timeout = timeout
         self.connect_retries = connect_retries
         self.connect_backoff = connect_backoff
-        self._conn = BlockingLineConnection(host, port, timeout)
+        if endpoints is not None:
+            self._conn = BlockingLineConnection(
+                timeout=timeout, endpoints=list(endpoints))
+        else:
+            self._conn = BlockingLineConnection(host, port, timeout)
         self._next_id = 0
+
+    @property
+    def host(self) -> str:
+        """The currently-targeted endpoint's host."""
+        return self._conn.host
+
+    @property
+    def port(self) -> int:
+        return self._conn.port
+
+    @property
+    def endpoints(self) -> List[Tuple[str, int]]:
+        return list(self._conn.endpoints)
 
     # -- plumbing ------------------------------------------------------------
 
@@ -95,24 +133,38 @@ class ServeClient:
 
     def request(self, op: str, **fields) -> dict:
         """One round trip; returns the ``result`` object or raises
-        :class:`ServeError`."""
-        if not self._conn.connected:
-            self.connect()
+        :class:`ServeError`.
+
+        With several endpoints configured, an idempotent op whose
+        transport dies mid-request is replayed against the next
+        endpoint (once per endpoint) before the failure surfaces —
+        the client-side half of router redundancy."""
         self._next_id += 1
         request = {"id": self._next_id, "op": op}
         request.update((k, v) for k, v in fields.items()
                        if v is not None)
-        try:
-            response = self._conn.round_trip(request)
-        except ConnectError as error:
-            raise ServeError(str(error), "connection") from None
-        except ProtocolError as error:
-            raise ServeError("garbage response: %s" % error,
-                             "protocol") from None
-        if not response.get("ok"):
-            raise ServeError(response.get("error", "unknown error"),
-                             response.get("code"))
-        return response["result"]
+        attempts = (len(self._conn.endpoints)
+                    if op in self._FAILOVER_OPS else 1)
+        for attempt in range(attempts):
+            if not self._conn.connected:
+                self.connect()
+            try:
+                response = self._conn.round_trip(request)
+            except ConnectError as error:
+                # The connection is already closed; prefer another
+                # endpoint on the next connect and replay if allowed.
+                self._conn.rotate()
+                if attempt + 1 < attempts:
+                    continue
+                raise ServeError(str(error), "connection") from None
+            except ProtocolError as error:
+                raise ServeError("garbage response: %s" % error,
+                                 "protocol") from None
+            if not response.get("ok"):
+                raise ServeError(response.get("error", "unknown error"),
+                                 response.get("code"))
+            return response["result"]
+        raise AssertionError("unreachable")
 
     # -- operations ----------------------------------------------------------
 
@@ -193,6 +245,29 @@ class ServeClient:
         """Drain a shard, then delete it from the ring."""
         return self.request("remove-shard", shard=shard)
 
+    def sync_membership(self) -> dict:
+        """The router's current ring membership + journal sequence —
+        what a standby router polls to keep its ring consistent."""
+        return self.request("sync-membership")
+
+    def anti_entropy(self) -> dict:
+        """Force one anti-entropy repair pass on the router now
+        (normally periodic); returns the pass's repair counters."""
+        return self.request("anti-entropy")
+
+
+def fleet_endpoints(path: Union[str, "os.PathLike"]
+                    ) -> List[Tuple[str, int]]:
+    """The router endpoints of a ``fleet.json`` spec, as the
+    ``ServeClient(endpoints=...)`` list — one call turns a fleet file
+    into a failover-aware client."""
+    from .cluster import load_fleet
+    spec = load_fleet(path)
+    routers = spec.get("routers") or []
+    if not routers:
+        raise ValueError("fleet spec %s lists no routers" % path)
+    return [(host, port) for host, port in routers]
+
 
 # -- process helpers ---------------------------------------------------------
 
@@ -228,19 +303,46 @@ def _repro_env() -> dict:
     return env
 
 
+#: Rotate a spawned daemon's stderr log once it reaches this size
+#: (the previous generation is kept as ``<path>.1``).  A crash-looping
+#: shard restarted under supervision appends to one log forever; the
+#: cap bounds that at two generations instead of a full disk.
+LOG_ROTATE_BYTES = 1 << 20
+
+
+def _rotate_log(path: str, max_bytes: int) -> None:
+    """Rotate ``path`` to ``path.1`` when it is ``max_bytes`` or
+    bigger (``max_bytes=0`` disables rotation).  Called before each
+    append-mode open, so the cap holds across arbitrarily many
+    restarts of the same shard."""
+    if not max_bytes:
+        return
+    try:
+        if os.path.getsize(path) < max_bytes:
+            return
+        os.replace(path, path + ".1")
+    except OSError:
+        pass
+
+
 def _spawn_ready(argv: Sequence[str], ready_timeout: float,
-                 what: str, stderr_path: Optional[str] = None
+                 what: str, stderr_path: Optional[str] = None,
+                 log_max_bytes: Optional[int] = None
                  ) -> Tuple[subprocess.Popen, str, int]:
     """Launch a repro daemon subprocess and parse its ready line
     (``... listening on HOST:PORT ...``).
 
     ``stderr_path`` captures the child's stderr to a log file (append
     mode, so restarts of the same shard accumulate in one place) —
-    without it crash evidence vanishes into ``DEVNULL``.
+    without it crash evidence vanishes into ``DEVNULL``.  The log is
+    rotated at ``log_max_bytes`` (default :data:`LOG_ROTATE_BYTES`;
+    0 disables).
     """
     if stderr_path is None:
         stderr = subprocess.DEVNULL
     else:
+        _rotate_log(stderr_path, LOG_ROTATE_BYTES
+                    if log_max_bytes is None else log_max_bytes)
         stderr = open(stderr_path, "ab", buffering=0)
     try:
         process = subprocess.Popen(
@@ -286,22 +388,28 @@ def _spawn_ready(argv: Sequence[str], ready_timeout: float,
 
 def spawn_server(*extra_args: str,
                  ready_timeout: float = 60.0,
-                 stderr_path: Optional[str] = None
+                 stderr_path: Optional[str] = None,
+                 log_max_bytes: Optional[int] = None
                  ) -> Tuple[subprocess.Popen, str, int]:
     """Launch ``repro serve --port 0 [extra_args]`` as a subprocess
     and return ``(process, host, port)`` parsed from the ready line.
     The caller owns the process (send ``shutdown`` or terminate it).
-    ``stderr_path`` appends the child's stderr to a log file."""
+    ``stderr_path`` appends the child's stderr to a log file (rotated
+    at ``log_max_bytes``)."""
     return _spawn_ready(["serve", "--port", "0"] + list(extra_args),
                         ready_timeout, "repro serve",
-                        stderr_path=stderr_path)
+                        stderr_path=stderr_path,
+                        log_max_bytes=log_max_bytes)
 
 
 def spawn_router(*extra_args: str,
-                 ready_timeout: float = 120.0
+                 ready_timeout: float = 120.0,
+                 stderr_path: Optional[str] = None
                  ) -> Tuple[subprocess.Popen, str, int]:
     """Launch ``repro router --port 0 [extra_args]`` (for example with
     ``--spawn N`` for local shards) and return ``(process, host,
-    port)`` parsed from its ready line."""
+    port)`` parsed from its ready line.  ``stderr_path`` captures the
+    router's stderr (membership/supervision prints) to a log file."""
     return _spawn_ready(["router", "--port", "0"] + list(extra_args),
-                        ready_timeout, "repro router")
+                        ready_timeout, "repro router",
+                        stderr_path=stderr_path)

@@ -51,9 +51,36 @@ path).  Service guarantees on top of routing:
   shard is asynchronously ``seed``-ed into the next ``replicate - 1``
   replicas' *memory* tiers, so failover lands on warm memory instead
   of disk-L2 (the shared store already covers durability);
+* **durable membership** — every membership/supervision event is
+  journaled to an append-only JSON-lines file (``--journal``); on
+  startup the journal replays its ``add-shard``/``remove-shard`` ops,
+  so externally attached shards survive a router restart;
+* **router redundancy** — a standby started with ``--sync-from
+  HOST:PORT`` polls the primary's ``sync-membership`` op and mirrors
+  its ring (its own health loop still decides up/down); it refuses
+  membership writes while the primary answers and promotes itself
+  once the primary has been unreachable for ``down_after``
+  consecutive sync polls.  Clients reach the pair through
+  ``ServeClient(endpoints=[...])`` failover;
+* **anti-entropy replica repair** — a periodic pass compares each
+  live shard's memory-tier digests (the cheap ``digest`` op) across
+  the replication window and re-seeds entries lost to restarts,
+  evictions, or the seed-vs-invalidate race, with read-repair when a
+  failover has to recompute a result the dedupe LRU thought was
+  already replicated.  An entry the home shard no longer holds is
+  only re-spread when the shared disk store still has it — a missed
+  ``invalidate`` is never resurrected;
 * **fleet observability** — ``stats`` fans out to every live shard
   and merges hit rates, queue depths, and latency summaries next to
   the router's own end-to-end percentiles.
+
+Cross-host deployments are described once in a ``fleet.json`` spec
+(``--fleet``): the routers, the shard addresses, the replicate factor,
+and the shared cache directory.  Remote shards the router did not
+spawn keep **skip-only supervision** semantics — a dead remote shard
+is marked down and skipped in the ring, never restarted (the router
+cannot resurrect a process it does not own); it returns to rotation
+when its operator brings it back.
 """
 
 from __future__ import annotations
@@ -61,13 +88,14 @@ from __future__ import annotations
 import argparse
 import asyncio
 import hashlib
+import json
 import os
 import random
 import sys
 import time
 from bisect import bisect_right
 from collections import OrderedDict, deque
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from .cache import ResultCache
 from .serialize import program_hash
@@ -76,8 +104,8 @@ from .transport import (LINE_LIMIT, AsyncLineConnection, ConnectError,
                         LineServer, ProtocolError, decode_message,
                         encode_message, error_envelope, ok_envelope)
 
-__all__ = ["HashRing", "ShardState", "ClusterRouter",
-           "DEFAULT_ROUTER_PORT", "router_main"]
+__all__ = ["HashRing", "ShardState", "ClusterRouter", "MembershipJournal",
+           "DEFAULT_ROUTER_PORT", "load_fleet", "router_main"]
 
 DEFAULT_ROUTER_PORT = 7870
 
@@ -312,7 +340,9 @@ class RouterStats:
                  "failovers", "errors", "latencies", "restarts",
                  "restart_failures", "breaker_trips", "shards_added",
                  "shards_removed", "replications",
-                 "replication_failures")
+                 "replication_failures", "anti_entropy_passes",
+                 "anti_entropy_repairs", "anti_entropy_failures",
+                 "read_repairs", "sync_pulls", "sync_failures")
 
     def __init__(self) -> None:
         self.started = time.time()
@@ -330,9 +360,80 @@ class RouterStats:
         self.shards_removed = 0
         self.replications = 0
         self.replication_failures = 0
+        self.anti_entropy_passes = 0
+        self.anti_entropy_repairs = 0
+        self.anti_entropy_failures = 0
+        self.read_repairs = 0
+        self.sync_pulls = 0
+        self.sync_failures = 0
 
     def latency_summary(self) -> dict:
         return ServerStats.latency_summary(self)  # same ring shape
+
+
+class MembershipJournal:
+    """Durable append-only record of membership and supervision events.
+
+    One JSON object per line, ``fsync``-free (a lost tail costs at
+    most the most recent events, and replay only re-applies membership
+    *ops* anyway).  A torn final line — the process died mid-append —
+    is ignored on replay, as is any line that does not parse: the
+    journal must never stop a router from starting.
+
+    ``seq`` numbers every appended event monotonically, continuing
+    from whatever the file already holds, so a standby comparing
+    ``sync-membership`` responses can tell whether the primary's view
+    moved.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        #: Entries already on disk when the journal was opened, oldest
+        #: first — the router replays membership ops out of these.
+        self._torn_tail = False
+        self.replayed: List[dict] = self._read()
+        self.seq = max([entry.get("seq") or 0
+                        for entry in self.replayed] + [0])
+        self._handle = None
+
+    def _read(self) -> List[dict]:
+        entries: List[dict] = []
+        try:
+            with open(self.path, "rb") as handle:
+                for raw in handle:
+                    if not raw.endswith(b"\n"):
+                        self._torn_tail = True
+                        break  # torn final line: crash mid-append
+                    try:
+                        entry = json.loads(raw)
+                    except ValueError:
+                        continue
+                    if isinstance(entry, dict):
+                        entries.append(entry)
+        except OSError:
+            return []
+        return entries
+
+    def append(self, entry: dict) -> None:
+        self.seq += 1
+        record = dict(entry, seq=self.seq)
+        if self._handle is None:
+            self._handle = open(self.path, "ab", buffering=0)
+            if self._torn_tail:
+                # Terminate the torn fragment so the new event gets
+                # its own line instead of being glued to garbage.
+                self._handle.write(b"\n")
+                self._torn_tail = False
+        self._handle.write(
+            json.dumps(record, sort_keys=True).encode("utf-8") + b"\n")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
 
 
 def _parse_shard_address(text: str) -> Tuple[str, int]:
@@ -363,8 +464,12 @@ class ClusterRouter:
                  restart_backoff_max: float = 30.0,
                  breaker_deaths: int = 5,
                  breaker_window: float = 30.0,
-                 faults=None) -> None:
-        if not shards:
+                 faults=None,
+                 journal_path: Optional[str] = None,
+                 sync_from: Optional[Union[str, Tuple[str, int]]] = None,
+                 anti_entropy_interval: float = 0.0,
+                 shard_log_max_bytes: Optional[int] = None) -> None:
+        if not shards and sync_from is None and journal_path is None:
             raise ValueError("a router needs at least one shard")
         if replicate < 1:
             raise ValueError("replicate must be >= 1")
@@ -382,7 +487,15 @@ class ClusterRouter:
         self.breaker_deaths = breaker_deaths
         self.breaker_window = breaker_window
         self.faults = faults
+        self.anti_entropy_interval = anti_entropy_interval
+        self.shard_log_max_bytes = shard_log_max_bytes
+        self.sync_from: Optional[Tuple[str, int]] = (
+            None if sync_from is None
+            else _parse_shard_address(sync_from)
+            if isinstance(sync_from, str)
+            else (sync_from[0], int(sync_from[1])))
         self.stats = RouterStats()
+        self.pool_size = pool_size
         self.shards: Dict[str, ShardState] = {}
         for spec in shards:
             shard_host, shard_port = (
@@ -400,12 +513,26 @@ class ClusterRouter:
                    else None)
         self._server: Optional[LineServer] = None
         self._health_task: Optional[asyncio.Task] = None
+        self._sync_task: Optional[asyncio.Task] = None
+        self._anti_entropy_task: Optional[asyncio.Task] = None
         self._shutdown_event: Optional[asyncio.Event] = None
         self._draining = False
         self._inflight_requests = 0
         #: membership/supervision journal: the last 64 events, newest
         #: last, surfaced by ``router-info``.
         self.membership_log: "deque[dict]" = deque(maxlen=64)
+        #: durable journal behind the in-memory log; every event is
+        #: written through, and add-shard/remove-shard ops replay on
+        #: startup so attached shards survive a router restart.
+        self.journal = (MembershipJournal(journal_path)
+                        if journal_path is not None else None)
+        self.journal_replayed = 0
+        #: standby bookkeeping: a router with ``sync_from`` mirrors
+        #: that primary's membership and refuses membership writes
+        #: until the primary stops answering sync polls.
+        self.primary_reachable = self.sync_from is not None
+        self.last_sync_at: Optional[float] = None
+        self._sync_misses = 0
         #: jitter source for the health loop — process-local on
         #: purpose, so N routers probing one fleet desynchronize.
         self._jitter = random.Random(os.getpid() ^ int(time.time()))
@@ -419,6 +546,49 @@ class ClusterRouter:
         self._program_hashes: "OrderedDict[str, str]" = OrderedDict()
         #: benchmark name -> program_hash.
         self._benchmark_hashes: Dict[str, str] = {}
+        if self.journal is not None and self.journal.replayed:
+            self._replay_membership(self.journal.replayed)
+        if not self.shards and self.sync_from is None:
+            raise ValueError(
+                "no shards configured and the journal replayed none — "
+                "give shards, or --sync-from a primary")
+
+    def _replay_membership(self, entries: Sequence[dict]) -> None:
+        """Re-apply the journal's ``add-shard``/``remove-shard`` ops,
+        in order.  Only membership *ops* replay: deaths, restarts, and
+        breaker trips describe processes a restarted router no longer
+        owns, and spawned shards are reconstructed by ``--spawn`` on
+        fresh ephemeral ports, not resurrected from history.  A
+        replayed shard that is actually gone is simply marked down by
+        the first health probe — same skip-in-ring semantics as any
+        other remote shard."""
+        pool_size = self.pool_size
+        for entry in entries:
+            event = entry.get("event")
+            shard_id = entry.get("shard")
+            if not isinstance(shard_id, str):
+                continue
+            if event in ("add-shard", "sync-add"):
+                host = entry.get("host")
+                port = entry.get("port")
+                if (shard_id in self.shards
+                        or not isinstance(host, str)
+                        or not isinstance(port, int)):
+                    continue
+                self.shards[shard_id] = ShardState(shard_id, host, port,
+                                                   pool_size)
+                self.ring.add(shard_id)
+                self.journal_replayed += 1
+            elif event in ("remove-shard", "sync-remove"):
+                shard = self.shards.pop(shard_id, None)
+                if shard is not None:
+                    self.ring.remove(shard_id)
+                    self.journal_replayed += 1
+        if self.journal_replayed:
+            print("repro router: journal %s replayed %d membership "
+                  "op(s) (%d shard(s) on the ring)"
+                  % (self.journal.path, self.journal_replayed,
+                     len(self.shards)), file=sys.stderr)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -430,11 +600,24 @@ class ClusterRouter:
         await self._server.start()
         self.port = self._server.port
         self._health_task = asyncio.ensure_future(self._health_loop())
+        if self.sync_from is not None:
+            self._sync_task = asyncio.ensure_future(self._sync_loop())
+        if self.anti_entropy_interval and self.replicate > 1:
+            self._anti_entropy_task = asyncio.ensure_future(
+                self._anti_entropy_loop())
 
     def _journal(self, event: str, shard_id: str, **detail) -> None:
         entry = dict(detail, event=event, shard=shard_id,
                      at=round(time.time(), 3))
         self.membership_log.append(entry)
+        if self.journal is not None:
+            try:
+                self.journal.append(entry)
+            except OSError as error:
+                # Never let a full/broken disk take down routing; the
+                # in-memory log still has the event.
+                print("repro router: journal write failed: %s" % error,
+                      file=sys.stderr)
 
     async def serve_until_shutdown(self) -> None:
         assert self._shutdown_event is not None
@@ -457,10 +640,13 @@ class ClusterRouter:
                 or self._replication_tasks)
                and time.monotonic() < deadline):
             await asyncio.sleep(0.02)
-        if self._health_task is not None:
-            self._health_task.cancel()
+        for task in (self._health_task, self._sync_task,
+                     self._anti_entropy_task):
+            if task is None:
+                continue
+            task.cancel()
             try:
-                await self._health_task
+                await task
             except asyncio.CancelledError:
                 pass
         if shutdown_spawned:
@@ -470,6 +656,8 @@ class ClusterRouter:
         if self._server is not None:
             self._server.hang_up()
             await self._server.wait_closed()
+        if self.journal is not None:
+            self.journal.close()
 
     async def _shutdown_spawned_shards(self) -> None:
         loop = asyncio.get_running_loop()
@@ -606,7 +794,8 @@ class ClusterRouter:
         process, _, port = _spawn_ready(
             list(shard.spawn_argv), ready_timeout=60.0,
             what="repro serve (restart of %s)" % shard.id,
-            stderr_path=shard.log_path)
+            stderr_path=shard.log_path,
+            log_max_bytes=self.shard_log_max_bytes)
         if port != shard.port:
             process.terminate()
             raise RuntimeError(
@@ -636,6 +825,260 @@ class ClusterRouter:
                       restarts=shard.restarts)
         print("repro router: shard %s restarted (pid %d, restart #%d)"
               % (shard.id, process.pid, shard.restarts), file=sys.stderr)
+
+    # -- standby membership sync ---------------------------------------------
+
+    async def _sync_loop(self) -> None:
+        """Standby mode: poll the primary's ``sync-membership`` op on
+        the health cadence and mirror its ring.  ``down_after``
+        consecutive failed polls promote this router — it keeps the
+        last-synced membership and starts accepting membership writes
+        itself; if the primary later answers again, it demotes back."""
+        host, port = self.sync_from
+        while True:
+            await asyncio.sleep(self.health_interval
+                                * self._jitter.uniform(0.5, 1.5))
+            membership = None
+            conn = None
+            try:
+                conn = await asyncio.wait_for(
+                    AsyncLineConnection.open(host, port), 5.0)
+                response = await asyncio.wait_for(
+                    conn.request({"id": None, "op": "sync-membership"}),
+                    10.0)
+                if response.get("ok"):
+                    membership = response.get("result") or {}
+            except (asyncio.TimeoutError, ProtocolError,
+                    *_FORWARD_ERRORS):
+                pass
+            finally:
+                if conn is not None:
+                    conn.close()
+            if membership is None:
+                self.stats.sync_failures += 1
+                self._sync_misses += 1
+                if (self.primary_reachable
+                        and self._sync_misses >= self.down_after):
+                    self.primary_reachable = False
+                    self._journal("standby-promoted",
+                                  "%s:%d" % (host, port),
+                                  misses=self._sync_misses)
+                    print("repro router: primary %s:%d unreachable "
+                          "after %d sync poll(s) — promoted; keeping "
+                          "last-known membership and accepting "
+                          "membership ops"
+                          % (host, port, self._sync_misses),
+                          file=sys.stderr)
+                continue
+            self._sync_misses = 0
+            if not self.primary_reachable:
+                self.primary_reachable = True
+                self._journal("standby-demoted", "%s:%d" % (host, port))
+                print("repro router: primary %s:%d back — standby "
+                      "demoted, membership ops refused here again"
+                      % (host, port), file=sys.stderr)
+            self.stats.sync_pulls += 1
+            self.last_sync_at = time.time()
+            self._apply_membership(membership)
+
+    def _apply_membership(self, membership: dict) -> None:
+        """Reconcile this router's ring with the primary's view.
+        Shards this router spawned are never dropped (their lifecycle
+        is ours); remote ones follow the primary exactly.  Up/down is
+        *not* mirrored — the standby's own health loop probes and
+        decides — but ``draining`` is, so both routers route around a
+        drain the operator started on either of them."""
+        listed: Dict[str, dict] = {}
+        for spec in membership.get("shards") or ():
+            if (isinstance(spec, dict) and isinstance(spec.get("id"), str)
+                    and isinstance(spec.get("host"), str)
+                    and isinstance(spec.get("port"), int)):
+                listed[spec["id"]] = spec
+        pool_size = self.pool_size
+        for shard_id, spec in listed.items():
+            shard = self.shards.get(shard_id)
+            if shard is None:
+                shard = ShardState(shard_id, spec["host"], spec["port"],
+                                   pool_size)
+                self.shards[shard_id] = shard
+                self.ring.add(shard_id)
+                self._journal("sync-add", shard_id, host=spec["host"],
+                              port=spec["port"])
+                print("repro router: synced shard %s from primary "
+                      "(%d shards)" % (shard_id, len(self.shards)),
+                      file=sys.stderr)
+            if spec.get("status") == "draining":
+                if shard.status == "up":
+                    shard.status = "draining"
+            elif shard.status == "draining":
+                shard.status = "up"
+        for shard_id in list(self.shards):
+            if shard_id in listed:
+                continue
+            shard = self.shards[shard_id]
+            if shard.process is not None:
+                continue
+            shard.close_idle()
+            self.ring.remove(shard_id)
+            del self.shards[shard_id]
+            self._journal("sync-remove", shard_id)
+            print("repro router: synced removal of shard %s "
+                  "(%d shards)" % (shard_id, len(self.shards)),
+                  file=sys.stderr)
+
+    def _membership_guard(self) -> None:
+        """Membership writes go to the primary while it answers — two
+        routers mutating one fleet would fork the membership history.
+        A promoted standby (primary unreachable) accepts them."""
+        if self.sync_from is not None and self.primary_reachable:
+            raise RequestError(
+                "this router is a standby syncing membership from "
+                "%s:%d — apply membership changes there"
+                % self.sync_from, "standby")
+
+    # -- anti-entropy replica repair -----------------------------------------
+
+    async def _anti_entropy_loop(self) -> None:
+        while True:
+            await asyncio.sleep(self.anti_entropy_interval
+                                * self._jitter.uniform(0.75, 1.25))
+            try:
+                await self._anti_entropy_pass()
+            except asyncio.CancelledError:
+                raise
+            except Exception as error:
+                self.stats.anti_entropy_failures += 1
+                print("repro router: anti-entropy pass failed: %s"
+                      % error, file=sys.stderr)
+
+    async def _shard_digests(self, shard: ShardState
+                             ) -> Tuple[str, Optional[list]]:
+        try:
+            envelope = await shard.request({"op": "digest"},
+                                           timeout=10.0)
+        except (asyncio.TimeoutError, ProtocolError, *_FORWARD_ERRORS):
+            return shard.id, None
+        if not envelope.get("ok"):
+            return shard.id, None
+        return shard.id, envelope["result"].get("entries") or []
+
+    def _l2_has(self, program: str, digest: str) -> Optional[bool]:
+        """Does the shared disk store still hold this entry?  ``None``
+        when there is no shared store to ask (memory-only fleet)."""
+        if self.l2 is None:
+            return None
+        path = os.path.join(self.l2.cache_dir, "objects", program,
+                            digest + ".json")
+        return os.path.exists(path)
+
+    async def _anti_entropy_pass(self) -> dict:
+        """One replica-repair sweep: collect every live shard's
+        memory-tier digests (cheap — no payloads), compute each
+        entry's replication window on the ring, and re-seed window
+        members that lack a copy some other shard still holds.
+
+        This is what heals the two divergence modes replication alone
+        leaves behind: a restarted shard that lost its memory tier,
+        and the seed-vs-invalidate race (``invalidate`` drops every
+        copy; re-analysis on the home reproduces the same
+        content-addressed digest, which the ``_seeded`` dedupe LRU
+        then refuses to push again).  One deliberate asymmetry: when
+        the *home* shard no longer holds an entry, it is re-spread
+        only if the shared disk store still has it — an entry that was
+        invalidated everywhere but survives in one straggler's memory
+        must not be resurrected.  Repairs the LRU later re-evicts are
+        wasted bytes, not wrongness.
+        """
+        live = [shard for shard in self.shards.values()
+                if shard.status == "up"]
+        inventories = await asyncio.gather(
+            *(self._shard_digests(shard) for shard in live))
+        holders: Dict[str, Set[str]] = {}
+        programs: Dict[str, str] = {}
+        unreachable = 0
+        for shard_id, entries in inventories:
+            if entries is None:
+                unreachable += 1
+                continue
+            for entry in entries:
+                digest = entry.get("digest")
+                program = entry.get("program")
+                if not digest or not program:
+                    continue
+                holders.setdefault(digest, set()).add(shard_id)
+                programs[digest] = program
+        repairs = failures = skipped_invalidated = 0
+        for digest, holding in holders.items():
+            preference = self.ring.preference(programs[digest])
+            window = []
+            for node in preference:
+                shard = self.shards.get(node)
+                if shard is not None and shard.status == "up":
+                    window.append(node)
+                    if len(window) == self.replicate:
+                        break
+            missing = [node for node in window if node not in holding]
+            if not missing:
+                continue
+            if window and window[0] not in holding:
+                # The home itself lacks it: restart/eviction (disk
+                # still has it — repair) or a missed invalidate (disk
+                # record is gone — let the straggler copy die by LRU).
+                if self._l2_has(programs[digest], digest) is False:
+                    skipped_invalidated += 1
+                    continue
+            source = next((node for node in preference
+                           if node in holding), None)
+            if source is None:
+                continue
+            outcome = await self._repair_entry(source, digest, missing)
+            repairs += outcome[0]
+            failures += outcome[1]
+        self.stats.anti_entropy_passes += 1
+        self.stats.anti_entropy_repairs += repairs
+        self.stats.anti_entropy_failures += failures
+        return {"entries": len(holders), "shards": len(live),
+                "shards_unreachable": unreachable, "repairs": repairs,
+                "failures": failures,
+                "skipped_invalidated": skipped_invalidated}
+
+    async def _repair_entry(self, source: str, digest: str,
+                            missing: Sequence[str]) -> Tuple[int, int]:
+        """Fetch one entry (key + payload) from ``source`` and seed it
+        into every shard in ``missing``; returns (repairs, failures)."""
+        source_shard = self.shards.get(source)
+        if source_shard is None:
+            return 0, 0
+        try:
+            envelope = await source_shard.request(
+                {"op": "fetch", "digest": digest}, timeout=30.0)
+        except (asyncio.TimeoutError, ProtocolError, *_FORWARD_ERRORS):
+            return 0, 1
+        if not envelope.get("ok"):
+            # Raced an eviction/invalidate between digest and fetch:
+            # nothing to repair from, not a failure.
+            return 0, 0 if envelope.get("code") == "not-found" else 1
+        result = envelope["result"]
+        seed_line = encode_message({"id": None, "op": "seed",
+                                    "key": result.get("key"),
+                                    "payload": result.get("payload")})
+        repairs = failures = 0
+        for node in missing:
+            shard = self.shards.get(node)
+            if shard is None or shard.status != "up":
+                continue
+            try:
+                seeded = decode_message(
+                    await shard.request_raw(seed_line, 30.0))
+            except (asyncio.TimeoutError, ProtocolError,
+                    *_FORWARD_ERRORS):
+                failures += 1
+                continue
+            if seeded.get("ok"):
+                repairs += 1
+            else:
+                failures += 1
+        return repairs, failures
 
     # -- dispatch ------------------------------------------------------------
 
@@ -790,12 +1233,14 @@ class ClusterRouter:
                             "shard-unavailable")
                     continue
                 shard.note_success()
-                if node != preference[0]:
+                failed_over = node != preference[0]
+                if failed_over:
                     self.stats.failovers += 1
                 if (self.replicate > 1 and len(preference) > 1
                         and request.get("op") == "analyze"):
                     self._maybe_replicate(node, preference, request,
-                                          response)
+                                          response,
+                                          read_repair=failed_over)
                 return response
         if attempts == 0:
             raise RequestError(
@@ -814,11 +1259,17 @@ class ClusterRouter:
                     "config", "or_width", "baseline")
 
     def _maybe_replicate(self, home: str, preference: Tuple[str, ...],
-                         request: dict, response: bytes) -> None:
+                         request: dict, response: bytes,
+                         read_repair: bool = False) -> None:
         """After a successful analyze on ``home``: push the result into
         the next ``replicate - 1`` replicas' memory tiers, in the
         background.  Only *fresh* computations replicate — cache hits
-        and coalesced riders were already seeded when first computed."""
+        and coalesced riders were already seeded when first computed.
+
+        ``read_repair`` is set when this response came from a failover:
+        a replica that had to *recompute* a digest the ``_seeded`` LRU
+        considers already-pushed is proof the seeded copies did not
+        survive, so the dedupe entry is dropped and the push redone."""
         try:
             envelope = decode_message(response)
         except ProtocolError:
@@ -829,8 +1280,13 @@ class ClusterRouter:
         if result.get("cached") or result.get("coalesced"):
             return
         digest = result.get("key")
-        if not digest or digest in self._seeded:
+        if not digest:
             return
+        if digest in self._seeded:
+            if not read_repair:
+                return
+            self._seeded.pop(digest, None)
+            self.stats.read_repairs += 1
         self._seeded[digest] = True
         if len(self._seeded) > 4096:
             self._seeded.popitem(last=False)
@@ -1034,6 +1490,26 @@ class ClusterRouter:
             "shards_removed": self.stats.shards_removed,
             "replications": self.stats.replications,
             "replication_failures": self.stats.replication_failures,
+            "anti_entropy_interval": self.anti_entropy_interval,
+            "anti_entropy_passes": self.stats.anti_entropy_passes,
+            "anti_entropy_repairs": self.stats.anti_entropy_repairs,
+            "anti_entropy_failures": self.stats.anti_entropy_failures,
+            "read_repairs": self.stats.read_repairs,
+            "role": ("standby" if self.sync_from is not None
+                     and self.primary_reachable else "primary"),
+            "sync_from": (None if self.sync_from is None
+                          else "%s:%d" % self.sync_from),
+            "primary_reachable": (self.primary_reachable
+                                  if self.sync_from is not None
+                                  else None),
+            "sync_pulls": self.stats.sync_pulls,
+            "sync_failures": self.stats.sync_failures,
+            "last_sync_at": self.last_sync_at,
+            "journal": (None if self.journal is None else {
+                "path": self.journal.path,
+                "seq": self.journal.seq,
+                "replayed": self.journal_replayed,
+            }),
             "membership_log": list(self.membership_log),
             "faults": (None if self.faults is None
                        else self.faults.describe()),
@@ -1123,6 +1599,13 @@ class ClusterRouter:
                 "shards_removed": self.stats.shards_removed,
                 "replications": self.stats.replications,
                 "replication_failures": self.stats.replication_failures,
+                "anti_entropy_passes": self.stats.anti_entropy_passes,
+                "anti_entropy_repairs": self.stats.anti_entropy_repairs,
+                "anti_entropy_failures":
+                    self.stats.anti_entropy_failures,
+                "read_repairs": self.stats.read_repairs,
+                "sync_pulls": self.stats.sync_pulls,
+                "sync_failures": self.stats.sync_failures,
                 "latency": self.stats.latency_summary(),
             },
             "merged": merged,
@@ -1143,6 +1626,7 @@ class ClusterRouter:
                 "shared_cache_dir": self.cache_dir}
 
     async def _op_drain_shard(self, request: dict) -> dict:
+        self._membership_guard()
         shard = self._shard_of(request)
         shard.status = "draining"
         if bool(request.get("shutdown", False)):
@@ -1159,6 +1643,7 @@ class ClusterRouter:
                 "inflight": shard.inflight}
 
     async def _op_undrain_shard(self, request: dict) -> dict:
+        self._membership_guard()
         shard = self._shard_of(request)
         if shard.status == "draining":
             shard.status = "up"
@@ -1169,6 +1654,7 @@ class ClusterRouter:
         """Join a running ``repro serve`` to the ring — after a health
         probe passes, so a typo'd address never lands in rotation.
         Consistent hashing moves only the joining shard's slice."""
+        self._membership_guard()
         host = request.get("host")
         port = request.get("port")
         if not isinstance(host, str) or not isinstance(port, int):
@@ -1177,9 +1663,7 @@ class ClusterRouter:
         shard_id = str(request.get("shard") or "%s:%d" % (host, port))
         if shard_id in self.shards:
             raise RequestError("shard %s already in the ring" % shard_id)
-        pool_size = next(iter(self.shards.values())).pool_size \
-            if self.shards else 4
-        shard = ShardState(shard_id, host, port, pool_size)
+        shard = ShardState(shard_id, host, port, self.pool_size)
         try:
             response = await shard.request({"id": None, "op": "ping"},
                                            timeout=10.0)
@@ -1195,7 +1679,9 @@ class ClusterRouter:
         self.shards[shard_id] = shard
         self.ring.add(shard_id)
         self.stats.shards_added += 1
-        self._journal("add-shard", shard_id)
+        # host/port ride along so journal replay can rebuild the
+        # ShardState on the next startup.
+        self._journal("add-shard", shard_id, host=host, port=port)
         print("repro router: shard %s joined the ring (%d shards)"
               % (shard_id, len(self.shards)), file=sys.stderr)
         return {"shard": shard_id, "shards": len(self.shards),
@@ -1205,6 +1691,7 @@ class ClusterRouter:
         """Drain a shard, then delete it from the ring.  With
         ``shutdown: true`` the shard process is also asked to exit
         (the default for shards this router spawned)."""
+        self._membership_guard()
         shard = self._shard_of(request)
         live = [s for s in self.shards.values() if s.id != shard.id]
         if not live:
@@ -1247,6 +1734,32 @@ class ClusterRouter:
                                   ", ".join(sorted(self.shards))))
         return shard
 
+    async def _op_sync_membership(self, request: dict) -> dict:
+        """The standby's poll target: this router's current membership
+        view, cheap enough for a 1 Hz cadence.  Also answered *by* a
+        standby — chained standbys and observability tools read it."""
+        return {
+            "seq": 0 if self.journal is None else self.journal.seq,
+            "role": ("standby" if self.sync_from is not None
+                     and self.primary_reachable else "primary"),
+            "replicate": self.replicate,
+            "draining": self._draining,
+            "shards": [{"id": shard.id, "host": shard.host,
+                        "port": shard.port, "status": shard.status,
+                        "spawned": shard.process is not None}
+                       for shard in self.shards.values()],
+        }
+
+    async def _op_anti_entropy(self, request: dict) -> dict:
+        """Force one replica-repair pass now (tests, runbooks) instead
+        of waiting for the periodic loop."""
+        if self.replicate < 2:
+            raise RequestError(
+                "anti-entropy compares copies across the replication "
+                "window — it needs --replicate >= 2 (this router has "
+                "replicate=%d)" % self.replicate)
+        return await self._anti_entropy_pass()
+
     async def _op_shutdown(self, request: dict) -> dict:
         inflight = self._inflight_requests - 1  # minus this request
         self._draining = True
@@ -1264,11 +1777,62 @@ class ClusterRouter:
         "undrain-shard": _op_undrain_shard,
         "add-shard": _op_add_shard,
         "remove-shard": _op_remove_shard,
+        "sync-membership": _op_sync_membership,
+        "anti-entropy": _op_anti_entropy,
         "shutdown": _op_shutdown,
     }
 
 
 # -- CLI ---------------------------------------------------------------------
+
+def _fleet_address(entry, field: str) -> Tuple[str, int]:
+    if isinstance(entry, str):
+        return _parse_shard_address(entry)
+    if isinstance(entry, dict) and isinstance(entry.get("host"), str):
+        try:
+            return entry["host"], int(entry["port"])
+        except (KeyError, TypeError, ValueError):
+            pass
+    raise ValueError("fleet %r entry %r is neither 'HOST:PORT' nor "
+                     "{\"host\": ..., \"port\": ...}" % (field, entry))
+
+
+def load_fleet(path: str) -> dict:
+    """Parse a ``fleet.json`` deployment spec.
+
+    The spec names the whole deployment once — every router and every
+    externally-started shard, plus the knobs they must agree on::
+
+        {
+          "routers":   ["10.0.0.1:7870", "10.0.0.2:7870"],
+          "shards":    ["10.0.0.3:7871",
+                        {"host": "10.0.0.4", "port": 7871}],
+          "replicate": 2,
+          "cache_dir": "/srv/repro-cache",
+          "journal":   "/srv/repro-cache/membership.journal",
+          "vnodes":    64
+        }
+
+    Returns the spec with ``routers`` and ``shards`` normalized to
+    ``[(host, port), ...]``.  Routers are ordered: the first entry is
+    the primary, the rest are standbys (``--sync-from``), and clients
+    hand the whole list to ``ServeClient(endpoints=...)``.  Unknown
+    fields pass through untouched so specs can carry site-local notes.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        spec = json.load(handle)
+    if not isinstance(spec, dict):
+        raise ValueError("fleet spec must be a JSON object, got %s"
+                         % type(spec).__name__)
+    fleet = dict(spec)
+    for field in ("routers", "shards"):
+        entries = spec.get(field) or []
+        if not isinstance(entries, list):
+            raise ValueError("fleet %r must be a list" % field)
+        fleet[field] = [_fleet_address(entry, field)
+                        for entry in entries]
+    return fleet
+
 
 def router_main(argv) -> int:
     """``repro router``: run the cluster front door until shutdown."""
@@ -1343,6 +1907,39 @@ def router_main(argv) -> int:
                         help="directory for spawned-shard stderr logs "
                              "(default: <cache-dir>/shard-logs when "
                              "--cache-dir is set, else discarded)")
+    parser.add_argument("--shard-log-max-bytes", type=int,
+                        default=1048576, metavar="N",
+                        help="rotate a spawned shard's stderr log to "
+                             "<log>.1 when a (re)spawn finds it at or "
+                             "past N bytes, keeping one generation "
+                             "(default 1 MiB; 0 disables)")
+    parser.add_argument("--journal", default=None, metavar="FILE",
+                        help="durable membership journal (append-only "
+                             "JSON lines) replayed on startup so "
+                             "add-shard/remove-shard survive router "
+                             "restarts; default <cache-dir>/"
+                             "membership.journal when --cache-dir is "
+                             "set ('-standby' suffixed under "
+                             "--sync-from); 'none' disables")
+    parser.add_argument("--sync-from", default=None, metavar="HOST:PORT",
+                        help="run as a standby: mirror this primary "
+                             "router's membership via its "
+                             "sync-membership op, refusing membership "
+                             "writes here until the primary has missed "
+                             "--down-after consecutive sync polls")
+    parser.add_argument("--anti-entropy-interval", type=float,
+                        default=5.0, metavar="SECONDS",
+                        help="seconds between replica-repair passes "
+                             "that re-seed memory-tier entries lost to "
+                             "restarts or invalidation races (needs "
+                             "--replicate >= 2; 0 disables; default 5)")
+    parser.add_argument("--fleet", default=None, metavar="FILE",
+                        help="fleet.json deployment spec supplying "
+                             "shards and defaults for replicate/"
+                             "cache-dir/vnodes/journal (explicit flags "
+                             "win); listed shards are attached with "
+                             "skip-only supervision — never restarted "
+                             "by this router")
     parser.add_argument("--faults", metavar="SPEC", default=None,
                         help="deterministic fault plan for the "
                              "*router's* listener: inline JSON or "
@@ -1351,6 +1948,40 @@ def router_main(argv) -> int:
                         help="fault plan forwarded to spawned shards "
                              "via their --faults flag")
     args = parser.parse_args(argv)
+
+    if args.fleet:
+        try:
+            fleet = load_fleet(args.fleet)
+        except (OSError, ValueError) as error:
+            parser.error("--fleet: %s" % error)
+        for fleet_host, fleet_port in fleet["shards"]:
+            address = "%s:%d" % (fleet_host, fleet_port)
+            if address not in args.shard:
+                args.shard.append(address)
+        # Fleet values are defaults; anything given explicitly on the
+        # command line (i.e. differing from the parser default) wins.
+        for field in ("replicate", "cache_dir", "vnodes", "journal",
+                      "pool_size", "shard_log_dir",
+                      "anti_entropy_interval"):
+            value = fleet.get(field)
+            if (value is not None
+                    and getattr(args, field) == parser.get_default(field)):
+                setattr(args, field, value)
+
+    if args.sync_from:
+        try:
+            _parse_shard_address(args.sync_from)
+        except ValueError as error:
+            parser.error("--sync-from: %s" % error)
+
+    journal_path = args.journal
+    if journal_path is None and args.cache_dir:
+        journal_path = os.path.join(
+            args.cache_dir,
+            "membership-standby.journal" if args.sync_from
+            else "membership.journal")
+    elif journal_path == "none":
+        journal_path = None
 
     from .faults import FaultSpecError, parse_fault_spec
     faults = None
@@ -1386,29 +2017,41 @@ def router_main(argv) -> int:
             log_path = (os.path.join(log_dir, "shard-%d.log" % index)
                         if log_dir else None)
             process, shard_host, shard_port = spawn_server(
-                *shard_args, stderr_path=log_path)
+                *shard_args, stderr_path=log_path,
+                log_max_bytes=args.shard_log_max_bytes)
             spawned.append((process, shard_host, shard_port, log_path))
             shard_addresses.append("%s:%d" % (shard_host, shard_port))
             print("repro router: spawned shard %d at %s:%d (pid %d%s)"
                   % (index, shard_host, shard_port, process.pid,
                      ", log %s" % log_path if log_path else ""),
                   file=sys.stderr)
-    if not shard_addresses:
-        parser.error("give at least one --shard HOST:PORT or --spawn N")
+    if not shard_addresses and not args.sync_from and not journal_path:
+        parser.error("give at least one --shard HOST:PORT, --spawn N, "
+                     "a --fleet spec with shards, a --journal to "
+                     "replay, or --sync-from a primary")
 
-    router = ClusterRouter(
-        shard_addresses, host=args.host, port=args.port,
-        cache_dir=args.cache_dir, vnodes=args.vnodes,
-        pool_size=args.pool_size, retries=args.retries,
-        backoff=args.backoff, health_interval=args.health_interval,
-        down_after=args.down_after,
-        request_timeout=(None if not args.timeout else args.timeout),
-        replicate=args.replicate,
-        restart_backoff=args.restart_backoff,
-        restart_backoff_max=args.restart_backoff_max,
-        breaker_deaths=args.breaker_deaths,
-        breaker_window=args.breaker_window,
-        faults=faults)
+    try:
+        router = ClusterRouter(
+            shard_addresses, host=args.host, port=args.port,
+            cache_dir=args.cache_dir, vnodes=args.vnodes,
+            pool_size=args.pool_size, retries=args.retries,
+            backoff=args.backoff, health_interval=args.health_interval,
+            down_after=args.down_after,
+            request_timeout=(None if not args.timeout else args.timeout),
+            replicate=args.replicate,
+            restart_backoff=args.restart_backoff,
+            restart_backoff_max=args.restart_backoff_max,
+            breaker_deaths=args.breaker_deaths,
+            breaker_window=args.breaker_window,
+            faults=faults,
+            journal_path=journal_path,
+            sync_from=args.sync_from,
+            anti_entropy_interval=args.anti_entropy_interval,
+            shard_log_max_bytes=args.shard_log_max_bytes)
+    except ValueError as error:
+        for process, _, _, _ in spawned:
+            process.terminate()
+        parser.error(str(error))
     for process, shard_host, shard_port, log_path in spawned:
         shard = router.shards["%s:%d" % (shard_host, shard_port)]
         shard.process = process

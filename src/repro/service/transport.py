@@ -272,12 +272,32 @@ class BlockingLineConnection:
     request) get a grace window instead of a bare
     ``ConnectionRefusedError``, and a clear :class:`ConnectError`
     when the server really is not there.
+
+    Pass ``endpoints=[(host, port), ...]`` instead of a single
+    ``host``/``port`` to target a redundant fleet front door: each
+    connect attempt walks the list (starting at the endpoint that last
+    worked) and latches onto the first reachable one; :meth:`rotate`
+    moves the preference along after a mid-request transport failure,
+    so the next connect tries a different router first.  With one
+    endpoint the behavior — including the error message — is exactly
+    the single-address form.
     """
 
-    def __init__(self, host: str, port: int,
-                 timeout: Optional[float] = 120.0) -> None:
-        self.host = host
-        self.port = port
+    def __init__(self, host: Optional[str] = None,
+                 port: Optional[int] = None,
+                 timeout: Optional[float] = 120.0,
+                 endpoints: Optional[list] = None) -> None:
+        if endpoints is not None:
+            parsed = [(str(h), int(p)) for h, p in endpoints]
+            if not parsed:
+                raise ValueError("endpoints must be non-empty")
+        else:
+            if host is None or port is None:
+                raise ValueError("give host and port, or endpoints=")
+            parsed = [(str(host), int(port))]
+        self.endpoints = parsed
+        self._endpoint_index = 0
+        self.host, self.port = parsed[0]
         self.timeout = timeout
         self._sock: Optional[socket.socket] = None
         self._file = None
@@ -286,34 +306,55 @@ class BlockingLineConnection:
     def connected(self) -> bool:
         return self._sock is not None
 
+    def rotate(self) -> None:
+        """Prefer the next endpoint on the next connect — the caller's
+        failover hook after a mid-request transport error."""
+        if len(self.endpoints) > 1:
+            self._endpoint_index = ((self._endpoint_index + 1)
+                                    % len(self.endpoints))
+            self.host, self.port = self.endpoints[self._endpoint_index]
+
     def connect(self, retries: int = 0, backoff: float = 0.05,
                 max_backoff: float = 1.0) -> None:
         """Establish the connection, retrying ``retries`` times with
         exponential backoff (``backoff``, doubling, capped at
-        ``max_backoff`` seconds) on refusal/unreachability."""
+        ``max_backoff`` seconds) on refusal/unreachability.  Every
+        retry pass walks all configured endpoints once."""
         if self._sock is not None:
             return
         delay = backoff
         last_error: Optional[Exception] = None
+        count = len(self.endpoints)
         for attempt in range(retries + 1):
-            try:
-                sock = socket.create_connection((self.host, self.port),
-                                                timeout=self.timeout)
-            except OSError as error:
-                last_error = error
-                if attempt < retries:
-                    time.sleep(delay)
-                    delay = min(delay * 2, max_backoff)
-                continue
-            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            self._sock = sock
-            self._file = sock.makefile("rwb")
-            return
+            for step in range(count):
+                index = (self._endpoint_index + step) % count
+                host, port = self.endpoints[index]
+                try:
+                    sock = socket.create_connection(
+                        (host, port), timeout=self.timeout)
+                except OSError as error:
+                    last_error = error
+                    continue
+                sock.setsockopt(socket.IPPROTO_TCP,
+                                socket.TCP_NODELAY, 1)
+                self._sock = sock
+                self._file = sock.makefile("rwb")
+                self._endpoint_index = index
+                self.host, self.port = host, port
+                return
+            if attempt < retries:
+                time.sleep(delay)
+                delay = min(delay * 2, max_backoff)
+        if count == 1:
+            raise ConnectError(
+                "no server listening at %s:%d after %d attempt(s): %s "
+                "— is it still starting?  (spawn_server parses the "
+                "ready line; wait_for_server polls ping)"
+                % (self.host, self.port, retries + 1, last_error))
         raise ConnectError(
-            "no server listening at %s:%d after %d attempt(s): %s — "
-            "is it still starting?  (spawn_server parses the ready "
-            "line; wait_for_server polls ping)"
-            % (self.host, self.port, retries + 1, last_error))
+            "no server listening at any of %s after %d attempt(s): %s"
+            % (", ".join("%s:%d" % e for e in self.endpoints),
+               retries + 1, last_error))
 
     def round_trip(self, message: dict) -> dict:
         """One request/response cycle.  Raises ``ConnectionError`` on

@@ -22,7 +22,8 @@ import pytest
 from repro import analyze
 from repro.benchprogs import benchmark
 from repro.service import server as server_module
-from repro.service.cluster import ClusterRouter, HashRing
+from repro.service.cluster import (ClusterRouter, HashRing,
+                                   MembershipJournal, load_fleet)
 from repro.service.serialize import result_fingerprint
 from repro.service.server import AnalysisServer
 
@@ -668,3 +669,435 @@ def test_replication_skips_cached_results():
         scenario, router_kwargs={"replicate": 2})
     assert replications == 1  # the first, fresh result — nothing else
     assert failures == 0
+
+
+# -- anti-entropy replica repair ---------------------------------------------
+
+def test_digest_fetch_seed_round_trip_between_shards():
+    """The three server ops anti-entropy is built from: ``digest``
+    inventories the memory tier, ``fetch`` returns key + payload, and
+    ``seed`` with a raw key object installs it on another shard."""
+
+    async def scenario(router, servers):
+        a, b = servers
+        first = await send(a.port, {"id": 1, "op": "analyze",
+                                    "benchmark": "QU", "payload": False})
+        assert first["ok"]
+        digest = first["result"]["key"]
+        inventory = await send(a.port, {"id": 2, "op": "digest"})
+        fetched = await send(a.port, {"id": 3, "op": "fetch",
+                                      "digest": digest})
+        seeded = await send(b.port, {"id": 4, "op": "seed",
+                                     "key": fetched["result"]["key"],
+                                     "payload": fetched["result"]["payload"]})
+        hit = await send(b.port, {"id": 5, "op": "analyze",
+                                  "benchmark": "QU", "payload": False})
+        missing = await send(a.port, {"id": 6, "op": "fetch",
+                                      "digest": "no-such-digest"})
+        malformed = await send(b.port, {"id": 7, "op": "seed",
+                                        "key": {"bogus": True},
+                                        "payload": {}})
+        return digest, inventory, fetched, seeded, hit, missing, malformed
+
+    digest, inventory, fetched, seeded, hit, missing, malformed = \
+        run_cluster(scenario)
+    entry = next(e for e in inventory["result"]["entries"]
+                 if e["digest"] == digest)
+    assert fetched["result"]["key"]["program_hash"] == entry["program"]
+    assert seeded["ok"] and seeded["result"]["seeded"]
+    assert seeded["result"]["key"] == digest  # same content address
+    assert hit["ok"] and hit["result"]["cached"]
+    assert hit["result"]["fingerprint"] == direct_fingerprint("QU")
+    assert not missing["ok"] and missing["code"] == "not-found"
+    assert not malformed["ok"]
+
+
+def test_seed_vs_invalidate_race_leaves_replica_divergent():
+    """The documented gap anti-entropy exists to close: ``invalidate``
+    drops the seeded replica copy, re-analysis on the home reproduces
+    the *same* content-addressed digest, and the router's ``_seeded``
+    dedupe LRU refuses to push it again — the replica stays cold, so
+    a later failover must recompute (correct result, wasted work)."""
+
+    async def scenario(router, servers):
+        first = await send(router.port, {"id": 1, "op": "analyze",
+                                         "benchmark": "QU",
+                                         "payload": False})
+        assert first["ok"] and not first["result"]["cached"]
+        digest = first["result"]["key"]
+        owner, owner_index = shard_owning(router, "QU")
+        replica = servers[1 - owner_index]
+        assert await wait_until(lambda: replica.cache.stats.seeds >= 1)
+        report = await send(router.port, {
+            "id": 2, "op": "invalidate",
+            "source": benchmark("QU").source})
+        assert report["ok"] and report["result"]["invalidated"] >= 1
+        assert replica.cache.get_by_digest(digest) is None
+        again = await send(router.port, {"id": 3, "op": "analyze",
+                                         "benchmark": "QU",
+                                         "payload": False})
+        assert again["ok"] and not again["result"]["cached"]
+        assert again["result"]["key"] == digest  # same digest, by design
+        await wait_until(lambda: not router._replication_tasks,
+                         timeout=2.0)
+        divergent = replica.cache.get_by_digest(digest) is None
+        # ...and the stale-miss that divergence costs on failover:
+        router.shards[owner].mark_down()
+        failover = await send(router.port, {"id": 4, "op": "analyze",
+                                            "benchmark": "QU",
+                                            "payload": False})
+        return first, divergent, failover
+
+    first, divergent, failover = run_cluster(
+        scenario, router_kwargs={"replicate": 2})
+    assert divergent, "dedupe LRU should have blocked the re-seed"
+    assert failover["ok"]
+    assert not failover["result"]["cached"]  # recomputed, not served warm
+    assert failover["result"]["fingerprint"] == \
+        first["result"]["fingerprint"]
+
+
+def test_anti_entropy_repairs_the_invalidate_race():
+    """Same setup as above, but an ``anti-entropy`` pass between the
+    re-analysis and the failover: the pass sees the home holding a
+    digest its replica window lacks, re-seeds it, and the failover is
+    a warm memory hit again."""
+
+    async def scenario(router, servers):
+        first = await send(router.port, {"id": 1, "op": "analyze",
+                                         "benchmark": "QU",
+                                         "payload": False})
+        digest = first["result"]["key"]
+        owner, owner_index = shard_owning(router, "QU")
+        replica = servers[1 - owner_index]
+        assert await wait_until(lambda: replica.cache.stats.seeds >= 1)
+        await send(router.port, {"id": 2, "op": "invalidate",
+                                 "source": benchmark("QU").source})
+        again = await send(router.port, {"id": 3, "op": "analyze",
+                                         "benchmark": "QU",
+                                         "payload": False})
+        assert again["ok"]
+        await wait_until(lambda: not router._replication_tasks,
+                         timeout=2.0)
+        assert replica.cache.get_by_digest(digest) is None  # diverged
+        repair = await send(router.port, {"id": 4, "op": "anti-entropy"})
+        assert repair["ok"], repair
+        repaired = replica.cache.get_by_digest(digest) is not None
+        router.shards[owner].mark_down()
+        failover = await send(router.port, {"id": 5, "op": "analyze",
+                                            "benchmark": "QU",
+                                            "payload": False})
+        return (first, repair, repaired, failover,
+                replica.stats.analyses_executed,
+                router.stats.anti_entropy_repairs)
+
+    first, repair, repaired, failover, replica_analyses, counted = \
+        run_cluster(scenario, router_kwargs={"replicate": 2})
+    assert repair["result"]["repairs"] >= 1
+    assert counted >= 1
+    assert repaired, "anti-entropy pass did not re-seed the replica"
+    assert failover["ok"]
+    assert failover["result"]["cached"]        # warm memory again
+    assert replica_analyses == 0               # no recomputation
+    assert failover["result"]["fingerprint"] == \
+        first["result"]["fingerprint"]
+
+
+def test_anti_entropy_reseeds_restarted_home_but_never_resurrects(tmp_path):
+    """The other two anti-entropy cases: a home shard whose memory
+    tier was wiped (restart) is re-seeded from its replica because the
+    shared disk store confirms the entry is legitimate; an entry that
+    was invalidated everywhere but lingers in one straggler's memory
+    is *not* re-spread — invalidate wins over repair."""
+    cache_dir = str(tmp_path / "l2")
+    from repro.service.cache import ResultCache
+
+    async def scenario(router, servers):
+        # -- restart loss: wipe the home's memory, repair from replica
+        first = await send(router.port, {"id": 1, "op": "analyze",
+                                         "benchmark": "QU",
+                                         "payload": False})
+        digest = first["result"]["key"]
+        owner, owner_index = shard_owning(router, "QU")
+        home, replica = servers[owner_index], servers[1 - owner_index]
+        assert await wait_until(lambda: replica.cache.stats.seeds >= 1)
+        with home.cache._lock:  # simulate a restart's empty memory
+            home.cache._memory.clear()
+        assert home.cache.get_by_digest(digest) is None
+        repair = await send(router.port, {"id": 2, "op": "anti-entropy"})
+        assert repair["ok"], repair
+        home_restored = home.cache.get_by_digest(digest) is not None
+
+        # -- straggler resurrection: drop everywhere, re-seed only the
+        # replica's memory, and verify the pass refuses to spread it
+        stale = replica.cache.get_by_digest(digest)
+        await send(router.port, {"id": 3, "op": "invalidate",
+                                 "source": benchmark("QU").source})
+        assert home.cache.get_by_digest(digest) is None
+        replica.cache.seed(*stale)  # the straggler's surviving copy
+        second_repair = await send(router.port,
+                                   {"id": 4, "op": "anti-entropy"})
+        home_still_empty = home.cache.get_by_digest(digest) is None
+        return repair, home_restored, second_repair, home_still_empty
+
+    repair, home_restored, second_repair, home_still_empty = run_cluster(
+        scenario,
+        server_kwargs=lambda i: {"cache": ResultCache(cache_dir)},
+        router_kwargs={"replicate": 2, "cache_dir": cache_dir})
+    assert repair["result"]["repairs"] >= 1
+    assert home_restored, "restart loss was not repaired"
+    assert second_repair["result"]["skipped_invalidated"] >= 1
+    assert home_still_empty, "anti-entropy resurrected an invalidated entry"
+
+
+def test_anti_entropy_requires_replication():
+    async def scenario(router, servers):
+        return await send(router.port, {"id": 1, "op": "anti-entropy"})
+
+    refused = run_cluster(scenario)  # default replicate=1
+    assert not refused["ok"]
+    assert "--replicate" in refused["error"]
+
+
+def test_failover_recompute_triggers_read_repair():
+    """A failover that *recomputes* a digest the dedupe LRU thought
+    was already replicated proves the copies are gone: the router
+    drops the dedupe entry, counts a read-repair, and re-pushes to
+    the surviving replicas."""
+
+    async def scenario(router, servers):
+        first = await send(router.port, {"id": 1, "op": "analyze",
+                                         "benchmark": "QU",
+                                         "payload": False})
+        assert first["ok"]
+        preference = router.ring.preference(
+            router._routing_hash({"benchmark": "QU"}))
+        await wait_until(lambda: router.stats.replications >= 2)
+        await send(router.port, {"id": 2, "op": "invalidate",
+                                 "source": benchmark("QU").source})
+        router.shards[preference[0]].mark_down()
+        second = await send(router.port, {"id": 3, "op": "analyze",
+                                          "benchmark": "QU",
+                                          "payload": False})
+        assert second["ok"] and not second["result"]["cached"]
+        # the re-push from the serving replica lands on the next live
+        # node of the preference list
+        third = next(s for s in servers
+                     if "127.0.0.1:%d" % s.port == preference[2])
+        reseeded = await wait_until(
+            lambda: third.cache.get_by_digest(
+                second["result"]["key"]) is not None)
+        return router.stats.read_repairs, reseeded
+
+    read_repairs, reseeded = run_cluster(
+        scenario, shards=3, router_kwargs={"replicate": 3})
+    assert read_repairs >= 1
+    assert reseeded, "read-repair never re-pushed the recomputed entry"
+
+
+# -- durable membership journal ----------------------------------------------
+
+def test_membership_journal_tolerates_garbage_and_torn_tail(tmp_path):
+    path = str(tmp_path / "membership.journal")
+    journal = MembershipJournal(path)
+    journal.append({"event": "add-shard", "shard": "10.0.0.9:7871",
+                    "host": "10.0.0.9", "port": 7871})
+    journal.close()
+    with open(path, "ab") as handle:
+        handle.write(b"not json at all\n")
+        handle.write(b'{"event": "remove-shard", "sh')  # torn append
+    reopened = MembershipJournal(path)
+    assert [e["event"] for e in reopened.replayed] == ["add-shard"]
+    assert reopened.seq == 1
+    reopened.append({"event": "remove-shard", "shard": "10.0.0.9:7871"})
+    reopened.close()
+    # the post-torn append starts a clean line and survives re-reading
+    final = MembershipJournal(path)
+    assert [e["event"] for e in final.replayed] == \
+        ["add-shard", "remove-shard"]
+    assert final.seq == 2
+
+
+def test_journal_replays_membership_across_router_restart(tmp_path):
+    """add-shard/remove-shard ops are durable: a restarted router
+    replays them and comes back with the same ring — the supervision
+    events in between are deliberately not replayed."""
+    journal_path = str(tmp_path / "membership.journal")
+
+    async def main():
+        servers = [AnalysisServer(port=0) for _ in range(2)]
+        for server in servers:
+            await server.start()
+        base = [("127.0.0.1", servers[0].port)]
+        joiner_id = "127.0.0.1:%d" % servers[1].port
+
+        router = ClusterRouter(base, port=0, health_interval=0.2,
+                               journal_path=journal_path)
+        await router.start()
+        added = await send(router.port, {
+            "id": 1, "op": "add-shard", "host": "127.0.0.1",
+            "port": servers[1].port})
+        await router.drain_and_close(shutdown_spawned=False)
+
+        # restart #1: only the base shard on the command line, the
+        # joiner comes back from the journal
+        restarted = ClusterRouter(base, port=0, health_interval=0.2,
+                                  journal_path=journal_path)
+        await restarted.start()
+        ring_after_restart = list(restarted.ring.nodes)
+        replayed = restarted.journal_replayed
+        info = await send(restarted.port, {"id": 2, "op": "router-info"})
+        removed = await send(restarted.port, {
+            "id": 3, "op": "remove-shard", "shard": joiner_id,
+            "shutdown": False})
+        await restarted.drain_and_close(shutdown_spawned=False)
+
+        # restart #2: the remove is durable too
+        final = ClusterRouter(base, port=0, health_interval=0.2,
+                              journal_path=journal_path)
+        ring_final = list(final.ring.nodes)
+        await final.start()
+        await final.drain_and_close(shutdown_spawned=False)
+        for server in servers:
+            await server.drain_and_close()
+        return (added, joiner_id, ring_after_restart, replayed, info,
+                removed, ring_final)
+
+    (added, joiner_id, ring_after_restart, replayed, info, removed,
+     ring_final) = asyncio.run(main())
+    assert added["ok"], added
+    assert joiner_id in ring_after_restart
+    assert replayed == 1
+    assert info["result"]["journal"]["replayed"] == 1
+    assert info["result"]["journal"]["seq"] >= 1
+    assert removed["ok"], removed
+    assert joiner_id not in ring_final
+
+
+# -- standby routers ---------------------------------------------------------
+
+def test_standby_syncs_membership_refuses_writes_and_promotes():
+    """The full standby lifecycle in one loop: mirror the primary's
+    ring (including later joins), serve reads all along, refuse
+    membership writes while the primary answers, then promote after
+    the primary dies and accept them."""
+
+    async def main():
+        servers = [AnalysisServer(port=0) for _ in range(2)]
+        for server in servers:
+            await server.start()
+        addresses = [("127.0.0.1", server.port) for server in servers]
+        primary = ClusterRouter(addresses, port=0, health_interval=0.05,
+                                down_after=2)
+        await primary.start()
+        standby = ClusterRouter([], port=0, health_interval=0.05,
+                                down_after=3,
+                                sync_from=("127.0.0.1", primary.port))
+        await standby.start()
+        joiner = AnalysisServer(port=0)
+        await joiner.start()
+        try:
+            synced = await wait_until(
+                lambda: len(standby.ring.nodes) == 2)
+            refused = await send(standby.port, {
+                "id": 1, "op": "add-shard", "host": "127.0.0.1",
+                "port": joiner.port})
+            added = await send(primary.port, {
+                "id": 2, "op": "add-shard", "host": "127.0.0.1",
+                "port": joiner.port})
+            propagated = await wait_until(
+                lambda: len(standby.ring.nodes) == 3)
+            served = await send(standby.port, {
+                "id": 3, "op": "analyze", "benchmark": "QU",
+                "payload": False})
+            membership = await send(standby.port,
+                                    {"id": 4, "op": "sync-membership"})
+            await primary.drain_and_close(shutdown_spawned=False)
+            promoted = await wait_until(
+                lambda: not standby.primary_reachable)
+            accepted = await send(standby.port, {
+                "id": 5, "op": "remove-shard",
+                "shard": "127.0.0.1:%d" % joiner.port,
+                "shutdown": False})
+            info = await send(standby.port, {"id": 6,
+                                             "op": "router-info"})
+            return (synced, refused, added, propagated, served,
+                    membership, promoted, accepted, info)
+        finally:
+            await joiner.drain_and_close()
+            await standby.drain_and_close(shutdown_spawned=False)
+            for server in servers:
+                await server.drain_and_close()
+
+    (synced, refused, added, propagated, served, membership, promoted,
+     accepted, info) = asyncio.run(main())
+    assert synced, "standby never mirrored the primary's ring"
+    assert not refused["ok"] and refused["code"] == "standby"
+    assert "standby" in refused["error"]
+    assert added["ok"], added
+    assert propagated, "add-shard on the primary never reached standby"
+    assert served["ok"]
+    assert served["result"]["fingerprint"] == direct_fingerprint("QU")
+    assert membership["ok"]
+    assert membership["result"]["role"] == "standby"
+    assert len(membership["result"]["shards"]) == 3
+    assert promoted, "standby never promoted after primary death"
+    assert accepted["ok"], accepted
+    # a promoted standby *is* the acting primary
+    assert info["result"]["role"] == "primary"
+    assert info["result"]["primary_reachable"] is False
+    assert info["result"]["sync_pulls"] >= 1
+    events = [entry["event"] for entry in info["result"]["membership_log"]]
+    assert "sync-add" in events and "standby-promoted" in events
+
+
+# -- fleet spec & log rotation -----------------------------------------------
+
+def test_load_fleet_normalizes_and_validates(tmp_path):
+    import json as json_module
+    path = tmp_path / "fleet.json"
+    path.write_text(json_module.dumps({
+        "routers": ["10.0.0.1:7870", {"host": "10.0.0.2", "port": 7870}],
+        "shards": ["10.0.0.3:7871"],
+        "replicate": 2,
+        "note": "passes through untouched",
+    }))
+    fleet = load_fleet(str(path))
+    assert fleet["routers"] == [("10.0.0.1", 7870), ("10.0.0.2", 7870)]
+    assert fleet["shards"] == [("10.0.0.3", 7871)]
+    assert fleet["replicate"] == 2
+    assert fleet["note"] == "passes through untouched"
+
+    from repro.service.client import fleet_endpoints
+    assert fleet_endpoints(str(path)) == \
+        [("10.0.0.1", 7870), ("10.0.0.2", 7870)]
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json_module.dumps({"shards": ["no-port-here"]}))
+    with pytest.raises(ValueError):
+        load_fleet(str(bad))
+    bad.write_text(json_module.dumps(["not", "an", "object"]))
+    with pytest.raises(ValueError):
+        load_fleet(str(bad))
+    routerless = tmp_path / "routerless.json"
+    routerless.write_text(json_module.dumps({"shards": ["h:1"]}))
+    with pytest.raises(ValueError):
+        fleet_endpoints(str(routerless))
+
+
+def test_rotate_log_caps_and_keeps_one_generation(tmp_path):
+    from repro.service.client import _rotate_log
+    log = tmp_path / "shard.log"
+    log.write_bytes(b"x" * 100)
+    _rotate_log(str(log), 1000)           # under the cap: untouched
+    assert log.read_bytes() == b"x" * 100
+    _rotate_log(str(log), 100)            # at the cap: rotated to .1
+    assert not log.exists()
+    assert (tmp_path / "shard.log.1").read_bytes() == b"x" * 100
+    log.write_bytes(b"y" * 200)
+    _rotate_log(str(log), 100)            # .1 is replaced, not stacked
+    assert (tmp_path / "shard.log.1").read_bytes() == b"y" * 200
+    log.write_bytes(b"z" * 500)
+    _rotate_log(str(log), 0)              # 0 disables rotation
+    assert log.read_bytes() == b"z" * 500
+    _rotate_log(str(tmp_path / "absent.log"), 10)  # missing: no error

@@ -223,3 +223,126 @@ def test_blocking_round_trip_peer_close_raises_connect_error():
     finally:
         thread.join()
         sock.close()
+
+
+# -- multi-endpoint failover -------------------------------------------------
+
+def _mini_server(max_requests=None):
+    """A threaded nd-JSON ping server: answers every request with
+    ``{"pong": True, "port": <its port>}`` so a test can tell which
+    endpoint actually served.  ``max_requests`` makes it die after N
+    answers — the failure the client must ride out."""
+    sock, port = _bound_socket()
+    sock.listen(4)
+    answered = []
+
+    def serve():
+        while True:
+            try:
+                client, _ = sock.accept()
+            except OSError:
+                return  # listener closed: shut down
+            handle = client.makefile("rwb")
+            while True:
+                line = handle.readline()
+                if not line:
+                    break
+                message = json.loads(line)
+                answered.append(message)
+                handle.write(encode_message(ok_envelope(
+                    message.get("id"), {"pong": True, "port": port})))
+                handle.flush()
+                if (max_requests is not None
+                        and len(answered) >= max_requests):
+                    client.close()
+                    sock.close()
+                    return
+            client.close()
+
+    thread = threading.Thread(target=serve, daemon=True)
+    thread.start()
+    return sock, port, answered
+
+
+def test_blocking_multi_endpoint_connects_to_first_live_endpoint():
+    dead_sock, dead_port = _bound_socket()  # bound, never listening
+    live_sock, live_port, _ = _mini_server()
+    try:
+        conn = BlockingLineConnection(
+            timeout=5.0,
+            endpoints=[("127.0.0.1", dead_port),
+                       ("127.0.0.1", live_port)])
+        # before connecting, the first endpoint is the target...
+        assert (conn.host, conn.port) == ("127.0.0.1", dead_port)
+        conn.connect(retries=1, backoff=0.01)
+        # ...after, the connection latched onto the live one
+        assert (conn.host, conn.port) == ("127.0.0.1", live_port)
+        response = conn.round_trip({"id": 1, "op": "ping"})
+        assert response["result"]["port"] == live_port
+        conn.close()
+    finally:
+        dead_sock.close()
+        live_sock.close()
+
+
+def test_blocking_multi_endpoint_error_names_every_address():
+    sock_a, port_a = _bound_socket()
+    sock_b, port_b = _bound_socket()
+    try:
+        conn = BlockingLineConnection(
+            timeout=1.0,
+            endpoints=[("127.0.0.1", port_a), ("127.0.0.1", port_b)])
+        with pytest.raises(ConnectError) as exc_info:
+            conn.connect(retries=1, backoff=0.01)
+        message = str(exc_info.value)
+        assert "any of" in message
+        assert str(port_a) in message and str(port_b) in message
+    finally:
+        sock_a.close()
+        sock_b.close()
+
+
+def test_serve_client_endpoint_list_fails_over_mid_stream():
+    """The client-side half of router redundancy: a ServeClient given
+    several endpoints replays an idempotent request against the next
+    endpoint when the current one dies mid-round-trip."""
+    from repro.service.client import ServeClient
+
+    first_sock, first_port, first_answered = _mini_server(max_requests=1)
+    second_sock, second_port, second_answered = _mini_server()
+    try:
+        client = ServeClient(endpoints=[("127.0.0.1", first_port),
+                                        ("127.0.0.1", second_port)])
+        assert client.endpoints == [("127.0.0.1", first_port),
+                                    ("127.0.0.1", second_port)]
+        served_by_first = client.ping()
+        assert served_by_first["port"] == first_port
+        # the first endpoint is now gone (it died after one answer);
+        # the same client call must land on the second transparently
+        served_by_second = client.ping()
+        assert served_by_second["port"] == second_port
+        assert (client.host, client.port) == ("127.0.0.1", second_port)
+        client.close()
+        assert len(first_answered) == 1
+        assert len(second_answered) >= 1
+    finally:
+        first_sock.close()
+        second_sock.close()
+
+
+def test_serve_client_single_endpoint_behavior_unchanged():
+    """The classic (host, port) form: same attributes, same error
+    message shape — the endpoints feature must not disturb it."""
+    from repro.service.client import ServeClient, ServeError
+
+    sock, port = _bound_socket()  # never listening
+    try:
+        client = ServeClient("127.0.0.1", port, timeout=1.0)
+        assert client.endpoints == [("127.0.0.1", port)]
+        with pytest.raises(ServeError) as exc_info:
+            client.connect(retries=1, backoff=0.01)
+        message = str(exc_info.value)
+        assert "no server listening at 127.0.0.1:%d" % port in message
+        assert "any of" not in message
+    finally:
+        sock.close()
