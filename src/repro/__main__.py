@@ -7,6 +7,8 @@ Examples::
     repro program.pl 'append/3' --input list,list,any --json
     repro --benchmark QU
     repro program.pl main/1 --baseline --or-width 5 --tags
+    repro check annotated.pl main/1
+    repro check --benchmark CHK --json
     repro batch --all --cache-dir .repro-cache --workers 4
     repro cache info --cache-dir .repro-cache
     repro cache promote old.pl new.pl --cache-dir .repro-cache
@@ -55,6 +57,8 @@ def _check_input_arity(input_types, query) -> None:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    if argv and argv[0] == "check":
+        return check_main(argv[1:])
     if argv and argv[0] == "batch":
         return batch_main(argv[1:])
     if argv and argv[0] == "cache":
@@ -73,9 +77,11 @@ def main(argv=None) -> int:
                     "(Van Hentenryck, Cortesi, Le Charlier, PLDI'94).  "
                     "Subcommands: 'repro batch' analyzes many programs "
                     "through the result cache; 'repro cache' inspects "
-                    "and maintains it; 'repro serve' runs the "
-                    "long-lived analysis server; 'repro profile' "
-                    "reports per-operation statistics.")
+                    "and maintains it; 'repro check' verifies "
+                    "assert_* directives and blame-slices violations; "
+                    "'repro serve' runs the long-lived analysis "
+                    "server; 'repro profile' reports per-operation "
+                    "statistics.")
     parser.add_argument("file", nargs="?",
                         help="Prolog source file to analyze")
     parser.add_argument("query", nargs="?",
@@ -169,6 +175,110 @@ def main(argv=None) -> int:
         print("warning: %d oversized disjunction(s) compiled to "
               "auxiliary predicates" % analysis.stats.disjunction_fallbacks)
     return 0
+
+
+# -- repro check -------------------------------------------------------------
+
+def check_main(argv) -> int:
+    """``repro check``: verify a program's own ``assert_*`` directives
+    against the analysis and blame-slice every violation.
+
+    Exit code contract: 0 when no assertion is violated (verified and
+    unreachable both pass), 1 when at least one is — so the command
+    slots straight into CI.  Other failures (bad arguments, missing or
+    unparsable programs, malformed directives) exit 2.
+    """
+    from .analysis.report import format_check_report
+    from .assertions import (AssertionSyntaxError, check_analysis,
+                             harvest_assertions)
+    from .prolog.parser import ParseError
+    from .prolog.program import parse_program
+    from .service.serialize import check_fingerprint, encode_check
+
+    def usage_error(message) -> int:
+        print("error: %s" % message, file=sys.stderr)
+        return 2
+
+    parser = argparse.ArgumentParser(
+        prog="repro check",
+        description="Check a program's assert_pattern/assert_calls "
+                    "directives against the computed type analysis; "
+                    "violations are reported with a source-anchored "
+                    "blame slice and exit status 1.")
+    parser.add_argument("file", nargs="?",
+                        help="Prolog source file to check")
+    parser.add_argument("query", nargs="?",
+                        help="query predicate as name/arity")
+    parser.add_argument("--benchmark", metavar="NAME",
+                        help="check a built-in benchmark (%s)"
+                             % ", ".join(sorted(BENCHMARKS)))
+    parser.add_argument("--input", metavar="TYPES",
+                        help="comma-separated input types per argument "
+                             "(any, list, int, codes)")
+    parser.add_argument("--or-width", type=int, default=None)
+    parser.add_argument("--baseline", action="store_true",
+                        help="check against the principal-functor "
+                             "baseline domain")
+    parser.add_argument("--no-slices", action="store_true",
+                        help="report verdicts only, skip blame slicing")
+    parser.add_argument("--json", action="store_true",
+                        help="dump verdicts and slices as JSON")
+    args = parser.parse_args(argv)
+
+    if args.benchmark:
+        bp = benchmark(args.benchmark)
+        source, query, input_types = bp.source, bp.query, bp.input_types
+        name = bp.name
+    else:
+        if not args.file or not args.query:
+            parser.error("either FILE QUERY or --benchmark is required")
+        try:
+            with open(args.file) as handle:
+                source = handle.read()
+        except OSError as error:
+            return usage_error(error)
+        query = _parse_query(args.query)
+        input_types = None
+        name = args.file
+    if args.input:
+        input_types = [t.strip() for t in args.input.split(",")]
+    _check_input_arity(input_types, query)
+
+    try:
+        assertions = tuple(harvest_assertions(parse_program(source)))
+    except AssertionSyntaxError as error:
+        return usage_error("bad assertion directive: %s" % error)
+    except ParseError as error:
+        return usage_error(error)
+    except (KeyError, ValueError) as error:
+        return usage_error(error.args[0])
+
+    config = AnalysisConfig(max_or_width=args.or_width,
+                            keep_deps=True, assertions=assertions)
+    try:
+        analysis = analyze(source, query, input_types=input_types,
+                           config=config, baseline=args.baseline)
+        report, slices = check_analysis(
+            analysis, assertions, with_slices=not args.no_slices)
+    except (KeyError, ValueError) as error:
+        return usage_error(error.args[0])
+
+    if args.json:
+        check = encode_check(report, slices)
+        print(json.dumps({
+            "name": name,
+            "query": list(query),
+            "check": check,
+            "check_fingerprint": check_fingerprint(check),
+            "passed": report.ok,
+        }, indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+    if not assertions:
+        print("%s: no assert_pattern/assert_calls directives declared"
+              % name)
+        return 0
+    print(format_check_report(report, slices, name=name))
+    return 0 if report.ok else 1
 
 
 # -- repro profile -----------------------------------------------------------

@@ -1,14 +1,17 @@
-"""ASCII table formatting for the experiment harnesses.
+"""ASCII formatting for the experiment harnesses and check reports.
 
 The benchmark scripts print rows in the same layout as the paper's
 tables; these helpers keep that presentation consistent.
+:func:`format_check_report` renders assertion verdicts and their blame
+slices as the source-anchored text the ``repro check`` CLI and the
+``check``/``slice`` server clients print.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["format_table", "format_tag_row"]
+__all__ = ["format_table", "format_tag_row", "format_check_report"]
 
 
 def format_table(headers: Sequence[str],
@@ -55,3 +58,65 @@ def format_tag_row(counts: Dict[str, Tuple[int, int]],
     return ([cell(t) for t in ("NI", "CO", "LI", "ST", "DI", "HY")]
             + [total_args, improved_args, round(ratio_args, 2),
                clause_total, clause_improved, round(ratio_clauses, 2)])
+
+
+_STATUS_MARKS = {"verified": "ok", "violated": "FAIL",
+                 "unreachable": "warn"}
+
+
+def _anchor(line: int, source: Optional[str]) -> str:
+    parts = []
+    if line:
+        parts.append("line %d" % line)
+    if source:
+        parts.append(source)
+    return " — ".join(parts) if parts else "<no source>"
+
+
+def format_check_report(report, slices: Sequence = (),
+                        name: Optional[str] = None) -> str:
+    """Human-readable rendering of a
+    :class:`~repro.assertions.checker.CheckReport` and its
+    :class:`~repro.assertions.slicer.BlameSlice` list — one verdict
+    line per assertion, then a source-anchored blame section per
+    violation."""
+    lines: List[str] = []
+    counts = report.counts()
+    header = "%d assertion(s): %d verified, %d violated, %d unreachable" \
+        % (len(report.verdicts), counts.get("verified", 0),
+           counts.get("violated", 0), counts.get("unreachable", 0))
+    if name:
+        header = "%s: %s" % (name, header)
+    lines.append(header)
+    for verdict in report.verdicts:
+        mark = _STATUS_MARKS.get(verdict.status, verdict.status)
+        location = (" (line %d)" % verdict.assertion.line
+                    if verdict.assertion.line else "")
+        lines.append("  [%s] %s%s" % (mark, verdict.assertion.key,
+                                      location))
+        for detail in verdict.details:
+            lines.append("        %s" % detail)
+    by_assertion: Dict[str, List] = {}
+    for blame in slices:
+        by_assertion.setdefault(blame.assertion_key, []).append(blame)
+    for verdict in report.verdicts:
+        for blame in by_assertion.get(verdict.assertion.key, ()):
+            lines.append("")
+            lines.append("blame slice for %s (entry %d of %s/%d):"
+                         % (blame.assertion_key, blame.entry_id,
+                            blame.pred[0], blame.pred[1]))
+            for step in blame.steps:
+                if step.role == "clause":
+                    lines.append(
+                        "  clause %d of %s/%d produced the pattern: %s"
+                        % (step.clause_index, step.pred[0], step.pred[1],
+                           _anchor(step.line, step.source)))
+                else:
+                    position = ("goal %d" % step.body_pos
+                                if step.body_pos is not None else "call")
+                    via = " via %s" % step.goal if step.goal else ""
+                    lines.append(
+                        "  called from %s/%d clause %d, %s%s: %s"
+                        % (step.pred[0], step.pred[1], step.clause_index,
+                           position, via, _anchor(step.line, step.source)))
+    return "\n".join(lines)

@@ -1,0 +1,50 @@
+"""Assertion checking and blame slicing — the verification product.
+
+Source programs declare intent with ``:- assert_pattern(p/N, [...])``
+/ ``:- assert_calls(p/N, [...])`` directives; this package parses them
+(:mod:`~repro.assertions.frontend`), lowers the specs into the
+analysis domain (:mod:`~repro.assertions.compiler`), evaluates them
+against the computed table (:mod:`~repro.assertions.checker`), and on
+violation walks the retained dependency graph back to the guilty
+clauses and call sites (:mod:`~repro.assertions.slicer`).
+
+Served end-to-end: the ``check``/``slice`` server ops, the router, and
+the ``repro check`` CLI all go through :func:`check_analysis` below.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .checker import (UNREACHABLE, VERIFIED, VIOLATED, CheckReport,
+                      Verdict, check_result)
+from .compiler import compile_assertion
+from .frontend import (ASSERTION_DIRECTIVES, Assertion,
+                       AssertionSyntaxError, assertion_from_directive,
+                       harvest_assertions, parse_assertion)
+from .slicer import BlameSlice, SliceStep, blame_slices
+
+__all__ = [
+    "ASSERTION_DIRECTIVES", "Assertion", "AssertionSyntaxError",
+    "BlameSlice", "CheckReport", "SliceStep", "UNREACHABLE", "VERIFIED",
+    "VIOLATED", "Verdict", "assertion_from_directive", "blame_slices",
+    "check_analysis", "check_result", "compile_assertion",
+    "harvest_assertions", "parse_assertion",
+]
+
+
+def check_analysis(analysis, assertions: Optional[Sequence[Assertion]]
+                   = None, with_slices: bool = True
+                   ) -> Tuple[CheckReport, List[BlameSlice]]:
+    """Check a :class:`~repro.analysis.analyzer.TypeAnalysis` against
+    ``assertions`` (default: the ones declared in its own source) and,
+    when violations exist and the run retained its dependency graph,
+    compute their blame slices."""
+    if assertions is None:
+        assertions = harvest_assertions(analysis.program)
+    report = check_result(analysis.result, analysis.domain, assertions)
+    slices: List[BlameSlice] = []
+    if with_slices and not report.ok \
+            and analysis.result.callsite_deps is not None:
+        slices = blame_slices(analysis.result, analysis.norm, report)
+    return report, slices

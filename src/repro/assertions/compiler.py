@@ -1,0 +1,90 @@
+"""Lowering assertion specs into the analysis domain.
+
+A spec list compiles to one :class:`~repro.domains.pattern.AbstractSubst`
+over the predicate's arguments, built with the same
+:func:`~repro.domains.pattern.make_builder` the fixpoint engine uses —
+so the compiled pattern lives on whatever kernel tier is active and
+freezes to the identical interned instance on every tier (the basis
+for tier-stable verdicts).  Checking an assertion is then a single
+:func:`~repro.domains.pattern.subst_le` against the computed β.
+
+Grammar leaves (``any``/``int``/``list``/``codes``/``list(G)``) carry
+type information only under :class:`~repro.domains.leaf.TypeLeafDomain`;
+the baseline principal-functor domain has no leaf values, so they all
+degrade to plain ``Any`` leaves there (functor shapes and sharing
+groups still check).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..domains.leaf import LeafDomain, TypeLeafDomain
+from ..domains.pattern import AbstractSubst, make_builder
+from ..prolog.terms import Atom, Int, Struct, Term, Var
+from ..typegraph.grammar import g_any, g_int
+from ..typegraph.ops import g_list_of
+from .frontend import Assertion, AssertionSyntaxError
+
+__all__ = ["compile_assertion", "spec_grammar"]
+
+_GRAMMAR_MAKERS = {
+    "any": g_any,
+    "int": g_int,
+    "list": lambda: g_list_of(g_any()),
+    "codes": lambda: g_list_of(g_int()),
+}
+
+
+def spec_grammar(term: Term):
+    """The grammar a grammar-sublanguage spec denotes."""
+    if isinstance(term, Atom):
+        maker = _GRAMMAR_MAKERS.get(term.name)
+        if maker is not None:
+            return maker()
+    if isinstance(term, Struct) and term.name == "list" \
+            and term.arity == 1:
+        return g_list_of(spec_grammar(term.args[0]))
+    raise AssertionSyntaxError("not a grammar spec: %r" % (term,))
+
+
+def _grammar_leaf(builder, domain: LeafDomain, term: Term):
+    if isinstance(domain, TypeLeafDomain):
+        return builder.fresh_leaf(spec_grammar(term))
+    return builder.fresh_leaf()  # baseline: no leaf information
+
+
+def _compile(builder, domain: LeafDomain, term: Term,
+             shared: Dict[str, object]):
+    if isinstance(term, Var):
+        node = shared.get(term.name)
+        if node is None:
+            node = shared[term.name] = builder.fresh_leaf()
+        return node
+    if isinstance(term, Int):
+        return builder.make_pattern(str(term.value), True, [])
+    if isinstance(term, Atom):
+        if term.name in _GRAMMAR_MAKERS:
+            return _grammar_leaf(builder, domain, term)
+        return builder.make_pattern(term.name, False, [])
+    assert isinstance(term, Struct)
+    if term.name == "atom" and term.arity == 1 \
+            and isinstance(term.args[0], Atom):
+        return builder.make_pattern(term.args[0].name, False, [])
+    if term.name == "list" and term.arity == 1:
+        return _grammar_leaf(builder, domain, term)
+    children = [_compile(builder, domain, arg, shared)
+                for arg in term.args]
+    return builder.make_pattern(term.name, False, children)
+
+
+def compile_assertion(assertion: Assertion,
+                      domain: LeafDomain) -> AbstractSubst:
+    """The assertion's spec list as one frozen abstract substitution
+    over the predicate's arguments (sharing groups span the whole
+    list: the same variable in two argument specs is one node)."""
+    builder = make_builder(domain)
+    shared: Dict[str, object] = {}
+    roots: List[object] = [_compile(builder, domain, term, shared)
+                           for term in assertion.spec_terms()]
+    return builder.freeze(roots)

@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from . import ar, br, cs, ds, ka, pe, pg, pl, pr, qu, re as re_mod
+from . import ar, br, chk, cs, ds, ka, pe, pg, pl, pr, qu, re as re_mod
 
 __all__ = ["BenchProgram", "BENCHMARKS", "benchmark", "benchmark_names"]
 
@@ -70,6 +70,15 @@ for _bp in [
         description="PL with list input patterns"),
 ]:
     BENCHMARKS[_bp.name] = _bp
+
+# The annotated verification workload lives in BENCHMARKS (so
+# --benchmark CHK and the check/slice server ops can name it) but NOT
+# in benchmark_names(): the Table 3 corpus and its fingerprints are
+# frozen.
+BENCHMARKS["CHK"] = BenchProgram(
+    "CHK", chk.SOURCE, chk.QUERY, input_types=chk.INPUT_TYPES,
+    description="annotated assertion-checking workload "
+                "(one deliberate violation)")
 
 
 def benchmark(name: str) -> BenchProgram:

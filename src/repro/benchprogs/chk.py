@@ -1,0 +1,39 @@
+"""CHK — the annotated verification workload behind ``repro check``.
+
+A small list-processing program carrying its own ``assert_pattern`` /
+``assert_calls`` directives.  Three hold; ``assert_pattern(tag/1,
+[int])`` is deliberately violated — ``tag/1`` produces the atom
+``oops`` — so the checker, the ``check``/``slice`` server ops, and the
+CI self-lint all have a stable violation whose blame slice must name
+clause 0 of ``tag/1`` and its call site in ``main/2``.
+
+Registered in ``BENCHMARKS`` only, *not* in ``benchmark_names()``:
+the Table 3 corpus (and its pinned fingerprints) stays untouched.
+"""
+
+NAME = "CHK"
+QUERY = ("main", 2)
+INPUT_TYPES = ("list", "any")
+
+SOURCE = r"""
+:- assert_pattern(app/3, [list, list, list]).
+:- assert_pattern(len/2, [any, int]).
+:- assert_pattern(tag/1, [int]).
+:- assert_calls(len/2, [list, any]).
+
+main(Xs, N) :-
+    app(Xs, Xs, Ys),
+    len(Ys, N),
+    tag(T),
+    use(T).
+
+app([], L, L).
+app([X|Xs], L, [X|Ys]) :- app(Xs, L, Ys).
+
+len([], 0).
+len([_|Xs], N) :- len(Xs, M), N is M + 1.
+
+tag(oops).
+
+use(_).
+"""

@@ -99,6 +99,17 @@ class AnalysisConfig:
     environment variable, when set, overrides this for A/B runs).
     ``scheduler`` picks the worklist policy: ``"lifo"`` (default, the
     paper's descent order) or ``"scc"`` (callee SCCs first).
+    ``keep_deps`` retains the differential engine's per-(entry, clause,
+    call-site) dependency edges on the :class:`AnalysisResult` after
+    the fixpoint — the provenance graph assertion blame slicing walks.
+    It forces differential mode on (overriding both ``differential``
+    and ``REPRO_DIFFERENTIAL``: without the clause-granular bookkeeping
+    there are no edges to keep) and, like ``differential``, never
+    changes the computed table.
+    ``assertions`` carries the program's assertion directives (see
+    :mod:`repro.assertions`) so they participate in the config hash:
+    a cached payload with verdicts folded in can only be keyed by a
+    config that pins the assertions it verified.
     """
 
     max_or_width: Optional[int] = None
@@ -109,6 +120,10 @@ class AnalysisConfig:
     type_database: Optional[list] = None  # §10 widening extension
     differential: bool = True
     scheduler: str = "lifo"
+    keep_deps: bool = False
+    #: tuple of :class:`repro.assertions.Assertion` (kept untyped to
+    #: avoid an import cycle; the engine itself never reads it)
+    assertions: tuple = ()
 
 
 @dataclass
@@ -216,13 +231,51 @@ class AnalysisResult:
         for entry in entries:
             self._by_pred.setdefault(entry.pred, []).append(entry)
         self._collapsed: Dict[PredId, Optional[Tuple[object, object]]] = {}
+        #: provenance graph, retained only under
+        #: ``AnalysisConfig(keep_deps=True)`` (see there); None
+        #: otherwise.  ``callsite_deps`` maps callee entry id ->
+        #: {(caller entry id, clause index, call-site ordinal)};
+        #: ``clause_callees`` maps entry id -> per-clause callee entry
+        #: ids, one per call site; ``clause_reached`` maps entry id ->
+        #: per-clause "produced a non-bottom output" flags;
+        #: ``call_positions`` maps (pred, clause index) -> body
+        #: positions of the clause's call sites.
+        self.callsite_deps: Optional[Dict[int, Set[Tuple[int, int,
+                                                         int]]]] = None
+        self.clause_callees: Optional[Dict[int,
+                                           List[List[Optional[int]]]]] = None
+        self.clause_reached: Optional[Dict[int, List[bool]]] = None
+        self.call_positions: Optional[Dict[Tuple[PredId, int],
+                                           List[int]]] = None
 
     @classmethod
     def from_engine(cls, engine: "Engine", root: Entry) -> "AnalysisResult":
         entries = sorted((e for es in engine.table.values() for e in es),
                          key=lambda e: e.id)
-        return cls(engine.program, engine.domain, engine.stats, root,
-                   entries, sorted(engine.unknown_predicates))
+        result = cls(engine.program, engine.domain, engine.stats, root,
+                     entries, sorted(engine.unknown_predicates))
+        if engine.keep_deps:
+            result.callsite_deps = {
+                callee: set(edges)
+                for callee, edges in engine._callsite_deps.items() if edges}
+            result.clause_callees = {
+                eid: [list(state.callees) for state in states]
+                for eid, states in engine._clause_states.items()}
+            result.clause_reached = {
+                eid: [state.ran and state.out is not PAT_BOTTOM
+                      for state in states]
+                for eid, states in engine._clause_states.items()}
+            # _call_positions fills lazily (resume paths only); force
+            # it for every analyzed clause so the slicer can map any
+            # call-site ordinal back to its body position.
+            for eid in engine._clause_states:
+                pred = engine.entries_by_id[eid].pred
+                procedure = engine.program.procedure(pred)
+                if procedure is not None:
+                    for ci, clause in enumerate(procedure.clauses):
+                        engine._callsites_of(pred, ci, clause)
+            result.call_positions = dict(engine._call_positions)
+        return result
 
     @property
     def output(self):
@@ -273,9 +326,16 @@ class Engine:
             domain = TypeLeafDomain(self.config.max_or_width,
                                     self.config.type_database)
         self.domain = domain
+        self.keep_deps: bool = bool(getattr(self.config, "keep_deps",
+                                            False))
         env = _env_differential()
         self.differential: bool = (self.config.differential if env is None
                                    else env)
+        if self.keep_deps:
+            # No clause-granular bookkeeping means no edges to keep;
+            # differential mode never changes the table, so forcing it
+            # on is invisible to everything but the retained graph.
+            self.differential = True
         if self.config.scheduler not in SCHEDULERS:
             raise ValueError("unknown scheduler: %r (expected one of %s)"
                              % (self.config.scheduler,

@@ -14,7 +14,8 @@ from .operators import MAX_PRIORITY, OperatorTable, default_operators
 from .reader import Token, tokenize
 from .terms import Atom, Int, Struct, Term, Var, make_list
 
-__all__ = ["ParseError", "Parser", "parse_term", "parse_clauses"]
+__all__ = ["ParseError", "Parser", "parse_term", "parse_clauses",
+           "parse_clauses_located"]
 
 _ARG_PRIORITY = 999  # max priority inside argument lists / list elements
 
@@ -37,6 +38,8 @@ class Parser:
         self.ops = operators if operators is not None else default_operators()
         self.varmap: Dict[str, Var] = {}
         self._anon_counter = 0
+        #: source line of the most recently started clause
+        self.clause_line = 0
 
     # -- token plumbing ---------------------------------------------------
 
@@ -206,10 +209,13 @@ class Parser:
 
     def parse_clause(self) -> Optional[Term]:
         """Parse one clause term (up to the end dot); None at eof.
-        The variable map is reset per clause."""
+        The variable map is reset per clause; the source line of the
+        clause's first token lands in :attr:`clause_line` (the anchor
+        assertion blame reports point at)."""
         if self.at_eof():
             return None
         self.varmap = {}
+        self.clause_line = self.peek().line
         term = self.parse_term(MAX_PRIORITY)
         self.expect("end")
         return term
@@ -231,9 +237,18 @@ def parse_clauses(text: str,
                   operators: Optional[OperatorTable] = None) -> List[Term]:
     """Parse all clause terms in ``text``, applying ``:- op(...)``
     directives to the operator table as they are encountered."""
+    return [term for term, _ in parse_clauses_located(text, operators)]
+
+
+def parse_clauses_located(text: str,
+                          operators: Optional[OperatorTable] = None
+                          ) -> List[Tuple[Term, int]]:
+    """Like :func:`parse_clauses`, but each clause term comes with the
+    1-based source line of its first token — the anchor the assertion
+    checker's blame reports render."""
     ops = operators if operators is not None else default_operators()
     parser = Parser(tokenize(text), ops)
-    clauses: List[Term] = []
+    clauses: List[Tuple[Term, int]] = []
     while True:
         clause = parser.parse_clause()
         if clause is None:
@@ -252,4 +267,4 @@ def parse_clauses(text: str,
                     for nt in name_terms:
                         if isinstance(nt, Atom):
                             ops.add(nt.name, pri.value, typ.name)
-        clauses.append(clause)
+        clauses.append((clause, parser.clause_line))

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from .operators import OperatorTable
-from .parser import parse_clauses
+from .parser import parse_clauses_located
 from .terms import Atom, Int, Struct, Term, Var, format_term
 
 __all__ = ["PredId", "Clause", "Procedure", "Program", "parse_program"]
@@ -31,10 +31,14 @@ def _split_conjunction(term: Term) -> List[Term]:
 
 @dataclass
 class Clause:
-    """A source clause ``head :- body`` (body is a goal list)."""
+    """A source clause ``head :- body`` (body is a goal list).
+    ``line`` is the 1-based source line of the clause's first token
+    (None when the clause was built programmatically) — the anchor
+    assertion blame slices report."""
 
     head: Term
     body: List[Term]
+    line: Optional[int] = None
 
     @property
     def pred(self) -> PredId:
@@ -73,6 +77,9 @@ class Program:
 
     procedures: Dict[PredId, Procedure] = field(default_factory=dict)
     directives: List[Term] = field(default_factory=list)
+    #: source line per directive, parallel to ``directives`` (0 when
+    #: unknown — directives added programmatically).
+    directive_lines: List[int] = field(default_factory=list)
     order: List[PredId] = field(default_factory=list)
 
     def add_clause(self, clause: Clause) -> None:
@@ -105,20 +112,21 @@ class Program:
             self.num_procedures, self.num_clauses)
 
 
-def clause_from_term(term: Term) -> Clause:
+def clause_from_term(term: Term, line: Optional[int] = None) -> Clause:
     """Interpret a parsed term as a clause (fact or rule)."""
     if isinstance(term, Struct) and term.name == ":-" and term.arity == 2:
-        return Clause(term.args[0], _split_conjunction(term.args[1]))
-    return Clause(term, [])
+        return Clause(term.args[0], _split_conjunction(term.args[1]), line)
+    return Clause(term, [], line)
 
 
 def parse_program(text: str,
                   operators: Optional[OperatorTable] = None) -> Program:
     """Parse Prolog source text into a :class:`Program`."""
     program = Program()
-    for term in parse_clauses(text, operators):
+    for term, line in parse_clauses_located(text, operators):
         if isinstance(term, Struct) and term.name == ":-" and term.arity == 1:
             program.directives.append(term.args[0])
+            program.directive_lines.append(line)
             continue
-        program.add_clause(clause_from_term(term))
+        program.add_clause(clause_from_term(term, line))
     return program

@@ -22,7 +22,8 @@ from ..prolog.program import PredId
 from ..typegraph.grammar import Grammar
 from .cache import CacheKey, ResultCache, make_key
 from .serialize import (decode_config, decode_input_types, decode_result,
-                        encode_config, encode_input_types, encode_result)
+                        encode_check, encode_config, encode_input_types,
+                        encode_result)
 
 __all__ = ["Job", "JobResult", "BatchReport", "WorkerPool", "run_batch",
            "jobs_from_benchmarks"]
@@ -87,7 +88,13 @@ def _execute_spec(spec: dict) -> Tuple[str, dict, float]:
     """Worker entry point: run one analysis, return the serialized
     result.  Top-level so the process pool can pickle it; also the
     unit of work the :mod:`repro.service.server` daemon dispatches, so
-    server and batch exercise the identical execution path."""
+    server and batch exercise the identical execution path.
+
+    A spec with ``"check": True`` is a verification workload: the
+    config carries the assertion set (and ``keep_deps``), and the
+    payload gains a ``check`` section — verdicts plus blame slices —
+    next to the encoded table, so cached hits serve bit-identical
+    verdicts."""
     config = (None if spec["config"] is None
               else decode_config(spec["config"]))
     start = time.perf_counter()
@@ -96,8 +103,16 @@ def _execute_spec(spec: dict) -> Tuple[str, dict, float]:
                        input_types=decode_input_types(spec["input_types"]),
                        config=config,
                        baseline=spec["baseline"])
+    payload = encode_result(analysis.result)
+    if spec.get("check"):
+        from ..assertions import check_analysis
+        assertions = (config.assertions
+                      if config is not None and config.assertions
+                      else None)
+        report, slices = check_analysis(analysis, assertions)
+        payload["check"] = encode_check(report, slices)
     seconds = time.perf_counter() - start
-    return spec["name"], encode_result(analysis.result), seconds
+    return spec["name"], payload, seconds
 
 
 def _warm_worker() -> None:

@@ -70,9 +70,10 @@ class ServeClient:
     #: Ops safe to replay against another endpoint after a transport
     #: failure mid-request (reads, or pure functions of the cache key
     #: — mirrors the router's own failover set).
-    _FAILOVER_OPS = frozenset({"analyze", "batch", "ping", "stats",
-                               "cache-info", "route", "router-info",
-                               "sync-membership", "digest", "fetch"})
+    _FAILOVER_OPS = frozenset({"analyze", "check", "slice", "batch",
+                               "ping", "stats", "cache-info", "route",
+                               "router-info", "sync-membership",
+                               "digest", "fetch"})
 
     def __init__(self, host: str = "127.0.0.1",
                  port: int = DEFAULT_PORT,
@@ -192,6 +193,53 @@ class ServeClient:
             or_width=or_width,
             baseline=baseline or None,
             payload=payload if not payload else None,
+            timeout=timeout)
+
+    def check(self, source: Optional[str] = None,
+              query: Optional[PredId] = None,
+              benchmark: Optional[str] = None,
+              input_types: Optional[Sequence[Union[str, Grammar]]]
+              = None,
+              config: Optional[AnalysisConfig] = None,
+              or_width: Optional[int] = None,
+              baseline: bool = False,
+              timeout: Optional[float] = None) -> dict:
+        """Check the workload's own ``assert_*`` directives against
+        the analysis.  Returns ``verdicts``, ``counts``, ``passed``,
+        and a ``check_fingerprint`` stable across kernel tiers and
+        cache state."""
+        return self.request(
+            "check",
+            source=source,
+            query=None if query is None else list(query),
+            benchmark=benchmark,
+            input_types=encode_input_types(input_types),
+            config=None if config is None else encode_config(config),
+            or_width=or_width,
+            baseline=baseline or None,
+            timeout=timeout)
+
+    def slice(self, source: Optional[str] = None,
+              query: Optional[PredId] = None,
+              benchmark: Optional[str] = None,
+              input_types: Optional[Sequence[Union[str, Grammar]]]
+              = None,
+              config: Optional[AnalysisConfig] = None,
+              or_width: Optional[int] = None,
+              baseline: bool = False,
+              timeout: Optional[float] = None) -> dict:
+        """Like :meth:`check`, plus the ``slices`` list — one
+        source-anchored blame slice per offending entry of every
+        violated assertion."""
+        return self.request(
+            "slice",
+            source=source,
+            query=None if query is None else list(query),
+            benchmark=benchmark,
+            input_types=encode_input_types(input_types),
+            config=None if config is None else encode_config(config),
+            or_width=or_width,
+            baseline=baseline or None,
             timeout=timeout)
 
     def batch(self, benchmarks: Optional[Sequence[str]] = None,

@@ -111,8 +111,8 @@ DEFAULT_ROUTER_PORT = 7870
 
 #: Ops safe to replay on another shard after a transport failure (a
 #: pure function of the cache key, or read-only).
-_IDEMPOTENT_OPS = frozenset({"analyze", "batch", "ping", "stats",
-                             "cache-info"})
+_IDEMPOTENT_OPS = frozenset({"analyze", "check", "slice", "batch",
+                             "ping", "stats", "cache-info"})
 
 #: Transport failures that trigger failover (a shard that *answered*
 #: — even with an error envelope — does not).
@@ -384,10 +384,25 @@ class MembershipJournal:
     from whatever the file already holds, so a standby comparing
     ``sync-membership`` responses can tell whether the primary's view
     moved.
+
+    The journal grows without bound under churn (every death, restart,
+    and breaker trip is an event), but replay only ever needs the
+    membership *outcome*.  When the file exceeds
+    ``compact_threshold`` bytes at open time the router calls
+    :meth:`compact` with its live membership snapshot, which rewrites
+    the file to just those entries — ``seq`` keeps counting from the
+    old maximum, so standbys never see the sequence move backwards.
     """
 
-    def __init__(self, path: str) -> None:
+    #: Default on-disk size (bytes) above which the router compacts
+    #: the journal when it opens it.
+    COMPACT_BYTES = 64 * 1024
+
+    def __init__(self, path: str,
+                 compact_threshold: int = COMPACT_BYTES) -> None:
         self.path = str(path)
+        self.compact_threshold = compact_threshold
+        self.compactions = 0
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
@@ -430,6 +445,43 @@ class MembershipJournal:
         self._handle.write(
             json.dumps(record, sort_keys=True).encode("utf-8") + b"\n")
 
+    def size(self) -> int:
+        """Current on-disk size in bytes (0 when absent)."""
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def needs_compaction(self) -> bool:
+        return (bool(self.compact_threshold)
+                and self.size() >= self.compact_threshold)
+
+    def compact(self, snapshot: Sequence[dict]) -> int:
+        """Rewrite the journal to ``snapshot`` — the live membership
+        as add-shard entries — dropping the event history it encodes.
+        Atomic (tempfile + ``os.replace``): a crash mid-compaction
+        leaves the old journal intact.  Each snapshot entry is stamped
+        with a fresh ``seq`` continuing past the old maximum, so a
+        replay of the compacted journal builds the identical ring and
+        downstream sequence comparisons stay monotone.  Returns the
+        number of entries dropped."""
+        self.close()
+        dropped = len(self.replayed) - len(snapshot)
+        temp_path = self.path + ".compact"
+        records = []
+        with open(temp_path, "wb") as handle:
+            for entry in snapshot:
+                self.seq += 1
+                record = dict(entry, seq=self.seq)
+                records.append(record)
+                handle.write(json.dumps(record, sort_keys=True)
+                             .encode("utf-8") + b"\n")
+        os.replace(temp_path, self.path)
+        self._torn_tail = False
+        self.replayed = records
+        self.compactions += 1
+        return dropped
+
     def close(self) -> None:
         if self._handle is not None:
             self._handle.close()
@@ -466,6 +518,7 @@ class ClusterRouter:
                  breaker_window: float = 30.0,
                  faults=None,
                  journal_path: Optional[str] = None,
+                 journal_compact_bytes: Optional[int] = None,
                  sync_from: Optional[Union[str, Tuple[str, int]]] = None,
                  anti_entropy_interval: float = 0.0,
                  shard_log_max_bytes: Optional[int] = None) -> None:
@@ -524,8 +577,12 @@ class ClusterRouter:
         #: durable journal behind the in-memory log; every event is
         #: written through, and add-shard/remove-shard ops replay on
         #: startup so attached shards survive a router restart.
-        self.journal = (MembershipJournal(journal_path)
-                        if journal_path is not None else None)
+        self.journal = (MembershipJournal(
+            journal_path,
+            compact_threshold=(MembershipJournal.COMPACT_BYTES
+                               if journal_compact_bytes is None
+                               else journal_compact_bytes))
+            if journal_path is not None else None)
         self.journal_replayed = 0
         #: standby bookkeeping: a router with ``sync_from`` mirrors
         #: that primary's membership and refuses membership writes
@@ -548,6 +605,8 @@ class ClusterRouter:
         self._benchmark_hashes: Dict[str, str] = {}
         if self.journal is not None and self.journal.replayed:
             self._replay_membership(self.journal.replayed)
+            if self.journal.needs_compaction():
+                self._compact_journal()
         if not self.shards and self.sync_from is None:
             raise ValueError(
                 "no shards configured and the journal replayed none — "
@@ -589,6 +648,23 @@ class ClusterRouter:
                   "op(s) (%d shard(s) on the ring)"
                   % (self.journal.path, self.journal_replayed,
                      len(self.shards)), file=sys.stderr)
+
+    def _compact_journal(self) -> None:
+        """Rewrite an oversized journal down to the live membership:
+        one ``add-shard`` entry per shard currently on the ring.
+        Replaying the compacted journal reconstructs the identical
+        ring — the event history (deaths, restarts, drains) it
+        replaces never influenced replay anyway."""
+        snapshot = [{"event": "add-shard", "shard": shard_id,
+                     "host": shard.host, "port": shard.port,
+                     "at": round(time.time(), 3), "compacted": True}
+                    for shard_id, shard in sorted(self.shards.items())]
+        dropped = self.journal.compact(snapshot)
+        print("repro router: journal %s compacted to %d membership "
+              "entr%s (%d event(s) dropped)"
+              % (self.journal.path, len(snapshot),
+                 "y" if len(snapshot) == 1 else "ies", dropped),
+              file=sys.stderr)
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -1099,7 +1175,7 @@ class ClusterRouter:
                 self.stats.local += 1
                 result = await local(self, request)
                 response = ok_envelope(request_id, result)
-            elif op in ("analyze",):
+            elif op in ("analyze", "check", "slice"):
                 response = await self._forward_line(line, request)
             elif op == "batch":
                 self.stats.routed += 1
@@ -1114,7 +1190,8 @@ class ClusterRouter:
                     "unknown op %r (router ops: %s)"
                     % (op, ", ".join(sorted(
                         set(self._LOCAL_OPS)
-                        | {"analyze", "batch", "invalidate"}))))
+                        | {"analyze", "check", "slice", "batch",
+                           "invalidate"}))))
             return response
         except RequestError as error:
             if error.code not in ("overloaded", "timeout"):
@@ -1509,6 +1586,7 @@ class ClusterRouter:
                 "path": self.journal.path,
                 "seq": self.journal.seq,
                 "replayed": self.journal_replayed,
+                "compactions": self.journal.compactions,
             }),
             "membership_log": list(self.membership_log),
             "faults": (None if self.faults is None

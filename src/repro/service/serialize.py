@@ -23,6 +23,9 @@ import json
 import weakref
 from typing import Dict, Optional, Sequence, Union
 
+from ..assertions.checker import CheckReport
+from ..assertions.slicer import BlameSlice
+from ..assertions.frontend import Assertion
 from ..domains.leaf import LeafDomain, domain_from_descriptor
 from ..domains.pattern import PAT_BOTTOM, AbstractSubst, PatNode
 from ..fixpoint.engine import (AnalysisConfig, AnalysisResult,
@@ -39,6 +42,7 @@ __all__ = [
     "encode_result", "decode_result", "result_fingerprint",
     "payload_fingerprint",
     "encode_config", "decode_config", "config_hash",
+    "encode_check", "decode_check", "check_fingerprint",
     "encode_input_types", "decode_input_types",
     "predicate_hashes", "program_hash",
 ]
@@ -52,7 +56,10 @@ __all__ = [
 #: v4: AnalysisStats gained ``arena_compiles`` (PR 4's arena kernel).
 #: v5: AnalysisStats gained ``disjunction_fallbacks`` (oversized
 #: disjunctions compiled to auxiliary predicates).
-FORMAT_VERSION = 5
+#: v6: AnalysisConfig gained ``keep_deps``/``assertions`` and check
+#: payloads embed a ``check`` section (assertion verdicts + blame
+#: slices).
+FORMAT_VERSION = 6
 
 
 # -- canonical JSON and hashing ----------------------------------------------
@@ -290,6 +297,32 @@ def decode_result(data: dict, program=None,
                           root, entries, unknown)
 
 
+# -- assertion check sections ------------------------------------------------
+
+def encode_check(report: CheckReport, slices=()) -> dict:
+    """The ``check`` section of a verification payload: every verdict
+    plus the blame slices of the violations.  Embedded next to the
+    encoded table in the cache payload, so a warm hit returns
+    bit-identical verdicts without re-checking."""
+    return {"verdicts": [v.to_obj() for v in report.verdicts],
+            "slices": [s.to_obj() for s in slices]}
+
+
+def decode_check(data: dict):
+    """(CheckReport, [BlameSlice]) back out of :func:`encode_check`."""
+    report = CheckReport.from_obj(data)
+    slices = [BlameSlice.from_obj(s) for s in data.get("slices", ())]
+    return report, slices
+
+
+def check_fingerprint(check_obj: dict) -> str:
+    """Content hash of one encoded ``check`` section — the stability
+    contract: identical across kernel tiers, cache-warm/cold runs, and
+    one-shot vs. served execution."""
+    return content_hash({"verdicts": check_obj.get("verdicts", []),
+                         "slices": check_obj.get("slices", [])})
+
+
 # -- analysis inputs: config, input types, programs --------------------------
 
 def encode_config(config: AnalysisConfig) -> dict:
@@ -303,6 +336,8 @@ def encode_config(config: AnalysisConfig) -> dict:
                           [g.to_obj() for g in config.type_database]),
         "differential": config.differential,
         "scheduler": config.scheduler,
+        "keep_deps": config.keep_deps,
+        "assertions": [a.to_obj() for a in config.assertions],
     }
 
 
@@ -320,6 +355,9 @@ def decode_config(data: dict) -> AnalysisConfig:
         type_database=type_database,
         differential=data.get("differential", True),
         scheduler=data.get("scheduler", "lifo"),
+        keep_deps=bool(data.get("keep_deps", False)),
+        assertions=tuple(Assertion.from_obj(a)
+                         for a in data.get("assertions", ())),
     )
 
 
@@ -330,13 +368,17 @@ def config_hash(config: Optional[AnalysisConfig]) -> str:
     re-evaluation produce bit-identical tables (enforced by
     ``tests/test_differential_properties.py``), so it must not split
     the result cache — and the ``REPRO_DIFFERENTIAL`` override could
-    not be reflected here anyway.  ``scheduler`` *is* included: the
-    iteration order feeds the widening sequence, so different
-    schedulers may legitimately reach different (equally sound)
-    tables."""
+    not be reflected here anyway.  ``keep_deps`` is excluded for the
+    same reason: retaining the dependency graph never changes the
+    table.  ``scheduler`` *is* included: the iteration order feeds the
+    widening sequence, so different schedulers may legitimately reach
+    different (equally sound) tables.  ``assertions`` is included
+    because check payloads fold verdicts in — a cached verdict must
+    only ever be served for the exact assertion set it judged."""
     obj = encode_config(config if config is not None
                         else AnalysisConfig())
     obj.pop("differential", None)
+    obj.pop("keep_deps", None)
     return content_hash(obj)
 
 

@@ -18,6 +18,9 @@ Protocol (one JSON object per line, over TCP)::
     -> {"op": "analyze", "source": "app([],L,L).\\n...",
         "query": ["app", 3], "input_types": ["list", "any", "any"]}
     -> {"op": "batch", "benchmarks": ["QU", "PL"]}
+    -> {"op": "check", "benchmark": "CHK"}  # assertion verdicts for the
+                              # program's own assert_* directives
+    -> {"op": "slice", "source": "..."}     # verdicts + blame slices
     -> {"op": "stats"}        # cache hit rate, opcache/arena counters,
                               # queue depth, p50/p95 latency
     -> {"op": "cache-info"}
@@ -69,12 +72,15 @@ import time
 from collections import OrderedDict, deque
 from typing import Dict, Optional, Tuple
 
+from dataclasses import replace as _replace
+
 from ..fixpoint.engine import AnalysisConfig
 from .batch import WorkerPool, _execute_spec
 from .cache import CacheKey, ResultCache, make_key
-from .serialize import (canonical_json, decode_config, decode_input_types,
-                        encode_config, encode_input_types,
-                        payload_fingerprint, program_hash)
+from .serialize import (canonical_json, check_fingerprint, decode_config,
+                        decode_input_types, encode_config,
+                        encode_input_types, payload_fingerprint,
+                        program_hash)
 from .transport import (LINE_LIMIT as _LINE_LIMIT, LineServer,
                         ProtocolError, decode_message, error_envelope,
                         ok_envelope)
@@ -374,6 +380,72 @@ class AnalysisServer:
         key = make_key(source, query, input_types, config, baseline)
         return spec, key
 
+    def _check_spec_of(self, request: dict) -> Tuple[dict, CacheKey]:
+        """The verification form of an analyze request: the program's
+        own assertion directives are harvested and folded into the
+        config (with ``keep_deps`` so blame slicing has its dependency
+        graph), which re-keys the workload — cached verdicts are valid
+        only for the exact assertion set they were computed against.
+        Memoized next to the analyze specs under a distinguished
+        signature."""
+        signature = self._spec_signature(request)
+        if signature is not None:
+            signature = signature + ("check",)
+            memo = self._specs
+            hit = memo.get(signature)
+            if hit is not None:
+                memo.move_to_end(signature)
+                return hit
+        spec, _ = self._spec_of(request)
+        from ..assertions import AssertionSyntaxError, harvest_assertions
+        from ..prolog.program import parse_program
+        try:
+            assertions = tuple(harvest_assertions(
+                parse_program(spec["source"])))
+        except AssertionSyntaxError as error:
+            raise RequestError("bad assertion directive: %s" % error)
+        base = (decode_config(spec["config"])
+                if spec["config"] is not None else AnalysisConfig())
+        config = _replace(base, assertions=assertions, keep_deps=True)
+        query = (spec["query"][0], int(spec["query"][1]))
+        key = make_key(spec["source"], query,
+                       decode_input_types(spec["input_types"]), config,
+                       bool(spec["baseline"]))
+        spec = dict(spec)
+        spec["config"] = encode_config(config)
+        spec["check"] = True
+        if signature is not None:
+            memo[signature] = (spec, key)
+            if len(memo) > 4096:
+                memo.popitem(last=False)
+        return spec, key
+
+    async def _check(self, request: dict, want_slices: bool) -> dict:
+        """Shared body of the ``check`` and ``slice`` ops: one cached
+        payload (the encoded table plus its ``check`` section) serves
+        both; they differ only in whether the blame slices travel back
+        to the client."""
+        spec, key = self._check_spec_of(request)
+        outcome = await self._analyze(spec, key, True,
+                                      self._timeout_of(request))
+        payload = outcome.pop("payload", None) or {}
+        check = payload.get("check") or {"verdicts": [], "slices": []}
+        verdicts = check.get("verdicts", [])
+        counts: Dict[str, int] = {}
+        for verdict in verdicts:
+            status = verdict.get("status", "?")
+            counts[status] = counts.get(status, 0) + 1
+        outcome["name"] = spec["name"]
+        outcome["verdicts"] = verdicts
+        outcome["counts"] = counts
+        outcome["passed"] = counts.get("violated", 0) == 0
+        outcome["check_fingerprint"] = check_fingerprint(check)
+        if want_slices:
+            outcome["slices"] = check.get("slices", [])
+        if bool(request.get("payload", False)):
+            outcome["payload"] = payload
+        return outcome
+
     def _fingerprint(self, digest: str, payload: dict) -> str:
         memo = self._fingerprints
         fingerprint = memo.get(digest)
@@ -497,6 +569,17 @@ class AnalysisServer:
         return await self._analyze(spec, key,
                                    bool(request.get("payload", True)),
                                    self._timeout_of(request))
+
+    async def _op_check(self, request: dict) -> dict:
+        """Assertion verdicts for the workload's own ``assert_*``
+        directives; the analysis runs (or is served cached) with the
+        assertions folded into its config."""
+        return await self._check(request, want_slices=False)
+
+    async def _op_slice(self, request: dict) -> dict:
+        """Like ``check``, plus the blame slices for every violated
+        assertion — the same cached payload serves both ops."""
+        return await self._check(request, want_slices=True)
 
     async def _op_batch(self, request: dict) -> dict:
         """Many analyze requests in one round trip, answered when all
@@ -662,6 +745,8 @@ class AnalysisServer:
 
     _OPS = {
         "analyze": _op_analyze,
+        "check": _op_check,
+        "slice": _op_slice,
         "batch": _op_batch,
         "seed": _op_seed,
         "digest": _op_digest,

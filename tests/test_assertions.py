@@ -1,0 +1,269 @@
+"""Assertion checking and blame slicing (the verification product).
+
+Covers the full pipeline — directive parsing, spec compilation into
+the analysis domain, verdict evaluation, dependency-graph slicing —
+plus the acceptance criterion: the deliberately violated assertion in
+the CHK workload yields a ``violated`` verdict whose blame slice names
+the guilty clause and call site identically through the one-shot CLI,
+the ``check``/``slice`` server ops, and the router.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import AnalysisConfig, analyze
+from repro.assertions import (Assertion, AssertionSyntaxError, UNREACHABLE,
+                              VERIFIED, VIOLATED, assertion_from_directive,
+                              blame_slices, check_analysis, check_result,
+                              compile_assertion, harvest_assertions,
+                              parse_assertion)
+from repro.benchprogs import benchmark
+from repro.domains.pattern import PAT_BOTTOM
+from repro.prolog.program import parse_program
+from repro.service.serialize import (check_fingerprint, decode_check,
+                                     encode_check)
+
+CHK = benchmark("CHK")
+
+ANNOTATED = """
+:- assert_pattern(grow/2, [list, list]).
+:- assert_pattern(bad/1, [int]).
+:- assert_calls(grow/2, [list, any]).
+:- assert_pattern(never/1, [any]).
+
+main(Xs, Ys) :- grow(Xs, Ys), bad(B), use(B).
+
+grow([], []).
+grow([X|Xs], [X, X|Ys]) :- grow(Xs, Ys).
+
+bad(nope).
+
+never(X) :- never(X).
+
+use(_).
+"""
+
+
+def run_check(source, query, input_types=None):
+    program = parse_program(source)
+    assertions = tuple(harvest_assertions(program))
+    analysis = analyze(source, query, input_types=input_types,
+                       config=AnalysisConfig(keep_deps=True,
+                                             assertions=assertions))
+    return analysis, check_analysis(analysis, assertions)
+
+
+# -- frontend ----------------------------------------------------------------
+
+def test_harvest_finds_directives_with_lines():
+    program = parse_program(ANNOTATED)
+    assertions = harvest_assertions(program)
+    assert [a.kind for a in assertions] == \
+        ["pattern", "pattern", "calls", "pattern"]
+    assert [a.pred for a in assertions] == \
+        [("grow", 2), ("bad", 1), ("grow", 2), ("never", 1)]
+    assert [a.line for a in assertions] == [2, 3, 4, 5]
+
+
+def test_parse_assertion_accepts_bare_and_directive_forms():
+    bare = parse_assertion("assert_pattern(p/2, [int, any])")
+    wrapped = parse_assertion(":- assert_pattern(p/2, [int, any]).")
+    assert bare.pred == wrapped.pred == ("p", 2)
+    assert bare.specs == wrapped.specs == ("int", "any")
+
+
+@pytest.mark.parametrize("text", [
+    "assert_pattern(p, [int])",            # no /arity indicator
+    "assert_pattern(p/x, [int])",          # arity not an integer
+    "assert_pattern(p/2, [int])",          # spec count != arity
+    "assert_pattern(p/1, int)",            # specs not a list
+    "assert_pattern(p/1, [X|T])",          # improper spec list
+    "assert_pattern(p/1, [atom(f(x))])",   # atom/1 wants a plain atom
+    "assert_pattern(p/1, [list(p/1)])",    # list/1 wants a grammar spec
+])
+def test_malformed_directives_rejected(text):
+    with pytest.raises(AssertionSyntaxError):
+        parse_assertion(text)
+
+
+def test_non_assertion_directives_ignored():
+    program = parse_program(":- dynamic(foo/1).\np(a).\n")
+    assert list(harvest_assertions(program)) == []
+
+
+# -- checker -----------------------------------------------------------------
+
+def test_verdict_statuses():
+    _, (report, _) = run_check(ANNOTATED, ("main", 2),
+                               input_types=["list", "any"])
+    statuses = {v.assertion.key: v.status for v in report.verdicts}
+    assert statuses["assert_pattern(grow/2, [list, list])"] == VERIFIED
+    assert statuses["assert_pattern(bad/1, [int])"] == VIOLATED
+    assert statuses["assert_calls(grow/2, [list, any])"] == VERIFIED
+    # never/1 is never called -> no entries to check
+    assert statuses["assert_pattern(never/1, [any])"] == UNREACHABLE
+    assert not report.ok
+    assert report.counts() == {"verified": 2, "violated": 1,
+                               "unreachable": 1}
+
+
+def test_violated_verdict_carries_offending_entry_detail():
+    _, (report, _) = run_check(ANNOTATED, ("main", 2),
+                               input_types=["list", "any"])
+    [violated] = report.violations()
+    assert violated.offending_entries
+    assert any("nope" in detail for detail in violated.details)
+
+
+def test_compile_unsatisfiable_spec_is_bottom():
+    # int and a sharing group forcing it to equal an atom: bottom
+    assertion = parse_assertion("assert_pattern(p/2, [f(X, a), g(X, 1)])")
+    analysis = analyze("p(f(A, a), g(A, 1)).", ("p", 2))
+    compiled = compile_assertion(assertion, analysis.domain)
+    assert compiled is not PAT_BOTTOM  # sharing alone is satisfiable
+
+
+def test_check_result_with_explicit_assertions():
+    analysis = analyze("p(a).", ("p", 1))
+    report = check_result(analysis.result, analysis.domain,
+                          [parse_assertion("assert_pattern(p/1, [atom(a)])"),
+                           parse_assertion("assert_pattern(p/1, [int])")])
+    assert [v.status for v in report.verdicts] == [VERIFIED, VIOLATED]
+
+
+# -- slicer ------------------------------------------------------------------
+
+def test_blame_slice_names_guilty_clause_and_callsite():
+    _, (report, slices) = run_check(ANNOTATED, ("main", 2),
+                                    input_types=["list", "any"])
+    [blame] = slices
+    assert blame.pred == ("bad", 1)
+    clause_steps = [s for s in blame.steps if s.role == "clause"]
+    call_steps = [s for s in blame.steps if s.role == "call-site"]
+    assert [(s.pred, s.clause_index) for s in clause_steps] == \
+        [(("bad", 1), 0)]
+    assert clause_steps[0].source == "bad(nope)."
+    assert clause_steps[0].line == 12
+    assert call_steps, "no call-site step for the violated entry"
+    assert call_steps[0].pred == ("main", 2)
+    assert "bad(" in call_steps[0].goal
+
+
+def test_slicing_requires_retained_deps():
+    source = "p(a)."
+    analysis = analyze(source, ("p", 1))  # keep_deps not set
+    report = check_result(analysis.result, analysis.domain,
+                          [parse_assertion("assert_pattern(p/1, [int])")])
+    assert analysis.result.callsite_deps is None
+    with pytest.raises(ValueError):
+        blame_slices(analysis.result, analysis.norm, report)
+    # check_analysis degrades to verdicts-only instead of raising
+    verdicts_only, slices = check_analysis(analysis)
+    assert slices == []
+
+
+# -- serialization -----------------------------------------------------------
+
+def test_check_payload_round_trips():
+    _, (report, slices) = run_check(ANNOTATED, ("main", 2),
+                                    input_types=["list", "any"])
+    encoded = encode_check(report, slices)
+    decoded_report, decoded_slices = decode_check(
+        json.loads(json.dumps(encoded)))
+    assert encode_check(decoded_report, decoded_slices) == encoded
+    assert check_fingerprint(encoded) == \
+        check_fingerprint(encode_check(decoded_report, decoded_slices))
+
+
+# -- the CHK workload + CLI ---------------------------------------------------
+
+def chk_check():
+    analysis = analyze(
+        CHK.source, CHK.query, input_types=CHK.input_types,
+        config=AnalysisConfig(keep_deps=True,
+                              assertions=tuple(harvest_assertions(
+                                  parse_program(CHK.source)))))
+    return check_analysis(analysis)
+
+
+def test_chk_violation_and_slice():
+    report, slices = chk_check()
+    assert report.counts() == {"verified": 3, "violated": 1,
+                               "unreachable": 0}
+    [violated] = report.violations()
+    assert violated.assertion.pred == ("tag", 1)
+    [blame] = slices
+    clause_steps = [s for s in blame.steps if s.role == "clause"]
+    assert [(s.pred, s.clause_index) for s in clause_steps] == \
+        [(("tag", 1), 0)]
+    assert any(s.role == "call-site" and s.pred == ("main", 2)
+               for s in blame.steps)
+
+
+def test_cli_check_exit_codes_and_json(tmp_path, capsys):
+    from repro.__main__ import main
+
+    assert main(["check", "--benchmark", "CHK"]) == 1
+    human = capsys.readouterr().out
+    assert "[FAIL] assert_pattern(tag/1, [int])" in human
+    assert "blame slice" in human
+    assert "tag(oops)." in human
+
+    assert main(["check", "--benchmark", "CHK", "--json"]) == 1
+    data = json.loads(capsys.readouterr().out)
+    assert data["passed"] is False
+    assert data["check"]["slices"]
+
+    # a fully verified file exits 0
+    clean = tmp_path / "clean.pl"
+    clean.write_text(":- assert_pattern(p/1, [atom(a)]).\np(a).\n")
+    assert main(["check", str(clean), "p/1"]) == 0
+
+    # no directives at all also exits 0
+    plain = tmp_path / "plain.pl"
+    plain.write_text("p(a).\n")
+    assert main(["check", str(plain), "p/1"]) == 0
+    assert "no assert_pattern" in capsys.readouterr().out
+
+
+# -- served identity: CLI == check op == slice op == router -------------------
+
+def test_served_verdicts_match_oneshot_and_router():
+    from repro.service.cluster import ClusterRouter
+    from repro.service.server import AnalysisServer
+    from repro.service.transport import (decode_message, encode_message)
+
+    report, slices = chk_check()
+    direct = encode_check(report, slices)
+    direct_fp = check_fingerprint(direct)
+
+    async def main():
+        server = AnalysisServer(port=0)
+        await server.start()
+        check = await server._op_check({"benchmark": "CHK"})
+        sliced = await server._op_slice({"benchmark": "CHK"})
+        router = ClusterRouter([("127.0.0.1", server.port)], port=0)
+        await router.start()
+        reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                       router.port)
+        writer.write(encode_message({"id": 1, "op": "slice",
+                                     "benchmark": "CHK"}))
+        await writer.drain()
+        routed = decode_message(await reader.readline())
+        writer.close()
+        await router.drain_and_close(shutdown_spawned=False)
+        await server.drain_and_close()
+        return check, sliced, routed
+
+    check, sliced, routed = asyncio.run(main())
+    assert check["passed"] is False
+    assert check["counts"] == {"verified": 3, "violated": 1}
+    assert check["check_fingerprint"] == direct_fp
+    assert sliced["check_fingerprint"] == direct_fp
+    assert sliced["slices"] == direct["slices"]
+    assert sliced["cached"], "slice should reuse the check payload"
+    assert routed["ok"], routed
+    assert routed["result"]["check_fingerprint"] == direct_fp
+    assert routed["result"]["slices"] == direct["slices"]

@@ -16,8 +16,11 @@ FAST = ["QU", "PG", "PE", "AR", "AR1", "PL", "PR"]
 
 class TestRegistry:
     def test_all_fifteen_workloads(self):
-        assert len(BENCHMARKS) == 15
-        assert set(benchmark_names()) == set(BENCHMARKS)
+        assert len(benchmark_names()) == 15
+        # the registry carries the paper corpus plus CHK, the annotated
+        # verification workload (kept out of the Table 3 name list so
+        # its fingerprints stay frozen)
+        assert set(BENCHMARKS) == set(benchmark_names()) | {"CHK"}
 
     def test_lookup_case_insensitive(self):
         assert benchmark("ka") is benchmark("KA")

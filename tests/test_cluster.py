@@ -974,6 +974,79 @@ def test_journal_replays_membership_across_router_restart(tmp_path):
     assert joiner_id not in ring_final
 
 
+def _churn_journal(path, shards=6, removed=2, noise=40):
+    """A journal full of membership churn plus supervision noise:
+    ``shards`` adds, the first ``removed`` of them removed again, and
+    ``noise`` non-membership events interleaved."""
+    journal = MembershipJournal(path)
+    ids = []
+    for index in range(shards):
+        shard_id = "10.0.0.%d:7871" % (index + 1)
+        ids.append(shard_id)
+        journal.append({"event": "add-shard", "shard": shard_id,
+                        "host": "10.0.0.%d" % (index + 1), "port": 7871})
+        for _ in range(noise // shards):
+            journal.append({"event": "shard-died", "shard": shard_id})
+            journal.append({"event": "shard-restarted",
+                            "shard": shard_id})
+    for shard_id in ids[:removed]:
+        journal.append({"event": "remove-shard", "shard": shard_id})
+    journal.close()
+    return ids[removed:]
+
+
+def test_journal_compact_rewrites_to_snapshot_with_monotone_seq(tmp_path):
+    path = str(tmp_path / "membership.journal")
+    _churn_journal(path)
+    journal = MembershipJournal(path)
+    seq_before = journal.seq
+    entries_before = len(journal.replayed)
+    snapshot = [{"event": "add-shard", "shard": "10.0.0.9:7871",
+                 "host": "10.0.0.9", "port": 7871}]
+    dropped = journal.compact(snapshot)
+    assert dropped == entries_before - 1
+    assert journal.seq == seq_before + 1  # continues, never rewinds
+    assert journal.compactions == 1
+    # an append after compaction lands on the compacted file
+    journal.append({"event": "remove-shard", "shard": "10.0.0.9:7871"})
+    journal.close()
+    reread = MembershipJournal(path)
+    assert [e["event"] for e in reread.replayed] == \
+        ["add-shard", "remove-shard"]
+    assert reread.seq == seq_before + 2
+
+
+def test_router_compacts_oversized_journal_to_identical_ring(tmp_path):
+    """The satellite contract: replaying the pre-compaction and the
+    post-compaction journal builds the identical ring, and the
+    compacted file is a fraction of the churned one's size."""
+    path = str(tmp_path / "membership.journal")
+    live = _churn_journal(path)
+    size_before = MembershipJournal(path).size()
+
+    before = ClusterRouter([], journal_path=path,
+                           journal_compact_bytes=10 ** 9)  # no compaction
+    assert sorted(before.ring.nodes) == sorted(live)
+    assert before.journal.compactions == 0
+
+    compacting = ClusterRouter([], journal_path=path,
+                               journal_compact_bytes=1)
+    assert compacting.journal.compactions == 1
+    assert sorted(compacting.ring.nodes) == sorted(before.ring.nodes)
+    assert compacting.journal.size() < size_before
+    assert len(compacting.journal.replayed) == len(live)
+
+    # a third router replays the *compacted* journal: identical ring,
+    # identical preference lists, sequence still moving forward
+    after = ClusterRouter([], journal_path=path,
+                          journal_compact_bytes=10 ** 9)
+    assert sorted(after.ring.nodes) == sorted(before.ring.nodes)
+    for key in KEYS[:50]:
+        assert after.ring.preference(key) == before.ring.preference(key)
+    assert after.journal.seq >= compacting.journal.seq
+    assert after.journal.compactions == 0
+
+
 # -- standby routers ---------------------------------------------------------
 
 def test_standby_syncs_membership_refuses_writes_and_promotes():
